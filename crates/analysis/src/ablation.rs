@@ -1,0 +1,304 @@
+//! Extension studies: the §7 strawman-solution ablation and the §6
+//! federation-graph damage analysis.
+//!
+//! The paper sketches both as future work; fediscope implements them so
+//! the design discussion can be quantified on the same dataset.
+
+use crate::scores::HarmAnnotations;
+use crate::tables::section5_users;
+use fediscope_core::mrf::policies::SimpleAction;
+use fediscope_core::paper;
+use fediscope_crawler::Dataset;
+use std::collections::{HashMap, HashSet};
+
+/// A moderation strategy under ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Instance-wide `reject` — the paper's measured status quo.
+    RejectInstance,
+    /// Instance-wide media removal (§7: harmful material on sexually
+    /// explicit instances "is mostly in media form").
+    MediaRemoval,
+    /// Instance-wide NSFW tagging: content is delivered behind a warning.
+    NsfwTag,
+    /// Per-user rejection driven by a classifier at the paper's 0.8
+    /// threshold (§7 proposal 2/3).
+    PerUserReject,
+    /// Per-user NSFW tagging at the same threshold.
+    PerUserNsfw,
+}
+
+impl Strategy {
+    /// All strategies in presentation order.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::RejectInstance,
+        Strategy::MediaRemoval,
+        Strategy::NsfwTag,
+        Strategy::PerUserReject,
+        Strategy::PerUserNsfw,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::RejectInstance => "reject (instance)",
+            Strategy::MediaRemoval => "media_removal (instance)",
+            Strategy::NsfwTag => "nsfw tag (instance)",
+            Strategy::PerUserReject => "per-user reject (classifier)",
+            Strategy::PerUserNsfw => "per-user nsfw (classifier)",
+        }
+    }
+}
+
+/// Outcome of one strategy on the §5 population.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Share of *innocent* users whose posts are fully blocked.
+    pub innocent_blocked: f64,
+    /// Share of innocent users whose content is degraded (tagged /
+    /// media-stripped) but still delivered.
+    pub innocent_degraded: f64,
+    /// Share of *harmful users* whose reach is fully blocked.
+    pub harmful_blocked: f64,
+    /// Share of harmful users degraded but not blocked.
+    pub harmful_degraded: f64,
+}
+
+/// §7 ablation: applies each strategy to the §5 user population of
+/// rejected instances and measures collateral damage vs harm mitigation.
+///
+/// Classification uses the measured per-user scores — i.e. the classifier
+/// the paper proposes "(e.g. in Google Perspective API)".
+pub fn solutions(dataset: &Dataset, annotations: &HarmAnnotations) -> Vec<AblationRow> {
+    let users = section5_users(dataset, annotations);
+    let threshold = paper::HARMFUL_THRESHOLD;
+    let harmful: Vec<bool> = users.iter().map(|u| u.mean.max() >= threshold).collect();
+    let n_harmful = harmful.iter().filter(|&&h| h).count().max(1) as f64;
+    let n_innocent = (users.len() - harmful.iter().filter(|&&h| h).count()).max(1) as f64;
+
+    Strategy::ALL
+        .iter()
+        .map(|&strategy| {
+            let mut innocent_blocked = 0usize;
+            let mut innocent_degraded = 0usize;
+            let mut harmful_blocked = 0usize;
+            let mut harmful_degraded = 0usize;
+            for (idx, _user) in users.iter().enumerate() {
+                let is_harmful = harmful[idx];
+                let (blocked, degraded) = match strategy {
+                    // Instance-wide actions hit every user of the rejected
+                    // instance identically.
+                    Strategy::RejectInstance => (true, false),
+                    Strategy::MediaRemoval => (false, true),
+                    Strategy::NsfwTag => (false, true),
+                    // Per-user actions hit only classifier-flagged users.
+                    Strategy::PerUserReject => (is_harmful, false),
+                    Strategy::PerUserNsfw => (false, is_harmful),
+                };
+                match (is_harmful, blocked, degraded) {
+                    (false, true, _) => innocent_blocked += 1,
+                    (false, false, true) => innocent_degraded += 1,
+                    (true, true, _) => harmful_blocked += 1,
+                    (true, false, true) => harmful_degraded += 1,
+                    _ => {}
+                }
+            }
+            AblationRow {
+                strategy,
+                innocent_blocked: innocent_blocked as f64 / n_innocent,
+                innocent_degraded: innocent_degraded as f64 / n_innocent,
+                harmful_blocked: harmful_blocked as f64 / n_harmful,
+                harmful_degraded: harmful_degraded as f64 / n_harmful,
+            }
+        })
+        .collect()
+}
+
+/// One row of the federation-graph damage analysis (§6).
+#[derive(Debug, Clone)]
+pub struct GraphDamageRow {
+    /// The rejected instance.
+    pub domain: String,
+    /// Rejects received.
+    pub rejects: u32,
+    /// Users on the instances rejecting it — the audience its users lost.
+    pub audience_lost: u64,
+    /// That audience as a share of all crawled users.
+    pub audience_lost_share: f64,
+    /// Share of the instance's peers that reject it (local connectivity
+    /// damage).
+    pub peer_loss_share: f64,
+}
+
+/// §6: quantifies the federation-graph effect of rejects. For each of the
+/// top rejected instances: the user audience lost (users on rejecting
+/// instances) and the share of its own peers now refusing it.
+pub fn federation_graph(dataset: &Dataset, top: usize) -> Vec<GraphDamageRow> {
+    let total_users: u64 = dataset.pleroma_crawled().map(|i| i.user_count()).sum();
+    // Who rejects whom.
+    let mut rejectors_of: HashMap<String, HashSet<&str>> = HashMap::new();
+    for (inst, action, target) in dataset.moderation_events() {
+        if action == SimpleAction::Reject {
+            rejectors_of
+                .entry(target.to_string())
+                .or_default()
+                .insert(inst.domain.as_str());
+        }
+    }
+    let user_counts: HashMap<&str, u64> = dataset
+        .pleroma_crawled()
+        .map(|i| (i.domain.as_str(), i.user_count()))
+        .collect();
+    let peers: HashMap<&str, &Vec<fediscope_core::id::Domain>> = dataset
+        .pleroma_crawled()
+        .map(|i| (i.domain.as_str(), &i.peers))
+        .collect();
+
+    let mut rows: Vec<GraphDamageRow> = rejectors_of
+        .iter()
+        .map(|(target, rejectors)| {
+            let audience: u64 = rejectors
+                .iter()
+                .filter_map(|r| user_counts.get(r))
+                .copied()
+                .sum();
+            let peer_loss = peers
+                .get(target.as_str())
+                .map(|ps| {
+                    if ps.is_empty() {
+                        0.0
+                    } else {
+                        ps.iter()
+                            .filter(|p| rejectors.contains(p.as_str()))
+                            .count() as f64
+                            / ps.len() as f64
+                    }
+                })
+                .unwrap_or(0.0);
+            GraphDamageRow {
+                domain: target.clone(),
+                rejects: rejectors.len() as u32,
+                audience_lost: audience,
+                audience_lost_share: audience as f64 / total_users.max(1) as f64,
+                peer_loss_share: peer_loss,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.rejects.cmp(&a.rejects).then(a.domain.cmp(&b.domain)));
+    rows.truncate(top);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_core::config::InstanceModerationConfig;
+    use fediscope_core::id::Domain;
+    use fediscope_core::mrf::policies::SimplePolicy;
+    use fediscope_core::time::SimTime;
+    use fediscope_crawler::{
+        CollectedPost, CrawlOutcome, CrawledInstance, InstanceMetadata, TimelineCrawl,
+    };
+
+    fn post(author: u64, domain: &str, content: &str) -> CollectedPost {
+        CollectedPost {
+            id: 1,
+            author_id: author,
+            author_domain: Domain::new(domain),
+            created: SimTime(0),
+            content: content.to_string(),
+            sensitive: false,
+            visibility: "public".into(),
+            media_count: 1,
+            hashtags: Vec::new(),
+            mentions: 0,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut blocker_cfg = InstanceModerationConfig::pleroma_default();
+        blocker_cfg.set_simple(
+            SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("target.example")),
+        );
+        let blocker = CrawledInstance {
+            domain: Domain::new("blocker.example"),
+            outcome: CrawlOutcome::Crawled,
+            software: Some("pleroma".into()),
+            from_directory: true,
+            metadata: Some(InstanceMetadata {
+                user_count: 90,
+                status_count: 10,
+                domain_count: 1,
+                version: "2.2.0".into(),
+                registrations_open: true,
+                policies: Some(blocker_cfg),
+            }),
+            peers: vec![Domain::new("target.example")],
+            timeline: TimelineCrawl::Empty,
+            snapshots: Vec::new(),
+        };
+        let target = CrawledInstance {
+            domain: Domain::new("target.example"),
+            outcome: CrawlOutcome::Crawled,
+            software: Some("pleroma".into()),
+            from_directory: true,
+            metadata: Some(InstanceMetadata {
+                user_count: 3,
+                status_count: 3,
+                domain_count: 1,
+                version: "2.2.0".into(),
+                registrations_open: true,
+                policies: Some(InstanceModerationConfig::default()),
+            }),
+            peers: vec![Domain::new("blocker.example")],
+            timeline: TimelineCrawl::Posts(vec![
+                post(1, "target.example", "grukk vrelk subhuman kys scum die vermin"),
+                post(2, "target.example", "coffee morning walk"),
+                post(3, "target.example", "book garden tea"),
+            ]),
+            snapshots: Vec::new(),
+        };
+        Dataset {
+            started: SimTime(0),
+            finished: SimTime(1),
+            instances: vec![blocker, target],
+        }
+    }
+
+    #[test]
+    fn per_user_strategies_spare_innocents() {
+        let ds = dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let rows = solutions(&ds, &ann);
+        let reject = rows
+            .iter()
+            .find(|r| r.strategy == Strategy::RejectInstance)
+            .unwrap();
+        assert_eq!(reject.innocent_blocked, 1.0, "reject blocks everyone");
+        assert_eq!(reject.harmful_blocked, 1.0);
+        let per_user = rows
+            .iter()
+            .find(|r| r.strategy == Strategy::PerUserReject)
+            .unwrap();
+        assert_eq!(per_user.innocent_blocked, 0.0, "innocents spared");
+        assert_eq!(per_user.harmful_blocked, 1.0, "harm still blocked");
+        let nsfw = rows.iter().find(|r| r.strategy == Strategy::NsfwTag).unwrap();
+        assert_eq!(nsfw.innocent_blocked, 0.0);
+        assert_eq!(nsfw.innocent_degraded, 1.0, "tagging affects all, blocks none");
+    }
+
+    #[test]
+    fn federation_graph_quantifies_audience_loss() {
+        let ds = dataset();
+        let rows = federation_graph(&ds, 10);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.domain, "target.example");
+        assert_eq!(row.rejects, 1);
+        assert_eq!(row.audience_lost, 90);
+        assert!((row.audience_lost_share - 90.0 / 93.0).abs() < 1e-9);
+        assert_eq!(row.peer_loss_share, 1.0, "its only peer rejects it");
+    }
+}

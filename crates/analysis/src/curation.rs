@@ -1,0 +1,279 @@
+//! §7 proposal 1, closed end to end: build curated blocklists from
+//! *measured* data.
+//!
+//! > "New generic policies could be designed that rely on a trusted/curated
+//! > list of well-known instances in the fediverse that may need to be
+//! > blocked. For example, policies called 'NoHate' or 'NoPorn' [...]
+//! > listed as part of a community effort. [...] these listings are
+//! > periodically updated by professionals who ensure that the instances
+//! > have limited collateral damage."
+//!
+//! [`curate`] plays the professional curator: it takes the crawled dataset
+//! and its harm annotations, labels rejected instances with the §4.2
+//! rubric, and emits [`CuratedBlocklist`]s that an admin can plug into
+//! `fediscope-core`'s [`CuratedListPolicy`] — choosing, per list, an
+//! action with limited collateral damage (media removal for porn, NSFW
+//! tagging for profanity, reject only for hate-dominated instances whose
+//! harmful-user share crosses a bar).
+
+use crate::scores::{AnnotationLabel, HarmAnnotations};
+use fediscope_core::id::Domain;
+use fediscope_core::mrf::policies::{CuratedBlocklist, CuratedListPolicy, SimpleAction};
+use fediscope_core::paper;
+use fediscope_crawler::Dataset;
+
+/// Thresholds steering the curator.
+#[derive(Debug, Clone)]
+pub struct CurationConfig {
+    /// Minimum rejects before an instance is considered "well-known".
+    pub min_rejects: u32,
+    /// Share of harmful users above which even the curator recommends a
+    /// full reject (community beyond salvage).
+    pub reject_harmful_share: f64,
+}
+
+impl Default for CurationConfig {
+    fn default() -> Self {
+        CurationConfig {
+            min_rejects: 5,
+            reject_harmful_share: 0.25,
+        }
+    }
+}
+
+/// The curator's output.
+#[derive(Debug)]
+pub struct CuratedLists {
+    /// Hate-speech instances (toxic label).
+    pub no_hate: CuratedBlocklist,
+    /// Pornography instances (sexually-explicit label).
+    pub no_porn: CuratedBlocklist,
+    /// Profanity-heavy instances.
+    pub no_profanity: CuratedBlocklist,
+}
+
+impl CuratedLists {
+    /// Bundles the lists into a ready-to-enable policy.
+    pub fn into_policy(self) -> CuratedListPolicy {
+        CuratedListPolicy::new(vec![self.no_hate, self.no_porn, self.no_profanity])
+    }
+
+    /// Total curated domains across lists.
+    pub fn len(&self) -> usize {
+        self.no_hate.entries.len() + self.no_porn.entries.len() + self.no_profanity.entries.len()
+    }
+
+    /// Whether no instance qualified.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds curated lists from measured data.
+pub fn curate(
+    dataset: &Dataset,
+    annotations: &HarmAnnotations,
+    config: &CurationConfig,
+) -> CuratedLists {
+    let reject_counts = dataset.reject_counts();
+    let mut hate: Vec<Domain> = Vec::new();
+    let mut porn: Vec<Domain> = Vec::new();
+    let mut profanity: Vec<Domain> = Vec::new();
+
+    for inst in dataset.pleroma_crawled() {
+        let Some(&rejects) = reject_counts.get(&inst.domain) else {
+            continue;
+        };
+        if rejects < config.min_rejects {
+            continue; // not "well-known" enough for a community list
+        }
+        match annotations.annotate_instance(&inst.domain) {
+            AnnotationLabel::Toxic => hate.push(inst.domain.clone()),
+            AnnotationLabel::SexuallyExplicit => porn.push(inst.domain.clone()),
+            AnnotationLabel::Profane => profanity.push(inst.domain.clone()),
+            AnnotationLabel::General | AnnotationLabel::Unannotatable => {}
+        }
+    }
+    hate.sort();
+    porn.sort();
+    profanity.sort();
+
+    // The curator limits collateral damage: hate lists get reject only
+    // when the measured harmful-user share is high; the paper's own
+    // observation that porn "is mostly in media form" makes media removal
+    // the porn action; profanity gets a warning tag.
+    let hate_action = {
+        let users = crate::tables::section5_users(dataset, annotations);
+        let harmful_share = if users.is_empty() {
+            0.0
+        } else {
+            users
+                .iter()
+                .filter(|u| u.mean.max() >= paper::HARMFUL_THRESHOLD)
+                .count() as f64
+                / users.len() as f64
+        };
+        if harmful_share >= config.reject_harmful_share {
+            SimpleAction::Reject
+        } else {
+            SimpleAction::FederatedTimelineRemoval
+        }
+    };
+
+    CuratedLists {
+        no_hate: CuratedBlocklist::new("NoHate", hate, hate_action),
+        no_porn: CuratedBlocklist::new("NoPorn", porn, SimpleAction::MediaRemoval),
+        no_profanity: CuratedBlocklist::new("NoProfanity", profanity, SimpleAction::MediaNsfw),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_core::config::InstanceModerationConfig;
+    use fediscope_core::mrf::policies::SimplePolicy;
+    use fediscope_core::time::SimTime;
+    use fediscope_crawler::{
+        CollectedPost, CrawlOutcome, CrawledInstance, InstanceMetadata, TimelineCrawl,
+    };
+
+    fn post(author: u64, domain: &str, content: &str) -> CollectedPost {
+        CollectedPost {
+            id: 1,
+            author_id: author,
+            author_domain: Domain::new(domain),
+            created: SimTime(0),
+            content: content.to_string(),
+            sensitive: false,
+            visibility: "public".into(),
+            media_count: 1,
+            hashtags: Vec::new(),
+            mentions: 0,
+        }
+    }
+
+    fn pleroma(domain: &str, posts: Vec<CollectedPost>, cfg: Option<SimplePolicy>) -> CrawledInstance {
+        CrawledInstance {
+            domain: Domain::new(domain),
+            outcome: CrawlOutcome::Crawled,
+            software: Some("pleroma".into()),
+            from_directory: true,
+            metadata: Some(InstanceMetadata {
+                user_count: 5,
+                status_count: posts.len() as u64,
+                domain_count: 0,
+                version: "2.2.0".into(),
+                registrations_open: true,
+                policies: Some({
+                    let mut c = InstanceModerationConfig::pleroma_default();
+                    if let Some(s) = cfg {
+                        c.set_simple(s);
+                    }
+                    c
+                }),
+            }),
+            peers: Vec::new(),
+            timeline: if posts.is_empty() {
+                TimelineCrawl::Empty
+            } else {
+                TimelineCrawl::Posts(posts)
+            },
+            snapshots: Vec::new(),
+        }
+    }
+
+    fn toy_dataset() -> Dataset {
+        // Six blockers each reject both content instances (min_rejects=5).
+        let mut blockers: Vec<CrawledInstance> = (0..6)
+            .map(|i| {
+                pleroma(
+                    &format!("blocker{i}.example"),
+                    vec![],
+                    Some(
+                        SimplePolicy::new()
+                            .with_target(SimpleAction::Reject, Domain::new("hate.example"))
+                            .with_target(SimpleAction::Reject, Domain::new("porn.example")),
+                    ),
+                )
+            })
+            .collect();
+        let hate = pleroma(
+            "hate.example",
+            vec![
+                post(1, "hate.example", "grukk vrelk subhuman kys scum die"),
+                post(1, "hate.example", "vermin filth eradicate zhurr grukk"),
+                post(2, "hate.example", "coffee morning"),
+                post(2, "hate.example", "hate destroy worthless parasite"),
+                post(3, "hate.example", "river walk"),
+            ],
+            None,
+        );
+        let porn = pleroma(
+            "porn.example",
+            vec![
+                post(1, "porn.example", "zmut qorn porn hentai lewd nude"),
+                post(2, "porn.example", "erotic fetish smut xrated zmut"),
+                post(3, "porn.example", "garden tea"),
+                post(3, "porn.example", "nude lewd qorn zmut explicit"),
+                post(4, "porn.example", "book club"),
+            ],
+            None,
+        );
+        let mut instances = vec![hate, porn];
+        instances.append(&mut blockers);
+        Dataset {
+            started: SimTime(0),
+            finished: SimTime(1),
+            instances,
+        }
+    }
+
+    #[test]
+    fn curator_sorts_instances_into_labelled_lists() {
+        let ds = toy_dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let lists = curate(&ds, &ann, &CurationConfig::default());
+        assert_eq!(
+            lists.no_hate.entries,
+            vec![Domain::new("hate.example")],
+            "toxic community lands on NoHate"
+        );
+        assert_eq!(lists.no_porn.entries, vec![Domain::new("porn.example")]);
+        assert!(lists.no_profanity.entries.is_empty());
+        assert!(!lists.is_empty());
+        assert_eq!(lists.len(), 2);
+    }
+
+    #[test]
+    fn porn_list_uses_media_removal_not_reject() {
+        // §7: "With the media removal facility, the harmful material loses
+        // its meaning while the non-harmful users are still able to have
+        // their posts delivered."
+        let ds = toy_dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let lists = curate(&ds, &ann, &CurationConfig::default());
+        assert_eq!(lists.no_porn.action, SimpleAction::MediaRemoval);
+    }
+
+    #[test]
+    fn rarely_rejected_instances_stay_off_the_lists() {
+        let ds = toy_dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let strict = CurationConfig {
+            min_rejects: 10,
+            ..Default::default()
+        };
+        let lists = curate(&ds, &ann, &strict);
+        assert!(lists.is_empty(), "6 rejects < 10 required");
+    }
+
+    #[test]
+    fn lists_compile_into_a_policy() {
+        let ds = toy_dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let policy = curate(&ds, &ann, &CurationConfig::default()).into_policy();
+        // The policy expands into SimplePolicy-equivalent configuration.
+        let simple = policy.as_simple_policy();
+        assert_eq!(simple.targets(SimpleAction::MediaRemoval).len(), 1);
+    }
+}

@@ -1,0 +1,417 @@
+//! The paper's figures, recomputed from a crawled dataset.
+
+use crate::scores::HarmAnnotations;
+use fediscope_core::id::Domain;
+use fediscope_core::mrf::policies::SimpleAction;
+use fediscope_crawler::Dataset;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One row of Figures 1/7: a policy's prevalence.
+#[derive(Debug, Clone)]
+pub struct PolicyPrevalenceRow {
+    /// Policy display name.
+    pub name: String,
+    /// Instances with the policy enabled.
+    pub instances: usize,
+    /// Share of all crawled Pleroma instances.
+    pub instance_share: f64,
+    /// Users on those instances.
+    pub users: u64,
+    /// Share of the global (crawled Pleroma) user population.
+    pub user_share: f64,
+}
+
+/// Figures 1 & 7: per-policy prevalence, sorted by instance count
+/// descending. Figure 1 is the head of this list (top 15 + "Others");
+/// Figure 7 is the whole spectrum.
+pub fn policy_spectrum(dataset: &Dataset) -> Vec<PolicyPrevalenceRow> {
+    let crawled: Vec<_> = dataset.pleroma_crawled().collect();
+    let total_instances = crawled.len().max(1);
+    let total_users: u64 = crawled.iter().map(|i| i.user_count()).sum();
+    let mut per_policy: BTreeMap<&'static str, (usize, u64)> = BTreeMap::new();
+    for inst in &crawled {
+        if let Some(config) = inst.policies() {
+            for kind in &config.enabled {
+                let e = per_policy.entry(kind.name()).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += inst.user_count();
+            }
+        }
+    }
+    let mut rows: Vec<PolicyPrevalenceRow> = per_policy
+        .into_iter()
+        .map(|(name, (instances, users))| PolicyPrevalenceRow {
+            name: name.to_string(),
+            instances,
+            instance_share: instances as f64 / total_instances as f64,
+            users,
+            user_share: users as f64 / total_users.max(1) as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.instances.cmp(&a.instances).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// Figure 1: the top 15 policies plus an "Others" aggregate.
+pub fn fig1_policy_prevalence(dataset: &Dataset) -> Vec<PolicyPrevalenceRow> {
+    let spectrum = policy_spectrum(dataset);
+    let mut rows: Vec<PolicyPrevalenceRow> = spectrum.iter().take(15).cloned().collect();
+    if spectrum.len() > 15 {
+        let crawled = dataset.pleroma_crawled().count().max(1);
+        // "Others": instances running at least one tail policy.
+        let tail_names: HashSet<&str> =
+            spectrum[15..].iter().map(|r| r.name.as_str()).collect();
+        let mut instances = 0usize;
+        let mut users = 0u64;
+        let mut total_users = 0u64;
+        for inst in dataset.pleroma_crawled() {
+            total_users += inst.user_count();
+            if let Some(config) = inst.policies() {
+                if config
+                    .enabled
+                    .iter()
+                    .any(|k| tail_names.contains(k.name()))
+                {
+                    instances += 1;
+                    users += inst.user_count();
+                }
+            }
+        }
+        rows.push(PolicyPrevalenceRow {
+            name: "Others".to_string(),
+            instances,
+            instance_share: instances as f64 / crawled as f64,
+            users,
+            user_share: users as f64 / total_users.max(1) as f64,
+        });
+    }
+    rows
+}
+
+/// One row of Figure 2: instances *targeted by* a SimplePolicy action.
+#[derive(Debug, Clone)]
+pub struct TargetedByActionRow {
+    /// Action label as in the figure.
+    pub action: &'static str,
+    /// Targeted Pleroma instances.
+    pub targeted_pleroma: usize,
+    /// Targeted non-Pleroma instances (plus never-classified domains,
+    /// which the paper likewise could not attribute to Pleroma).
+    pub targeted_non_pleroma: usize,
+    /// Users on the targeted Pleroma instances.
+    pub users_on_targeted: u64,
+}
+
+/// Figure 2: for each SimplePolicy action, how many distinct instances are
+/// targeted (split Pleroma / non-Pleroma) and how many users live on the
+/// targeted Pleroma instances.
+pub fn fig2_targeted_by_action(dataset: &Dataset) -> Vec<TargetedByActionRow> {
+    let user_counts: HashMap<&Domain, u64> = dataset
+        .pleroma_crawled()
+        .map(|i| (&i.domain, i.user_count()))
+        .collect();
+    let pleroma_domains: HashSet<&Domain> =
+        dataset.pleroma_all().map(|i| &i.domain).collect();
+    let mut per_action: HashMap<SimpleAction, HashSet<&Domain>> = HashMap::new();
+    for (_, action, target) in dataset.moderation_events() {
+        per_action.entry(action).or_default().insert(target);
+    }
+    SimpleAction::ALL
+        .iter()
+        .map(|&action| {
+            let targets = per_action.get(&action).cloned().unwrap_or_default();
+            let mut pleroma = 0;
+            let mut non_pleroma = 0;
+            let mut users = 0;
+            for t in targets {
+                if pleroma_domains.contains(t) {
+                    pleroma += 1;
+                    users += user_counts.get(t).copied().unwrap_or(0);
+                } else {
+                    non_pleroma += 1;
+                }
+            }
+            TargetedByActionRow {
+                action: action.label(),
+                targeted_pleroma: pleroma,
+                targeted_non_pleroma: non_pleroma,
+                users_on_targeted: users,
+            }
+        })
+        .collect()
+}
+
+/// One row of Figure 3: instances *applying* a SimplePolicy action.
+#[derive(Debug, Clone)]
+pub struct TargetingByActionRow {
+    /// Action label.
+    pub action: &'static str,
+    /// Number of instances applying the action to at least one target.
+    pub targeting_instances: usize,
+    /// Users on the instances *targeted* by the action (the figure's
+    /// second axis).
+    pub users_on_targeted: u64,
+}
+
+/// Figure 3: for each action, how many instances apply it.
+pub fn fig3_targeting_by_action(dataset: &Dataset) -> Vec<TargetingByActionRow> {
+    let user_counts: HashMap<&Domain, u64> = dataset
+        .pleroma_crawled()
+        .map(|i| (&i.domain, i.user_count()))
+        .collect();
+    let mut appliers: HashMap<SimpleAction, HashSet<&Domain>> = HashMap::new();
+    let mut targets: HashMap<SimpleAction, HashSet<&Domain>> = HashMap::new();
+    for (inst, action, target) in dataset.moderation_events() {
+        appliers.entry(action).or_default().insert(&inst.domain);
+        targets.entry(action).or_default().insert(target);
+    }
+    SimpleAction::ALL
+        .iter()
+        .map(|&action| TargetingByActionRow {
+            action: action.label(),
+            targeting_instances: appliers.get(&action).map(HashSet::len).unwrap_or(0),
+            users_on_targeted: targets
+                .get(&action)
+                .map(|ts| {
+                    ts.iter()
+                        .filter_map(|t| user_counts.get(t))
+                        .copied()
+                        .sum()
+                })
+                .unwrap_or(0),
+        })
+        .collect()
+}
+
+/// One rejected Pleroma instance with its scores (Figure 4) and audience
+/// (Figure 5).
+#[derive(Debug, Clone)]
+pub struct RejectedInstanceRow {
+    /// Domain.
+    pub domain: Domain,
+    /// Rejects received.
+    pub rejects: u32,
+    /// Reported users.
+    pub users: u64,
+    /// Reported posts.
+    pub posts: u64,
+    /// Mean toxicity over collected posts (None = no post data, like
+    /// Table 1's "NA" row for spinster.xyz).
+    pub toxicity: Option<f64>,
+    /// Mean profanity.
+    pub profanity: Option<f64>,
+    /// Mean sexually-explicit score.
+    pub sexually_explicit: Option<f64>,
+}
+
+/// Figures 4 & 5 (and the raw material of Table 1): every rejected Pleroma
+/// instance, sorted by reject count descending.
+pub fn rejected_instances(
+    dataset: &Dataset,
+    annotations: &HarmAnnotations,
+) -> Vec<RejectedInstanceRow> {
+    let reject_counts = dataset.reject_counts();
+    let mut rows: Vec<RejectedInstanceRow> = dataset
+        .pleroma_crawled()
+        .filter_map(|inst| {
+            let rejects = reject_counts.get(&inst.domain).copied()?;
+            let score = annotations.instances.get(&inst.domain);
+            Some(RejectedInstanceRow {
+                domain: inst.domain.clone(),
+                rejects,
+                users: inst.user_count(),
+                posts: inst.status_count(),
+                toxicity: score.map(|s| s.mean.toxicity),
+                profanity: score.map(|s| s.mean.profanity),
+                sexually_explicit: score.map(|s| s.mean.sexually_explicit),
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.rejects.cmp(&a.rejects).then(a.domain.cmp(&b.domain)));
+    rows
+}
+
+/// One row of Figure 6: user harm classes on a rejected instance.
+#[derive(Debug, Clone)]
+pub struct UserHarmRow {
+    /// Domain.
+    pub domain: Domain,
+    /// Users classified toxic (mean toxicity ≥ 0.8).
+    pub toxic: usize,
+    /// Users classified profane.
+    pub profane: usize,
+    /// Users classified sexually explicit.
+    pub sexually_explicit: usize,
+    /// Users with no harmful classification.
+    pub non_harmful: usize,
+}
+
+/// Figure 6: per rejected Pleroma instance (multi-user, with posts), the
+/// number of toxic / profane / sexually-explicit / non-harmful users.
+pub fn fig6_user_harm(dataset: &Dataset, annotations: &HarmAnnotations) -> Vec<UserHarmRow> {
+    use fediscope_perspective::Attribute;
+    let threshold = fediscope_core::paper::HARMFUL_THRESHOLD;
+    let reject_counts = dataset.reject_counts();
+    let mut rows: Vec<UserHarmRow> = Vec::new();
+    for inst in dataset.pleroma_crawled() {
+        if !reject_counts.contains_key(&inst.domain) || !inst.timeline.has_posts() {
+            continue;
+        }
+        // §5 excludes single-user instances.
+        if inst.user_count() <= 1 {
+            continue;
+        }
+        let mut row = UserHarmRow {
+            domain: inst.domain.clone(),
+            toxic: 0,
+            profane: 0,
+            sexually_explicit: 0,
+            non_harmful: 0,
+        };
+        for (_, score) in annotations.users_of(&inst.domain) {
+            let mut any = false;
+            if score.harmful_on(Attribute::Toxicity, threshold) {
+                row.toxic += 1;
+                any = true;
+            }
+            if score.harmful_on(Attribute::Profanity, threshold) {
+                row.profane += 1;
+                any = true;
+            }
+            if score.harmful_on(Attribute::SexuallyExplicit, threshold) {
+                row.sexually_explicit += 1;
+                any = true;
+            }
+            if !any {
+                row.non_harmful += 1;
+            }
+        }
+        if row.toxic + row.profane + row.sexually_explicit + row.non_harmful > 0 {
+            rows.push(row);
+        }
+    }
+    rows.sort_by(|a, b| {
+        let ha = a.toxic + a.profane + a.sexually_explicit;
+        let hb = b.toxic + b.profane + b.sexually_explicit;
+        hb.cmp(&ha).then(a.domain.cmp(&b.domain))
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_core::config::InstanceModerationConfig;
+    use fediscope_core::catalog::PolicyKind;
+    use fediscope_core::mrf::policies::SimplePolicy;
+    use fediscope_core::time::SimTime;
+    use fediscope_crawler::{CrawlOutcome, CrawledInstance, InstanceMetadata, TimelineCrawl};
+
+    fn instance(
+        domain: &str,
+        software: &str,
+        users: u64,
+        policies: Option<InstanceModerationConfig>,
+    ) -> CrawledInstance {
+        CrawledInstance {
+            domain: Domain::new(domain),
+            outcome: if software == "pleroma" {
+                CrawlOutcome::Crawled
+            } else {
+                CrawlOutcome::NonPleroma
+            },
+            software: Some(software.to_string()),
+            from_directory: software == "pleroma",
+            metadata: (software == "pleroma").then(|| InstanceMetadata {
+                user_count: users,
+                status_count: users * 10,
+                domain_count: 0,
+                version: "2.2.0".into(),
+                registrations_open: true,
+                policies,
+            }),
+            peers: Vec::new(),
+            timeline: TimelineCrawl::Empty,
+            snapshots: Vec::new(),
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut blocker_cfg = InstanceModerationConfig::pleroma_default();
+        blocker_cfg.set_simple(
+            SimplePolicy::new()
+                .with_target(SimpleAction::Reject, Domain::new("bad.example"))
+                .with_target(SimpleAction::Reject, Domain::new("gab.example"))
+                .with_target(SimpleAction::MediaRemoval, Domain::new("lewd.example")),
+        );
+        let mut second_cfg = InstanceModerationConfig::default();
+        second_cfg.enable(PolicyKind::Tag);
+        second_cfg.set_simple(
+            SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("bad.example")),
+        );
+        Dataset {
+            started: SimTime(0),
+            finished: SimTime(1),
+            instances: vec![
+                instance("blocker.example", "pleroma", 100, Some(blocker_cfg)),
+                instance("second.example", "pleroma", 50, Some(second_cfg)),
+                instance("bad.example", "pleroma", 500, Some(InstanceModerationConfig::default())),
+                instance("lewd.example", "pleroma", 30, None),
+                instance("gab.example", "mastodon", 0, None),
+            ],
+        }
+    }
+
+    #[test]
+    fn policy_spectrum_counts_enabled_policies() {
+        let rows = policy_spectrum(&dataset());
+        let simple = rows.iter().find(|r| r.name == "SimplePolicy").unwrap();
+        assert_eq!(simple.instances, 2);
+        assert_eq!(simple.users, 150);
+        let object_age = rows.iter().find(|r| r.name == "ObjectAgePolicy").unwrap();
+        assert_eq!(object_age.instances, 1, "only blocker has defaults");
+        // Sorted descending by instance count.
+        assert!(rows[0].instances >= rows.last().unwrap().instances);
+    }
+
+    #[test]
+    fn fig2_splits_pleroma_and_non_pleroma_targets() {
+        let rows = fig2_targeted_by_action(&dataset());
+        let reject = rows.iter().find(|r| r.action == "reject").unwrap();
+        assert_eq!(reject.targeted_pleroma, 1, "bad.example");
+        assert_eq!(reject.targeted_non_pleroma, 1, "gab.example");
+        assert_eq!(reject.users_on_targeted, 500);
+        let media = rows.iter().find(|r| r.action == "media_removal").unwrap();
+        assert_eq!(media.targeted_pleroma, 1, "lewd.example");
+        assert_eq!(media.users_on_targeted, 30);
+    }
+
+    #[test]
+    fn fig3_counts_appliers() {
+        let rows = fig3_targeting_by_action(&dataset());
+        let reject = rows.iter().find(|r| r.action == "reject").unwrap();
+        assert_eq!(reject.targeting_instances, 2);
+        let media = rows.iter().find(|r| r.action == "media_removal").unwrap();
+        assert_eq!(media.targeting_instances, 1);
+        let nsfw = rows.iter().find(|r| r.action == "nsfw").unwrap();
+        assert_eq!(nsfw.targeting_instances, 0);
+    }
+
+    #[test]
+    fn rejected_instances_sorted_by_rejects() {
+        let ds = dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let rows = rejected_instances(&ds, &ann);
+        assert_eq!(rows.len(), 1, "only bad.example is Pleroma and rejected");
+        assert_eq!(rows[0].domain.as_str(), "bad.example");
+        assert_eq!(rows[0].rejects, 2);
+        assert_eq!(rows[0].users, 500);
+        assert_eq!(rows[0].toxicity, None, "no posts collected");
+    }
+
+    #[test]
+    fn fig1_caps_at_15_plus_others() {
+        let rows = fig1_policy_prevalence(&dataset());
+        assert!(rows.len() <= 16);
+    }
+}

@@ -1,0 +1,616 @@
+//! The headline statistics of §3–§5, with the paper's values attached.
+
+use crate::figures::rejected_instances;
+use crate::report::Comparison;
+use crate::scores::{AnnotationLabel, HarmAnnotations};
+use crate::stats;
+use crate::tables::section5_users;
+use fediscope_core::mrf::policies::SimpleAction;
+use fediscope_core::paper;
+use fediscope_crawler::{CrawlOutcome, Dataset};
+use fediscope_perspective::Attribute;
+use std::collections::{HashMap, HashSet};
+
+/// §3 census: discovery counts, the failure taxonomy, users and posts.
+pub fn crawl_census(dataset: &Dataset) -> Vec<Comparison> {
+    let pleroma_total = dataset.pleroma_all().count();
+    let pleroma_crawled = dataset.pleroma_crawled().count();
+    let non_pleroma = dataset.non_pleroma().count();
+    let mut by_status: HashMap<u16, usize> = HashMap::new();
+    for inst in dataset.pleroma_all() {
+        if let CrawlOutcome::Failed { status } = inst.outcome {
+            *by_status.entry(status).or_insert(0) += 1;
+        }
+    }
+    let timeline_forbidden = dataset
+        .pleroma_crawled()
+        .filter(|i| matches!(i.timeline, fediscope_crawler::TimelineCrawl::Forbidden))
+        .count();
+    let timeline_empty = dataset
+        .pleroma_crawled()
+        .filter(|i| matches!(i.timeline, fediscope_crawler::TimelineCrawl::Empty))
+        .count();
+    let with_posts = dataset
+        .pleroma_crawled()
+        .filter(|i| i.timeline.has_posts())
+        .count();
+    // Users who published at least one collected post, over the
+    // *observable* population (users on instances whose timelines could be
+    // read — authors behind closed timelines are invisible to any
+    // crawler, ours and the paper's alike).
+    let mut posters: HashSet<(String, u64)> = HashSet::new();
+    let mut observable_users: u64 = 0;
+    for inst in dataset.pleroma_crawled() {
+        if matches!(inst.timeline, fediscope_crawler::TimelineCrawl::Forbidden) {
+            continue;
+        }
+        observable_users += inst.user_count();
+        for p in inst.timeline.posts() {
+            posters.insert((inst.domain.to_string(), p.author_id));
+        }
+    }
+    vec![
+        Comparison::count(
+            "Pleroma instances discovered",
+            Some(paper::PLEROMA_INSTANCES as f64),
+            pleroma_total as f64,
+        ),
+        Comparison::count(
+            "Pleroma instances crawled",
+            Some(paper::CRAWLED_INSTANCES as f64),
+            pleroma_crawled as f64,
+        ),
+        Comparison::count(
+            "non-Pleroma instances discovered",
+            Some(paper::NON_PLEROMA_INSTANCES as f64),
+            non_pleroma as f64,
+        ),
+        Comparison::count(
+            "failures: 404 not found",
+            Some(paper::crawl_failures::NOT_FOUND as f64),
+            by_status.get(&404).copied().unwrap_or(0) as f64,
+        ),
+        Comparison::count(
+            "failures: 403 forbidden",
+            Some(paper::crawl_failures::FORBIDDEN as f64),
+            by_status.get(&403).copied().unwrap_or(0) as f64,
+        ),
+        Comparison::count(
+            "failures: 502 bad gateway",
+            Some(paper::crawl_failures::BAD_GATEWAY as f64),
+            by_status.get(&502).copied().unwrap_or(0) as f64,
+        ),
+        Comparison::count(
+            "failures: 503 unavailable",
+            Some(paper::crawl_failures::UNAVAILABLE as f64),
+            by_status.get(&503).copied().unwrap_or(0) as f64,
+        ),
+        Comparison::count(
+            "failures: 410 gone",
+            Some(paper::crawl_failures::GONE as f64),
+            by_status.get(&410).copied().unwrap_or(0) as f64,
+        ),
+        Comparison::count(
+            "total users",
+            Some(paper::TOTAL_USERS as f64),
+            dataset.total_users() as f64,
+        ),
+        Comparison::count(
+            "instances with posts collected",
+            Some(paper::INSTANCES_WITH_POSTS as f64),
+            with_posts as f64,
+        ),
+        Comparison::count(
+            "instances with no posts",
+            Some(paper::INSTANCES_NO_POSTS as f64),
+            timeline_empty as f64,
+        ),
+        Comparison::count(
+            "instances with unreachable timelines",
+            Some(paper::INSTANCES_TIMELINE_UNREACHABLE as f64),
+            timeline_forbidden as f64,
+        ),
+        Comparison::percent(
+            "share of posts collected",
+            Some(paper::COLLECTED_POSTS as f64 / paper::TOTAL_POSTS as f64),
+            dataset.collected_posts() as f64 / dataset.total_posts().max(1) as f64,
+        ),
+        Comparison::percent(
+            "users with ≥1 post (observable)",
+            Some(paper::USERS_WITH_POSTS_FRACTION),
+            posters.len() as f64 / observable_users.max(1) as f64,
+        ),
+    ]
+}
+
+/// §4.1 headline: how much of the population is affected by policies.
+pub fn policy_impact(dataset: &Dataset) -> Vec<Comparison> {
+    let total_users: u64 = dataset.pleroma_crawled().map(|i| i.user_count()).sum();
+    let total_posts: u64 = dataset.pleroma_crawled().map(|i| i.status_count()).sum();
+
+    // Instances targeted by at least one moderation event.
+    let mut targeted: HashSet<String> = HashSet::new();
+    let mut rejected: HashSet<String> = HashSet::new();
+    for (_, action, target) in dataset.moderation_events() {
+        targeted.insert(target.to_string());
+        if action == SimpleAction::Reject {
+            rejected.insert(target.to_string());
+        }
+    }
+    let mut affected_users = 0u64;
+    let mut affected_posts = 0u64;
+    let mut rejected_users = 0u64;
+    let mut rejected_posts = 0u64;
+    for inst in dataset.pleroma_crawled() {
+        let has_policy = inst
+            .policies()
+            .map(|p| !p.enabled.is_empty())
+            .unwrap_or(false);
+        let is_targeted = targeted.contains(inst.domain.as_str());
+        if has_policy || is_targeted {
+            affected_users += inst.user_count();
+            affected_posts += inst.status_count();
+        }
+        if rejected.contains(inst.domain.as_str()) {
+            rejected_users += inst.user_count();
+            rejected_posts += inst.status_count();
+        }
+    }
+    // Moderation-event shares.
+    let events: Vec<_> = dataset.moderation_events().collect();
+    let reject_events = events
+        .iter()
+        .filter(|(_, a, _)| *a == SimpleAction::Reject)
+        .count();
+    // Policy exposure share.
+    let exposing = dataset
+        .pleroma_crawled()
+        .filter(|i| i.policies().is_some())
+        .count();
+    let crawled = dataset.pleroma_crawled().count().max(1);
+    vec![
+        Comparison::percent(
+            "instances exposing policies",
+            Some(paper::POLICY_EXPOSURE_FRACTION),
+            exposing as f64 / crawled as f64,
+        ),
+        Comparison::percent(
+            "users affected by policies",
+            Some(paper::USERS_AFFECTED_BY_POLICIES),
+            affected_users as f64 / total_users.max(1) as f64,
+        ),
+        Comparison::percent(
+            "posts affected by policies",
+            Some(paper::POSTS_AFFECTED_BY_POLICIES),
+            affected_posts as f64 / total_posts.max(1) as f64,
+        ),
+        Comparison::percent(
+            "users on rejected instances",
+            Some(paper::USERS_ON_REJECTED_INSTANCES),
+            rejected_users as f64 / total_users.max(1) as f64,
+        ),
+        Comparison::percent(
+            "posts on rejected instances",
+            Some(paper::POSTS_ON_REJECTED_INSTANCES),
+            rejected_posts as f64 / total_posts.max(1) as f64,
+        ),
+        Comparison::percent(
+            "reject share of moderation events",
+            Some(paper::REJECT_SHARE_OF_EVENTS),
+            reject_events as f64 / events.len().max(1) as f64,
+        ),
+        Comparison::percent(
+            "rejected share of moderated instances",
+            Some(paper::REJECTED_SHARE_OF_MODERATED),
+            rejected.len() as f64 / targeted.len().max(1) as f64,
+        ),
+    ]
+}
+
+/// §4.2 headline: the reject graph.
+pub fn reject_graph(dataset: &Dataset, annotations: &HarmAnnotations) -> Vec<Comparison> {
+    let reject_counts = dataset.reject_counts();
+    let pleroma_domains: HashSet<&str> = dataset
+        .pleroma_all()
+        .map(|i| i.domain.as_str())
+        .collect();
+    let total_rejected = reject_counts.len();
+    let pleroma_rejected: Vec<(&&fediscope_core::id::Domain, &u32)> = reject_counts
+        .iter()
+        .filter(|(d, _)| pleroma_domains.contains(d.as_str()))
+        .collect();
+    let counts: Vec<f64> = reject_counts.values().map(|&c| c as f64).collect();
+    let below_10 = stats::share(&counts, |&c| c < 10.0);
+    // §4.2 defines the "elite" over *Pleroma* rejected instances.
+    let pleroma_counts: Vec<f64> = pleroma_rejected.iter().map(|(_, &c)| c as f64).collect();
+    let elite = stats::share(&pleroma_counts, |&c| c > 20.0);
+
+    // Spearman: posts vs rejects over rejected Pleroma instances.
+    let rows = rejected_instances(dataset, annotations);
+    let posts: Vec<f64> = rows.iter().map(|r| r.posts as f64).collect();
+    let rejects: Vec<f64> = rows.iter().map(|r| r.rejects as f64).collect();
+    let rho_posts = stats::spearman(&posts, &rejects).unwrap_or(0.0);
+
+    // Retaliation: rejects applied vs received for rejected Pleroma
+    // instances (only those whose configs we can read).
+    let mut applied = Vec::new();
+    let mut received = Vec::new();
+    for inst in dataset.pleroma_crawled() {
+        let Some(&cnt) = reject_counts.get(&inst.domain) else {
+            continue;
+        };
+        let outgoing = inst
+            .policies()
+            .and_then(|p| p.simple.as_ref())
+            .map(|s| s.targets(SimpleAction::Reject).len())
+            .unwrap_or(0);
+        applied.push(outgoing as f64);
+        received.push(cnt as f64);
+    }
+    let rho_retaliation = stats::spearman(&applied, &received).unwrap_or(0.0);
+
+    // Elite share of users/posts.
+    let total_users: u64 = dataset.pleroma_crawled().map(|i| i.user_count()).sum();
+    let total_posts: u64 = dataset.pleroma_crawled().map(|i| i.status_count()).sum();
+    let elite_rows: Vec<_> = rows.iter().filter(|r| r.rejects > 20).collect();
+    let elite_users: u64 = elite_rows.iter().map(|r| r.users).sum();
+    let elite_posts: u64 = elite_rows.iter().map(|r| r.posts).sum();
+
+    vec![
+        Comparison::count(
+            "unique rejected instances",
+            Some(paper::REJECTED_INSTANCES_TOTAL as f64),
+            total_rejected as f64,
+        ),
+        Comparison::count(
+            "rejected Pleroma instances",
+            Some(paper::REJECTED_PLEROMA_INSTANCES as f64),
+            pleroma_rejected.len() as f64,
+        ),
+        Comparison::count(
+            "rejected non-Pleroma instances",
+            Some(paper::REJECTED_NON_PLEROMA_INSTANCES as f64),
+            (total_rejected - pleroma_rejected.len()) as f64,
+        ),
+        Comparison::percent(
+            "rejected by fewer than 10 instances",
+            Some(paper::REJECTED_BY_FEWER_THAN_10),
+            below_10,
+        ),
+        Comparison::percent(
+            "elite (>20 rejects) share",
+            Some(paper::ELITE_REJECTED_SHARE),
+            elite,
+        ),
+        Comparison::percent(
+            "elite user share",
+            Some(paper::ELITE_USER_SHARE),
+            elite_users as f64 / total_users.max(1) as f64,
+        ),
+        Comparison::percent(
+            "elite post share",
+            Some(paper::ELITE_POST_SHARE),
+            elite_posts as f64 / total_posts.max(1) as f64,
+        ),
+        Comparison::score(
+            "Spearman posts vs rejects",
+            Some(paper::SPEARMAN_POSTS_VS_REJECTS),
+            rho_posts,
+        ),
+        Comparison::score(
+            "Spearman retaliation",
+            Some(paper::SPEARMAN_RETALIATION),
+            rho_retaliation,
+        ),
+    ]
+}
+
+/// §4.2: the manual annotation of rejected Pleroma instances, via the
+/// rubric annotator.
+pub fn annotation(dataset: &Dataset, annotations: &HarmAnnotations) -> Vec<Comparison> {
+    let reject_counts = dataset.reject_counts();
+    // The population: rejected Pleroma instances with post data, excluding
+    // single-user instances (§4.2 note).
+    let candidates: Vec<_> = dataset
+        .pleroma_crawled()
+        .filter(|i| {
+            reject_counts.contains_key(&i.domain)
+                && i.timeline.has_posts()
+                && i.user_count() > 1
+        })
+        .collect();
+    let labels: Vec<AnnotationLabel> = candidates
+        .iter()
+        .map(|i| annotations.annotate_instance(&i.domain))
+        .collect();
+    let annotatable: Vec<&AnnotationLabel> = labels
+        .iter()
+        .filter(|l| **l != AnnotationLabel::Unannotatable)
+        .collect();
+    let harmful = annotatable
+        .iter()
+        .filter(|l| {
+            matches!(
+                l,
+                AnnotationLabel::Toxic
+                    | AnnotationLabel::SexuallyExplicit
+                    | AnnotationLabel::Profane
+            )
+        })
+        .count();
+    vec![
+        Comparison::count(
+            "annotated rejected Pleroma instances",
+            Some(paper::ANNOTATED_REJECTED_PLEROMA as f64),
+            candidates.len() as f64,
+        ),
+        Comparison::percent(
+            "annotatable share",
+            Some(paper::ANNOTATABLE_SHARE),
+            annotatable.len() as f64 / labels.len().max(1) as f64,
+        ),
+        Comparison::percent(
+            "harmful-category share",
+            Some(paper::HARMFUL_CATEGORY_SHARE),
+            harmful as f64 / annotatable.len().max(1) as f64,
+        ),
+    ]
+}
+
+/// §5: the collateral-damage analysis.
+pub fn collateral_damage(dataset: &Dataset, annotations: &HarmAnnotations) -> Vec<Comparison> {
+    let reject_counts = dataset.reject_counts();
+    let rejected_pleroma: Vec<_> = dataset
+        .pleroma_crawled()
+        .filter(|i| reject_counts.contains_key(&i.domain))
+        .collect();
+    let with_posts: Vec<_> = rejected_pleroma
+        .iter()
+        .filter(|i| i.timeline.has_posts())
+        .collect();
+    let single_user = with_posts.iter().filter(|i| i.user_count() <= 1).count();
+
+    let users = section5_users(dataset, annotations);
+    let threshold = paper::HARMFUL_THRESHOLD;
+    let harmful: Vec<_> = users.iter().filter(|u| u.mean.max() >= threshold).collect();
+    let total_posts: usize = users.iter().map(|u| u.posts).sum();
+    let harmful_posts: usize = users.iter().map(|u| u.harmful_posts).sum();
+
+    let attr_share = |attr: Attribute| {
+        if harmful.is_empty() {
+            0.0
+        } else {
+            harmful
+                .iter()
+                .filter(|u| u.mean.get(attr) >= threshold)
+                .count() as f64
+                / harmful.len() as f64
+        }
+    };
+
+    vec![
+        Comparison::percent(
+            "rejected Pleroma instances with posts",
+            Some(paper::REJECTED_WITH_POSTS_SHARE),
+            with_posts.len() as f64 / rejected_pleroma.len().max(1) as f64,
+        ),
+        Comparison::percent(
+            "single-user share of those",
+            Some(paper::SINGLE_USER_SHARE),
+            single_user as f64 / with_posts.len().max(1) as f64,
+        ),
+        Comparison::count(
+            "users with public content",
+            Some(paper::REJECTED_USERS_WITH_CONTENT as f64),
+            users.len() as f64,
+        ),
+        Comparison::percent(
+            "harmful users (avg ≥ 0.8)",
+            Some(paper::HARMFUL_USER_SHARE),
+            harmful.len() as f64 / users.len().max(1) as f64,
+        ),
+        Comparison::percent(
+            "NON-harmful users (collateral damage)",
+            Some(paper::NON_HARMFUL_USER_SHARE),
+            1.0 - harmful.len() as f64 / users.len().max(1) as f64,
+        ),
+        Comparison::percent(
+            "harmful post share (paper 1:11 ≈ 8.3%)",
+            Some(paper::HARMFUL_POST_RATIO),
+            harmful_posts as f64 / total_posts.max(1) as f64,
+        ),
+        Comparison::percent(
+            "harmful users: toxic",
+            Some(paper::harmful_user_attributes::TOXIC),
+            attr_share(Attribute::Toxicity),
+        ),
+        Comparison::percent(
+            "harmful users: profane",
+            Some(paper::harmful_user_attributes::PROFANE),
+            attr_share(Attribute::Profanity),
+        ),
+        Comparison::percent(
+            "harmful users: sexually explicit",
+            Some(paper::harmful_user_attributes::SEXUALLY_EXPLICIT),
+            attr_share(Attribute::SexuallyExplicit),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_core::config::InstanceModerationConfig;
+    use fediscope_core::id::Domain;
+    use fediscope_core::mrf::policies::SimplePolicy;
+    use fediscope_core::time::SimTime;
+    use fediscope_crawler::{
+        CollectedPost, CrawledInstance, InstanceMetadata, TimelineCrawl,
+    };
+
+    fn post(author: u64, domain: &str, content: &str) -> CollectedPost {
+        CollectedPost {
+            id: 1,
+            author_id: author,
+            author_domain: Domain::new(domain),
+            created: SimTime(0),
+            content: content.to_string(),
+            sensitive: false,
+            visibility: "public".into(),
+            media_count: 0,
+            hashtags: Vec::new(),
+            mentions: 0,
+        }
+    }
+
+    fn pleroma(
+        domain: &str,
+        users: u64,
+        posts: Vec<CollectedPost>,
+        config: Option<InstanceModerationConfig>,
+        outcome: CrawlOutcome,
+    ) -> CrawledInstance {
+        CrawledInstance {
+            domain: Domain::new(domain),
+            outcome: outcome.clone(),
+            software: matches!(outcome, CrawlOutcome::Crawled).then(|| "pleroma".to_string()),
+            from_directory: true,
+            metadata: matches!(outcome, CrawlOutcome::Crawled).then(|| InstanceMetadata {
+                user_count: users,
+                status_count: (posts.len() as u64).max(users * 3),
+                domain_count: 0,
+                version: "2.2.0".into(),
+                registrations_open: true,
+                policies: config,
+            }),
+            peers: Vec::new(),
+            timeline: if posts.is_empty() {
+                TimelineCrawl::Empty
+            } else {
+                TimelineCrawl::Posts(posts)
+            },
+            snapshots: Vec::new(),
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut blocker_cfg = InstanceModerationConfig::pleroma_default();
+        blocker_cfg.set_simple(
+            SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("target.example")),
+        );
+        let blocker = pleroma(
+            "blocker.example",
+            10,
+            vec![],
+            Some(blocker_cfg),
+            CrawlOutcome::Crawled,
+        );
+        let target = pleroma(
+            "target.example",
+            4,
+            vec![
+                post(1, "target.example", "grukk subhuman vrelk kys scum die"),
+                post(1, "target.example", "vermin filth zhurr eradicate kys"),
+                post(2, "target.example", "coffee morning"),
+                post(2, "target.example", "river lantern"),
+                post(3, "target.example", "garden walk"),
+            ],
+            Some(InstanceModerationConfig::default()),
+            CrawlOutcome::Crawled,
+        );
+        let dead = pleroma(
+            "dead.example",
+            0,
+            vec![],
+            None,
+            CrawlOutcome::Failed { status: 404 },
+        );
+        Dataset {
+            started: SimTime(0),
+            finished: SimTime(1),
+            instances: vec![blocker, target, dead],
+        }
+    }
+
+    #[test]
+    fn census_counts_failures() {
+        let rows = crawl_census(&dataset());
+        let f404 = rows
+            .iter()
+            .find(|r| r.label.contains("404"))
+            .unwrap();
+        assert_eq!(f404.measured, 1.0);
+        let crawled = rows
+            .iter()
+            .find(|r| r.label == "Pleroma instances crawled")
+            .unwrap();
+        assert_eq!(crawled.measured, 2.0);
+    }
+
+    #[test]
+    fn policy_impact_measures_affected_population() {
+        let rows = policy_impact(&dataset());
+        let users_affected = rows
+            .iter()
+            .find(|r| r.label == "users affected by policies")
+            .unwrap();
+        // All 14 users live on instances with policies or targeted.
+        assert!((users_affected.measured - 1.0).abs() < 1e-9);
+        let reject_share = rows
+            .iter()
+            .find(|r| r.label == "reject share of moderation events")
+            .unwrap();
+        assert_eq!(reject_share.measured, 1.0, "only reject events here");
+        let users_rejected = rows
+            .iter()
+            .find(|r| r.label == "users on rejected instances")
+            .unwrap();
+        assert!((users_rejected.measured - 4.0 / 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reject_graph_stats() {
+        let ds = dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let rows = reject_graph(&ds, &ann);
+        let rejected = rows
+            .iter()
+            .find(|r| r.label == "unique rejected instances")
+            .unwrap();
+        assert_eq!(rejected.measured, 1.0);
+        let below10 = rows
+            .iter()
+            .find(|r| r.label.contains("fewer than 10"))
+            .unwrap();
+        assert_eq!(below10.measured, 1.0);
+    }
+
+    #[test]
+    fn collateral_damage_finds_innocents() {
+        let ds = dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let rows = collateral_damage(&ds, &ann);
+        let harmful = rows
+            .iter()
+            .find(|r| r.label.starts_with("harmful users (avg"))
+            .unwrap();
+        assert!((harmful.measured - 1.0 / 3.0).abs() < 1e-9, "1 of 3 users");
+        let innocent = rows
+            .iter()
+            .find(|r| r.label.contains("collateral"))
+            .unwrap();
+        assert!((innocent.measured - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn annotation_labels_rejected_instances() {
+        let ds = dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let rows = annotation(&ds, &ann);
+        let harmful_share = rows
+            .iter()
+            .find(|r| r.label == "harmful-category share")
+            .unwrap();
+        assert_eq!(harmful_share.measured, 1.0, "target.example is toxic");
+    }
+}

@@ -1,0 +1,30 @@
+//! # fediscope-analysis
+//!
+//! The analysis pipeline of the paper: every figure (1–7), every table
+//! (1–3), the headline statistics of §3–§5, and the two extension studies
+//! (§6 federation-graph damage, §7 strawman-solution ablation).
+//!
+//! Everything consumes the crawler's [`fediscope_crawler::Dataset`] — the
+//! analysis never peeks at generator ground truth, exactly as the authors
+//! could only work from what their crawler collected. Post scoring uses
+//! the Perspective substrate ([`fediscope_perspective::Scorer`]) the same
+//! way the paper used Google's API: score all posts of instances that have
+//! at least one `reject` targeted against them.
+//!
+//! Figure/table functions return typed rows; [`report`] renders them next
+//! to the paper's reported values for the experiment harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod curation;
+pub mod figures;
+pub mod headline;
+pub mod report;
+pub mod scores;
+pub mod stats;
+pub mod tables;
+pub mod timeseries;
+
+pub use scores::{HarmAnnotations, InstanceScore, UserScore};

@@ -1,0 +1,176 @@
+//! Report rendering: paper-vs-measured tables for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// One comparison row: what the paper reports vs what we measured.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Metric name.
+    pub label: String,
+    /// The paper's value, if it reports one.
+    pub paper: Option<f64>,
+    /// Our measured value.
+    pub measured: f64,
+    /// Display format.
+    pub format: NumberFormat,
+}
+
+/// How to format a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumberFormat {
+    /// Plain count.
+    Count,
+    /// Percentage (value in [0, 1], shown ×100).
+    Percent,
+    /// Score / correlation with 3 decimals.
+    Score,
+}
+
+impl Comparison {
+    /// A count row.
+    pub fn count(label: impl Into<String>, paper: impl Into<Option<f64>>, measured: f64) -> Self {
+        Comparison {
+            label: label.into(),
+            paper: paper.into(),
+            measured,
+            format: NumberFormat::Count,
+        }
+    }
+
+    /// A percentage row (fractions in, percent out).
+    pub fn percent(label: impl Into<String>, paper: impl Into<Option<f64>>, measured: f64) -> Self {
+        Comparison {
+            label: label.into(),
+            paper: paper.into(),
+            measured,
+            format: NumberFormat::Percent,
+        }
+    }
+
+    /// A score/correlation row.
+    pub fn score(label: impl Into<String>, paper: impl Into<Option<f64>>, measured: f64) -> Self {
+        Comparison {
+            label: label.into(),
+            paper: paper.into(),
+            measured,
+            format: NumberFormat::Score,
+        }
+    }
+
+    fn fmt_value(&self, v: f64) -> String {
+        match self.format {
+            NumberFormat::Count => {
+                if v >= 1_000_000.0 {
+                    format!("{:.2}M", v / 1_000_000.0)
+                } else if v >= 10_000.0 {
+                    format!("{:.1}k", v / 1_000.0)
+                } else {
+                    format!("{v:.0}")
+                }
+            }
+            NumberFormat::Percent => format!("{:.1}%", v * 100.0),
+            NumberFormat::Score => format!("{v:.3}"),
+        }
+    }
+}
+
+/// Renders a titled paper-vs-measured table.
+pub fn render_comparisons(title: &str, rows: &[Comparison]) -> String {
+    let mut out = String::new();
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(10)
+        .max("metric".len());
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(out, "{:<label_w$}  {:>12}  {:>12}", "metric", "paper", "measured");
+    for row in rows {
+        let paper = row
+            .paper
+            .map(|p| row.fmt_value(p))
+            .unwrap_or_else(|| "—".to_string());
+        let _ = writeln!(
+            out,
+            "{:<label_w$}  {:>12}  {:>12}",
+            row.label,
+            paper,
+            row.fmt_value(row.measured)
+        );
+    }
+    out
+}
+
+/// Renders a generic data table (for figure series).
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_formats() {
+        let c = Comparison::count("instances", Some(1534.0), 1530.0);
+        assert_eq!(c.fmt_value(1534.0), "1534");
+        assert_eq!(c.fmt_value(24_500_000.0), "24.50M");
+        assert_eq!(c.fmt_value(57_854.0), "57.9k");
+        let p = Comparison::percent("users affected", Some(0.977), 0.97);
+        assert_eq!(p.fmt_value(0.977), "97.7%");
+        let s = Comparison::score("spearman", None, 0.381);
+        assert_eq!(s.fmt_value(0.381), "0.381");
+    }
+
+    #[test]
+    fn render_includes_all_rows_and_dash_for_missing_paper() {
+        let rows = vec![
+            Comparison::count("a", Some(1.0), 2.0),
+            Comparison::score("bee", None, 0.5),
+        ];
+        let s = render_comparisons("Test", &rows);
+        assert!(s.contains("== Test =="));
+        assert!(s.contains("a"));
+        assert!(s.contains("bee"));
+        assert!(s.contains('—'));
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let s = render_table(
+            "T",
+            &["name", "n"],
+            &[
+                vec!["short".into(), "1".into()],
+                vec!["a-much-longer-name".into(), "23".into()],
+            ],
+        );
+        assert!(s.contains("a-much-longer-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+}

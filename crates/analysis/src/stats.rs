@@ -1,0 +1,144 @@
+//! Statistical utilities: rank correlation, quantiles, shares.
+
+/// Spearman's rank correlation coefficient with average ranks for ties.
+///
+/// Returns `None` for fewer than 2 points or when either variable is
+/// constant (the coefficient is undefined there).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Pearson correlation of two equal-length slices.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Average ranks (1-based) with ties sharing the mean rank.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaNs in rank data"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = ((i + 1 + j + 1) as f64) / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// The p-quantile (0 ≤ p ≤ 1) by nearest-rank; `None` on empty input.
+pub fn quantile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let rank = ((p.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Arithmetic mean; 0.0 on empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Share of items satisfying a predicate.
+pub fn share<T>(items: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    items.iter().filter(|x| pred(x)).count() as f64 / items.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 25.0, 100.0]; // monotone, non-linear
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let inv = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&xs, &inv).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_undefined_cases() {
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+        assert_eq!(spearman(&[1.0, 1.0], &[1.0, 2.0]), None, "constant x");
+        assert_eq!(spearman(&[1.0, 2.0], &[5.0]), None, "length mismatch");
+    }
+
+    #[test]
+    fn spearman_near_zero_for_independent() {
+        // Deterministic pseudo-random interleave.
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 7919) % 200) as f64).collect();
+        let ys: Vec<f64> = (0..200).map(|i| ((i * 104729) % 200) as f64).collect();
+        let rho = spearman(&xs, &ys).unwrap();
+        assert!(rho.abs() < 0.2, "rho {rho}");
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn mean_and_share() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        let items = [1, 2, 3, 4];
+        assert_eq!(share(&items, |&x| x % 2 == 0), 0.5);
+    }
+}

@@ -1,0 +1,254 @@
+//! The paper's tables, recomputed from a crawled dataset.
+
+use crate::figures::{rejected_instances, RejectedInstanceRow};
+use crate::scores::HarmAnnotations;
+use fediscope_core::paper;
+use fediscope_crawler::Dataset;
+
+/// Table 1: the five most rejected Pleroma instances.
+pub fn table1_top_rejected(
+    dataset: &Dataset,
+    annotations: &HarmAnnotations,
+) -> Vec<RejectedInstanceRow> {
+    rejected_instances(dataset, annotations)
+        .into_iter()
+        .take(5)
+        .collect()
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct ThresholdRow {
+    /// Perspective threshold.
+    pub threshold: f64,
+    /// Share of users on rejected instances that classify *non-harmful*.
+    pub non_harmful_share: f64,
+    /// Users evaluated.
+    pub users: usize,
+}
+
+/// Table 2: the share of non-harmful users on rejected Pleroma instances
+/// under varying Perspective thresholds (0.5–0.9).
+///
+/// Follows §5's population: users with publicly accessible content on
+/// rejected Pleroma instances, excluding single-user instances.
+pub fn table2_threshold_sweep(
+    dataset: &Dataset,
+    annotations: &HarmAnnotations,
+) -> Vec<ThresholdRow> {
+    let users = section5_users(dataset, annotations);
+    paper::TABLE2_THRESHOLDS
+        .iter()
+        .map(|&threshold| {
+            let harmful = users
+                .iter()
+                .filter(|u| u.mean.max() >= threshold)
+                .count();
+            ThresholdRow {
+                threshold,
+                non_harmful_share: if users.is_empty() {
+                    0.0
+                } else {
+                    1.0 - harmful as f64 / users.len() as f64
+                },
+                users: users.len(),
+            }
+        })
+        .collect()
+}
+
+/// The §5 user population: users with content on multi-user rejected
+/// Pleroma instances.
+pub fn section5_users<'a>(
+    dataset: &Dataset,
+    annotations: &'a HarmAnnotations,
+) -> Vec<&'a crate::scores::UserScore> {
+    let reject_counts = dataset.reject_counts();
+    let multi_user: std::collections::HashSet<_> = dataset
+        .pleroma_crawled()
+        .filter(|i| reject_counts.contains_key(&i.domain) && i.user_count() > 1)
+        .map(|i| i.domain.clone())
+        .collect();
+    annotations
+        .users
+        .iter()
+        .filter(|((domain, _), _)| multi_user.contains(domain))
+        .map(|(_, score)| score)
+        .collect()
+}
+
+/// One row of Table 3: the policy catalog with prevalence.
+#[derive(Debug, Clone)]
+pub struct PolicyCatalogRow {
+    /// Policy name.
+    pub name: String,
+    /// Table 3 description.
+    pub description: &'static str,
+    /// Instances enabling it (measured).
+    pub instances: usize,
+    /// Users on those instances (measured).
+    pub users: u64,
+    /// The paper's instance count, if tabulated.
+    pub paper_instances: Option<u32>,
+    /// The paper's user count, if tabulated.
+    pub paper_users: Option<u32>,
+}
+
+/// Table 3: every in-built policy with description and measured
+/// prevalence, paper reference columns attached.
+pub fn table3_policy_catalog(dataset: &Dataset) -> Vec<PolicyCatalogRow> {
+    let spectrum = crate::figures::policy_spectrum(dataset);
+    let catalog = fediscope_core::catalog::PolicyCatalog::global();
+    paper::TABLE3_PREVALENCE
+        .iter()
+        .map(|row| {
+            let measured = spectrum.iter().find(|r| r.name == row.name);
+            let entry = catalog.by_name(row.name);
+            PolicyCatalogRow {
+                name: row.name.to_string(),
+                description: entry.map(|e| e.description).unwrap_or(""),
+                instances: measured.map(|m| m.instances).unwrap_or(0),
+                users: measured.map(|m| m.users).unwrap_or(0),
+                paper_instances: Some(row.instances),
+                paper_users: Some(row.users),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_core::config::InstanceModerationConfig;
+    use fediscope_core::id::Domain;
+    use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
+    use fediscope_core::time::SimTime;
+    use fediscope_crawler::{
+        CollectedPost, CrawlOutcome, CrawledInstance, InstanceMetadata, TimelineCrawl,
+    };
+
+    fn post(author: u64, domain: &str, content: &str) -> CollectedPost {
+        CollectedPost {
+            id: 1,
+            author_id: author,
+            author_domain: Domain::new(domain),
+            created: SimTime(0),
+            content: content.to_string(),
+            sensitive: false,
+            visibility: "public".into(),
+            media_count: 0,
+            hashtags: Vec::new(),
+            mentions: 0,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut blocker_cfg = InstanceModerationConfig::pleroma_default();
+        blocker_cfg.set_simple(
+            SimplePolicy::new()
+                .with_target(SimpleAction::Reject, Domain::new("multi.example"))
+                .with_target(SimpleAction::Reject, Domain::new("solo.example")),
+        );
+        let blocker = CrawledInstance {
+            domain: Domain::new("blocker.example"),
+            outcome: CrawlOutcome::Crawled,
+            software: Some("pleroma".into()),
+            from_directory: true,
+            metadata: Some(InstanceMetadata {
+                user_count: 10,
+                status_count: 0,
+                domain_count: 0,
+                version: "2.2.0".into(),
+                registrations_open: true,
+                policies: Some(blocker_cfg),
+            }),
+            peers: Vec::new(),
+            timeline: TimelineCrawl::Empty,
+            snapshots: Vec::new(),
+        };
+        // multi.example: 3 users, one harmful.
+        let multi = CrawledInstance {
+            domain: Domain::new("multi.example"),
+            outcome: CrawlOutcome::Crawled,
+            software: Some("pleroma".into()),
+            from_directory: true,
+            metadata: Some(InstanceMetadata {
+                user_count: 3,
+                status_count: 4,
+                domain_count: 0,
+                version: "2.2.0".into(),
+                registrations_open: true,
+                policies: Some(InstanceModerationConfig::default()),
+            }),
+            peers: Vec::new(),
+            timeline: TimelineCrawl::Posts(vec![
+                post(1, "multi.example", "grukk vrelk subhuman kys scum"),
+                post(2, "multi.example", "coffee garden morning"),
+                post(3, "multi.example", "bread cat photo"),
+                post(2, "multi.example", "river walk book"),
+            ]),
+            snapshots: Vec::new(),
+        };
+        // solo.example: single-user — §5 excludes it.
+        let solo = CrawledInstance {
+            domain: Domain::new("solo.example"),
+            outcome: CrawlOutcome::Crawled,
+            software: Some("pleroma".into()),
+            from_directory: true,
+            metadata: Some(InstanceMetadata {
+                user_count: 1,
+                status_count: 1,
+                domain_count: 0,
+                version: "2.2.0".into(),
+                registrations_open: true,
+                policies: None,
+            }),
+            peers: Vec::new(),
+            timeline: TimelineCrawl::Posts(vec![post(9, "solo.example", "zmut qorn porn")]),
+            snapshots: Vec::new(),
+        };
+        Dataset {
+            started: SimTime(0),
+            finished: SimTime(1),
+            instances: vec![blocker, multi, solo],
+        }
+    }
+
+    #[test]
+    fn table2_excludes_single_user_instances() {
+        let ds = dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let users = section5_users(&ds, &ann);
+        assert_eq!(users.len(), 3, "solo.example's author is excluded");
+        let rows = table2_threshold_sweep(&ds, &ann);
+        assert_eq!(rows.len(), 5);
+        // 1 of 3 users is harmful at 0.8 → 66.7% non-harmful.
+        let row08 = rows.iter().find(|r| r.threshold == 0.8).unwrap();
+        assert!((row08.non_harmful_share - 2.0 / 3.0).abs() < 1e-9);
+        // Monotone in threshold.
+        for w in rows.windows(2) {
+            assert!(w[0].non_harmful_share <= w[1].non_harmful_share);
+        }
+    }
+
+    #[test]
+    fn table1_takes_top_five() {
+        let ds = dataset();
+        let ann = HarmAnnotations::annotate(&ds);
+        let rows = table1_top_rejected(&ds, &ann);
+        assert_eq!(rows.len(), 2, "only two rejected Pleroma instances here");
+        assert_eq!(rows[0].rejects, 1);
+        assert!(rows[0].toxicity.is_some());
+    }
+
+    #[test]
+    fn table3_includes_descriptions_and_paper_columns() {
+        let ds = dataset();
+        let rows = table3_policy_catalog(&ds);
+        assert_eq!(rows.len(), paper::TABLE3_PREVALENCE.len());
+        let oap = rows.iter().find(|r| r.name == "ObjectAgePolicy").unwrap();
+        assert_eq!(oap.paper_instances, Some(869));
+        assert!(oap.description.contains("age"));
+        assert_eq!(oap.instances, 1, "only blocker enables defaults");
+    }
+}

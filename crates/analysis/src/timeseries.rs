@@ -1,0 +1,153 @@
+//! Snapshot time series: what the 4-hourly metadata polling (§3) shows
+//! over the campaign.
+//!
+//! The paper collected instance metadata every four hours for ~5 months;
+//! this module aggregates those snapshots into growth trajectories —
+//! useful both as a data-quality check (did the crawl keep up?) and for
+//! the §6 discussion of user migration.
+
+use fediscope_core::time::SimTime;
+use fediscope_crawler::Dataset;
+
+/// One aggregate snapshot across all crawled Pleroma instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSnapshot {
+    /// Snapshot time.
+    pub at: SimTime,
+    /// Instances reporting at this round.
+    pub instances: usize,
+    /// Total users across them.
+    pub users: u64,
+    /// Total posts across them.
+    pub posts: u64,
+}
+
+/// Aggregates per-instance snapshots into fleet-wide rounds.
+pub fn aggregate_snapshots(dataset: &Dataset) -> Vec<AggregateSnapshot> {
+    use std::collections::BTreeMap;
+    let mut rounds: BTreeMap<SimTime, (usize, u64, u64)> = BTreeMap::new();
+    for inst in dataset.pleroma_crawled() {
+        for snap in &inst.snapshots {
+            let e = rounds.entry(snap.at).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += snap.user_count;
+            e.2 += snap.status_count;
+        }
+    }
+    rounds
+        .into_iter()
+        .map(|(at, (instances, users, posts))| AggregateSnapshot {
+            at,
+            instances,
+            users,
+            posts,
+        })
+        .collect()
+}
+
+/// Growth of one instance across the campaign: `(first, last)` user and
+/// post counts, or `None` without at least two snapshots.
+pub fn instance_growth(dataset: &Dataset, domain: &str) -> Option<((u64, u64), (u64, u64))> {
+    let inst = dataset.by_domain(domain)?;
+    let first = inst.snapshots.first()?;
+    let last = inst.snapshots.last()?;
+    if inst.snapshots.len() < 2 {
+        return None;
+    }
+    Some((
+        (first.user_count, last.user_count),
+        (first.status_count, last.status_count),
+    ))
+}
+
+/// Instances whose reported user count changed between the first and last
+/// snapshot (candidates for the §6 migration discussion).
+pub fn churning_instances(dataset: &Dataset) -> Vec<(String, i64)> {
+    let mut out: Vec<(String, i64)> = dataset
+        .pleroma_crawled()
+        .filter_map(|inst| {
+            let first = inst.snapshots.first()?;
+            let last = inst.snapshots.last()?;
+            let delta = last.user_count as i64 - first.user_count as i64;
+            (delta != 0).then(|| (inst.domain.to_string(), delta))
+        })
+        .collect();
+    out.sort_by_key(|(_, d)| -d.abs());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_core::id::Domain;
+    use fediscope_crawler::{
+        CrawlOutcome, CrawledInstance, InstanceMetadata, MetadataSnapshot, TimelineCrawl,
+    };
+
+    fn instance_with_snapshots(domain: &str, series: &[(u64, u64, u64)]) -> CrawledInstance {
+        CrawledInstance {
+            domain: Domain::new(domain),
+            outcome: CrawlOutcome::Crawled,
+            software: Some("pleroma".into()),
+            from_directory: true,
+            metadata: Some(InstanceMetadata {
+                user_count: series.last().map(|s| s.1).unwrap_or(0),
+                status_count: series.last().map(|s| s.2).unwrap_or(0),
+                domain_count: 0,
+                version: "2.2.0".into(),
+                registrations_open: true,
+                policies: None,
+            }),
+            peers: Vec::new(),
+            timeline: TimelineCrawl::Empty,
+            snapshots: series
+                .iter()
+                .map(|&(at, users, posts)| MetadataSnapshot {
+                    at: SimTime(at),
+                    user_count: users,
+                    status_count: posts,
+                })
+                .collect(),
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset {
+            started: SimTime(0),
+            finished: SimTime(100),
+            instances: vec![
+                instance_with_snapshots("grow.example", &[(10, 100, 1000), (20, 120, 1500)]),
+                instance_with_snapshots("shrink.example", &[(10, 50, 300), (20, 40, 320)]),
+                instance_with_snapshots("flat.example", &[(10, 7, 70), (20, 7, 75)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregate_rounds_are_time_ordered() {
+        let rounds = aggregate_snapshots(&dataset());
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].at, SimTime(10));
+        assert_eq!(rounds[0].instances, 3);
+        assert_eq!(rounds[0].users, 157);
+        assert_eq!(rounds[1].users, 167);
+        assert!(rounds[1].posts > rounds[0].posts);
+    }
+
+    #[test]
+    fn growth_reads_first_and_last() {
+        let ((u0, u1), (p0, p1)) = instance_growth(&dataset(), "grow.example").unwrap();
+        assert_eq!((u0, u1), (100, 120));
+        assert_eq!((p0, p1), (1000, 1500));
+        assert!(instance_growth(&dataset(), "missing.example").is_none());
+    }
+
+    #[test]
+    fn churn_sorted_by_magnitude() {
+        let churn = churning_instances(&dataset());
+        assert_eq!(churn.len(), 2, "flat instance excluded");
+        assert_eq!(churn[0].0, "grow.example");
+        assert_eq!(churn[0].1, 20);
+        assert_eq!(churn[1].1, -10);
+    }
+}

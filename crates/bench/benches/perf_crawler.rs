@@ -1,0 +1,39 @@
+//! Performance: end-to-end measurement campaign on a small world
+//! (discovery BFS + metadata + timeline pagination over the simulated
+//! network).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fediscope_crawler::CrawlerConfig;
+use fediscope_synthgen::{World, WorldConfig};
+
+fn bench_crawl(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::test_small());
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    let mut group = c.benchmark_group("crawl_campaign");
+    group.sample_size(10);
+    group.bench_function("small_world_full_campaign", |b| {
+        b.iter(|| {
+            rt.block_on(async {
+                black_box(
+                    fediscope::harness::crawl_world(&world, CrawlerConfig::default()).await,
+                )
+            })
+        })
+    });
+    let mut low_concurrency = CrawlerConfig::default();
+    low_concurrency.concurrency = 4;
+    group.bench_function("small_world_concurrency_4", |b| {
+        b.iter(|| {
+            rt.block_on(async {
+                black_box(fediscope::harness::crawl_world(&world, low_concurrency.clone()).await)
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crawl);
+criterion_main!(benches);

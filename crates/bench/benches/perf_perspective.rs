@@ -1,0 +1,49 @@
+//! Performance: Perspective-substitute scoring throughput (the paper
+//! scored 14.5 M posts; our analysis pipeline scores every collected post
+//! of rejected instances).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fediscope_perspective::Scorer;
+
+fn bench_scorer(c: &mut Criterion) {
+    let scorer = Scorer::new();
+    let benign = "coffee in the garden this morning with a book and some tea while the server updates";
+    let toxic = "you absolute idiot grukk vrelk subhuman scum kys worthless vermin filth";
+    let mixed = "coffee idiot garden damn lewd morning stupid release nsfw server hate";
+
+    let mut group = c.benchmark_group("perspective_analyze");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("benign_text", |b| {
+        b.iter(|| black_box(scorer.analyze(black_box(benign))))
+    });
+    group.bench_function("toxic_text", |b| {
+        b.iter(|| black_box(scorer.analyze(black_box(toxic))))
+    });
+    group.bench_function("mixed_text", |b| {
+        b.iter(|| black_box(scorer.analyze(black_box(mixed))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("perspective_corpus");
+    let corpus: Vec<String> = (0..1000)
+        .map(|i| format!("{} post number {i}", if i % 7 == 0 { toxic } else { benign }))
+        .collect();
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    group.bench_function("score_1000_posts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for text in &corpus {
+                acc += scorer.analyze(text).max();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_scorer
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Performance: synthetic world generation at various scales.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fediscope_synthgen::{World, WorldConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_generate");
+    group.sample_size(10);
+    group.bench_function("scale_0.1", |b| {
+        b.iter(|| black_box(World::generate(WorldConfig::test_small())))
+    });
+    group.bench_function("scale_0.35", |b| {
+        b.iter(|| black_box(World::generate(WorldConfig::test_medium())))
+    });
+    group.bench_function("scale_0.1_no_text", |b| {
+        let mut config = WorldConfig::test_small();
+        config.generate_text = false;
+        b.iter(|| black_box(World::generate(config.clone())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment A-G — the §6 federation-graph analysis: the audience an
+//! instance's users lose when it is rejected, and the share of its peers
+//! refusing it.
+
+use fediscope_analysis::report::render_table;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("A-G", "§6 federation-graph damage");
+        let (_world, dataset, _ann) = fediscope_bench::run_campaign().await;
+        let rows = fediscope_analysis::ablation::federation_graph(&dataset, 15);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.domain.clone(),
+                    format!("{}", r.rejects),
+                    format!("{}", r.audience_lost),
+                    format!("{:.1}%", r.audience_lost_share * 100.0),
+                    format!("{:.1}%", r.peer_loss_share * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Top rejected instances: audience and peer loss",
+                &["instance", "rejects", "audience lost", "audience%", "peers lost%"],
+                &table
+            )
+        );
+        println!("(§6: \"if an instance relies on another to reach a segment of the");
+        println!("social graph [...] it could be cut off from the wider network\")");
+    });
+}

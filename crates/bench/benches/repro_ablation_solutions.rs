@@ -1,0 +1,46 @@
+//! Experiment A-S7 — the §7 strawman-solution ablation: how much
+//! collateral damage does each moderation strategy cause, and how much
+//! harm does it actually stop?
+
+use fediscope_analysis::report::render_table;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("A-S7", "§7 solution-space ablation");
+        let (_world, dataset, ann) = fediscope_bench::run_campaign().await;
+        let rows = fediscope_analysis::ablation::solutions(&dataset, &ann);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.strategy.name().to_string(),
+                    format!("{:.1}%", r.innocent_blocked * 100.0),
+                    format!("{:.1}%", r.innocent_degraded * 100.0),
+                    format!("{:.1}%", r.harmful_blocked * 100.0),
+                    format!("{:.1}%", r.harmful_degraded * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Strategy ablation on the §5 population",
+                &[
+                    "strategy",
+                    "innocent blocked",
+                    "innocent degraded",
+                    "harmful blocked",
+                    "harmful degraded"
+                ],
+                &table
+            )
+        );
+        println!("paper's argument: reject blocks ~95.8% innocent users; per-user");
+        println!("strategies cut innocent blocking to ~0% while still hitting the");
+        println!("4.2% of harmful users.");
+    });
+}

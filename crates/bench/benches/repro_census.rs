@@ -1,0 +1,25 @@
+//! Experiment X1 — §3 crawl census: instance discovery, the failure
+//! taxonomy, users and post collection.
+
+use fediscope_analysis::report::render_comparisons;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("X1", "§3 crawl census (Data Collection)");
+        let (world, dataset, _ann) = fediscope_bench::run_campaign().await;
+        let rows = fediscope_analysis::headline::crawl_census(&dataset);
+        println!("{}", render_comparisons("Crawl census", &rows));
+        println!(
+            "collected posts: {}",
+            fediscope_bench::extrapolated(dataset.collected_posts(), world.post_extrapolation())
+        );
+        println!(
+            "reported posts:  {}",
+            fediscope_bench::extrapolated(dataset.total_posts(), world.post_extrapolation())
+        );
+    });
+}

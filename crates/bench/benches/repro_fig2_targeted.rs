@@ -1,0 +1,51 @@
+//! Experiment F2 — Figure 2: number of instances *targeted by* each
+//! SimplePolicy action (split Pleroma / non-Pleroma) and the user mass on
+//! the targeted Pleroma instances.
+
+use fediscope_analysis::report::render_table;
+use fediscope_core::paper;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("F2", "Figure 2: instances targeted by SimplePolicy actions");
+        let (_world, dataset, _ann) = fediscope_bench::run_campaign().await;
+        let rows = fediscope_analysis::figures::fig2_targeted_by_action(&dataset);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let paper_row = paper::FIG23_ACTIONS.iter().find(|a| a.action == r.action);
+                vec![
+                    r.action.to_string(),
+                    format!("{}", r.targeted_pleroma),
+                    paper_row
+                        .map(|p| format!("{}", p.targeted_pleroma))
+                        .unwrap_or_default(),
+                    format!("{}", r.targeted_non_pleroma),
+                    paper_row
+                        .map(|p| format!("{}", p.targeted_non_pleroma))
+                        .unwrap_or_default(),
+                    format!("{}", r.users_on_targeted),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Figure 2",
+                &[
+                    "action",
+                    "pleroma",
+                    "(paper)",
+                    "non-pleroma",
+                    "(paper)",
+                    "users on targeted"
+                ],
+                &table
+            )
+        );
+    });
+}

@@ -1,0 +1,40 @@
+//! Experiment F3 — Figure 3: number of instances *applying* each
+//! SimplePolicy action, plus the user mass on the targeted instances.
+
+use fediscope_analysis::report::render_table;
+use fediscope_core::paper;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("F3", "Figure 3: instances applying SimplePolicy actions");
+        let (_world, dataset, _ann) = fediscope_bench::run_campaign().await;
+        let rows = fediscope_analysis::figures::fig3_targeting_by_action(&dataset);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let paper_row = paper::FIG23_ACTIONS.iter().find(|a| a.action == r.action);
+                vec![
+                    r.action.to_string(),
+                    format!("{}", r.targeting_instances),
+                    paper_row
+                        .map(|p| format!("{}", p.targeting_instances))
+                        .unwrap_or_default(),
+                    format!("{}", r.users_on_targeted),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Figure 3",
+                &["action", "targeting", "(paper)", "users on targeted"],
+                &table
+            )
+        );
+        println!("paper: 73% of SimplePolicy instances apply reject");
+    });
+}

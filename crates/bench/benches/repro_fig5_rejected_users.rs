@@ -1,0 +1,43 @@
+//! Experiment F5 — Figure 5: every rejected Pleroma instance with its user
+//! count and the number of instances rejecting it.
+
+use fediscope_analysis::report::render_table;
+use fediscope_core::paper;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("F5", "Figure 5: rejected instances, users and reject counts");
+        let (_world, dataset, ann) = fediscope_bench::run_campaign().await;
+        let rows = fediscope_analysis::figures::rejected_instances(&dataset, &ann);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .take(25)
+            .map(|r| {
+                vec![
+                    r.domain.to_string(),
+                    format!("{}", r.users),
+                    format!("{}", r.rejects),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Figure 5 (head of the distribution)",
+                &["instance", "users", "rejects"],
+                &table
+            )
+        );
+        println!(
+            "rejected Pleroma instances: {} (paper: {})",
+            rows.len(),
+            paper::REJECTED_PLEROMA_INSTANCES
+        );
+        let max_rejects = rows.first().map(|r| r.rejects).unwrap_or(0);
+        println!("max rejects: {max_rejects} (paper: 97, freespeechextremist.com)");
+    });
+}

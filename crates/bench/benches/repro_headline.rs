@@ -1,0 +1,44 @@
+//! Experiments H1–H4 — the headline statistics of §3–§5:
+//! policy impact, the reject graph, instance annotation, and the
+//! collateral-damage analysis.
+
+use fediscope_analysis::report::render_comparisons;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("H1-H4", "headline statistics (§4, §5)");
+        let (_world, dataset, ann) = fediscope_bench::run_campaign().await;
+        println!(
+            "{}",
+            render_comparisons(
+                "H1: policy impact (§4.1)",
+                &fediscope_analysis::headline::policy_impact(&dataset)
+            )
+        );
+        println!(
+            "{}",
+            render_comparisons(
+                "H2: the reject graph (§4.2)",
+                &fediscope_analysis::headline::reject_graph(&dataset, &ann)
+            )
+        );
+        println!(
+            "{}",
+            render_comparisons(
+                "H3: instance annotation (§4.2)",
+                &fediscope_analysis::headline::annotation(&dataset, &ann)
+            )
+        );
+        println!(
+            "{}",
+            render_comparisons(
+                "H4: collateral damage (§5)",
+                &fediscope_analysis::headline::collateral_damage(&dataset, &ann)
+            )
+        );
+    });
+}

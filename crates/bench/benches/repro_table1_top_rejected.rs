@@ -1,0 +1,64 @@
+//! Experiment T1 — Table 1: the five most rejected Pleroma instances with
+//! their users, posts and Perspective scores.
+
+use fediscope_analysis::report::render_table;
+use fediscope_core::paper;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("T1", "Table 1: top 5 rejected Pleroma instances");
+        let (world, dataset, ann) = fediscope_bench::run_campaign().await;
+        let rows = fediscope_analysis::tables::table1_top_rejected(&dataset, &ann);
+        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or("NA".into());
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.domain.to_string(),
+                    format!("{}", r.rejects),
+                    format!("{}", r.users),
+                    fediscope_bench::extrapolated(r.posts, world.post_extrapolation()),
+                    fmt(r.toxicity),
+                    fmt(r.profanity),
+                    fmt(r.sexually_explicit),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Table 1 (measured)",
+                &["instance", "rejects", "users", "posts", "tox", "prof", "sexual"],
+                &table
+            )
+        );
+        // The paper's reference rows.
+        let reference: Vec<Vec<String>> = paper::TABLE1_TOP_REJECTED
+            .iter()
+            .map(|r| {
+                let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or("NA".into());
+                vec![
+                    r.domain.to_string(),
+                    format!("{}", r.rejects),
+                    format!("{}", r.users),
+                    format!("{}", r.posts),
+                    fmt(r.toxicity),
+                    fmt(r.profanity),
+                    fmt(r.sexually_explicit),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Table 1 (paper)",
+                &["instance", "rejects", "users", "posts", "tox", "prof", "sexual"],
+                &reference
+            )
+        );
+    });
+}

@@ -1,0 +1,37 @@
+//! Experiment T2 — Table 2: share of non-harmful users on rejected Pleroma
+//! instances under varying Perspective thresholds.
+
+use fediscope_analysis::report::render_table;
+use fediscope_core::paper;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("T2", "Table 2: non-harmful user share vs threshold");
+        let (_world, dataset, ann) = fediscope_bench::run_campaign().await;
+        let rows = fediscope_analysis::tables::table2_threshold_sweep(&dataset, &ann);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                vec![
+                    format!("{:.1}", r.threshold),
+                    format!("{:.1}%", r.non_harmful_share * 100.0),
+                    format!("{:.1}%", paper::TABLE2_NON_HARMFUL[i] * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Table 2",
+                &["threshold", "non-harmful (measured)", "non-harmful (paper)"],
+                &table
+            )
+        );
+        println!("users evaluated: {}", rows.first().map(|r| r.users).unwrap_or(0));
+    });
+}

@@ -1,0 +1,38 @@
+//! Experiment T3 — Table 3 (appendix): the in-built policy catalog with
+//! prevalence, paper columns attached.
+
+use fediscope_analysis::report::render_table;
+
+fn main() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        fediscope_bench::banner("T3", "Table 3: policy catalog and prevalence");
+        let (_world, dataset, _ann) = fediscope_bench::run_campaign().await;
+        let rows = fediscope_analysis::tables::table3_policy_catalog(&dataset);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{}", r.instances),
+                    r.paper_instances
+                        .map(|v| format!("{v}"))
+                        .unwrap_or_default(),
+                    format!("{}", r.users),
+                    r.paper_users.map(|v| format!("{v}")).unwrap_or_default(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Table 3",
+                &["policy", "instances", "(paper)", "users", "(paper)"],
+                &table
+            )
+        );
+    });
+}

@@ -1,0 +1,117 @@
+//! # fediscope-bench
+//!
+//! The experiment harness: one reproduction target per paper table/figure
+//! (`repro_*`, plain binaries) and Criterion performance benches
+//! (`perf_*`). Each repro target generates the paper-calibrated world,
+//! runs the full measurement campaign over the simulated network, computes
+//! the corresponding analysis, and prints the paper's reported values next
+//! to ours.
+//!
+//! Scale knobs (environment variables, read by [`bench_world_config`]):
+//!
+//! * `FEDISCOPE_SCALE` — instance/user scale (default 1.0 = the paper's
+//!   full population);
+//! * `FEDISCOPE_POST_SCALE` — per-user post sampling (default 0.01; all
+//!   reported §4/§5 statistics are fractions invariant under this);
+//! * `FEDISCOPE_SEED` — world seed (default 1534).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use fediscope_analysis::HarmAnnotations;
+use fediscope_crawler::{CrawlerConfig, Dataset};
+use fediscope_synthgen::{World, WorldConfig};
+
+/// Reads the benchmark world configuration from the environment.
+pub fn bench_world_config() -> WorldConfig {
+    let mut config = WorldConfig::paper();
+    if let Ok(v) = std::env::var("FEDISCOPE_SCALE") {
+        if let Ok(s) = v.parse::<f64>() {
+            config.scale = s;
+        }
+    }
+    if let Ok(v) = std::env::var("FEDISCOPE_POST_SCALE") {
+        if let Ok(s) = v.parse::<f64>() {
+            config.post_scale = s;
+        }
+    }
+    if let Ok(v) = std::env::var("FEDISCOPE_SEED") {
+        if let Ok(s) = v.parse::<u64>() {
+            config.seed = s;
+        }
+    }
+    config
+}
+
+/// The standard repro pipeline: generate → materialise → crawl → annotate.
+/// Prints timing breadcrumbs so long runs are observable.
+pub async fn run_campaign() -> (World, Dataset, HarmAnnotations) {
+    let config = bench_world_config();
+    eprintln!(
+        "[fediscope] generating world (seed={}, scale={}, post_scale={}) ...",
+        config.seed, config.scale, config.post_scale
+    );
+    let t0 = std::time::Instant::now();
+    let world = World::generate(config);
+    eprintln!(
+        "[fediscope]   {} instances, {} users, {} posts in {:?}",
+        world.instances.len(),
+        world.total_users(),
+        world.total_posts(),
+        t0.elapsed()
+    );
+    let t1 = std::time::Instant::now();
+    let dataset = fediscope::harness::crawl_world(&world, CrawlerConfig::default()).await;
+    eprintln!(
+        "[fediscope]   crawled {} domains ({} posts collected) in {:?}",
+        dataset.instances.len(),
+        dataset.collected_posts(),
+        t1.elapsed()
+    );
+    let t2 = std::time::Instant::now();
+    let annotations = HarmAnnotations::annotate(&dataset);
+    eprintln!(
+        "[fediscope]   scored {} posts / {} users in {:?}",
+        annotations.posts_scored,
+        annotations.users.len(),
+        t2.elapsed()
+    );
+    (world, dataset, annotations)
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!();
+    println!("================================================================");
+    println!("  {id}: {title}");
+    println!("================================================================");
+}
+
+/// Formats a count together with its full-scale extrapolation when posts
+/// are subsampled.
+pub fn extrapolated(posts: u64, factor: f64) -> String {
+    if (factor - 1.0).abs() < 1e-9 {
+        format!("{posts}")
+    } else {
+        format!("{posts} (≈{:.1}M full-scale)", posts as f64 * factor / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_overrides_apply() {
+        // Not setting env vars: defaults.
+        let c = bench_world_config();
+        assert_eq!(c.seed, 1534);
+        assert_eq!(c.scale, 1.0);
+    }
+
+    #[test]
+    fn extrapolation_formatting() {
+        assert_eq!(extrapolated(100, 1.0), "100");
+        assert!(extrapolated(245_000, 100.0).contains("24.5M"));
+    }
+}

@@ -1,0 +1,366 @@
+//! The catalog of every MRF policy type the paper observed in the wild.
+//!
+//! §4.1: *"These cover 46 unique policy types: 26 of these policies are
+//! included in the Pleroma software package, instance administrators have
+//! created the other 20."* This module enumerates all 46 (descriptions from
+//! the paper's Table 3 where given, otherwise from the Pleroma source the
+//! paper studied), plus the three "strawman" policies the paper proposes in
+//! §7, which fediscope implements as extensions.
+//!
+//! Three of the 20 admin-created policies are not individually named in the
+//! paper's figures (Figure 7 lists 43 of the 46); we give those three
+//! representative names and flag them in [`PolicyEntry::named_in_paper`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Every policy type known to fediscope.
+///
+/// The first 26 variants are Pleroma in-built policies; the next 20 are
+/// admin-created custom policies (Figure 7); the final 3 are the paper's §7
+/// proposals implemented as fediscope extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // each variant is documented via PolicyEntry::description
+pub enum PolicyKind {
+    // ---- In-built Pleroma policies (26) ----
+    ObjectAge,
+    Tag,
+    Simple,
+    NoOp,
+    Hellthread,
+    StealEmoji,
+    Hashtag,
+    AntiFollowbot,
+    MediaProxyWarming,
+    Keyword,
+    AntiLinkSpam,
+    ForceBotUnlisted,
+    EnsureRePrepended,
+    ActivityExpiration,
+    Subchain,
+    Mention,
+    Vocabulary,
+    AntiHellthread,
+    RejectNonPublic,
+    FollowBot,
+    Drop,
+    NormalizeMarkup,
+    NoEmpty,
+    NoPlaceholderText,
+    UserAllowList,
+    Block,
+    // ---- Admin-created custom policies (20) ----
+    Amqp,
+    KanayaBlogProcess,
+    AntispamSandbox,
+    SupSlashX,
+    SupSlashPol,
+    SupSlashMlp,
+    BlockNotification,
+    SupSlashG,
+    NoIncomingDeletes,
+    Rewrite,
+    RejectCloudflare,
+    RacismRemover,
+    CdnWarming,
+    NotifyLocalUsers,
+    BonziEmojiReactions,
+    SogigiMindWarming,
+    SupSlashB,
+    AutoReject,
+    LocalOnly,
+    SandboxCustom,
+    // ---- §7 strawman proposals (fediscope extensions) ----
+    CuratedList,
+    UserTagModeration,
+    RepeatOffender,
+}
+
+impl PolicyKind {
+    /// All 46 policy types observed by the paper (no strawman extensions).
+    pub const OBSERVED: [PolicyKind; 46] = [
+        PolicyKind::ObjectAge,
+        PolicyKind::Tag,
+        PolicyKind::Simple,
+        PolicyKind::NoOp,
+        PolicyKind::Hellthread,
+        PolicyKind::StealEmoji,
+        PolicyKind::Hashtag,
+        PolicyKind::AntiFollowbot,
+        PolicyKind::MediaProxyWarming,
+        PolicyKind::Keyword,
+        PolicyKind::AntiLinkSpam,
+        PolicyKind::ForceBotUnlisted,
+        PolicyKind::EnsureRePrepended,
+        PolicyKind::ActivityExpiration,
+        PolicyKind::Subchain,
+        PolicyKind::Mention,
+        PolicyKind::Vocabulary,
+        PolicyKind::AntiHellthread,
+        PolicyKind::RejectNonPublic,
+        PolicyKind::FollowBot,
+        PolicyKind::Drop,
+        PolicyKind::NormalizeMarkup,
+        PolicyKind::NoEmpty,
+        PolicyKind::NoPlaceholderText,
+        PolicyKind::UserAllowList,
+        PolicyKind::Block,
+        PolicyKind::Amqp,
+        PolicyKind::KanayaBlogProcess,
+        PolicyKind::AntispamSandbox,
+        PolicyKind::SupSlashX,
+        PolicyKind::SupSlashPol,
+        PolicyKind::SupSlashMlp,
+        PolicyKind::BlockNotification,
+        PolicyKind::SupSlashG,
+        PolicyKind::NoIncomingDeletes,
+        PolicyKind::Rewrite,
+        PolicyKind::RejectCloudflare,
+        PolicyKind::RacismRemover,
+        PolicyKind::CdnWarming,
+        PolicyKind::NotifyLocalUsers,
+        PolicyKind::BonziEmojiReactions,
+        PolicyKind::SogigiMindWarming,
+        PolicyKind::SupSlashB,
+        PolicyKind::AutoReject,
+        PolicyKind::LocalOnly,
+        PolicyKind::SandboxCustom,
+    ];
+
+    /// The strawman policies the paper proposes in §7.
+    pub const STRAWMAN: [PolicyKind; 3] = [
+        PolicyKind::CuratedList,
+        PolicyKind::UserTagModeration,
+        PolicyKind::RepeatOffender,
+    ];
+
+    /// The display name used in the paper's figures (e.g. `SimplePolicy`).
+    pub fn name(self) -> &'static str {
+        self.entry().name
+    }
+
+    /// Whether this policy ships with the Pleroma software package.
+    pub fn is_builtin(self) -> bool {
+        self.entry().builtin
+    }
+
+    /// Whether this is one of fediscope's §7 strawman extensions.
+    pub fn is_strawman(self) -> bool {
+        self.entry().strawman
+    }
+
+    /// Whether a fresh Pleroma install enables this policy by default.
+    /// §4.1: `ObjectAgePolicy` (since 2.1.0) and `NoOpPolicy`.
+    pub fn default_enabled(self) -> bool {
+        matches!(self, PolicyKind::ObjectAge | PolicyKind::NoOp)
+    }
+
+    /// Full catalog entry for this policy.
+    pub fn entry(self) -> &'static PolicyEntry {
+        PolicyCatalog::global().entry(self)
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Catalog metadata about one policy type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyEntry {
+    /// The policy kind.
+    pub kind: PolicyKind,
+    /// Display name as in the paper's figures.
+    pub name: &'static str,
+    /// Description (Table 3 wording where the paper gives one).
+    pub description: &'static str,
+    /// Ships with Pleroma?
+    pub builtin: bool,
+    /// One of our §7 extensions (not observed in the wild)?
+    pub strawman: bool,
+    /// Whether the policy is individually named in the paper. Three of the
+    /// 20 custom policies are aggregated into "Others" and carry
+    /// representative names here.
+    pub named_in_paper: bool,
+}
+
+/// The full policy catalog.
+pub struct PolicyCatalog {
+    entries: Vec<PolicyEntry>,
+}
+
+impl PolicyCatalog {
+    /// The process-wide catalog (cheap to reference; entries are static).
+    pub fn global() -> &'static PolicyCatalog {
+        use std::sync::OnceLock;
+        static CATALOG: OnceLock<PolicyCatalog> = OnceLock::new();
+        CATALOG.get_or_init(PolicyCatalog::build)
+    }
+
+    fn build() -> PolicyCatalog {
+        use PolicyKind::*;
+        let mut entries = Vec::new();
+        let mut push = |kind, name, description, builtin, strawman, named_in_paper| {
+            entries.push(PolicyEntry {
+                kind,
+                name,
+                description,
+                builtin,
+                strawman,
+                named_in_paper,
+            })
+        };
+        // ---- In-built (descriptions follow the paper's Table 3) ----
+        push(ObjectAge, "ObjectAgePolicy", "Rejects or delists posts based on their age when received", true, false, true);
+        push(Tag, "TagPolicy", "Applies policies to individual users based on tags", true, false, true);
+        push(Simple, "SimplePolicy", "Restrict the visibility of activities from certain instances with a suite of actions", true, false, true);
+        push(NoOp, "NoOpPolicy", "Doesn't modify activities (default)", true, false, true);
+        push(Hellthread, "HellthreadPolicy", "De-list or reject messages when the set number of mentioned users threshold is exceeded", true, false, true);
+        push(StealEmoji, "StealEmojiPolicy", "List of hosts to steal emojis from", true, false, true);
+        push(Hashtag, "HashtagPolicy", "List of hashtags to mark activities as sensitive (default: nsfw)", true, false, true);
+        push(AntiFollowbot, "AntiFollowbotPolicy", "Stop the automatic following of newly discovered users", true, false, true);
+        push(MediaProxyWarming, "MediaProxyWarmingPolicy", "Crawls attachments using their MediaProxy URLs so that the MediaProxy cache is primed", true, false, true);
+        push(Keyword, "KeywordPolicy", "A list of patterns which result in message being reject/unlisted/replaced", true, false, true);
+        push(AntiLinkSpam, "AntiLinkSpamPolicy", "Rejects posts from likely spambots by rejecting posts from new users that contain links", true, false, true);
+        push(ForceBotUnlisted, "ForceBotUnlistedPolicy", "Makes all bot posts to disappear from public timelines", true, false, true);
+        push(EnsureRePrepended, "EnsureRePrepended", "Rewrites posts to ensure that replies to posts with subjects do not have an identical subject and instead begin with re:", true, false, true);
+        push(ActivityExpiration, "ActivityExpirationPolicy", "Sets a default expiration on all posts made by users of the local instance", true, false, true);
+        push(Subchain, "SubchainPolicy", "Selectively runs other MRF policies when messages match", true, false, true);
+        push(Mention, "MentionPolicy", "Drops posts mentioning configurable users", true, false, true);
+        push(Vocabulary, "VocabularyPolicy", "Restricts activities to a configured set of vocabulary", true, false, true);
+        push(AntiHellthread, "AntiHellthreadPolicy", "Stops the use of the HellthreadPolicy", true, false, true);
+        push(RejectNonPublic, "RejectNonPublic", "Whether to allow followers-only/direct posts", true, false, true);
+        push(FollowBot, "FollowBotPolicy", "Automatically follows newly discovered users from the specified bot account", true, false, true);
+        push(Drop, "DropPolicy", "Drops all activities", true, false, true);
+        push(NormalizeMarkup, "NormalizeMarkup", "Scrubs HTML markup in posts down to a common subset", true, false, true);
+        push(NoEmpty, "NoEmptyPolicy", "Denies local users from sending posts with no text and no attachments", true, false, true);
+        push(NoPlaceholderText, "NoPlaceholderTextPolicy", "Strips placeholder text (\".\") from posts with media attachments", true, false, true);
+        push(UserAllowList, "UserAllowListPolicy", "Accepts activities only from an explicitly allowed set of users per instance", true, false, true);
+        push(Block, "BlockPolicy", "Applies instance-wide blocks configured outside SimplePolicy", true, false, true);
+        // ---- Admin-created custom policies (Figure 7) ----
+        push(Amqp, "AMQPPolicy", "Mirrors every accepted activity onto an AMQP message bus for out-of-band processing", false, false, true);
+        push(KanayaBlogProcess, "KanayaBlogProcessPolicy", "Site-specific rewrite pipeline for a blog-bridging instance", false, false, true);
+        push(AntispamSandbox, "AntispamSandbox", "Forces posts from suspected spam accounts to followers-only visibility", false, false, true);
+        push(SupSlashX, "SupSlashX", "Board-specific custom filter (/x/)", false, false, true);
+        push(SupSlashPol, "SupSlashPOL", "Board-specific custom filter (/pol/)", false, false, true);
+        push(SupSlashMlp, "SupSlashMLP", "Board-specific custom filter (/mlp/)", false, false, true);
+        push(BlockNotification, "BlockNotification", "Announces incoming instance blocks to the local admin", false, false, true);
+        push(SupSlashG, "SupSlashG", "Board-specific custom filter (/g/)", false, false, true);
+        push(NoIncomingDeletes, "NoIncomingDeletes", "Ignores Delete activities from remote instances", false, false, true);
+        push(Rewrite, "RewritePolicy", "Rewrites configured substrings in incoming posts", false, false, true);
+        push(RejectCloudflare, "RejectCloudflarePolicy", "Rejects activities from instances fronted by a disliked CDN", false, false, true);
+        push(RacismRemover, "RacismRemover", "Drops posts matching a racism keyword list", false, false, true);
+        push(CdnWarming, "CdnWarmingPolicy", "Primes a CDN cache with incoming attachments", false, false, true);
+        push(NotifyLocalUsers, "NotifyLocalUsersPolicy", "Notifies local users when a followed remote account is targeted by a local policy", false, false, true);
+        push(BonziEmojiReactions, "BonziEmojiReactions", "Drops EmojiReact activities (instance-specific custom policy; full name in the paper's Figure 7)", false, false, true);
+        push(SogigiMindWarming, "SogigiMindWarmingPolicy", "Instance-specific media cache warmer", false, false, true);
+        push(SupSlashB, "SupSlashB", "Board-specific custom filter (/b/)", false, false, true);
+        push(AutoReject, "AutoRejectPolicy", "Rejects activities from instances matching a local heuristic list (custom; not individually named in the paper)", false, false, false);
+        push(LocalOnly, "LocalOnlyPolicy", "Keeps selected users' posts off the federation entirely (custom; not individually named in the paper)", false, false, false);
+        push(SandboxCustom, "SandboxPolicy", "Quarantines new remote instances until manually reviewed (custom; not individually named in the paper)", false, false, false);
+        // ---- §7 strawman extensions ----
+        push(CuratedList, "CuratedListPolicy", "Subscribes to trusted curated blocklists (\"NoHate\", \"NoPorn\") maintained as a community effort (§7 proposal 1)", false, true, true);
+        push(UserTagModeration, "UserTagModerationPolicy", "Per-user moderation driven by classifier-assisted tagging instead of instance-wide blocks (§7 proposal 2)", false, true, true);
+        push(RepeatOffender, "RepeatOffenderPolicy", "Automatically escalates per-user actions (NSFW, media removal) after n reports or a classifier threshold (§7 proposal 3)", false, true, true);
+        PolicyCatalog { entries }
+    }
+
+    /// Look up the entry for a policy kind.
+    pub fn entry(&self, kind: PolicyKind) -> &PolicyEntry {
+        self.entries
+            .iter()
+            .find(|e| e.kind == kind)
+            .expect("catalog covers every PolicyKind")
+    }
+
+    /// All entries, observed-in-paper first, catalog order.
+    pub fn entries(&self) -> &[PolicyEntry] {
+        &self.entries
+    }
+
+    /// The 46 observed (non-strawman) entries.
+    pub fn observed(&self) -> impl Iterator<Item = &PolicyEntry> {
+        self.entries.iter().filter(|e| !e.strawman)
+    }
+
+    /// Find a policy by its display name.
+    pub fn by_name(&self, name: &str) -> Option<&PolicyEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_46_observed_plus_3_strawman() {
+        let cat = PolicyCatalog::global();
+        assert_eq!(cat.observed().count(), 46);
+        assert_eq!(cat.entries().len(), 49);
+    }
+
+    #[test]
+    fn paper_split_26_builtin_20_custom() {
+        let cat = PolicyCatalog::global();
+        let builtin = cat.observed().filter(|e| e.builtin).count();
+        let custom = cat.observed().filter(|e| !e.builtin).count();
+        assert_eq!(builtin, 26, "§4.1: 26 in-built policies");
+        assert_eq!(custom, 20, "§4.1: 20 admin-created policies");
+    }
+
+    #[test]
+    fn observed_constant_matches_catalog() {
+        let cat = PolicyCatalog::global();
+        for kind in PolicyKind::OBSERVED {
+            assert!(!cat.entry(kind).strawman);
+        }
+        assert_eq!(PolicyKind::OBSERVED.len(), 46);
+    }
+
+    #[test]
+    fn default_enabled_policies() {
+        // §4.1: "we find the ObjectAgePolicy and NoOpPolicy enabled by
+        // default in the software package."
+        let defaults: Vec<_> = PolicyKind::OBSERVED
+            .into_iter()
+            .filter(|k| k.default_enabled())
+            .collect();
+        assert_eq!(defaults, vec![PolicyKind::ObjectAge, PolicyKind::NoOp]);
+    }
+
+    #[test]
+    fn every_kind_resolves_and_names_are_unique() {
+        let cat = PolicyCatalog::global();
+        let mut names = std::collections::HashSet::new();
+        for e in cat.entries() {
+            assert!(!e.name.is_empty(), "{:?} has a name", e.kind);
+            assert!(names.insert(e.name), "duplicate name {}", e.name);
+            assert_eq!(cat.by_name(e.name).unwrap().kind, e.kind);
+        }
+    }
+
+    #[test]
+    fn notify_local_users_placeholder_was_replaced() {
+        let e = PolicyCatalog::global().entry(PolicyKind::NotifyLocalUsers);
+        assert_eq!(e.name, "NotifyLocalUsersPolicy");
+        assert!(!e.description.is_empty());
+    }
+
+    #[test]
+    fn strawman_flagging() {
+        assert!(PolicyKind::CuratedList.is_strawman());
+        assert!(!PolicyKind::Simple.is_strawman());
+        assert!(PolicyKind::Simple.is_builtin());
+        assert!(!PolicyKind::RacismRemover.is_builtin());
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(PolicyKind::Simple.to_string(), "SimplePolicy");
+        assert_eq!(PolicyKind::ObjectAge.to_string(), "ObjectAgePolicy");
+        assert_eq!(PolicyKind::EnsureRePrepended.to_string(), "EnsureRePrepended");
+    }
+}

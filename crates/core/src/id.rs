@@ -1,0 +1,202 @@
+//! Identifiers for instances, users, posts and activities.
+//!
+//! All identifiers are small `Copy` newtypes so that datasets with hundreds
+//! of thousands of posts stay compact. Human-readable addressing (domains
+//! and `user@domain` references) is kept separate from the numeric ids used
+//! in dense tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Numeric identifier of an instance (dense, assigned by the world builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceId(pub u32);
+
+/// Numeric identifier of a user, unique across the whole fediverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+/// Numeric identifier of a post, unique across the whole fediverse.
+///
+/// Post ids are *monotone in creation order within an instance*, which is
+/// what makes Mastodon-style `max_id` pagination correct (see
+/// `fediscope-server::api`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PostId(pub u64);
+
+/// Numeric identifier of an ActivityPub activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ActivityId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for PostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ActivityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A fediverse domain name, e.g. `pleroma-0042.fedi.test`.
+///
+/// Domains are reference-counted strings: they are shared pervasively
+/// (every post carries its origin domain) and cloning must be cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Domain(Arc<str>);
+
+impl Domain {
+    /// Creates a domain from anything string-like. The name is lowercased,
+    /// since DNS names (and Pleroma's MRF target matching) are
+    /// case-insensitive.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        if name.chars().any(|c| c.is_ascii_uppercase()) {
+            Domain(Arc::from(name.to_ascii_lowercase().as_str()))
+        } else {
+            Domain(Arc::from(name))
+        }
+    }
+
+    /// The domain as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True if `self` equals `other` or is a subdomain of `other`
+    /// (`media.example.com` matches `example.com`). This is the matching
+    /// rule Pleroma's `SimplePolicy` uses for its target lists.
+    pub fn matches(&self, other: &Domain) -> bool {
+        self == other
+            || (self.0.len() > other.0.len()
+                && self.0.ends_with(other.as_str())
+                && self.0.as_bytes()[self.0.len() - other.0.len() - 1] == b'.')
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Domain {
+    fn from(s: &str) -> Self {
+        Domain::new(s)
+    }
+}
+
+impl From<String> for Domain {
+    fn from(s: String) -> Self {
+        Domain::new(s)
+    }
+}
+
+impl Serialize for Domain {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Domain {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Domain::new(s))
+    }
+}
+
+/// A fully-qualified reference to a user: numeric id plus the domain of the
+/// instance the account lives on (the `user@domain` of the fediverse).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UserRef {
+    /// The user's globally-unique id.
+    pub user: UserId,
+    /// Domain of the instance hosting the account.
+    pub domain: Domain,
+}
+
+impl UserRef {
+    /// Builds a reference from parts.
+    pub fn new(user: UserId, domain: Domain) -> Self {
+        UserRef { user, domain }
+    }
+}
+
+impl fmt::Display for UserRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.user, self.domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_is_lowercased() {
+        assert_eq!(Domain::new("Example.COM").as_str(), "example.com");
+    }
+
+    #[test]
+    fn domain_matches_itself() {
+        let d = Domain::new("kiwifarms.cc");
+        assert!(d.matches(&d));
+    }
+
+    #[test]
+    fn subdomain_matches_parent() {
+        let sub = Domain::new("media.kiwifarms.cc");
+        let parent = Domain::new("kiwifarms.cc");
+        assert!(sub.matches(&parent));
+        assert!(!parent.matches(&sub), "parent must not match subdomain");
+    }
+
+    #[test]
+    fn suffix_without_dot_does_not_match() {
+        // "evilkiwifarms.cc" ends with "kiwifarms.cc" but is a different
+        // registrable domain; SimplePolicy must not block it.
+        let evil = Domain::new("evilkiwifarms.cc");
+        let target = Domain::new("kiwifarms.cc");
+        assert!(!evil.matches(&target));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        assert_eq!(Domain::new("poa.st").to_string(), "poa.st");
+        assert_eq!(UserId(7).to_string(), "u7");
+        assert_eq!(
+            UserRef::new(UserId(7), Domain::new("poa.st")).to_string(),
+            "u7@poa.st"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Domain::new("spinster.xyz");
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(json, "\"spinster.xyz\"");
+        let back: Domain = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(PostId(1) < PostId(2));
+        assert!(InstanceId(0) < InstanceId(1));
+    }
+}

@@ -1,0 +1,238 @@
+//! ActivityPub-style activities — the unit the MRF pipeline filters.
+//!
+//! Pleroma's MRF hooks into the ActivityPub ingestion path: every inbound
+//! (and outbound) activity is passed through the configured policy chain,
+//! which can pass it, rewrite it, or reject it. We model the activity types
+//! that matter for the paper's policies.
+
+use crate::id::{ActivityId, Domain, PostId, UserRef};
+use crate::model::post::Post;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Coarse classification of an activity (its ActivityStreams `type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// `Create` — publication of a new post.
+    Create,
+    /// `Delete` — retraction of a post.
+    Delete,
+    /// `Follow` — subscription request.
+    Follow,
+    /// `Accept` — acceptance of a follow.
+    Accept,
+    /// `Undo` — retraction of a follow/like/announce.
+    Undo,
+    /// `Announce` — a boost/repeat.
+    Announce,
+    /// `Like` — a favourite.
+    Like,
+    /// `EmojiReact` — a Pleroma emoji reaction.
+    EmojiReact,
+    /// `Flag` — a report filed against a user or post.
+    Flag,
+}
+
+impl ActivityKind {
+    /// Canonical ActivityStreams type string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ActivityKind::Create => "Create",
+            ActivityKind::Delete => "Delete",
+            ActivityKind::Follow => "Follow",
+            ActivityKind::Accept => "Accept",
+            ActivityKind::Undo => "Undo",
+            ActivityKind::Announce => "Announce",
+            ActivityKind::Like => "Like",
+            ActivityKind::EmojiReact => "EmojiReact",
+            ActivityKind::Flag => "Flag",
+        }
+    }
+}
+
+/// The object an activity carries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ActivityPayload {
+    /// A new post (for `Create`).
+    Note(Post),
+    /// A follow request targeting a user (for `Follow`).
+    FollowRequest {
+        /// The account being followed.
+        target: UserRef,
+    },
+    /// A post retraction (for `Delete`).
+    Deletion {
+        /// The post being deleted.
+        post: PostId,
+    },
+    /// A boost (for `Announce`).
+    Boost {
+        /// The boosted post.
+        post: PostId,
+        /// The boosted post's author.
+        original_author: UserRef,
+    },
+    /// A favourite or emoji reaction (for `Like` / `EmojiReact`).
+    Reaction {
+        /// The reacted-to post.
+        post: PostId,
+        /// Emoji shortcode for `EmojiReact`, `None` for a plain `Like`.
+        emoji: Option<String>,
+    },
+    /// A report (for `Flag`).
+    Report {
+        /// The reported account.
+        target: UserRef,
+        /// Free-text reason.
+        reason: String,
+    },
+    /// Retraction of an earlier activity (for `Undo` / `Accept`).
+    Meta {
+        /// The activity being referenced.
+        activity: ActivityId,
+    },
+}
+
+/// An activity flowing between instances.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Activity {
+    /// Globally-unique id.
+    pub id: ActivityId,
+    /// The acting user.
+    pub actor: UserRef,
+    /// Activity type.
+    pub kind: ActivityKind,
+    /// Carried object.
+    pub payload: ActivityPayload,
+    /// When the activity was published on the origin instance.
+    pub published: SimTime,
+}
+
+impl Activity {
+    /// Domain the activity originates from (the actor's instance).
+    pub fn origin(&self) -> &Domain {
+        &self.actor.domain
+    }
+
+    /// Borrow the carried post, if this is a `Create`.
+    pub fn note(&self) -> Option<&Post> {
+        match &self.payload {
+            ActivityPayload::Note(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the carried post, if this is a `Create`.
+    pub fn note_mut(&mut self) -> Option<&mut Post> {
+        match &mut self.payload {
+            ActivityPayload::Note(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for a `Create` wrapping `post`.
+    pub fn create(id: ActivityId, post: Post) -> Self {
+        Activity {
+            id,
+            actor: post.author.clone(),
+            kind: ActivityKind::Create,
+            published: post.created,
+            payload: ActivityPayload::Note(post),
+        }
+    }
+
+    /// Convenience constructor for a `Follow`.
+    pub fn follow(id: ActivityId, actor: UserRef, target: UserRef, at: SimTime) -> Self {
+        Activity {
+            id,
+            actor,
+            kind: ActivityKind::Follow,
+            payload: ActivityPayload::FollowRequest { target },
+            published: at,
+        }
+    }
+
+    /// Convenience constructor for a `Delete`.
+    pub fn delete(id: ActivityId, actor: UserRef, post: PostId, at: SimTime) -> Self {
+        Activity {
+            id,
+            actor,
+            kind: ActivityKind::Delete,
+            payload: ActivityPayload::Deletion { post },
+            published: at,
+        }
+    }
+
+    /// Convenience constructor for a `Flag` (report).
+    pub fn report(
+        id: ActivityId,
+        actor: UserRef,
+        target: UserRef,
+        reason: impl Into<String>,
+        at: SimTime,
+    ) -> Self {
+        Activity {
+            id,
+            actor,
+            kind: ActivityKind::Flag,
+            payload: ActivityPayload::Report {
+                target,
+                reason: reason.into(),
+            },
+            published: at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::UserId;
+
+    fn author() -> UserRef {
+        UserRef::new(UserId(9), Domain::new("gab.com"))
+    }
+
+    #[test]
+    fn create_wraps_post() {
+        let post = Post::stub(PostId(1), author(), SimTime(77), "hi");
+        let act = Activity::create(ActivityId(100), post);
+        assert_eq!(act.kind, ActivityKind::Create);
+        assert_eq!(act.published, SimTime(77));
+        assert_eq!(act.note().unwrap().content, "hi");
+        assert_eq!(act.origin().as_str(), "gab.com");
+    }
+
+    #[test]
+    fn note_accessor_is_none_for_follow() {
+        let act = Activity::follow(
+            ActivityId(1),
+            author(),
+            UserRef::new(UserId(2), Domain::new("poa.st")),
+            SimTime(0),
+        );
+        assert!(act.note().is_none());
+        assert_eq!(act.kind.as_str(), "Follow");
+    }
+
+    #[test]
+    fn note_mut_allows_rewrites() {
+        let post = Post::stub(PostId(1), author(), SimTime(0), "original");
+        let mut act = Activity::create(ActivityId(1), post);
+        act.note_mut().unwrap().content = "rewritten".into();
+        assert_eq!(act.note().unwrap().content, "rewritten");
+    }
+
+    #[test]
+    fn kind_strings_are_activitystreams_types() {
+        for (k, s) in [
+            (ActivityKind::Create, "Create"),
+            (ActivityKind::Delete, "Delete"),
+            (ActivityKind::Flag, "Flag"),
+            (ActivityKind::Announce, "Announce"),
+            (ActivityKind::EmojiReact, "EmojiReact"),
+        ] {
+            assert_eq!(k.as_str(), s);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Instance-level metadata.
+
+use crate::id::{Domain, InstanceId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which fediverse software an instance runs.
+///
+/// The paper distinguishes Pleroma instances (whose policies are public via
+/// the metadata API) from non-Pleroma instances (e.g. Mastodon, which
+/// federates over the same ActivityPub protocol but does not expose
+/// moderation configuration).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceKind {
+    /// A Pleroma instance at the given software version.
+    Pleroma(SoftwareVersion),
+    /// A Mastodon instance (the dominant non-Pleroma platform).
+    Mastodon,
+    /// Any other fediverse software (PeerTube, Hubzilla, Misskey, ...).
+    Other(String),
+}
+
+impl InstanceKind {
+    /// True for Pleroma instances.
+    pub fn is_pleroma(&self) -> bool {
+        matches!(self, InstanceKind::Pleroma(_))
+    }
+
+    /// The software name as reported by nodeinfo.
+    pub fn software_name(&self) -> &str {
+        match self {
+            InstanceKind::Pleroma(_) => "pleroma",
+            InstanceKind::Mastodon => "mastodon",
+            InstanceKind::Other(name) => name,
+        }
+    }
+}
+
+/// A Pleroma-style semantic version (`major.minor.patch`).
+///
+/// Version matters for moderation semantics: `ObjectAgePolicy` ships
+/// enabled by default starting with 2.1.0 (§4.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SoftwareVersion {
+    /// Major version.
+    pub major: u8,
+    /// Minor version.
+    pub minor: u8,
+    /// Patch version.
+    pub patch: u8,
+}
+
+impl SoftwareVersion {
+    /// Builds a version triple.
+    pub const fn new(major: u8, minor: u8, patch: u8) -> Self {
+        SoftwareVersion { major, minor, patch }
+    }
+
+    /// The first version that enables `ObjectAgePolicy` by default.
+    pub const OBJECT_AGE_DEFAULT_SINCE: SoftwareVersion = SoftwareVersion::new(2, 1, 0);
+
+    /// Whether a fresh install of this version has `ObjectAgePolicy` on.
+    pub fn object_age_default(self) -> bool {
+        self >= Self::OBJECT_AGE_DEFAULT_SINCE
+    }
+}
+
+impl fmt::Display for SoftwareVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+/// Static profile of an instance, as the world builder created it.
+///
+/// This is ground truth; what the *crawler* sees is the subset exposed
+/// through the instance's public APIs (and nothing at all for unreachable
+/// instances).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceProfile {
+    /// Dense numeric id.
+    pub id: InstanceId,
+    /// The instance's domain name.
+    pub domain: Domain,
+    /// Software and version.
+    pub kind: InstanceKind,
+    /// Human-readable title.
+    pub title: String,
+    /// Whether the instance accepts new registrations.
+    pub registrations_open: bool,
+    /// When the instance first came online.
+    pub founded: SimTime,
+    /// Whether the instance exposes its moderation configuration through
+    /// the metadata API. The paper found 8.1% of Pleroma instances hide it.
+    pub exposes_policies: bool,
+    /// Whether the instance's public timeline is readable without
+    /// authentication. §3: the public timeline of 38.7% of instances was
+    /// not reachable.
+    pub public_timeline_open: bool,
+}
+
+impl InstanceProfile {
+    /// Convenience: true if this instance runs Pleroma.
+    pub fn is_pleroma(&self) -> bool {
+        self.kind.is_pleroma()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_ordering() {
+        assert!(SoftwareVersion::new(2, 1, 0) > SoftwareVersion::new(2, 0, 7));
+        assert!(SoftwareVersion::new(2, 2, 2) > SoftwareVersion::new(2, 1, 0));
+        assert!(SoftwareVersion::new(1, 9, 9) < SoftwareVersion::new(2, 0, 0));
+    }
+
+    #[test]
+    fn object_age_default_threshold() {
+        assert!(!SoftwareVersion::new(2, 0, 7).object_age_default());
+        assert!(SoftwareVersion::new(2, 1, 0).object_age_default());
+        assert!(SoftwareVersion::new(2, 3, 0).object_age_default());
+    }
+
+    #[test]
+    fn software_names() {
+        assert_eq!(
+            InstanceKind::Pleroma(SoftwareVersion::new(2, 2, 0)).software_name(),
+            "pleroma"
+        );
+        assert_eq!(InstanceKind::Mastodon.software_name(), "mastodon");
+        assert!(InstanceKind::Mastodon.is_pleroma() == false);
+        assert_eq!(
+            InstanceKind::Other("peertube".into()).software_name(),
+            "peertube"
+        );
+    }
+
+    #[test]
+    fn version_display() {
+        assert_eq!(SoftwareVersion::new(2, 3, 1).to_string(), "2.3.1");
+    }
+}

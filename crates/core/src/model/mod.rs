@@ -1,0 +1,11 @@
+//! The fediverse data model: instances, users, posts and activities.
+
+mod activity;
+mod instance;
+mod post;
+mod user;
+
+pub use activity::{Activity, ActivityKind, ActivityPayload};
+pub use instance::{InstanceKind, InstanceProfile, SoftwareVersion};
+pub use post::{CustomEmoji, MediaAttachment, MediaKind, Post, Visibility};
+pub use user::{mrf_tags, User};

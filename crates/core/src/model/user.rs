@@ -1,0 +1,106 @@
+//! User accounts.
+
+use crate::id::{Domain, InstanceId, UserId, UserRef};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A registered account on some instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct User {
+    /// Globally-unique id.
+    pub id: UserId,
+    /// The instance the account is registered on.
+    pub instance: InstanceId,
+    /// Domain of that instance (denormalised for cheap `UserRef` building).
+    pub domain: Domain,
+    /// Account handle (local part of `handle@domain`).
+    pub handle: String,
+    /// When the account was created.
+    pub created: SimTime,
+    /// Whether the account is flagged as a bot (`actor_type: Service`).
+    /// `AntiFollowbotPolicy` and `ForceBotUnlistedPolicy` key off this.
+    pub bot: bool,
+    /// Number of followers (across the whole fediverse).
+    pub followers: u32,
+    /// Number of accounts this user follows.
+    pub following: u32,
+    /// MRF tags applied by the local administrator (`TagPolicy`), e.g.
+    /// `"mrf_tag:media-force-nsfw"`.
+    pub mrf_tags: Vec<String>,
+    /// How many times this account has been reported (`Flag` activities
+    /// received). Input for the §7 `RepeatOffenderPolicy` strawman.
+    pub report_count: u32,
+}
+
+impl User {
+    /// A fully-qualified reference to this user.
+    pub fn user_ref(&self) -> UserRef {
+        UserRef::new(self.id, self.domain.clone())
+    }
+
+    /// Whether the local admin applied a given MRF tag to this account.
+    pub fn has_mrf_tag(&self, tag: &str) -> bool {
+        self.mrf_tags.iter().any(|t| t == tag)
+    }
+
+    /// Account age at time `now`.
+    pub fn age_at(&self, now: SimTime) -> crate::time::SimDuration {
+        now.since(self.created)
+    }
+}
+
+/// Well-known MRF tags understood by Pleroma's `TagPolicy`.
+pub mod mrf_tags {
+    /// Force all media by the user to be marked sensitive.
+    pub const MEDIA_FORCE_NSFW: &str = "mrf_tag:media-force-nsfw";
+    /// Strip all media from the user's posts.
+    pub const MEDIA_STRIP: &str = "mrf_tag:media-strip";
+    /// Force the user's posts to unlisted visibility.
+    pub const FORCE_UNLISTED: &str = "mrf_tag:force-unlisted";
+    /// Force the user's posts to followers-only visibility.
+    pub const SANDBOX: &str = "mrf_tag:sandbox";
+    /// Reject follows of this user coming from remote instances.
+    pub const DISABLE_REMOTE_SUBSCRIPTION: &str = "mrf_tag:disable-remote-subscription";
+    /// Reject all follows of this user.
+    pub const DISABLE_ANY_SUBSCRIPTION: &str = "mrf_tag:disable-any-subscription";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn sample_user() -> User {
+        User {
+            id: UserId(42),
+            instance: InstanceId(3),
+            domain: Domain::new("poa.st"),
+            handle: "alice".into(),
+            created: SimTime(1000),
+            bot: false,
+            followers: 10,
+            following: 4,
+            mrf_tags: vec![mrf_tags::FORCE_UNLISTED.to_string()],
+            report_count: 0,
+        }
+    }
+
+    #[test]
+    fn user_ref_carries_domain() {
+        let u = sample_user();
+        assert_eq!(u.user_ref().to_string(), "u42@poa.st");
+    }
+
+    #[test]
+    fn mrf_tag_lookup() {
+        let u = sample_user();
+        assert!(u.has_mrf_tag(mrf_tags::FORCE_UNLISTED));
+        assert!(!u.has_mrf_tag(mrf_tags::MEDIA_STRIP));
+    }
+
+    #[test]
+    fn age_is_relative_to_creation() {
+        let u = sample_user();
+        assert_eq!(u.age_at(SimTime(1000 + 86_400)), SimDuration::days(1));
+    }
+}

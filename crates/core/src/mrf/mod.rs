@@ -1,0 +1,57 @@
+//! The MRF (Message Rewrite Facility) policy engine.
+//!
+//! Pleroma moderates federation traffic by passing every activity through a
+//! configurable chain of *policies*. Each policy may pass the activity
+//! through unchanged, rewrite it (e.g. strip media, force NSFW, de-list),
+//! or reject it outright — mirroring Pleroma's `MRF.filter/1` contract of
+//! `{:ok, object} | {:reject, reason}`. Administrators enable policies and
+//! point them at target instances; the paper measures exactly this
+//! configuration surface.
+//!
+//! This module defines:
+//!
+//! * [`MrfPolicy`] — the policy trait;
+//! * [`PolicyContext`] — read-only environment (local domain, simulated
+//!   clock, actor directory) plus a side-effect sink;
+//! * [`PolicyVerdict`] / [`RejectReason`] — the filter result;
+//! * [`MrfPipeline`] — ordered composition with short-circuit on reject and
+//!   a per-policy decision trace.
+//!
+//! Policy implementations live in the sibling modules, one file per policy
+//! family, each carrying its configuration knobs and unit tests.
+
+mod context;
+mod pipeline;
+#[cfg(test)]
+mod proptests;
+mod verdict;
+
+pub mod policies;
+
+pub use context::{
+    ActorDirectory, EffectSink, NullActorDirectory, PolicyContext, ProfileImage, SideEffect,
+};
+pub use pipeline::{FilterOutcome, MrfPipeline, PolicyDecision, PolicyTrace};
+pub use verdict::{PolicyVerdict, RejectReason};
+
+use crate::catalog::PolicyKind;
+use crate::model::Activity;
+
+/// A single MRF policy.
+///
+/// Implementations must be cheap to call and free of interior mutability
+/// except through the [`PolicyContext`]'s effect sink: the same policy
+/// object is shared across every activity an instance ingests.
+pub trait MrfPolicy: Send + Sync {
+    /// Which catalog entry this policy implements.
+    fn kind(&self) -> PolicyKind;
+
+    /// Filter one activity: pass it through (possibly rewritten) or reject.
+    fn filter(&self, ctx: &PolicyContext<'_>, activity: Activity) -> PolicyVerdict;
+
+    /// Human-readable one-line summary of this policy's configuration,
+    /// rendered into the instance metadata the crawler scrapes.
+    fn describe(&self) -> String {
+        self.kind().name().to_string()
+    }
+}

@@ -1,0 +1,244 @@
+//! Ordered policy composition with short-circuit semantics.
+
+use super::context::PolicyContext;
+use super::verdict::{PolicyVerdict, RejectReason};
+use super::MrfPolicy;
+use crate::catalog::PolicyKind;
+use crate::model::Activity;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// What one policy in the chain decided.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyDecision {
+    /// The activity flowed through.
+    Passed,
+    /// The chain stopped here.
+    Rejected(RejectReason),
+}
+
+/// Trace entry: one policy's decision for one activity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyTrace {
+    /// The policy that ran.
+    pub policy: PolicyKind,
+    /// Its decision.
+    pub decision: PolicyDecision,
+}
+
+/// Result of running an activity through a whole pipeline.
+#[derive(Debug)]
+pub struct FilterOutcome {
+    /// The surviving (possibly rewritten) activity, or the rejection.
+    pub verdict: PolicyVerdict,
+    /// Per-policy decisions, in execution order. Policies after a rejection
+    /// do not appear (they never ran — Pleroma short-circuits identically).
+    pub trace: Vec<PolicyTrace>,
+}
+
+impl FilterOutcome {
+    /// True if the activity survived every policy.
+    pub fn accepted(&self) -> bool {
+        self.verdict.is_pass()
+    }
+
+    /// The rejection reason, if any.
+    pub fn rejection(&self) -> Option<&RejectReason> {
+        match &self.verdict {
+            PolicyVerdict::Reject(r) => Some(r),
+            PolicyVerdict::Pass(_) => None,
+        }
+    }
+}
+
+/// An ordered chain of MRF policies, mirroring Pleroma's
+/// `config :pleroma, :mrf, policies: [...]`.
+#[derive(Clone, Default)]
+pub struct MrfPipeline {
+    policies: Vec<Arc<dyn MrfPolicy>>,
+}
+
+impl MrfPipeline {
+    /// An empty pipeline (passes everything).
+    pub fn new() -> Self {
+        MrfPipeline::default()
+    }
+
+    /// Appends a policy to the end of the chain.
+    pub fn push(&mut self, policy: Arc<dyn MrfPolicy>) {
+        self.policies.push(policy);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, policy: Arc<dyn MrfPolicy>) -> Self {
+        self.push(policy);
+        self
+    }
+
+    /// The policies in the chain, in order.
+    pub fn policies(&self) -> &[Arc<dyn MrfPolicy>] {
+        &self.policies
+    }
+
+    /// The catalog kinds enabled in this pipeline, in order.
+    pub fn kinds(&self) -> Vec<PolicyKind> {
+        self.policies.iter().map(|p| p.kind()).collect()
+    }
+
+    /// Whether a policy of the given kind is in the chain.
+    pub fn has(&self, kind: PolicyKind) -> bool {
+        self.policies.iter().any(|p| p.kind() == kind)
+    }
+
+    /// Number of policies in the chain.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True if the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Runs `activity` through the chain.
+    ///
+    /// Each policy sees the output of the previous one; the first rejection
+    /// stops the chain (`AntiHellthreadPolicy` is the one exception — its
+    /// presence disables any `HellthreadPolicy` later in the chain, which
+    /// the pipeline implements by skipping those policies).
+    pub fn filter(&self, ctx: &PolicyContext<'_>, activity: Activity) -> FilterOutcome {
+        let mut current = activity;
+        let mut trace = Vec::with_capacity(self.policies.len());
+        let hellthread_disabled = self.has(PolicyKind::AntiHellthread);
+        for policy in &self.policies {
+            if hellthread_disabled && policy.kind() == PolicyKind::Hellthread {
+                continue;
+            }
+            match policy.filter(ctx, current) {
+                PolicyVerdict::Pass(a) => {
+                    trace.push(PolicyTrace {
+                        policy: policy.kind(),
+                        decision: PolicyDecision::Passed,
+                    });
+                    current = a;
+                }
+                PolicyVerdict::Reject(reason) => {
+                    trace.push(PolicyTrace {
+                        policy: policy.kind(),
+                        decision: PolicyDecision::Rejected(reason.clone()),
+                    });
+                    return FilterOutcome {
+                        verdict: PolicyVerdict::Reject(reason),
+                        trace,
+                    };
+                }
+            }
+        }
+        FilterOutcome {
+            verdict: PolicyVerdict::Pass(current),
+            trace,
+        }
+    }
+}
+
+impl std::fmt::Debug for MrfPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.kinds()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{ActivityId, Domain, PostId, UserId, UserRef};
+    use crate::model::Post;
+    use crate::mrf::context::NullActorDirectory;
+    use crate::time::SimTime;
+
+    /// A policy that always passes, optionally tagging the content.
+    struct Tagger(&'static str);
+    impl MrfPolicy for Tagger {
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::NoOp
+        }
+        fn filter(&self, _ctx: &PolicyContext<'_>, mut a: Activity) -> PolicyVerdict {
+            if let Some(p) = a.note_mut() {
+                p.content.push_str(self.0);
+            }
+            PolicyVerdict::Pass(a)
+        }
+    }
+
+    /// A policy that always rejects.
+    struct Rejector;
+    impl MrfPolicy for Rejector {
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::Drop
+        }
+        fn filter(&self, _ctx: &PolicyContext<'_>, _a: Activity) -> PolicyVerdict {
+            PolicyVerdict::Reject(RejectReason::new(PolicyKind::Drop, "drop", "everything"))
+        }
+    }
+
+    fn act() -> Activity {
+        Activity::create(
+            ActivityId(1),
+            Post::stub(
+                PostId(1),
+                UserRef::new(UserId(1), Domain::new("origin.example")),
+                SimTime(0),
+                "",
+            ),
+        )
+    }
+
+    fn ctx_parts() -> (Domain, NullActorDirectory) {
+        (Domain::new("local.example"), NullActorDirectory)
+    }
+
+    #[test]
+    fn empty_pipeline_passes() {
+        let (d, dir) = ctx_parts();
+        let ctx = PolicyContext::new(&d, SimTime(0), &dir);
+        let out = MrfPipeline::new().filter(&ctx, act());
+        assert!(out.accepted());
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn policies_run_in_order_and_compose_rewrites() {
+        let (d, dir) = ctx_parts();
+        let ctx = PolicyContext::new(&d, SimTime(0), &dir);
+        let pipe = MrfPipeline::new()
+            .with(Arc::new(Tagger("a")))
+            .with(Arc::new(Tagger("b")));
+        let out = pipe.filter(&ctx, act());
+        let post = out.verdict.expect_pass();
+        assert_eq!(post.note().unwrap().content, "ab");
+    }
+
+    #[test]
+    fn rejection_short_circuits() {
+        let (d, dir) = ctx_parts();
+        let ctx = PolicyContext::new(&d, SimTime(0), &dir);
+        let pipe = MrfPipeline::new()
+            .with(Arc::new(Tagger("a")))
+            .with(Arc::new(Rejector))
+            .with(Arc::new(Tagger("never")));
+        let out = pipe.filter(&ctx, act());
+        assert!(!out.accepted());
+        // trace: Tagger passed, Rejector rejected, third never ran.
+        assert_eq!(out.trace.len(), 2);
+        assert_eq!(out.rejection().unwrap().policy, PolicyKind::Drop);
+    }
+
+    #[test]
+    fn kinds_and_has() {
+        let pipe = MrfPipeline::new().with(Arc::new(Rejector));
+        assert!(pipe.has(PolicyKind::Drop));
+        assert!(!pipe.has(PolicyKind::Simple));
+        assert_eq!(pipe.kinds(), vec![PolicyKind::Drop]);
+        assert_eq!(pipe.len(), 1);
+        assert!(!pipe.is_empty());
+    }
+}

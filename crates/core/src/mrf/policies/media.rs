@@ -1,0 +1,279 @@
+//! Media- and metadata-oriented policies: `StealEmojiPolicy`,
+//! `HashtagPolicy`, `MediaProxyWarmingPolicy`, `ActivityExpirationPolicy`.
+
+use crate::catalog::PolicyKind;
+use crate::id::Domain;
+use crate::model::Activity;
+use crate::mrf::context::{PolicyContext, SideEffect};
+use crate::mrf::verdict::PolicyVerdict;
+use crate::mrf::MrfPolicy;
+use crate::time::SimDuration;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// `StealEmojiPolicy` — "List of hosts to steal emojis from" (Table 3; 81
+/// instances, 7,003 users). When a post from a whitelisted host uses a
+/// custom emoji the local instance does not have, it is downloaded
+/// ("stolen") and registered locally.
+#[derive(Debug, Default)]
+pub struct StealEmojiPolicy {
+    /// Hosts to steal from.
+    pub hosts: Vec<Domain>,
+    /// Shortcodes never to steal (Pleroma's `rejected_shortcodes`).
+    pub rejected_shortcodes: Vec<String>,
+    stolen: Mutex<HashSet<String>>,
+}
+
+impl StealEmojiPolicy {
+    /// Builds the policy with a host whitelist.
+    pub fn new(hosts: Vec<Domain>) -> Self {
+        StealEmojiPolicy {
+            hosts,
+            rejected_shortcodes: Vec::new(),
+            stolen: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Number of distinct emojis stolen so far.
+    pub fn stolen_count(&self) -> usize {
+        self.stolen.lock().len()
+    }
+}
+
+impl MrfPolicy for StealEmojiPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::StealEmoji
+    }
+
+    fn filter(&self, ctx: &PolicyContext<'_>, activity: Activity) -> PolicyVerdict {
+        if let Some(post) = activity.note() {
+            let origin = activity.origin();
+            if self.hosts.iter().any(|h| origin.matches(h)) {
+                for emoji in &post.emojis {
+                    if self.rejected_shortcodes.contains(&emoji.shortcode) {
+                        continue;
+                    }
+                    let mut stolen = self.stolen.lock();
+                    if stolen.insert(emoji.shortcode.clone()) {
+                        ctx.emit(SideEffect::EmojiStolen {
+                            shortcode: emoji.shortcode.clone(),
+                            host: emoji.host.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        PolicyVerdict::Pass(activity)
+    }
+}
+
+/// `HashtagPolicy` — "List of hashtags to mark activities as sensitive
+/// (default: nsfw)" (Table 3; 62 instances, 10,933 users).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashtagPolicy {
+    /// Hashtags (lowercase, no `#`) that force the sensitive flag.
+    pub sensitive_tags: Vec<String>,
+}
+
+impl Default for HashtagPolicy {
+    fn default() -> Self {
+        HashtagPolicy {
+            sensitive_tags: vec!["nsfw".to_string()],
+        }
+    }
+}
+
+impl MrfPolicy for HashtagPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Hashtag
+    }
+
+    fn filter(&self, _ctx: &PolicyContext<'_>, mut activity: Activity) -> PolicyVerdict {
+        if let Some(post) = activity.note_mut() {
+            if post
+                .hashtags
+                .iter()
+                .any(|h| self.sensitive_tags.iter().any(|s| s == h))
+            {
+                post.force_sensitive();
+            }
+        }
+        PolicyVerdict::Pass(activity)
+    }
+}
+
+/// `MediaProxyWarmingPolicy` — "Crawls attachments using their MediaProxy
+/// URLs so that the MediaProxy cache is primed" (Table 3; 46 instances).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MediaProxyWarmingPolicy;
+
+impl MrfPolicy for MediaProxyWarmingPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::MediaProxyWarming
+    }
+
+    fn filter(&self, ctx: &PolicyContext<'_>, activity: Activity) -> PolicyVerdict {
+        if let Some(post) = activity.note() {
+            for attachment in &post.media {
+                ctx.emit(SideEffect::MediaPrefetched {
+                    host: attachment.host.clone(),
+                });
+            }
+        }
+        PolicyVerdict::Pass(activity)
+    }
+}
+
+/// `ActivityExpirationPolicy` — "Sets a default expiration on all posts
+/// made by users of the local instance" (Table 3; 11 instances).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActivityExpirationPolicy {
+    /// Lifetime stamped on local posts (Pleroma default: 365 days).
+    pub lifetime: SimDuration,
+}
+
+impl Default for ActivityExpirationPolicy {
+    fn default() -> Self {
+        ActivityExpirationPolicy {
+            lifetime: SimDuration::days(365),
+        }
+    }
+}
+
+impl MrfPolicy for ActivityExpirationPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::ActivityExpiration
+    }
+
+    fn filter(&self, ctx: &PolicyContext<'_>, mut activity: Activity) -> PolicyVerdict {
+        let local = ctx.is_local(&activity.actor.domain.clone());
+        if local {
+            let lifetime = self.lifetime;
+            if let Some(post) = activity.note_mut() {
+                if post.expires_at.is_none() {
+                    post.expires_at = Some(post.created + lifetime);
+                }
+            }
+        }
+        PolicyVerdict::Pass(activity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{ActivityId, PostId, UserId, UserRef};
+    use crate::model::{CustomEmoji, MediaAttachment, MediaKind, Post};
+    use crate::mrf::context::NullActorDirectory;
+    use crate::time::SimTime;
+
+    fn run_with_effects(p: &dyn MrfPolicy, act: Activity) -> (PolicyVerdict, Vec<SideEffect>) {
+        let local = Domain::new("home.example");
+        let dir = NullActorDirectory;
+        let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+        let v = p.filter(&ctx, act);
+        (v, ctx.take_effects())
+    }
+
+    fn emoji_post(domain: &str, shortcodes: &[&str]) -> Activity {
+        let author = UserRef::new(UserId(1), Domain::new(domain));
+        let mut post = Post::stub(PostId(1), author, SimTime(0), ":blob:");
+        for s in shortcodes {
+            post.emojis.push(CustomEmoji {
+                shortcode: s.to_string(),
+                host: Domain::new(domain),
+            });
+        }
+        Activity::create(ActivityId(1), post)
+    }
+
+    #[test]
+    fn steal_emoji_from_whitelisted_hosts_once() {
+        let p = StealEmojiPolicy::new(vec![Domain::new("emoji.example")]);
+        let (_, effects) = run_with_effects(&p, emoji_post("emoji.example", &["blobcat", "ablobcat"]));
+        assert_eq!(effects.len(), 2);
+        assert_eq!(p.stolen_count(), 2);
+        // Same emojis again: already stolen, no effects.
+        let (_, effects) = run_with_effects(&p, emoji_post("emoji.example", &["blobcat"]));
+        assert!(effects.is_empty());
+    }
+
+    #[test]
+    fn steal_emoji_ignores_unlisted_hosts() {
+        let p = StealEmojiPolicy::new(vec![Domain::new("emoji.example")]);
+        let (_, effects) = run_with_effects(&p, emoji_post("other.example", &["blobcat"]));
+        assert!(effects.is_empty());
+    }
+
+    #[test]
+    fn steal_emoji_respects_rejected_shortcodes() {
+        let mut p = StealEmojiPolicy::new(vec![Domain::new("emoji.example")]);
+        p.rejected_shortcodes.push("verified".into());
+        let (_, effects) = run_with_effects(&p, emoji_post("emoji.example", &["verified", "blobcat"]));
+        assert_eq!(effects.len(), 1);
+    }
+
+    #[test]
+    fn hashtag_policy_marks_nsfw_tagged_posts() {
+        let p = HashtagPolicy::default();
+        let author = UserRef::new(UserId(1), Domain::new("a.example"));
+        let mut post = Post::stub(PostId(1), author, SimTime(0), "look");
+        post.hashtags.push("nsfw".into());
+        let (v, _) = run_with_effects(&p, Activity::create(ActivityId(1), post));
+        assert!(v.expect_pass().note().unwrap().sensitive);
+    }
+
+    #[test]
+    fn hashtag_policy_ignores_other_tags() {
+        let p = HashtagPolicy::default();
+        let author = UserRef::new(UserId(1), Domain::new("a.example"));
+        let mut post = Post::stub(PostId(1), author, SimTime(0), "look");
+        post.hashtags.push("caturday".into());
+        let (v, _) = run_with_effects(&p, Activity::create(ActivityId(1), post));
+        assert!(!v.expect_pass().note().unwrap().sensitive);
+    }
+
+    #[test]
+    fn media_proxy_warming_prefetches_every_attachment() {
+        let author = UserRef::new(UserId(1), Domain::new("a.example"));
+        let mut post = Post::stub(PostId(1), author, SimTime(0), "pics");
+        for host in ["cdn1.example", "cdn2.example"] {
+            post.media.push(MediaAttachment {
+                host: Domain::new(host),
+                kind: MediaKind::Image,
+                sensitive: false,
+            });
+        }
+        let (v, effects) =
+            run_with_effects(&MediaProxyWarmingPolicy, Activity::create(ActivityId(1), post));
+        assert!(v.is_pass());
+        assert_eq!(effects.len(), 2);
+    }
+
+    #[test]
+    fn expiration_stamps_local_posts_only() {
+        let p = ActivityExpirationPolicy::default();
+        // Local post gets an expiry.
+        let author = UserRef::new(UserId(1), Domain::new("home.example"));
+        let post = Post::stub(PostId(1), author, SimTime(1000), "ephemeral");
+        let (v, _) = run_with_effects(&p, Activity::create(ActivityId(1), post));
+        let expires = v.expect_pass().note().unwrap().expires_at;
+        assert_eq!(expires, Some(SimTime(1000) + SimDuration::days(365)));
+        // Remote post untouched.
+        let author = UserRef::new(UserId(2), Domain::new("remote.example"));
+        let post = Post::stub(PostId(2), author, SimTime(1000), "remote");
+        let (v, _) = run_with_effects(&p, Activity::create(ActivityId(2), post));
+        assert_eq!(v.expect_pass().note().unwrap().expires_at, None);
+    }
+
+    #[test]
+    fn expiration_does_not_override_existing() {
+        let p = ActivityExpirationPolicy::default();
+        let author = UserRef::new(UserId(1), Domain::new("home.example"));
+        let mut post = Post::stub(PostId(1), author, SimTime(0), "x");
+        post.expires_at = Some(SimTime(42));
+        let (v, _) = run_with_effects(&p, Activity::create(ActivityId(1), post));
+        assert_eq!(v.expect_pass().note().unwrap().expires_at, Some(SimTime(42)));
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the MRF engine's laws.
+
+#![cfg(test)]
+
+use crate::catalog::PolicyKind;
+use crate::id::{ActivityId, Domain, PostId, UserId, UserRef};
+use crate::model::{Activity, Post, Visibility};
+use crate::mrf::policies::{
+    EnsureRePrependedPolicy, HellthreadPolicy, KeywordAction, KeywordPolicy, KeywordRule,
+    NoOpPolicy, NormalizeMarkupPolicy, SimpleAction, SimplePolicy,
+};
+use crate::mrf::{MrfPipeline, MrfPolicy, NullActorDirectory, PolicyContext, PolicyVerdict};
+use crate::time::SimTime;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn ctx_bits() -> (Domain, NullActorDirectory) {
+    (Domain::new("home.example"), NullActorDirectory)
+}
+
+fn arb_post() -> impl Strategy<Value = Post> {
+    (
+        1u64..1_000_000,
+        "[a-z]{2,8}\\.[a-z]{2,4}",
+        proptest::collection::vec("[a-z]{1,10}", 0..12),
+        0usize..30,
+        prop_oneof![
+            Just(Visibility::Public),
+            Just(Visibility::Unlisted),
+            Just(Visibility::FollowersOnly),
+            Just(Visibility::Direct),
+        ],
+        proptest::option::of("[a-z ]{1,20}"),
+        any::<bool>(),
+    )
+        .prop_map(|(id, domain, words, mentions, visibility, subject, reply)| {
+            let author = UserRef::new(UserId(id % 977), Domain::new(domain));
+            let mut post = Post::stub(PostId(id), author, SimTime(id % 10_000), words.join(" "));
+            post.visibility = visibility;
+            post.subject = subject;
+            post.in_reply_to = reply.then_some(PostId(1));
+            for m in 0..mentions {
+                post.mentions
+                    .push(UserRef::new(UserId(m as u64), Domain::new("m.example")));
+            }
+            post
+        })
+}
+
+proptest! {
+    /// NoOp is the identity: the activity comes out exactly as it went in.
+    #[test]
+    fn noop_is_identity(post in arb_post()) {
+        let (local, dir) = ctx_bits();
+        let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+        let act = Activity::create(ActivityId(1), post);
+        let before = format!("{act:?}");
+        match NoOpPolicy.filter(&ctx, act) {
+            PolicyVerdict::Pass(after) => prop_assert_eq!(before, format!("{after:?}")),
+            PolicyVerdict::Reject(_) => prop_assert!(false, "NoOp must never reject"),
+        }
+        prop_assert!(ctx.take_effects().is_empty());
+    }
+
+    /// An empty pipeline passes everything unchanged; appending NoOp never
+    /// changes a pipeline's verdict.
+    #[test]
+    fn noop_append_preserves_verdict(post in arb_post(), reject_origin in any::<bool>()) {
+        let (local, dir) = ctx_bits();
+        let origin = post.author.domain.clone();
+        let mut simple = SimplePolicy::new();
+        if reject_origin {
+            simple.add_target(SimpleAction::Reject, origin);
+        }
+        let base = MrfPipeline::new().with(Arc::new(simple.clone()));
+        let extended = MrfPipeline::new()
+            .with(Arc::new(simple))
+            .with(Arc::new(NoOpPolicy));
+        let act = Activity::create(ActivityId(1), post);
+        let ctx1 = PolicyContext::new(&local, SimTime(0), &dir);
+        let ctx2 = PolicyContext::new(&local, SimTime(0), &dir);
+        let a = base.filter(&ctx1, act.clone()).accepted();
+        let b = extended.filter(&ctx2, act).accepted();
+        prop_assert_eq!(a, b);
+    }
+
+    /// EnsureRePrepended is idempotent: filtering twice equals filtering
+    /// once.
+    #[test]
+    fn ensure_re_prepended_idempotent(post in arb_post()) {
+        let (local, dir) = ctx_bits();
+        let p = EnsureRePrependedPolicy;
+        let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+        let once = p
+            .filter(&ctx, Activity::create(ActivityId(1), post))
+            .expect_pass();
+        let subject_once = once.note().unwrap().subject.clone();
+        let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+        let twice = p.filter(&ctx, once).expect_pass();
+        prop_assert_eq!(subject_once, twice.note().unwrap().subject.clone());
+    }
+
+    /// NormalizeMarkup is idempotent and never grows the content.
+    #[test]
+    fn normalize_markup_idempotent(raw in "[a-z<>/ ]{0,60}") {
+        let (local, dir) = ctx_bits();
+        let author = UserRef::new(UserId(1), Domain::new("a.example"));
+        let post = Post::stub(PostId(1), author, SimTime(0), raw.clone());
+        let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+        let once = NormalizeMarkupPolicy
+            .filter(&ctx, Activity::create(ActivityId(1), post))
+            .expect_pass();
+        let c1 = once.note().unwrap().content.clone();
+        prop_assert!(c1.len() <= raw.len());
+        let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+        let twice = NormalizeMarkupPolicy.filter(&ctx, once).expect_pass();
+        prop_assert_eq!(&c1, &twice.note().unwrap().content);
+        prop_assert!(!c1.contains('<') || !c1.contains('>') || raw.find('<') > raw.find('>'));
+    }
+
+    /// Hellthread verdicts are monotone in the mention count: if a post
+    /// with n mentions is rejected, any post with more mentions is too.
+    #[test]
+    fn hellthread_monotone(n in 0usize..40) {
+        let (local, dir) = ctx_bits();
+        let p = HellthreadPolicy::default();
+        let author = UserRef::new(UserId(1), Domain::new("a.example"));
+        let verdict_at = |k: usize| {
+            let mut post = Post::stub(PostId(1), author.clone(), SimTime(0), "x");
+            for i in 0..k {
+                post.mentions.push(UserRef::new(UserId(i as u64), Domain::new("m.example")));
+            }
+            let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+            p.filter(&ctx, Activity::create(ActivityId(1), post)).is_pass()
+        };
+        if !verdict_at(n) {
+            prop_assert!(!verdict_at(n + 1), "rejection must be monotone");
+        }
+    }
+
+    /// Keyword Replace eliminates the pattern: after filtering, a
+    /// case-insensitive search no longer finds it (when the replacement
+    /// doesn't reintroduce it).
+    #[test]
+    fn keyword_replace_eliminates_pattern(
+        body in "[a-f ]{0,40}",
+        pattern in "[a-f]{2,6}",
+    ) {
+        let (local, dir) = ctx_bits();
+        let p = KeywordPolicy::new(vec![KeywordRule::new(
+            pattern.clone(),
+            KeywordAction::Replace("XX".into()),
+        )]);
+        let author = UserRef::new(UserId(1), Domain::new("a.example"));
+        let post = Post::stub(PostId(1), author, SimTime(0), body);
+        let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+        let out = p
+            .filter(&ctx, Activity::create(ActivityId(1), post))
+            .expect_pass();
+        let content = out.note().unwrap().content.to_ascii_lowercase();
+        prop_assert!(!content.contains(&pattern.to_ascii_lowercase()));
+    }
+
+    /// Pipeline trace length never exceeds the number of policies, and
+    /// ends with the rejecting policy on rejection.
+    #[test]
+    fn trace_is_well_formed(post in arb_post(), drop_everything in any::<bool>()) {
+        let (local, dir) = ctx_bits();
+        let mut pipeline = MrfPipeline::new().with(Arc::new(NoOpPolicy));
+        if drop_everything {
+            pipeline.push(Arc::new(crate::mrf::policies::DropPolicy));
+        }
+        pipeline.push(Arc::new(NoOpPolicy));
+        let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+        let out = pipeline.filter(&ctx, Activity::create(ActivityId(1), post));
+        prop_assert!(out.trace.len() <= pipeline.len());
+        if let Some(reason) = out.rejection() {
+            prop_assert_eq!(reason.policy, PolicyKind::Drop);
+            let last = out.trace.last().unwrap();
+            prop_assert!(matches!(
+                last.decision,
+                crate::mrf::PolicyDecision::Rejected(_)
+            ));
+        } else {
+            prop_assert_eq!(out.trace.len(), pipeline.len());
+        }
+    }
+
+    /// SimplePolicy events() always agrees with targets(): the number of
+    /// events equals the sum of per-action list lengths, and removal
+    /// shrinks it by exactly one.
+    #[test]
+    fn simple_policy_event_accounting(
+        domains in proptest::collection::vec("[a-z]{2,6}\\.[a-z]{2,3}", 1..12),
+    ) {
+        let mut simple = SimplePolicy::new();
+        for (i, d) in domains.iter().enumerate() {
+            let action = SimpleAction::ALL[i % SimpleAction::ALL.len()];
+            simple.add_target(action, Domain::new(d.clone()));
+        }
+        let total: usize = SimpleAction::ALL
+            .iter()
+            .map(|&a| simple.targets(a).len())
+            .sum();
+        prop_assert_eq!(simple.events().count(), total);
+        // Remove the first event and re-check.
+        let (action, domain) = {
+            let (a, d) = simple.events().next().unwrap();
+            (a, d.clone())
+        };
+        prop_assert!(simple.remove_target(action, &domain));
+        prop_assert_eq!(simple.events().count(), total - 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! The simulated clock.
+//!
+//! The measurement campaign of the paper ran from 16 December 2020 to
+//! 24 April 2021, polling instance metadata every four hours. fediscope
+//! replays that campaign against a simulated fediverse, so time is *logical*:
+//! a [`SimTime`] is a number of seconds since the Unix epoch, advanced by the
+//! simulation driver rather than by the wall clock. This keeps every
+//! experiment deterministic and lets tests compress five months into
+//! microseconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (seconds since the Unix epoch).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (seconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SimDuration(pub u64);
+
+/// Start of the paper's measurement window: 16 December 2020, 00:00 UTC.
+pub const CAMPAIGN_START: SimTime = SimTime(1_608_076_800);
+
+/// End of the paper's measurement window: 24 April 2021, 00:00 UTC.
+pub const CAMPAIGN_END: SimTime = SimTime(1_619_222_400);
+
+/// The paper's metadata polling cadence: every 4 hours.
+pub const SNAPSHOT_INTERVAL: SimDuration = SimDuration(4 * 3600);
+
+impl SimTime {
+    /// Seconds since the Unix epoch.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero (the simulated clock
+    /// never runs backwards, but defensive call sites should not panic).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The campaign day index (0-based) this time falls on, relative to
+    /// [`CAMPAIGN_START`]. Times before the campaign map to day 0.
+    pub fn campaign_day(self) -> u64 {
+        self.0.saturating_sub(CAMPAIGN_START.0) / 86_400
+    }
+}
+
+impl SimDuration {
+    /// A duration of `n` seconds.
+    pub const fn secs(n: u64) -> Self {
+        SimDuration(n)
+    }
+
+    /// A duration of `n` minutes.
+    pub const fn minutes(n: u64) -> Self {
+        SimDuration(n * 60)
+    }
+
+    /// A duration of `n` hours.
+    pub const fn hours(n: u64) -> Self {
+        SimDuration(n * 3600)
+    }
+
+    /// A duration of `n` days.
+    pub const fn days(n: u64) -> Self {
+        SimDuration(n * 86_400)
+    }
+
+    /// The duration in whole seconds.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in whole days (truncating).
+    pub fn as_days(self) -> u64 {
+        self.0 / 86_400
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 86_400 == 0 {
+            write!(f, "{}d", self.0 / 86_400)
+        } else if self.0 % 3600 == 0 {
+            write!(f, "{}h", self.0 / 3600)
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_window_is_about_130_days() {
+        let days = (CAMPAIGN_END - CAMPAIGN_START).as_days();
+        assert_eq!(days, 129, "16 Dec 2020 .. 24 Apr 2021");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100) + SimDuration::secs(50);
+        assert_eq!(t, SimTime(150));
+        assert_eq!(t - SimTime(100), SimDuration(50));
+        // saturating
+        assert_eq!(SimTime(10).since(SimTime(50)), SimDuration(0));
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::days(7).as_secs(), 604_800);
+        assert_eq!(SimDuration::hours(4), SNAPSHOT_INTERVAL);
+        assert_eq!(SimDuration::minutes(2).as_secs(), 120);
+    }
+
+    #[test]
+    fn campaign_day_indexing() {
+        assert_eq!(CAMPAIGN_START.campaign_day(), 0);
+        assert_eq!((CAMPAIGN_START + SimDuration::days(3)).campaign_day(), 3);
+        assert_eq!(SimTime(0).campaign_day(), 0, "pre-campaign clamps to 0");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::days(7).to_string(), "7d");
+        assert_eq!(SimDuration::hours(4).to_string(), "4h");
+        assert_eq!(SimDuration::secs(90).to_string(), "90s");
+    }
+}

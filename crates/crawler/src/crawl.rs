@@ -1,0 +1,474 @@
+//! The crawl campaign.
+
+use crate::dataset::{
+    CollectedPost, CrawlOutcome, CrawledInstance, Dataset, InstanceMetadata, MetadataSnapshot,
+    TimelineCrawl,
+};
+use fediscope_core::config::InstanceModerationConfig;
+use fediscope_core::id::Domain;
+use fediscope_core::time::{SimTime, CAMPAIGN_START, SNAPSHOT_INTERVAL};
+use fediscope_simnet::{HttpResponse, SimNet, StatusCode};
+use std::collections::HashSet;
+use std::sync::Arc;
+use tokio::sync::Semaphore;
+use tokio::task::JoinSet;
+
+/// Crawl parameters.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// Maximum instances crawled concurrently.
+    pub concurrency: usize,
+    /// Timeline page size (the Mastodon API caps at 40).
+    pub page_limit: usize,
+    /// Safety cap on timeline pages per instance.
+    pub max_pages_per_instance: usize,
+    /// Number of periodic metadata snapshot rounds after discovery
+    /// (the paper re-polled every 4 hours for ~5 months; benchmarks use a
+    /// handful of rounds).
+    pub snapshot_rounds: usize,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig {
+            concurrency: 64,
+            page_limit: 40,
+            max_pages_per_instance: 100_000,
+            snapshot_rounds: 3,
+        }
+    }
+}
+
+/// The measurement crawler.
+pub struct Crawler {
+    net: Arc<SimNet>,
+    config: CrawlerConfig,
+}
+
+impl Crawler {
+    /// A crawler over the given network.
+    pub fn new(net: Arc<SimNet>, config: CrawlerConfig) -> Self {
+        Crawler { net, config }
+    }
+
+    /// Runs a full campaign: seed → BFS discovery → metadata + peers +
+    /// timelines → periodic snapshots. Returns the dataset.
+    pub async fn run(&self, directory: &[Domain]) -> Dataset {
+        let started = CAMPAIGN_START;
+        let directory_set: Arc<HashSet<Domain>> =
+            Arc::new(directory.iter().cloned().collect());
+        let semaphore = Arc::new(Semaphore::new(self.config.concurrency.max(1)));
+
+        let mut seen: HashSet<Domain> = HashSet::new();
+        let mut queue: Vec<Domain> = Vec::new();
+        for d in directory {
+            if seen.insert(d.clone()) {
+                queue.push(d.clone());
+            }
+        }
+
+        let mut instances: Vec<CrawledInstance> = Vec::new();
+        let mut tasks: JoinSet<CrawledInstance> = JoinSet::new();
+
+        // Work-stealing BFS: spawn while the frontier is non-empty, feed
+        // newly discovered peers back into the frontier as tasks finish.
+        loop {
+            while let Some(domain) = queue.pop() {
+                let net = Arc::clone(&self.net);
+                let config = self.config.clone();
+                let from_directory = directory_set.contains(&domain);
+                let semaphore = Arc::clone(&semaphore);
+                tasks.spawn(async move {
+                    let _permit = semaphore.acquire_owned().await.expect("open semaphore");
+                    crawl_one(&net, &config, domain, from_directory).await
+                });
+            }
+            match tasks.join_next().await {
+                Some(done) => {
+                    let crawled = done.expect("crawl task never panics");
+                    for peer in &crawled.peers {
+                        if seen.insert(peer.clone()) {
+                            queue.push(peer.clone());
+                        }
+                    }
+                    instances.push(crawled);
+                }
+                None => break, // frontier empty and no tasks in flight
+            }
+        }
+
+        // Periodic snapshot rounds (4-hour cadence in simulated time).
+        let mut now = started;
+        for _ in 0..self.config.snapshot_rounds {
+            now += SNAPSHOT_INTERVAL;
+            self.snapshot_round(&mut instances, now).await;
+        }
+
+        // Keep a stable order: discovery order is nondeterministic under
+        // concurrency, so sort by domain for reproducible datasets.
+        instances.sort_by(|a, b| a.domain.cmp(&b.domain));
+        Dataset {
+            started,
+            finished: now,
+            instances,
+        }
+    }
+
+    async fn snapshot_round(&self, instances: &mut [CrawledInstance], at: SimTime) {
+        for inst in instances.iter_mut() {
+            if !inst.crawled() || !inst.is_pleroma() {
+                continue;
+            }
+            if let Ok(resp) = self.net.get(&inst.domain, "/api/v1/instance").await {
+                if resp.is_success() {
+                    if let Ok(body) = resp.json_body() {
+                        inst.snapshots.push(MetadataSnapshot {
+                            at,
+                            user_count: body["stats"]["user_count"].as_u64().unwrap_or(0),
+                            status_count: body["stats"]["status_count"].as_u64().unwrap_or(0),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Crawls one domain end to end.
+async fn crawl_one(
+    net: &SimNet,
+    config: &CrawlerConfig,
+    domain: Domain,
+    from_directory: bool,
+) -> CrawledInstance {
+    let mut out = CrawledInstance {
+        domain: domain.clone(),
+        outcome: CrawlOutcome::Unreachable,
+        software: None,
+        from_directory,
+        metadata: None,
+        peers: Vec::new(),
+        timeline: TimelineCrawl::NotAttempted,
+        snapshots: Vec::new(),
+    };
+
+    // 1. Classify via nodeinfo.
+    match net.get(&domain, "/nodeinfo/2.0").await {
+        Err(_) => {
+            out.outcome = CrawlOutcome::Unreachable;
+            return out;
+        }
+        Ok(resp) if !resp.is_success() => {
+            out.outcome = CrawlOutcome::Failed {
+                status: resp.status.0,
+            };
+            return out;
+        }
+        Ok(resp) => {
+            if let Ok(body) = resp.json_body() {
+                out.software = body["software"]["name"].as_str().map(str::to_string);
+            }
+        }
+    }
+    if out.software.as_deref() != Some("pleroma") {
+        out.outcome = CrawlOutcome::NonPleroma;
+        return out;
+    }
+
+    // 2. Instance metadata (incl. exposed policies).
+    match net.get(&domain, "/api/v1/instance").await {
+        Ok(resp) if resp.is_success() => {
+            if let Ok(body) = resp.json_body() {
+                out.metadata = Some(parse_metadata(&body));
+            }
+        }
+        Ok(resp) => {
+            out.outcome = CrawlOutcome::Failed {
+                status: resp.status.0,
+            };
+            return out;
+        }
+        Err(_) => {
+            out.outcome = CrawlOutcome::Unreachable;
+            return out;
+        }
+    }
+
+    // 3. Peers.
+    if let Ok(resp) = net.get(&domain, "/api/v1/instance/peers").await {
+        if resp.is_success() {
+            if let Ok(body) = resp.json_body() {
+                if let Some(list) = body.as_array() {
+                    out.peers = list
+                        .iter()
+                        .filter_map(|v| v.as_str())
+                        .map(Domain::new)
+                        .collect();
+                }
+            }
+        }
+    }
+
+    // 4. Timeline pagination.
+    out.timeline = crawl_timeline(net, config, &domain).await;
+    out.outcome = CrawlOutcome::Crawled;
+    out
+}
+
+async fn crawl_timeline(net: &SimNet, config: &CrawlerConfig, domain: &Domain) -> TimelineCrawl {
+    let mut posts: Vec<CollectedPost> = Vec::new();
+    let mut max_id: Option<u64> = None;
+    for _ in 0..config.max_pages_per_instance {
+        let path = match max_id {
+            Some(id) => format!(
+                "/api/v1/timelines/public?local=true&limit={}&max_id={id}",
+                config.page_limit
+            ),
+            None => format!(
+                "/api/v1/timelines/public?local=true&limit={}",
+                config.page_limit
+            ),
+        };
+        let resp: HttpResponse = match net.get(domain, &path).await {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        if resp.status == StatusCode::FORBIDDEN {
+            return TimelineCrawl::Forbidden;
+        }
+        if !resp.is_success() {
+            break;
+        }
+        let Ok(body) = resp.json_body() else { break };
+        let Some(page) = body.as_array() else { break };
+        if page.is_empty() {
+            break;
+        }
+        let before = posts.len();
+        for status in page {
+            if let Some(post) = CollectedPost::from_status_json(status) {
+                posts.push(post);
+            }
+        }
+        if posts.len() == before {
+            break; // page full of unparseable statuses: bail out
+        }
+        max_id = posts.last().map(|p| p.id);
+    }
+    if posts.is_empty() {
+        TimelineCrawl::Empty
+    } else {
+        TimelineCrawl::Posts(posts)
+    }
+}
+
+fn parse_metadata(body: &serde_json::Value) -> InstanceMetadata {
+    let policies = body
+        .get("pleroma")
+        .and_then(|p| p.get("metadata"))
+        .and_then(|m| m.get("federation"))
+        .map(InstanceModerationConfig::from_metadata_json);
+    InstanceMetadata {
+        user_count: body["stats"]["user_count"].as_u64().unwrap_or(0),
+        status_count: body["stats"]["status_count"].as_u64().unwrap_or(0),
+        domain_count: body["stats"]["domain_count"].as_u64().unwrap_or(0),
+        version: body["version"].as_str().unwrap_or("").to_string(),
+        registrations_open: body["registrations"].as_bool().unwrap_or(false),
+        policies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_core::catalog::PolicyKind;
+    use fediscope_core::id::{InstanceId, PostId, UserId, UserRef};
+    use fediscope_core::model::{
+        InstanceKind, InstanceProfile, Post, SoftwareVersion, User,
+    };
+    use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
+    use fediscope_server::InstanceServer;
+    use fediscope_simnet::FailureMode;
+
+    fn make_server(domain: &str, id: u32, posts: u64) -> Arc<InstanceServer> {
+        let profile = InstanceProfile {
+            id: InstanceId(id),
+            domain: Domain::new(domain),
+            kind: InstanceKind::Pleroma(SoftwareVersion::new(2, 2, 0)),
+            title: domain.into(),
+            registrations_open: true,
+            founded: SimTime(0),
+            exposes_policies: true,
+            public_timeline_open: true,
+        };
+        let mut config = InstanceModerationConfig::pleroma_default();
+        config.set_simple(
+            SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("gab.com")),
+        );
+        let server = Arc::new(InstanceServer::new(profile, config));
+        let author = User {
+            id: UserId(id as u64 * 100),
+            instance: InstanceId(id),
+            domain: Domain::new(domain),
+            handle: "author".into(),
+            created: SimTime(0),
+            bot: false,
+            followers: 1,
+            following: 1,
+            mrf_tags: Vec::new(),
+            report_count: 0,
+        };
+        server.add_user(author.clone());
+        for i in 0..posts {
+            server
+                .publish(Post::stub(
+                    PostId(i + 1),
+                    UserRef::new(author.id, Domain::new(domain)),
+                    CAMPAIGN_START,
+                    format!("post {i}"),
+                ))
+                .unwrap();
+        }
+        server
+    }
+
+    fn mastodon_server(domain: &str, id: u32) -> Arc<InstanceServer> {
+        let profile = InstanceProfile {
+            id: InstanceId(id),
+            domain: Domain::new(domain),
+            kind: InstanceKind::Mastodon,
+            title: domain.into(),
+            registrations_open: true,
+            founded: SimTime(0),
+            exposes_policies: false,
+            public_timeline_open: true,
+        };
+        Arc::new(InstanceServer::new(
+            profile,
+            InstanceModerationConfig::default(),
+        ))
+    }
+
+    fn register(net: &SimNet, server: Arc<InstanceServer>) {
+        net.register(server.domain().clone(), server);
+    }
+
+    #[tokio::test]
+    async fn full_campaign_small_network() {
+        let net = Arc::new(SimNet::new());
+        // Two healthy Pleroma instances that peer with each other and with
+        // a Mastodon instance; one dead instance.
+        let a = make_server("a.example", 1, 90);
+        let b = make_server("b.example", 2, 5);
+        a.note_peer(&Domain::new("b.example"));
+        a.note_peer(&Domain::new("masto.example"));
+        a.note_peer(&Domain::new("dead.example"));
+        b.note_peer(&Domain::new("a.example"));
+        register(&net, Arc::clone(&a));
+        register(&net, Arc::clone(&b));
+        register(&net, mastodon_server("masto.example", 3));
+        net.set_failure(Domain::new("dead.example"), FailureMode::NotFound);
+
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let dataset = crawler.run(&[Domain::new("a.example")]).await;
+
+        // Discovery: a (seed), b + masto + dead via peers.
+        assert_eq!(dataset.instances.len(), 4);
+        let a_data = dataset.by_domain("a.example").unwrap();
+        assert!(a_data.crawled());
+        assert_eq!(a_data.timeline.posts().len(), 90, "paginated fully");
+        // Pagination is newest-first; posts are ordered descending by id.
+        let ids: Vec<u64> = a_data.timeline.posts().iter().map(|p| p.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable_by(|x, y| y.cmp(x));
+        assert_eq!(ids, sorted);
+        // Policy exposure.
+        let policies = a_data.policies().unwrap();
+        assert!(policies.has(PolicyKind::Simple));
+        assert_eq!(
+            policies.simple.as_ref().unwrap().targets(SimpleAction::Reject)[0].as_str(),
+            "gab.com"
+        );
+        // Mastodon classified, not crawled for data.
+        let masto = dataset.by_domain("masto.example").unwrap();
+        assert_eq!(masto.outcome, CrawlOutcome::NonPleroma);
+        assert_eq!(masto.software.as_deref(), Some("mastodon"));
+        // Dead instance recorded with its status.
+        let dead = dataset.by_domain("dead.example").unwrap();
+        assert_eq!(dead.outcome, CrawlOutcome::Failed { status: 404 });
+        // Snapshots were taken for healthy Pleroma instances.
+        assert_eq!(a_data.snapshots.len(), 3);
+        assert!(a_data.snapshots[0].at > dataset.started);
+        // Aggregates.
+        assert_eq!(dataset.total_posts(), 95);
+        assert_eq!(dataset.collected_posts(), 95);
+        assert_eq!(dataset.reject_counts().len(), 1);
+    }
+
+    #[tokio::test]
+    async fn forbidden_timeline_is_recorded() {
+        let net = Arc::new(SimNet::new());
+        let mut profile = InstanceProfile {
+            id: InstanceId(1),
+            domain: Domain::new("closed.example"),
+            kind: InstanceKind::Pleroma(SoftwareVersion::new(2, 2, 0)),
+            title: "closed".into(),
+            registrations_open: true,
+            founded: SimTime(0),
+            exposes_policies: true,
+            public_timeline_open: false,
+        };
+        profile.public_timeline_open = false;
+        let server = Arc::new(InstanceServer::new(
+            profile,
+            InstanceModerationConfig::pleroma_default(),
+        ));
+        register(&net, server);
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let dataset = crawler.run(&[Domain::new("closed.example")]).await;
+        let inst = dataset.by_domain("closed.example").unwrap();
+        assert!(inst.crawled(), "metadata still collected");
+        assert!(matches!(inst.timeline, TimelineCrawl::Forbidden));
+    }
+
+    #[tokio::test]
+    async fn unknown_hosts_are_unreachable() {
+        let net = Arc::new(SimNet::new());
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let dataset = crawler.run(&[Domain::new("ghost.example")]).await;
+        assert_eq!(
+            dataset.by_domain("ghost.example").unwrap().outcome,
+            CrawlOutcome::Unreachable
+        );
+    }
+
+    #[tokio::test]
+    async fn discovery_depth_beyond_one_hop() {
+        // a → b → c: c is only in b's peers; BFS must reach it.
+        let net = Arc::new(SimNet::new());
+        let a = make_server("a.example", 1, 1);
+        let b = make_server("b.example", 2, 1);
+        let c = make_server("c.example", 3, 1);
+        a.note_peer(&Domain::new("b.example"));
+        b.note_peer(&Domain::new("c.example"));
+        register(&net, a);
+        register(&net, b);
+        register(&net, c);
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let dataset = crawler.run(&[Domain::new("a.example")]).await;
+        assert!(dataset.by_domain("c.example").unwrap().crawled());
+    }
+
+    #[tokio::test]
+    async fn empty_timeline_is_empty_not_posts() {
+        let net = Arc::new(SimNet::new());
+        let a = make_server("quiet.example", 1, 0);
+        register(&net, a);
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let dataset = crawler.run(&[Domain::new("quiet.example")]).await;
+        assert!(matches!(
+            dataset.by_domain("quiet.example").unwrap().timeline,
+            TimelineCrawl::Empty
+        ));
+    }
+}

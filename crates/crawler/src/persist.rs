@@ -1,0 +1,91 @@
+//! Dataset persistence: campaigns took the paper five months; ours take
+//! seconds, but downstream analysis still wants to work from a saved
+//! dataset rather than re-crawling (and datasets are the natural artefact
+//! to share for replication).
+
+use crate::dataset::Dataset;
+use std::io;
+use std::path::Path;
+
+impl Dataset {
+    /// Serialises the dataset to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a dataset from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Dataset> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the dataset to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Reads a dataset from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Dataset> {
+        let json = std::fs::read_to_string(path)?;
+        Dataset::from_json(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{CrawlOutcome, CrawledInstance, TimelineCrawl};
+    use fediscope_core::id::Domain;
+    use fediscope_core::time::SimTime;
+
+    fn small_dataset() -> Dataset {
+        Dataset {
+            started: SimTime(100),
+            finished: SimTime(200),
+            instances: vec![CrawledInstance {
+                domain: Domain::new("a.example"),
+                outcome: CrawlOutcome::Failed { status: 502 },
+                software: None,
+                from_directory: true,
+                metadata: None,
+                peers: vec![Domain::new("b.example")],
+                timeline: TimelineCrawl::NotAttempted,
+                snapshots: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = small_dataset();
+        let json = ds.to_json().unwrap();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.instances.len(), 1);
+        assert_eq!(back.started, SimTime(100));
+        assert_eq!(
+            back.instances[0].outcome,
+            CrawlOutcome::Failed { status: 502 }
+        );
+        assert_eq!(back.instances[0].peers[0].as_str(), "b.example");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fediscope-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dataset.json");
+        let ds = small_dataset();
+        ds.save(&path).unwrap();
+        let back = Dataset::load(&path).unwrap();
+        assert_eq!(back.instances.len(), ds.instances.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Dataset::from_json("not json").is_err());
+        assert!(Dataset::load("/nonexistent/fediscope.json").is_err());
+    }
+}

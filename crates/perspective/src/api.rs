@@ -1,0 +1,127 @@
+//! AnalyzeComment-style request/response types, shaped like the real
+//! Perspective API's JSON so the annotation pipeline reads identically.
+
+use crate::scorer::{Attribute, AttributeScores};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A scoring request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzeCommentRequest {
+    /// The text to score.
+    pub comment: String,
+    /// Which attributes to score (API names, e.g. `TOXICITY`).
+    pub requested_attributes: Vec<String>,
+}
+
+impl AnalyzeCommentRequest {
+    /// Requests all three paper attributes for `comment`.
+    pub fn all_attributes(comment: impl Into<String>) -> Self {
+        AnalyzeCommentRequest {
+            comment: comment.into(),
+            requested_attributes: Attribute::ALL
+                .iter()
+                .map(|a| a.api_name().to_string())
+                .collect(),
+        }
+    }
+}
+
+/// One attribute's score in the response (the API nests the value under
+/// `summaryScore.value`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AttributeScore {
+    /// The summary score value in `[0, 1]`.
+    pub value: f64,
+}
+
+/// A scoring response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzeCommentResponse {
+    /// Scores keyed by API attribute name.
+    pub attribute_scores: BTreeMap<String, AttributeScore>,
+}
+
+impl AnalyzeCommentResponse {
+    /// Builds a response from scorer output, restricted to the requested
+    /// attributes.
+    pub fn from_scores(scores: &AttributeScores, requested: &[String]) -> Self {
+        let mut attribute_scores = BTreeMap::new();
+        for attr in Attribute::ALL {
+            let name = attr.api_name();
+            if requested.iter().any(|r| r == name) {
+                attribute_scores.insert(
+                    name.to_string(),
+                    AttributeScore {
+                        value: scores.get(attr),
+                    },
+                );
+            }
+        }
+        AnalyzeCommentResponse { attribute_scores }
+    }
+
+    /// Reads one attribute's value back.
+    pub fn score(&self, attribute: Attribute) -> Option<f64> {
+        self.attribute_scores
+            .get(attribute.api_name())
+            .map(|s| s.value)
+    }
+
+    /// Converts the response back into dense [`AttributeScores`]
+    /// (missing attributes read as 0.0).
+    pub fn to_scores(&self) -> AttributeScores {
+        let mut scores = AttributeScores::default();
+        for attr in Attribute::ALL {
+            if let Some(v) = self.score(attr) {
+                scores.set(attr, v);
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_covers_all_attributes() {
+        let req = AnalyzeCommentRequest::all_attributes("hello");
+        assert_eq!(req.requested_attributes.len(), 3);
+        assert!(req.requested_attributes.contains(&"PROFANITY".to_string()));
+    }
+
+    #[test]
+    fn response_respects_requested_subset() {
+        let scores = AttributeScores {
+            toxicity: 0.7,
+            profanity: 0.2,
+            sexually_explicit: 0.1,
+        };
+        let resp = AnalyzeCommentResponse::from_scores(&scores, &["TOXICITY".to_string()]);
+        assert_eq!(resp.score(Attribute::Toxicity), Some(0.7));
+        assert_eq!(resp.score(Attribute::Profanity), None);
+        // Round trip fills unrequested attributes with zero.
+        let back = resp.to_scores();
+        assert_eq!(back.toxicity, 0.7);
+        assert_eq!(back.profanity, 0.0);
+    }
+
+    #[test]
+    fn json_shape_matches_perspective() {
+        let scores = AttributeScores {
+            toxicity: 0.83,
+            profanity: 0.0,
+            sexually_explicit: 0.0,
+        };
+        let resp = AnalyzeCommentResponse::from_scores(
+            &scores,
+            &["TOXICITY".to_string(), "PROFANITY".to_string()],
+        );
+        let json = serde_json::to_value(&resp).unwrap();
+        assert_eq!(json["attribute_scores"]["TOXICITY"]["value"], 0.83);
+        let back: AnalyzeCommentResponse = serde_json::from_value(json).unwrap();
+        assert_eq!(back.score(Attribute::Toxicity), Some(0.83));
+    }
+}

@@ -1,0 +1,125 @@
+//! A rate-limited client around the scorer, mimicking how the paper's
+//! pipeline talked to the hosted Perspective API.
+
+use crate::api::{AnalyzeCommentRequest, AnalyzeCommentResponse};
+use crate::scorer::{AttributeScores, Scorer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::sync::Semaphore;
+
+/// Client-side statistics.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// Requests issued.
+    pub requests: AtomicU64,
+    /// Total comments scored (batch requests count each comment).
+    pub comments_scored: AtomicU64,
+}
+
+/// An async client over the synthetic Perspective service.
+///
+/// The hosted API enforces a per-project QPS quota; the client models the
+/// same back-pressure with a concurrency-limiting semaphore, so annotation
+/// pipelines written against it exhibit realistic batching behaviour.
+pub struct PerspectiveClient {
+    scorer: Scorer,
+    quota: Arc<Semaphore>,
+    stats: ClientStats,
+}
+
+impl PerspectiveClient {
+    /// A client with the default scorer and a concurrency quota of
+    /// `max_in_flight` requests.
+    pub fn new(max_in_flight: usize) -> Self {
+        PerspectiveClient {
+            scorer: Scorer::new(),
+            quota: Arc::new(Semaphore::new(max_in_flight.max(1))),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The underlying scorer (for synchronous bulk scoring where the API
+    /// framing is not needed).
+    pub fn scorer(&self) -> &Scorer {
+        &self.scorer
+    }
+
+    /// Client statistics.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Scores one comment through the API framing.
+    pub async fn analyze(&self, request: AnalyzeCommentRequest) -> AnalyzeCommentResponse {
+        let _permit = self.quota.acquire().await.expect("semaphore never closed");
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.comments_scored.fetch_add(1, Ordering::Relaxed);
+        let scores = self.scorer.analyze(&request.comment);
+        AnalyzeCommentResponse::from_scores(&scores, &request.requested_attributes)
+    }
+
+    /// Scores a batch of texts on all attributes, preserving order.
+    pub async fn analyze_batch(&self, texts: &[String]) -> Vec<AttributeScores> {
+        let mut out = Vec::with_capacity(texts.len());
+        for text in texts {
+            let resp = self
+                .analyze(AnalyzeCommentRequest::all_attributes(text.clone()))
+                .await;
+            out.push(resp.to_scores());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorer::Attribute;
+
+    #[tokio::test]
+    async fn analyze_round_trip() {
+        let client = PerspectiveClient::new(4);
+        let resp = client
+            .analyze(AnalyzeCommentRequest::all_attributes(
+                "subhuman scum grukk",
+            ))
+            .await;
+        assert!(resp.score(Attribute::Toxicity).unwrap() > 0.8);
+        assert_eq!(client.stats().requests.load(Ordering::Relaxed), 1);
+    }
+
+    #[tokio::test]
+    async fn batch_preserves_order_and_counts() {
+        let client = PerspectiveClient::new(2);
+        let texts = vec![
+            "coffee morning".to_string(),
+            "grukk vrelk subhuman kys".to_string(),
+            "lewd zmut qorn porn".to_string(),
+        ];
+        let scores = client.analyze_batch(&texts).await;
+        assert_eq!(scores.len(), 3);
+        assert!(scores[0].max() < 0.1);
+        assert!(scores[1].toxicity > 0.8);
+        assert!(scores[2].sexually_explicit > 0.8);
+        assert_eq!(client.stats().comments_scored.load(Ordering::Relaxed), 3);
+    }
+
+    #[tokio::test]
+    async fn concurrent_analyzes_respect_quota() {
+        let client = Arc::new(PerspectiveClient::new(2));
+        let mut handles = Vec::new();
+        for i in 0..16 {
+            let c = Arc::clone(&client);
+            handles.push(tokio::spawn(async move {
+                c.analyze(AnalyzeCommentRequest::all_attributes(format!(
+                    "text number {i}"
+                )))
+                .await
+            }));
+        }
+        for h in handles {
+            h.await.unwrap();
+        }
+        assert_eq!(client.stats().requests.load(Ordering::Relaxed), 16);
+    }
+}

@@ -1,0 +1,213 @@
+//! Attribute lexicons.
+//!
+//! Each attribute has a weighted vocabulary; weights reflect severity
+//! (a weight-3 token saturates the score much faster than a weight-1
+//! token). The synthetic world composes post text from these vocabularies
+//! plus a benign base vocabulary, so scorer output is fully controlled by
+//! token choice — mirroring how real communities' vocabulary drove the
+//! paper's Perspective scores.
+//!
+//! The token lists mix mild real words with synthetic markers; no actual
+//! slurs are embedded in the source.
+
+use crate::scorer::Attribute;
+
+/// A weighted vocabulary for one attribute.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    /// The attribute this lexicon scores.
+    pub attribute: Attribute,
+    /// `(token, weight)` pairs; tokens are lowercase.
+    pub entries: &'static [(&'static str, f64)],
+}
+
+impl Lexicon {
+    /// Weight of a token in this lexicon (0.0 if absent).
+    pub fn weight(&self, token: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|(t, _)| *t == token)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
+    }
+
+    /// Tokens with at least the given weight.
+    pub fn tokens_with_min_weight(&self, min: f64) -> Vec<&'static str> {
+        self.entries
+            .iter()
+            .filter(|(_, w)| *w >= min)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+}
+
+/// Toxicity vocabulary: insults, identity attacks, threats.
+pub static TOXIC_LEXICON: Lexicon = Lexicon {
+    attribute: Attribute::Toxicity,
+    entries: &[
+        ("idiot", 1.0),
+        ("stupid", 1.0),
+        ("moron", 1.5),
+        ("trash", 1.0),
+        ("scum", 2.0),
+        ("loser", 1.0),
+        ("pathetic", 1.0),
+        ("vermin", 2.5),
+        ("subhuman", 3.0),
+        ("degenerate", 2.0),
+        ("parasite", 2.5),
+        ("filth", 2.0),
+        ("worthless", 1.5),
+        ("disgusting", 1.0),
+        ("hate", 1.5),
+        ("destroy", 1.0),
+        ("eradicate", 2.5),
+        ("garbage", 1.0),
+        ("clown", 0.8),
+        ("cretin", 1.5),
+        ("imbecile", 1.5),
+        ("kys", 3.0),
+        ("die", 2.0),
+        ("threat", 1.5),
+        ("grukk", 3.0),   // synthetic slur marker
+        ("vrelk", 3.0),   // synthetic slur marker
+        ("zhurr", 2.5),   // synthetic identity-attack marker
+    ],
+};
+
+/// Profanity vocabulary: swear/curse words (mild + synthetic markers).
+pub static PROFANE_LEXICON: Lexicon = Lexicon {
+    attribute: Attribute::Profanity,
+    entries: &[
+        ("damn", 1.0),
+        ("hell", 0.8),
+        ("crap", 1.0),
+        ("piss", 1.5),
+        ("arse", 1.5),
+        ("bastard", 2.0),
+        ("bollocks", 1.5),
+        ("bugger", 1.2),
+        ("shite", 2.0),
+        ("feck", 1.5),
+        ("frick", 1.0),
+        ("fsck", 2.5),    // synthetic strong-profanity marker
+        ("shuk", 2.5),    // synthetic strong-profanity marker
+        ("dreck", 1.5),
+        ("cuss", 1.0),
+        ("swear", 0.8),
+        ("profane", 1.0),
+        ("vulgar", 1.0),
+        ("blast", 0.6),
+        ("curse", 0.8),
+    ],
+};
+
+/// Sexually explicit vocabulary (sanitized + synthetic markers).
+pub static SEXUAL_LEXICON: Lexicon = Lexicon {
+    attribute: Attribute::SexuallyExplicit,
+    entries: &[
+        ("nsfw", 1.0),
+        ("lewd", 1.5),
+        ("nude", 2.0),
+        ("naked", 1.5),
+        ("explicit", 1.5),
+        ("erotic", 2.0),
+        ("porn", 2.5),
+        ("hentai", 2.5),
+        ("fetish", 2.0),
+        ("kink", 1.5),
+        ("smut", 2.0),
+        ("xrated", 2.5),
+        ("adult", 1.0),
+        ("sensual", 1.2),
+        ("strip", 1.2),
+        ("lust", 1.2),
+        ("obscene", 1.5),
+        ("risque", 1.0),
+        ("zmut", 3.0),    // synthetic explicit marker
+        ("qorn", 3.0),    // synthetic explicit marker
+    ],
+};
+
+/// Benign filler vocabulary for non-harmful text.
+pub static BENIGN_WORDS: &[&str] = &[
+    "coffee", "morning", "garden", "release", "server", "update", "music",
+    "weather", "bread", "cat", "dog", "photo", "walk", "book", "game",
+    "patch", "kernel", "fediverse", "instance", "friend", "lunch", "train",
+    "paint", "story", "flower", "river", "keyboard", "window", "cloud",
+    "coding", "tea", "bicycle", "garlic", "picture", "autumn", "winter",
+    "spring", "summer", "melody", "library", "museum", "recipe", "puzzle",
+    "market", "forest", "mountain", "valley", "harbor", "lantern", "notebook",
+];
+
+/// All three attribute lexicons.
+pub static LEXICONS: [&Lexicon; 3] = [&TOXIC_LEXICON, &PROFANE_LEXICON, &SEXUAL_LEXICON];
+
+/// The lexicon for an attribute.
+pub fn lexicon_for(attribute: Attribute) -> &'static Lexicon {
+    match attribute {
+        Attribute::Toxicity => &TOXIC_LEXICON,
+        Attribute::Profanity => &PROFANE_LEXICON,
+        Attribute::SexuallyExplicit => &SEXUAL_LEXICON,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lexicons_cover_their_attributes() {
+        for lex in LEXICONS {
+            assert!(!lex.entries.is_empty());
+            assert_eq!(lexicon_for(lex.attribute).attribute, lex.attribute);
+        }
+    }
+
+    #[test]
+    fn tokens_are_lowercase_and_unique_within_lexicon() {
+        for lex in LEXICONS {
+            let mut seen = HashSet::new();
+            for (t, w) in lex.entries {
+                assert_eq!(*t, t.to_lowercase(), "{t} must be lowercase");
+                assert!(seen.insert(*t), "duplicate token {t}");
+                assert!(*w > 0.0 && *w <= 3.0, "weight of {t} in (0, 3]");
+            }
+        }
+    }
+
+    #[test]
+    fn lexicons_do_not_overlap_each_other() {
+        // A token scoring two attributes at once would make calibration
+        // ambiguous; keep vocabularies disjoint.
+        let sets: Vec<HashSet<&str>> = LEXICONS
+            .iter()
+            .map(|l| l.entries.iter().map(|(t, _)| *t).collect())
+            .collect();
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                let overlap: Vec<_> = sets[i].intersection(&sets[j]).collect();
+                assert!(overlap.is_empty(), "overlap: {overlap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn benign_words_hit_no_lexicon() {
+        for w in BENIGN_WORDS {
+            for lex in LEXICONS {
+                assert_eq!(lex.weight(w), 0.0, "{w} must be benign");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_lookup() {
+        assert_eq!(TOXIC_LEXICON.weight("subhuman"), 3.0);
+        assert_eq!(TOXIC_LEXICON.weight("coffee"), 0.0);
+        let severe = TOXIC_LEXICON.tokens_with_min_weight(3.0);
+        assert!(severe.contains(&"grukk"));
+        assert!(!severe.contains(&"idiot"));
+    }
+}

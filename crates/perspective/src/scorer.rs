@@ -1,0 +1,312 @@
+//! The deterministic attribute scorer.
+
+use crate::lexicon::{lexicon_for, LEXICONS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three attributes the paper scores (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attribute {
+    /// Rude, disrespectful or unreasonable content.
+    Toxicity,
+    /// Swear/curse words.
+    Profanity,
+    /// Sexually explicit content.
+    SexuallyExplicit,
+}
+
+impl Attribute {
+    /// All three attributes.
+    pub const ALL: [Attribute; 3] = [
+        Attribute::Toxicity,
+        Attribute::Profanity,
+        Attribute::SexuallyExplicit,
+    ];
+
+    /// The Perspective API attribute name (`TOXICITY`, ...).
+    pub fn api_name(self) -> &'static str {
+        match self {
+            Attribute::Toxicity => "TOXICITY",
+            Attribute::Profanity => "PROFANITY",
+            Attribute::SexuallyExplicit => "SEXUALLY_EXPLICIT",
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Attribute::Toxicity => "toxicity",
+            Attribute::Profanity => "profanity",
+            Attribute::SexuallyExplicit => "sexually_explicit",
+        })
+    }
+}
+
+/// Scores for one text on all three attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AttributeScores {
+    /// Toxicity probability.
+    pub toxicity: f64,
+    /// Profanity probability.
+    pub profanity: f64,
+    /// Sexually-explicit probability.
+    pub sexually_explicit: f64,
+}
+
+impl AttributeScores {
+    /// Score for one attribute.
+    pub fn get(&self, attribute: Attribute) -> f64 {
+        match attribute {
+            Attribute::Toxicity => self.toxicity,
+            Attribute::Profanity => self.profanity,
+            Attribute::SexuallyExplicit => self.sexually_explicit,
+        }
+    }
+
+    /// Sets one attribute's score.
+    pub fn set(&mut self, attribute: Attribute, value: f64) {
+        match attribute {
+            Attribute::Toxicity => self.toxicity = value,
+            Attribute::Profanity => self.profanity = value,
+            Attribute::SexuallyExplicit => self.sexually_explicit = value,
+        }
+    }
+
+    /// The maximum across attributes — the quantity the paper thresholds
+    /// ("a score of ≥ 0.8 in at least one of the three attributes").
+    pub fn max(&self) -> f64 {
+        self.toxicity.max(self.profanity).max(self.sexually_explicit)
+    }
+
+    /// Whether any attribute crosses `threshold` (post harmfulness, §3).
+    pub fn harmful(&self, threshold: f64) -> bool {
+        self.max() >= threshold
+    }
+
+    /// Element-wise sum (building block for user-level averaging).
+    pub fn add(&self, other: &AttributeScores) -> AttributeScores {
+        AttributeScores {
+            toxicity: self.toxicity + other.toxicity,
+            profanity: self.profanity + other.profanity,
+            sexually_explicit: self.sexually_explicit + other.sexually_explicit,
+        }
+    }
+
+    /// Element-wise division by a count.
+    pub fn div(&self, n: f64) -> AttributeScores {
+        AttributeScores {
+            toxicity: self.toxicity / n,
+            profanity: self.profanity / n,
+            sexually_explicit: self.sexually_explicit / n,
+        }
+    }
+
+    /// Averages a set of per-post scores into user-level scores (§3: "we
+    /// classify a user as harmful when the average of all the user's posts
+    /// for any of the attributes is ≥ 0.8").
+    pub fn mean(scores: &[AttributeScores]) -> AttributeScores {
+        if scores.is_empty() {
+            return AttributeScores::default();
+        }
+        scores
+            .iter()
+            .fold(AttributeScores::default(), |acc, s| acc.add(s))
+            .div(scores.len() as f64)
+    }
+}
+
+/// The deterministic scorer.
+///
+/// For each attribute, the score is `d / (d + c)` where `d` is the
+/// weighted lexicon-hit density (sum of token weights / total tokens) and
+/// `c = 0.08` the half-saturation constant. The curve is:
+///
+/// * 0 for purely benign text,
+/// * monotone increasing in offending-token density,
+/// * analytically invertible (`d = c·s / (1 − s)`), which the generator
+///   uses to author text at a target score.
+#[derive(Debug, Clone, Copy)]
+pub struct Scorer {
+    /// Half-saturation constant of the density→score curve.
+    pub half_saturation: f64,
+}
+
+impl Default for Scorer {
+    fn default() -> Self {
+        Scorer {
+            half_saturation: Scorer::DEFAULT_HALF_SATURATION,
+        }
+    }
+}
+
+impl Scorer {
+    /// Default half-saturation constant.
+    pub const DEFAULT_HALF_SATURATION: f64 = 0.08;
+
+    /// A scorer with the default calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores a text on all three attributes.
+    pub fn analyze(&self, text: &str) -> AttributeScores {
+        let tokens: Vec<&str> = tokenize(text).collect();
+        if tokens.is_empty() {
+            return AttributeScores::default();
+        }
+        let total = tokens.len() as f64;
+        let mut scores = AttributeScores::default();
+        for lexicon in LEXICONS {
+            let weighted: f64 = tokens.iter().map(|t| lexicon.weight(t)).sum();
+            let density = weighted / total;
+            scores.set(lexicon.attribute, self.density_to_score(density));
+        }
+        scores
+    }
+
+    /// The density→score curve.
+    pub fn density_to_score(&self, density: f64) -> f64 {
+        if density <= 0.0 {
+            0.0
+        } else {
+            density / (density + self.half_saturation)
+        }
+    }
+
+    /// Inverse of the curve: the weighted density needed to reach `score`.
+    /// Scores ≥ 1.0 are unreachable; values are clamped to a density of 50.
+    pub fn score_to_density(&self, score: f64) -> f64 {
+        if score <= 0.0 {
+            return 0.0;
+        }
+        let s = score.min(0.999);
+        (self.half_saturation * s / (1.0 - s)).min(50.0)
+    }
+
+    /// Convenience: the tokens of `text` that hit the given attribute's
+    /// lexicon (explainability output, as the real API's span annotations).
+    pub fn explain<'t>(&self, text: &'t str, attribute: Attribute) -> Vec<&'t str> {
+        let lexicon = lexicon_for(attribute);
+        tokenize(text).filter(|t| lexicon.weight(t) > 0.0).collect()
+    }
+}
+
+/// Lowercased alphanumeric tokenization. Allocation-free per token for
+/// already-lowercase ASCII text (the synthetic generator emits lowercase).
+fn tokenize(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_text_scores_zero() {
+        let s = Scorer::new().analyze("coffee in the garden this morning");
+        assert_eq!(s.toxicity, 0.0);
+        assert_eq!(s.profanity, 0.0);
+        assert_eq!(s.sexually_explicit, 0.0);
+        assert!(!s.harmful(0.8));
+    }
+
+    #[test]
+    fn empty_text_scores_zero() {
+        assert_eq!(Scorer::new().analyze("").max(), 0.0);
+        assert_eq!(Scorer::new().analyze("!!! ...").max(), 0.0);
+    }
+
+    #[test]
+    fn toxic_text_scores_high_on_toxicity_only() {
+        let s = Scorer::new().analyze("grukk vrelk subhuman scum kys");
+        assert!(s.toxicity > 0.9, "toxicity {}", s.toxicity);
+        assert_eq!(s.profanity, 0.0);
+        assert_eq!(s.sexually_explicit, 0.0);
+        assert!(s.harmful(0.8));
+    }
+
+    #[test]
+    fn sexual_text_scores_high_on_sexual_attribute() {
+        let s = Scorer::new().analyze("zmut qorn porn hentai lewd nude");
+        assert!(s.sexually_explicit > 0.9);
+        assert_eq!(s.toxicity, 0.0);
+    }
+
+    #[test]
+    fn density_monotonicity() {
+        let scorer = Scorer::new();
+        let sparse = scorer.analyze("idiot coffee garden morning bread cat dog photo");
+        let dense = scorer.analyze("idiot idiot idiot coffee");
+        assert!(dense.toxicity > sparse.toxicity);
+    }
+
+    #[test]
+    fn case_insensitive_tokenization() {
+        let scorer = Scorer::new();
+        // Uppercase tokens are split correctly but lexicon is lowercase;
+        // mixed punctuation must not hide tokens.
+        let a = scorer.analyze("idiot, idiot; idiot!");
+        let b = scorer.analyze("idiot idiot idiot");
+        assert_eq!(a.toxicity, b.toxicity);
+    }
+
+    #[test]
+    fn curve_inverts() {
+        let scorer = Scorer::new();
+        for target in [0.1, 0.3, 0.5, 0.8, 0.9, 0.95] {
+            let d = scorer.score_to_density(target);
+            let s = scorer.density_to_score(d);
+            assert!((s - target).abs() < 1e-9, "{target} -> {d} -> {s}");
+        }
+        assert_eq!(scorer.score_to_density(0.0), 0.0);
+        assert!(scorer.score_to_density(1.0) <= 50.0);
+    }
+
+    #[test]
+    fn mean_averages_posts() {
+        let high = AttributeScores {
+            toxicity: 0.9,
+            profanity: 0.1,
+            sexually_explicit: 0.0,
+        };
+        let low = AttributeScores {
+            toxicity: 0.1,
+            profanity: 0.1,
+            sexually_explicit: 0.0,
+        };
+        let mean = AttributeScores::mean(&[high, low]);
+        assert!((mean.toxicity - 0.5).abs() < 1e-9);
+        assert!((mean.profanity - 0.1).abs() < 1e-9);
+        assert_eq!(AttributeScores::mean(&[]).max(), 0.0);
+    }
+
+    #[test]
+    fn max_and_harmful() {
+        let s = AttributeScores {
+            toxicity: 0.2,
+            profanity: 0.85,
+            sexually_explicit: 0.3,
+        };
+        assert_eq!(s.max(), 0.85);
+        assert!(s.harmful(0.8));
+        assert!(!s.harmful(0.9));
+    }
+
+    #[test]
+    fn explain_lists_offending_tokens() {
+        let scorer = Scorer::new();
+        let hits = scorer.explain("you absolute idiot drinking coffee", Attribute::Toxicity);
+        assert_eq!(hits, vec!["idiot"]);
+        let none = scorer.explain("pure coffee", Attribute::Profanity);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn api_names() {
+        assert_eq!(Attribute::Toxicity.api_name(), "TOXICITY");
+        assert_eq!(Attribute::SexuallyExplicit.api_name(), "SEXUALLY_EXPLICIT");
+        assert_eq!(Attribute::Profanity.to_string(), "profanity");
+    }
+}

@@ -1,0 +1,87 @@
+//! Per-domain failure injection matching the paper's §3 taxonomy.
+
+use crate::http::StatusCode;
+use serde::{Deserialize, Serialize};
+
+/// How a domain answers requests.
+///
+/// §3: of 1,534 Pleroma instances, 236 could not be crawled — "110 are not
+/// found (404 status code), 84 instances require authorisation for timeline
+/// viewing (403), 24 result in bad gateway (502), 11 in service unavailable
+/// (503), and 7 return gone (410)."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// Requests reach the endpoint normally.
+    Healthy,
+    /// Every request answers 404.
+    NotFound,
+    /// Every request answers 403.
+    Forbidden,
+    /// Every request answers 502.
+    BadGateway,
+    /// Every request answers 503.
+    Unavailable,
+    /// Every request answers 410.
+    Gone,
+}
+
+impl FailureMode {
+    /// The status code this failure mode forces, if any.
+    pub fn forced_status(self) -> Option<StatusCode> {
+        match self {
+            FailureMode::Healthy => None,
+            FailureMode::NotFound => Some(StatusCode::NOT_FOUND),
+            FailureMode::Forbidden => Some(StatusCode::FORBIDDEN),
+            FailureMode::BadGateway => Some(StatusCode::BAD_GATEWAY),
+            FailureMode::Unavailable => Some(StatusCode::SERVICE_UNAVAILABLE),
+            FailureMode::Gone => Some(StatusCode::GONE),
+        }
+    }
+
+    /// The §3 failure modes with their paper-reported instance counts
+    /// (useful for building calibrated failure plans).
+    pub const PAPER_TAXONOMY: [(FailureMode, u32); 5] = [
+        (FailureMode::NotFound, 110),
+        (FailureMode::Forbidden, 84),
+        (FailureMode::BadGateway, 24),
+        (FailureMode::Unavailable, 11),
+        (FailureMode::Gone, 7),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_forces_nothing() {
+        assert_eq!(FailureMode::Healthy.forced_status(), None);
+    }
+
+    #[test]
+    fn failure_modes_map_to_paper_status_codes() {
+        assert_eq!(
+            FailureMode::NotFound.forced_status(),
+            Some(StatusCode::NOT_FOUND)
+        );
+        assert_eq!(
+            FailureMode::Forbidden.forced_status(),
+            Some(StatusCode::FORBIDDEN)
+        );
+        assert_eq!(
+            FailureMode::BadGateway.forced_status(),
+            Some(StatusCode::BAD_GATEWAY)
+        );
+        assert_eq!(
+            FailureMode::Unavailable.forced_status(),
+            Some(StatusCode::SERVICE_UNAVAILABLE)
+        );
+        assert_eq!(FailureMode::Gone.forced_status(), Some(StatusCode::GONE));
+    }
+
+    #[test]
+    fn taxonomy_totals_236() {
+        let total: u32 = FailureMode::PAPER_TAXONOMY.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 236);
+    }
+}

@@ -1,0 +1,296 @@
+//! The network fabric: registration, dispatch, failure injection, stats.
+
+use crate::failure::FailureMode;
+use crate::http::{HttpRequest, HttpResponse};
+use fediscope_core::id::Domain;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::sync::{mpsc, oneshot};
+
+/// A served HTTP endpoint. Handlers are synchronous and must be fast —
+/// they run on the instance's serving task.
+pub trait Endpoint: Send + Sync + 'static {
+    /// Handles one request.
+    fn handle(&self, req: HttpRequest) -> HttpResponse;
+}
+
+/// Adapter turning a closure into an [`Endpoint`].
+pub struct FnEndpoint<F>(pub F);
+
+impl<F> Endpoint for FnEndpoint<F>
+where
+    F: Fn(HttpRequest) -> HttpResponse + Send + Sync + 'static,
+{
+    fn handle(&self, req: HttpRequest) -> HttpResponse {
+        (self.0)(req)
+    }
+}
+
+/// Why a request failed before producing an HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No endpoint registered under the domain (DNS failure).
+    UnknownHost(Domain),
+    /// The instance's serving task is gone (connection refused).
+    ConnectionRefused(Domain),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownHost(d) => write!(f, "unknown host: {d}"),
+            NetError::ConnectionRefused(d) => write!(f, "connection refused: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+type ServingChannel = mpsc::UnboundedSender<(HttpRequest, oneshot::Sender<HttpResponse>)>;
+
+/// Aggregate request statistics.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Total requests issued (including failed ones).
+    pub requests: AtomicU64,
+    /// Requests answered by a forced failure mode.
+    pub injected_failures: AtomicU64,
+    /// Requests that failed at the network level (unknown host etc.).
+    pub net_errors: AtomicU64,
+}
+
+impl NetStats {
+    /// Snapshot of the counters as plain numbers.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.requests.load(Ordering::Relaxed),
+            self.injected_failures.load(Ordering::Relaxed),
+            self.net_errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The simulated network. Cheap to clone via `Arc`.
+pub struct SimNet {
+    endpoints: RwLock<HashMap<Domain, ServingChannel>>,
+    failures: RwLock<HashMap<Domain, FailureMode>>,
+    stats: NetStats,
+}
+
+impl Default for SimNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimNet {
+    /// An empty network.
+    pub fn new() -> Self {
+        SimNet {
+            endpoints: RwLock::new(HashMap::new()),
+            failures: RwLock::new(HashMap::new()),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Registers `endpoint` under `domain`, spawning its serving task.
+    /// Requires a tokio runtime. Re-registering a domain replaces the old
+    /// endpoint (its task drains and exits once the old channel drops).
+    pub fn register(&self, domain: Domain, endpoint: Arc<dyn Endpoint>) {
+        let (tx, mut rx) =
+            mpsc::unbounded_channel::<(HttpRequest, oneshot::Sender<HttpResponse>)>();
+        tokio::spawn(async move {
+            while let Some((req, reply)) = rx.recv().await {
+                // The receiver may have given up (crawler timeout); a failed
+                // send is not an error.
+                let _ = reply.send(endpoint.handle(req));
+            }
+        });
+        self.endpoints.write().insert(domain, tx);
+    }
+
+    /// Convenience: register a closure endpoint.
+    pub fn register_fn<F>(&self, domain: Domain, f: F)
+    where
+        F: Fn(HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    {
+        self.register(domain, Arc::new(FnEndpoint(f)));
+    }
+
+    /// Sets the failure mode for a domain.
+    pub fn set_failure(&self, domain: Domain, mode: FailureMode) {
+        self.failures.write().insert(domain, mode);
+    }
+
+    /// Current failure mode for a domain.
+    pub fn failure_of(&self, domain: &Domain) -> FailureMode {
+        self.failures
+            .read()
+            .get(domain)
+            .copied()
+            .unwrap_or(FailureMode::Healthy)
+    }
+
+    /// Whether a domain is registered.
+    pub fn knows(&self, domain: &Domain) -> bool {
+        self.endpoints.read().contains_key(domain)
+    }
+
+    /// Number of registered domains.
+    pub fn host_count(&self) -> usize {
+        self.endpoints.read().len()
+    }
+
+    /// Request statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Issues a request to `domain`.
+    ///
+    /// Failure-injected domains answer their forced status without ever
+    /// reaching the endpoint — exactly how a dead or auth-walled instance
+    /// presented itself to the paper's crawler.
+    pub async fn request(
+        &self,
+        domain: &Domain,
+        req: HttpRequest,
+    ) -> Result<HttpResponse, NetError> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(status) = self.failure_of(domain).forced_status() {
+            self.stats.injected_failures.fetch_add(1, Ordering::Relaxed);
+            return Ok(HttpResponse::status(status));
+        }
+        let tx = {
+            let endpoints = self.endpoints.read();
+            match endpoints.get(domain) {
+                Some(tx) => tx.clone(),
+                None => {
+                    self.stats.net_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(NetError::UnknownHost(domain.clone()));
+                }
+            }
+        };
+        let (reply_tx, reply_rx) = oneshot::channel();
+        if tx.send((req, reply_tx)).is_err() {
+            self.stats.net_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::ConnectionRefused(domain.clone()));
+        }
+        match reply_rx.await {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                self.stats.net_errors.fetch_add(1, Ordering::Relaxed);
+                Err(NetError::ConnectionRefused(domain.clone()))
+            }
+        }
+    }
+
+    /// GET convenience wrapper.
+    pub async fn get(
+        &self,
+        domain: &Domain,
+        path_and_query: &str,
+    ) -> Result<HttpResponse, NetError> {
+        self.request(domain, HttpRequest::get(path_and_query)).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::StatusCode;
+    use serde_json::json;
+
+    fn hello_endpoint() -> Arc<dyn Endpoint> {
+        Arc::new(FnEndpoint(|req: HttpRequest| {
+            if req.path == "/hello" {
+                HttpResponse::json(&json!({"msg": "hi"}))
+            } else {
+                HttpResponse::status(StatusCode::NOT_FOUND)
+            }
+        }))
+    }
+
+    #[tokio::test]
+    async fn round_trip_request() {
+        let net = SimNet::new();
+        let d = Domain::new("a.example");
+        net.register(d.clone(), hello_endpoint());
+        let resp = net.get(&d, "/hello").await.unwrap();
+        assert!(resp.is_success());
+        assert_eq!(resp.json_body().unwrap()["msg"], "hi");
+        let resp = net.get(&d, "/nope").await.unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[tokio::test]
+    async fn unknown_host_errors() {
+        let net = SimNet::new();
+        let err = net
+            .get(&Domain::new("ghost.example"), "/hello")
+            .await
+            .unwrap_err();
+        assert!(matches!(err, NetError::UnknownHost(_)));
+        let (reqs, _, net_errs) = net.stats().snapshot();
+        assert_eq!((reqs, net_errs), (1, 1));
+    }
+
+    #[tokio::test]
+    async fn failure_injection_shields_endpoint() {
+        let net = SimNet::new();
+        let d = Domain::new("dead.example");
+        net.register(d.clone(), hello_endpoint());
+        net.set_failure(d.clone(), FailureMode::BadGateway);
+        let resp = net.get(&d, "/hello").await.unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_GATEWAY);
+        let (_, injected, _) = net.stats().snapshot();
+        assert_eq!(injected, 1);
+        // Healing the domain restores service.
+        net.set_failure(d.clone(), FailureMode::Healthy);
+        assert!(net.get(&d, "/hello").await.unwrap().is_success());
+    }
+
+    #[tokio::test]
+    async fn failure_injection_works_without_endpoint() {
+        // A 404-injected domain doesn't need a registered endpoint at all —
+        // exactly like the 110 dead instances of §3.
+        let net = SimNet::new();
+        let d = Domain::new("vanished.example");
+        net.set_failure(d.clone(), FailureMode::NotFound);
+        let resp = net.get(&d, "/api/v1/instance").await.unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[tokio::test]
+    async fn concurrent_requests_are_all_answered() {
+        let net = Arc::new(SimNet::new());
+        let d = Domain::new("busy.example");
+        net.register(d.clone(), hello_endpoint());
+        let mut handles = Vec::new();
+        for _ in 0..64 {
+            let net = Arc::clone(&net);
+            let d = d.clone();
+            handles.push(tokio::spawn(async move {
+                net.get(&d, "/hello").await.unwrap().status
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.await.unwrap(), StatusCode::OK);
+        }
+        assert_eq!(net.stats().snapshot().0, 64);
+    }
+
+    #[tokio::test]
+    async fn host_registry_queries() {
+        let net = SimNet::new();
+        assert_eq!(net.host_count(), 0);
+        let d = Domain::new("a.example");
+        net.register(d.clone(), hello_endpoint());
+        assert!(net.knows(&d));
+        assert!(!net.knows(&Domain::new("b.example")));
+        assert_eq!(net.host_count(), 1);
+    }
+}

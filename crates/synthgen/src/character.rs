@@ -1,0 +1,155 @@
+//! Instance characters — the §4.2 annotation codebook as ground truth.
+//!
+//! The authors manually annotated the rejected Pleroma instances as
+//! *toxic* (hate speech), *sexually explicit* (pornography), *profane*, or
+//! *general* (90.6% of annotatable instances fell in the three harmful
+//! categories). In the synthetic world the character is assigned at
+//! generation time and drives the content its users produce; the analysis
+//! side re-derives labels from content alone, like the authors did.
+
+use fediscope_perspective::Attribute;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The dominant character of an instance's community.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceCharacter {
+    /// Hate-speech heavy (identity attacks, threats, insults).
+    Toxic,
+    /// Pornography / adult content, mostly in media form (§7 notes this).
+    SexuallyExplicit,
+    /// Swear-word heavy but not hateful.
+    Profane,
+    /// Ordinary community; no harmful leaning.
+    General,
+}
+
+impl InstanceCharacter {
+    /// The Perspective attribute this character drives, if any.
+    pub fn attribute(self) -> Option<Attribute> {
+        match self {
+            InstanceCharacter::Toxic => Some(Attribute::Toxicity),
+            InstanceCharacter::SexuallyExplicit => Some(Attribute::SexuallyExplicit),
+            InstanceCharacter::Profane => Some(Attribute::Profanity),
+            InstanceCharacter::General => None,
+        }
+    }
+
+    /// Baseline score level of *benign* users on an instance of this
+    /// character, per attribute. Table 1 shows rejected instances averaging
+    /// 0.11–0.27 — the community's everyday vocabulary keeps a floor under
+    /// the scores even for users who never cross the harmful threshold.
+    pub fn baseline(self, attribute: Attribute) -> f64 {
+        use InstanceCharacter::*;
+        match (self, attribute) {
+            (Toxic, Attribute::Toxicity) => 0.16,
+            (Toxic, Attribute::Profanity) => 0.13,
+            (Toxic, Attribute::SexuallyExplicit) => 0.09,
+            (SexuallyExplicit, Attribute::SexuallyExplicit) => 0.17,
+            (SexuallyExplicit, Attribute::Toxicity) => 0.07,
+            (SexuallyExplicit, Attribute::Profanity) => 0.07,
+            (Profane, Attribute::Profanity) => 0.16,
+            (Profane, Attribute::Toxicity) => 0.10,
+            (Profane, Attribute::SexuallyExplicit) => 0.05,
+            (General, _) => 0.03,
+        }
+    }
+
+    /// Samples a character for a *rejected* instance. §4.2: of annotatable
+    /// rejected Pleroma instances, 90.6% are harmful-category; within the
+    /// harmful set the paper's discussion weights sexually-explicit and
+    /// toxic heaviest.
+    pub fn sample_rejected<R: Rng>(rng: &mut R) -> Self {
+        let roll: f64 = rng.gen();
+        if roll < 0.094 {
+            InstanceCharacter::General
+        } else if roll < 0.094 + 0.38 {
+            InstanceCharacter::Toxic
+        } else if roll < 0.094 + 0.38 + 0.33 {
+            InstanceCharacter::SexuallyExplicit
+        } else {
+            InstanceCharacter::Profane
+        }
+    }
+
+    /// Samples a character for a non-rejected instance (overwhelmingly
+    /// general; a small harmful tail that simply has not been rejected).
+    pub fn sample_unrejected<R: Rng>(rng: &mut R) -> Self {
+        let roll: f64 = rng.gen();
+        if roll < 0.96 {
+            InstanceCharacter::General
+        } else if roll < 0.98 {
+            InstanceCharacter::Profane
+        } else if roll < 0.99 {
+            InstanceCharacter::Toxic
+        } else {
+            InstanceCharacter::SexuallyExplicit
+        }
+    }
+
+    /// Whether this is one of the three harmful categories.
+    pub fn is_harmful_category(self) -> bool {
+        !matches!(self, InstanceCharacter::General)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attribute_mapping() {
+        assert_eq!(
+            InstanceCharacter::Toxic.attribute(),
+            Some(Attribute::Toxicity)
+        );
+        assert_eq!(InstanceCharacter::General.attribute(), None);
+    }
+
+    #[test]
+    fn baselines_peak_on_own_attribute() {
+        for ch in [
+            InstanceCharacter::Toxic,
+            InstanceCharacter::SexuallyExplicit,
+            InstanceCharacter::Profane,
+        ] {
+            let own = ch.attribute().unwrap();
+            for other in Attribute::ALL {
+                if other != own {
+                    assert!(
+                        ch.baseline(own) > ch.baseline(other),
+                        "{ch:?} must peak on {own:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_sampling_matches_annotation_shares() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let harmful = (0..n)
+            .filter(|_| InstanceCharacter::sample_rejected(&mut rng).is_harmful_category())
+            .count();
+        let share = harmful as f64 / n as f64;
+        assert!(
+            (share - 0.906).abs() < 0.02,
+            "harmful-category share {share} vs paper 0.906"
+        );
+    }
+
+    #[test]
+    fn unrejected_instances_are_mostly_general() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 10_000;
+        let general = (0..n)
+            .filter(|_| {
+                InstanceCharacter::sample_unrejected(&mut rng) == InstanceCharacter::General
+            })
+            .count();
+        assert!(general as f64 / n as f64 > 0.9);
+    }
+}

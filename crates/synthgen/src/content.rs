@@ -1,0 +1,232 @@
+//! Score-targeted text composition.
+//!
+//! Given target attribute scores, composes post text that the
+//! `fediscope-perspective` scorer will rate at (approximately) those
+//! scores. This inverts the scorer's density→score curve: for each
+//! attribute we compute the weighted lexicon mass the text must carry and
+//! pick lexicon tokens accordingly, filling the rest with benign words.
+
+use fediscope_perspective::{lexicon_for, Attribute, AttributeScores, Scorer, BENIGN_WORDS};
+use rand::Rng;
+
+/// Composes text hitting target attribute scores.
+#[derive(Debug, Clone)]
+pub struct ContentComposer {
+    scorer: Scorer,
+}
+
+impl Default for ContentComposer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentComposer {
+    /// A composer calibrated against the default scorer.
+    pub fn new() -> Self {
+        ContentComposer {
+            scorer: Scorer::new(),
+        }
+    }
+
+    /// The scorer this composer inverts.
+    pub fn scorer(&self) -> &Scorer {
+        &self.scorer
+    }
+
+    /// Composes a post body of roughly `len_tokens` tokens whose measured
+    /// scores approximate `target`. Deterministic given the RNG state.
+    pub fn compose<R: Rng>(
+        &self,
+        rng: &mut R,
+        target: &AttributeScores,
+        len_tokens: usize,
+    ) -> String {
+        let len = len_tokens.clamp(4, 60);
+        // Weighted mass needed per attribute.
+        let mut demands: Vec<(Attribute, f64)> = Attribute::ALL
+            .iter()
+            .map(|&a| {
+                let density = self.scorer.score_to_density(target.get(a));
+                (a, density * len as f64)
+            })
+            .collect();
+        // Pick lexicon tokens per attribute: prefer heavy tokens for large
+        // demands so slots stay available for the other attributes.
+        let mut tokens: Vec<&'static str> = Vec::with_capacity(len);
+        for (attribute, demand) in demands.iter_mut() {
+            if *demand <= 0.0 {
+                continue;
+            }
+            let lexicon = lexicon_for(*attribute);
+            let mut remaining = *demand;
+            // Cap slots per attribute at a third of the post + 2 so that
+            // three simultaneous demands still fit.
+            let mut slots = len / 3 + 2;
+            while remaining > 0.0 && slots > 0 && tokens.len() < len {
+                let candidates = lexicon.entries;
+                // Fractional tail: when the leftover demand is smaller
+                // than the lightest useful token, emit one token with
+                // probability demand/weight so the *expected* density
+                // matches the target (low scores would otherwise be
+                // unreachable — one token in a 20-token post already
+                // yields a density of 0.05).
+                if remaining < 0.75 {
+                    let light: Vec<(&'static str, f64)> = candidates
+                        .iter()
+                        .filter(|(_, w)| *w <= 1.0)
+                        .map(|&(t, w)| (t, w))
+                        .collect();
+                    if !light.is_empty() {
+                        let (tok, w) = light[rng.gen_range(0..light.len())];
+                        if rng.gen::<f64>() < (remaining / w).min(1.0) {
+                            tokens.push(tok);
+                        }
+                    }
+                    break;
+                }
+                // Choose the heaviest token not exceeding what's left, with
+                // some jitter so posts differ.
+                let pick = candidates
+                    .iter()
+                    .filter(|(_, w)| *w <= remaining + 0.5)
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .or_else(|| candidates.first());
+                if let Some((tok, w)) = pick {
+                    // Jitter: sometimes take a random lighter token.
+                    let (tok, w) = if rng.gen_bool(0.3) {
+                        let idx = rng.gen_range(0..candidates.len());
+                        (candidates[idx].0, candidates[idx].1)
+                    } else {
+                        (*tok, *w)
+                    };
+                    tokens.push(tok);
+                    remaining -= w;
+                    slots -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Fill with benign words.
+        while tokens.len() < len {
+            tokens.push(BENIGN_WORDS[rng.gen_range(0..BENIGN_WORDS.len())]);
+        }
+        // Shuffle for naturalness (Fisher-Yates over the token vec).
+        for i in (1..tokens.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            tokens.swap(i, j);
+        }
+        tokens.join(" ")
+    }
+
+    /// Composes benign text (all scores ≈ 0).
+    pub fn compose_benign<R: Rng>(&self, rng: &mut R, len_tokens: usize) -> String {
+        self.compose(rng, &AttributeScores::default(), len_tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn roundtrip(target: AttributeScores, len: usize) -> AttributeScores {
+        let composer = ContentComposer::new();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let text = composer.compose(&mut rng, &target, len);
+        composer.scorer().analyze(&text)
+    }
+
+    #[test]
+    fn benign_text_measures_near_zero() {
+        let measured = roundtrip(AttributeScores::default(), 20);
+        assert!(measured.max() < 0.05, "benign text scored {measured:?}");
+    }
+
+    #[test]
+    fn single_attribute_targets_are_hit() {
+        for (attr, target) in [
+            (Attribute::Toxicity, 0.85),
+            (Attribute::Profanity, 0.6),
+            (Attribute::SexuallyExplicit, 0.9),
+        ] {
+            let mut t = AttributeScores::default();
+            t.set(attr, target);
+            let measured = roundtrip(t, 24);
+            let got = measured.get(attr);
+            assert!(
+                (got - target).abs() < 0.12,
+                "{attr:?}: wanted {target}, measured {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_targets_stay_low() {
+        let mut t = AttributeScores::default();
+        t.set(Attribute::Toxicity, 0.2);
+        let measured = roundtrip(t, 30);
+        assert!(measured.toxicity < 0.45, "got {}", measured.toxicity);
+        assert!(measured.toxicity > 0.02);
+    }
+
+    #[test]
+    fn multi_attribute_targets() {
+        let t = AttributeScores {
+            toxicity: 0.5,
+            profanity: 0.4,
+            sexually_explicit: 0.0,
+        };
+        let measured = roundtrip(t, 30);
+        assert!((measured.toxicity - 0.5).abs() < 0.2, "{measured:?}");
+        assert!((measured.profanity - 0.4).abs() < 0.2, "{measured:?}");
+        assert!(measured.sexually_explicit < 0.05);
+    }
+
+    #[test]
+    fn composition_is_deterministic_per_seed() {
+        let composer = ContentComposer::new();
+        let t = AttributeScores {
+            toxicity: 0.7,
+            profanity: 0.0,
+            sexually_explicit: 0.0,
+        };
+        let a = composer.compose(&mut SmallRng::seed_from_u64(5), &t, 16);
+        let b = composer.compose(&mut SmallRng::seed_from_u64(5), &t, 16);
+        assert_eq!(a, b);
+        let c = composer.compose(&mut SmallRng::seed_from_u64(6), &t, 16);
+        assert_ne!(a, c, "different seeds vary the text");
+    }
+
+    #[test]
+    fn length_is_respected() {
+        let composer = ContentComposer::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let text = composer.compose_benign(&mut rng, 20);
+        assert_eq!(text.split_whitespace().count(), 20);
+        // Clamping.
+        let text = composer.compose_benign(&mut rng, 1);
+        assert_eq!(text.split_whitespace().count(), 4);
+    }
+
+    #[test]
+    fn mean_over_many_posts_converges_to_target() {
+        // User-level classification averages post scores; systematic bias
+        // in the composer would shift the §5 results, so the mean must sit
+        // close to the target.
+        let composer = ContentComposer::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut t = AttributeScores::default();
+        t.set(Attribute::Toxicity, 0.82);
+        let mut sum = 0.0;
+        let n = 80;
+        for _ in 0..n {
+            let text = composer.compose(&mut rng, &t, 22);
+            sum += composer.scorer().analyze(&text).toxicity;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.82).abs() < 0.08, "mean {mean}");
+    }
+}

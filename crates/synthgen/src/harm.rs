@@ -1,0 +1,365 @@
+//! User harm profiles calibrated to §5 and Table 2.
+//!
+//! The paper classifies a user as harmful when the average of their posts'
+//! scores reaches 0.8 on any attribute, and reports the share of
+//! *non-harmful* users at thresholds 0.5–0.9 (Table 2):
+//!
+//! | threshold | 0.5 | 0.6 | 0.7 | 0.8 | 0.9 |
+//! |---|---|---|---|---|---|
+//! | non-harmful % | 86.4 | 91.8 | 94.1 | 95.8 | 97.3 |
+//!
+//! [`HarmProfile::sample_user`] draws a user's per-attribute mean score
+//! directly from that survival function, so the pooled user population of
+//! rejected instances reproduces Table 2 by construction. Post-level
+//! scores are the user's mean plus noise, with harm-tier post-rate
+//! multipliers tuned so the corpus-wide harmful:non-harmful post ratio
+//! lands at the paper's 1:11.
+
+use crate::character::InstanceCharacter;
+use fediscope_core::paper;
+use fediscope_perspective::{Attribute, AttributeScores};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Coarse harm tier of a user (drives post-rate and noise width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HarmTier {
+    /// Mean-max score below 0.5.
+    Benign,
+    /// Mean-max score in [0.5, 0.8) — loud but not classified harmful.
+    Edgy,
+    /// Mean-max score ≥ 0.8 — the 4.2% the paper attributes rejections to.
+    Harmful,
+}
+
+/// A user's generated harm ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserHarm {
+    /// Target mean score per attribute.
+    pub means: AttributeScores,
+    /// Harm tier.
+    pub tier: HarmTier,
+    /// Post-rate multiplier relative to an average user (harmful users
+    /// post more; this is what pushes the harmful-post share to ~1/12
+    /// while harmful users are only 4.2%).
+    pub rate_multiplier: f64,
+}
+
+impl UserHarm {
+    /// A fully benign profile (used for users on non-rejected instances,
+    /// whose content the paper never scored).
+    pub fn benign_default() -> Self {
+        UserHarm {
+            means: AttributeScores::default(),
+            tier: HarmTier::Benign,
+            rate_multiplier: 1.0,
+        }
+    }
+
+    /// Whether the profile's target means classify as harmful at `t`.
+    pub fn harmful_at(&self, t: f64) -> bool {
+        self.means.max() >= t
+    }
+}
+
+/// The §5 sampler.
+#[derive(Debug, Clone)]
+pub struct HarmProfile {
+    /// Survival probabilities at thresholds 0.5..0.9 (Table 2 complement).
+    tail: [f64; 5],
+}
+
+impl Default for HarmProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HarmProfile {
+    /// Calibrated to the paper's Table 2.
+    pub fn new() -> Self {
+        let mut tail = [0.0; 5];
+        for (i, nh) in paper::TABLE2_NON_HARMFUL.iter().enumerate() {
+            tail[i] = 1.0 - nh;
+        }
+        HarmProfile { tail }
+    }
+
+    /// Samples a user on a *rejected* instance with the given character.
+    ///
+    /// The mean-max score is drawn from the Table 2 survival function; the
+    /// dominant attribute follows the instance character; secondary
+    /// attributes follow the §5 split (69.7% toxic / 57.6% profane /
+    /// 43.9% sexually explicit among harmful users, overlapping).
+    pub fn sample_user<R: Rng>(
+        &self,
+        rng: &mut R,
+        character: InstanceCharacter,
+    ) -> UserHarm {
+        let u: f64 = rng.gen();
+        // Walk the survival function from the top.
+        let mean_max = if u < self.tail[4] {
+            // ≥ 0.9 (clamped below the composer's reachable ceiling)
+            rng.gen_range(0.90..0.955)
+        } else if u < self.tail[3] {
+            rng.gen_range(0.80..0.90)
+        } else if u < self.tail[2] {
+            rng.gen_range(0.70..0.80)
+        } else if u < self.tail[1] {
+            rng.gen_range(0.60..0.70)
+        } else if u < self.tail[0] {
+            rng.gen_range(0.50..0.60)
+        } else {
+            // Benign: baseline of the community, lognormal-ish spread,
+            // capped under the 0.5 boundary.
+            let base = Attribute::ALL
+                .iter()
+                .map(|&a| character.baseline(a))
+                .fold(0.0_f64, f64::max);
+            let jitter = rng.gen_range(0.5..1.6);
+            (base * jitter).min(0.49)
+        };
+        let tier = if mean_max >= paper::HARMFUL_THRESHOLD {
+            HarmTier::Harmful
+        } else if mean_max >= 0.5 {
+            HarmTier::Edgy
+        } else {
+            HarmTier::Benign
+        };
+        let means = self.spread_attributes(rng, character, mean_max, tier);
+        let rate_multiplier = match tier {
+            HarmTier::Benign => 1.0,
+            HarmTier::Edgy => 1.5,
+            HarmTier::Harmful => 2.2,
+        };
+        UserHarm {
+            means,
+            tier,
+            rate_multiplier,
+        }
+    }
+
+    /// Distributes the mean-max score across attributes.
+    fn spread_attributes<R: Rng>(
+        &self,
+        rng: &mut R,
+        character: InstanceCharacter,
+        mean_max: f64,
+        tier: HarmTier,
+    ) -> AttributeScores {
+        let mut means = AttributeScores::default();
+        // Floor every attribute at the community baseline (with jitter).
+        for a in Attribute::ALL {
+            let base = character.baseline(a) * rng.gen_range(0.6..1.3);
+            means.set(a, base.min(0.45));
+        }
+        if tier == HarmTier::Benign {
+            // Make sure the sampled mean_max is the max (the baseline of
+            // the dominant attribute).
+            let dominant = character.attribute().unwrap_or(Attribute::Toxicity);
+            if means.max() < mean_max {
+                means.set(dominant, mean_max);
+            }
+            return means;
+        }
+        // Tail users: pick included attributes per the §5 overlapping
+        // split (toxic 69.7% / profane 57.6% / sexually explicit 43.9%
+        // among harmful users; a user can carry all three).
+        let inclusion = [
+            (Attribute::Toxicity, paper::harmful_user_attributes::TOXIC),
+            (Attribute::Profanity, paper::harmful_user_attributes::PROFANE),
+            (
+                Attribute::SexuallyExplicit,
+                paper::harmful_user_attributes::SEXUALLY_EXPLICIT,
+            ),
+        ];
+        let included: Vec<Attribute> = inclusion
+            .iter()
+            .filter(|(_, p)| rng.gen_bool(*p))
+            .map(|(a, _)| *a)
+            .collect();
+        let community = character.attribute().unwrap_or(Attribute::Toxicity);
+        // The carrier of the maximum: the community's own attribute when
+        // the draw included it, otherwise one of the included attributes
+        // (a community can host harm outside its dominant flavour).
+        let carrier = if included.contains(&community) || included.is_empty() {
+            community
+        } else {
+            included[rng.gen_range(0..included.len())]
+        };
+        means.set(carrier, mean_max);
+        for a in included {
+            if a != carrier {
+                // Included attributes sit just under the carrier, so a
+                // harmful user usually classifies harmful on every
+                // included attribute (the paper's splits sum to 171%).
+                let v = mean_max - rng.gen_range(0.0..0.03);
+                if v > means.get(a) {
+                    means.set(a, v);
+                }
+            }
+        }
+        means
+    }
+
+    /// Samples one post's target scores for a user. Per-attribute noise is
+    /// correlated (one draw scaled across attributes), symmetric around
+    /// the user's means so user-level averages stay calibrated.
+    pub fn sample_post_target<R: Rng>(&self, rng: &mut R, user: &UserHarm) -> AttributeScores {
+        let sigma = match user.tier {
+            HarmTier::Benign => 0.08,
+            HarmTier::Edgy => 0.20,
+            HarmTier::Harmful => 0.06,
+        };
+        // Approximately normal noise: mean of 4 uniforms, scaled.
+        let noise: f64 = {
+            let s: f64 = (0..4).map(|_| rng.gen_range(-1.0_f64..1.0)).sum();
+            (s / 4.0) * sigma * 2.0
+        };
+        let mut target = AttributeScores::default();
+        for a in Attribute::ALL {
+            let m = user.means.get(a);
+            let scale = if m > 0.05 { 1.0 } else { 0.2 };
+            target.set(a, (m + noise * scale).clamp(0.0, 0.955));
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pooled_sample(n: usize) -> Vec<UserHarm> {
+        let profile = HarmProfile::new();
+        let mut rng = SmallRng::seed_from_u64(2021);
+        // The pooled population mixes the characters the way §4.2's
+        // annotation found them.
+        (0..n)
+            .map(|_| {
+                let ch = InstanceCharacter::sample_rejected(&mut rng);
+                profile.sample_user(&mut rng, ch)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table2_survival_is_reproduced() {
+        let users = pooled_sample(40_000);
+        let n = users.len() as f64;
+        for (i, &threshold) in paper::TABLE2_THRESHOLDS.iter().enumerate() {
+            let harmful = users.iter().filter(|u| u.harmful_at(threshold)).count() as f64;
+            let non_harmful_share = 1.0 - harmful / n;
+            let want = paper::TABLE2_NON_HARMFUL[i];
+            assert!(
+                (non_harmful_share - want).abs() < 0.012,
+                "threshold {threshold}: measured {non_harmful_share:.3}, paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn harmful_share_is_4_2_percent() {
+        let users = pooled_sample(40_000);
+        let harmful = users
+            .iter()
+            .filter(|u| u.tier == HarmTier::Harmful)
+            .count() as f64
+            / users.len() as f64;
+        assert!(
+            (harmful - paper::HARMFUL_USER_SHARE).abs() < 0.01,
+            "harmful user share {harmful}"
+        );
+    }
+
+    #[test]
+    fn attribute_split_among_harmful_users() {
+        let users = pooled_sample(60_000);
+        let harmful: Vec<_> = users
+            .iter()
+            .filter(|u| u.tier == HarmTier::Harmful)
+            .collect();
+        let n = harmful.len() as f64;
+        let toxic = harmful.iter().filter(|u| u.means.toxicity >= 0.8).count() as f64 / n;
+        let profane = harmful.iter().filter(|u| u.means.profanity >= 0.8).count() as f64 / n;
+        let sexual = harmful
+            .iter()
+            .filter(|u| u.means.sexually_explicit >= 0.8)
+            .count() as f64
+            / n;
+        // Generous tolerances: the split interacts with the character mix.
+        assert!((toxic - 0.697).abs() < 0.15, "toxic {toxic}");
+        assert!((profane - 0.576).abs() < 0.20, "profane {profane}");
+        assert!((sexual - 0.439).abs() < 0.20, "sexual {sexual}");
+    }
+
+    #[test]
+    fn harmful_post_ratio_near_1_to_11() {
+        let profile = HarmProfile::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let users = pooled_sample(4_000);
+        let mut harmful_posts = 0usize;
+        let mut total_posts = 0usize;
+        for user in &users {
+            let n_posts = ((8.0 * user.rate_multiplier) as usize).max(1);
+            for _ in 0..n_posts {
+                let target = profile.sample_post_target(&mut rng, user);
+                total_posts += 1;
+                if target.harmful(0.8) {
+                    harmful_posts += 1;
+                }
+            }
+        }
+        let share = harmful_posts as f64 / total_posts as f64;
+        // Paper: 1:11 → 8.3% of posts harmful.
+        assert!(
+            (0.05..0.12).contains(&share),
+            "harmful post share {share:.3}, want ≈ 0.083"
+        );
+    }
+
+    #[test]
+    fn post_targets_average_to_user_means() {
+        let profile = HarmProfile::new();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let user = UserHarm {
+            means: AttributeScores {
+                toxicity: 0.85,
+                profanity: 0.6,
+                sexually_explicit: 0.05,
+            },
+            tier: HarmTier::Harmful,
+            rate_multiplier: 2.2,
+        };
+        let mut sum = AttributeScores::default();
+        let n = 400;
+        for _ in 0..n {
+            sum = sum.add(&profile.sample_post_target(&mut rng, &user));
+        }
+        let mean = sum.div(n as f64);
+        assert!((mean.toxicity - 0.85).abs() < 0.03, "{:?}", mean);
+        assert!((mean.profanity - 0.6).abs() < 0.03);
+        assert!(mean.sexually_explicit < 0.1);
+    }
+
+    #[test]
+    fn benign_default_is_harmless() {
+        let u = UserHarm::benign_default();
+        assert_eq!(u.tier, HarmTier::Benign);
+        assert!(!u.harmful_at(0.5));
+    }
+
+    #[test]
+    fn rate_multipliers_by_tier() {
+        let users = pooled_sample(5_000);
+        for u in users {
+            match u.tier {
+                HarmTier::Benign => assert_eq!(u.rate_multiplier, 1.0),
+                HarmTier::Edgy => assert_eq!(u.rate_multiplier, 1.5),
+                HarmTier::Harmful => assert_eq!(u.rate_multiplier, 2.2),
+            }
+        }
+    }
+}

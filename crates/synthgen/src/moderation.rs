@@ -1,0 +1,911 @@
+//! Policy assignment and the reject graph, calibrated to §4 of the paper.
+
+use crate::config::WorldConfig;
+use crate::names;
+use crate::population::InstanceSkeleton;
+use fediscope_core::catalog::PolicyKind;
+use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
+use fediscope_core::paper;
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The generated moderation landscape.
+#[derive(Debug)]
+pub struct ModerationPlan {
+    /// Per-instance enabled policy kinds (same indexing as the skeleton
+    /// vector; non-Pleroma instances have empty sets).
+    pub enabled: Vec<Vec<PolicyKind>>,
+    /// Per-instance `SimplePolicy` target configuration.
+    pub simple: Vec<Option<SimplePolicy>>,
+    /// Ground truth reject counts: instance index → number of instances
+    /// rejecting it. Ordered so that iteration (which consumes RNG during
+    /// edge distribution) is deterministic.
+    pub reject_counts: BTreeMap<usize, u32>,
+}
+
+#[cfg_attr(not(test), allow(dead_code))] // exercised by the calibration tests
+impl ModerationPlan {
+    /// Total `(action, target)` moderation events in all SimplePolicy
+    /// configs.
+    pub fn total_events(&self) -> usize {
+        self.simple
+            .iter()
+            .flatten()
+            .map(|s| s.events().count())
+            .sum()
+    }
+
+    /// Total reject events.
+    pub fn reject_events(&self) -> usize {
+        self.simple
+            .iter()
+            .flatten()
+            .map(|s| s.targets(SimpleAction::Reject).len())
+            .sum()
+    }
+}
+
+/// Instances that famously do *not* retaliate (§4.2: the most rejected
+/// Pleroma instances barely apply rejects; freespeechextremist.com rejects
+/// nobody). They are excluded from the SimplePolicy pool.
+const NON_RETALIATORS: [&str; 4] = [
+    "freespeechextremist.com",
+    "kiwifarms.cc",
+    "neckbeard.xyz",
+    "poa.st",
+];
+
+/// Builds the moderation plan.
+pub fn plan<R: Rng>(
+    skeletons: &[InstanceSkeleton],
+    config: &WorldConfig,
+    rng: &mut R,
+) -> ModerationPlan {
+    let n = skeletons.len();
+    let mut enabled: Vec<Vec<PolicyKind>> = vec![Vec::new(); n];
+    let mut simple: Vec<Option<SimplePolicy>> = vec![None; n];
+
+    let crawled: Vec<usize> = skeletons
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.profile.is_pleroma() && s.crawlable())
+        .map(|(i, _)| i)
+        .collect();
+    let exposing: Vec<usize> = crawled
+        .iter()
+        .copied()
+        .filter(|&i| skeletons[i].profile.exposes_policies)
+        .collect();
+    let non_pleroma: Vec<usize> = skeletons
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.profile.is_pleroma())
+        .map(|(i, _)| i)
+        .collect();
+    let by_domain: HashMap<&str, usize> = skeletons
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.profile.domain.as_str(), i))
+        .collect();
+
+    // ---------- 1. Rejected targets and their reject counts ----------
+    let reject_counts = build_reject_targets(skeletons, &crawled, &non_pleroma, &by_domain, config, rng);
+
+    // ---------- 2. Policy prevalence (Table 3 + the Figure 7 tail) ------
+    assign_policies(skeletons, &exposing, &by_domain, config, rng, &mut enabled);
+
+    // ---------- 3. SimplePolicy action edges (Figures 2/3) -------------
+    build_simple_configs(
+        skeletons,
+        &enabled,
+        &reject_counts,
+        &non_pleroma,
+        &by_domain,
+        config,
+        rng,
+        &mut simple,
+    );
+
+    // Instances with a Simple config must have the policy enabled.
+    for (i, s) in simple.iter().enumerate() {
+        if s.is_some() && !enabled[i].contains(&PolicyKind::Simple) {
+            enabled[i].push(PolicyKind::Simple);
+        }
+    }
+
+    ModerationPlan {
+        enabled,
+        simple,
+        reject_counts,
+    }
+}
+
+fn build_reject_targets<R: Rng>(
+    skeletons: &[InstanceSkeleton],
+    crawled: &[usize],
+    non_pleroma: &[usize],
+    by_domain: &HashMap<&str, usize>,
+    config: &WorldConfig,
+    rng: &mut R,
+) -> BTreeMap<usize, u32> {
+    let mut counts: BTreeMap<usize, u32> = BTreeMap::new();
+    let scale_counts = |c: u32| ((c as f64 * config.scale).round() as u32).max(1);
+
+    // Named instances: fixed counts from the paper.
+    for (domain, _, _, rejects) in names::NAMED_PLEROMA {
+        if let Some(&idx) = by_domain.get(domain) {
+            counts.insert(idx, scale_counts(rejects));
+        }
+    }
+    for (domain, rejects) in names::NAMED_NON_PLEROMA {
+        if let Some(&idx) = by_domain.get(domain) {
+            counts.insert(idx, scale_counts(rejects));
+        }
+    }
+
+    // Additional Pleroma targets. §4.2: 202 rejected Pleroma instances
+    // holding 86.2% of users — every big instance is rejected by someone,
+    // then a weighted tail of smaller ones (weight ∝ posts^0.45 gives the
+    // weak posts↔rejects Spearman of 0.38).
+    let target_pleroma = config.scaled(paper::REJECTED_PLEROMA_INSTANCES, 4) as usize;
+    let total_users: u64 = crawled.iter().map(|&i| skeletons[i].users_target as u64).sum();
+    let mut by_size: Vec<usize> = crawled.to_vec();
+    by_size.sort_by_key(|&i| std::cmp::Reverse(skeletons[i].users_target));
+    let mut covered = 0u64;
+    for &i in &by_size {
+        if counts.len() >= target_pleroma {
+            break;
+        }
+        if (covered as f64) / (total_users.max(1) as f64) >= 0.84 {
+            break;
+        }
+        covered += skeletons[i].users_target as u64;
+        counts.entry(i).or_insert_with(|| sample_reject_count(skeletons[i].posts_full_scale, rng));
+    }
+    // Weighted fill to the target count. §5 finds 26.4% of rejected
+    // instances with post data are single-user, so a third of the fill
+    // quota goes to tiny instances; the rest is posts-weighted (which is
+    // what keeps the posts↔rejects Spearman weakly positive).
+    let tiny: Vec<usize> = crawled
+        .iter()
+        .copied()
+        .filter(|&i| skeletons[i].users_target <= 2 && skeletons[i].posts_full_scale > 0)
+        .collect();
+    let mut attempts = 0;
+    while counts
+        .keys()
+        .filter(|&&i| skeletons[i].profile.is_pleroma())
+        .count()
+        < target_pleroma
+        && attempts < 200_000
+    {
+        attempts += 1;
+        if !tiny.is_empty() && rng.gen_bool(0.34) {
+            let &i = &tiny[rng.gen_range(0..tiny.len())];
+            if !counts.contains_key(&i) {
+                counts.insert(i, sample_small_reject_count(rng).min(8));
+            }
+            continue;
+        }
+        let &i = &crawled[rng.gen_range(0..crawled.len())];
+        if counts.contains_key(&i) {
+            continue;
+        }
+        let w = ((skeletons[i].posts_full_scale as f64) + 1.0).powf(0.45);
+        let max_w = 1_000.0f64; // ~posts 4.5M^0.45
+        if rng.gen::<f64>() < (w / max_w).min(1.0).max(0.002) {
+            counts.insert(i, sample_reject_count(skeletons[i].posts_full_scale, rng));
+        }
+    }
+
+    // Non-Pleroma targets (83% of all rejected instances).
+    let target_np = config.scaled(paper::REJECTED_NON_PLEROMA_INSTANCES, 8) as usize;
+    let mut np_rejected = counts
+        .keys()
+        .filter(|&&i| !skeletons[i].profile.is_pleroma())
+        .count();
+    let mut attempts = 0;
+    while np_rejected < target_np && attempts < 400_000 {
+        attempts += 1;
+        let &i = &non_pleroma[rng.gen_range(0..non_pleroma.len())];
+        if counts.contains_key(&i) {
+            continue;
+        }
+        let w = (skeletons[i].users_target as f64 + 1.0).powf(0.4);
+        if rng.gen::<f64>() < (w / 30.0).min(1.0).max(0.01) {
+            counts.insert(i, sample_small_reject_count(rng));
+            np_rejected += 1;
+        }
+    }
+    counts
+}
+
+/// Heavy-tailed reject count for a Pleroma target: §4.2 wants 86.8% of
+/// rejected instances below 10 rejects and a 5.4% elite above 20, with a
+/// *weak* positive dependence on post volume (Spearman ≈ 0.38).
+fn sample_reject_count<R: Rng>(posts: u64, rng: &mut R) -> u32 {
+    // Base: categorical matching the paper's quantiles.
+    let r: f64 = rng.gen();
+    let base = if r < 0.62 {
+        rng.gen_range(1.0..5.0)
+    } else if r < 0.875 {
+        rng.gen_range(5.0..10.0)
+    } else if r < 0.972 {
+        rng.gen_range(10.0..19.0)
+    } else {
+        rng.gen_range(20.0..42.0)
+    };
+    // Posts bias: up to ~+5 for the postiest instances (P95 at full scale
+    // is ~150k posts). This is what lifts Spearman above zero without
+    // making it strong.
+    let pct = ((posts as f64 + 1.0) / 150_000.0).powf(0.5).min(1.0);
+    let c = (base + 3.5 * pct * pct).round() as u32;
+    c.clamp(1, 48)
+}
+
+/// Reject count for a non-Pleroma target (mostly 1–6).
+fn sample_small_reject_count<R: Rng>(rng: &mut R) -> u32 {
+    let r: f64 = rng.gen();
+    if r < 0.55 {
+        rng.gen_range(1..3)
+    } else if r < 0.9 {
+        rng.gen_range(3..9)
+    } else if r < 0.985 {
+        rng.gen_range(9..21)
+    } else {
+        rng.gen_range(21..45)
+    }
+}
+
+/// The Figure 7 left tail: policies outside Table 3, with approximate
+/// instance counts read off the figure (descending).
+const FIG7_TAIL: [(PolicyKind, u32); 25] = [
+    (PolicyKind::NormalizeMarkup, 14),
+    (PolicyKind::NoPlaceholderText, 10),
+    (PolicyKind::Block, 9),
+    (PolicyKind::UserAllowList, 8),
+    (PolicyKind::NoEmpty, 5),
+    (PolicyKind::SogigiMindWarming, 4),
+    (PolicyKind::SupSlashB, 4),
+    (PolicyKind::BonziEmojiReactions, 3),
+    (PolicyKind::NotifyLocalUsers, 3),
+    (PolicyKind::CdnWarming, 3),
+    (PolicyKind::RacismRemover, 2),
+    (PolicyKind::RejectCloudflare, 2),
+    (PolicyKind::Rewrite, 2),
+    (PolicyKind::NoIncomingDeletes, 2),
+    (PolicyKind::SupSlashG, 1),
+    (PolicyKind::BlockNotification, 1),
+    (PolicyKind::SupSlashMlp, 1),
+    (PolicyKind::SupSlashPol, 1),
+    (PolicyKind::SupSlashX, 1),
+    (PolicyKind::AntispamSandbox, 1),
+    (PolicyKind::KanayaBlogProcess, 1),
+    (PolicyKind::Amqp, 1),
+    (PolicyKind::AutoReject, 1),
+    (PolicyKind::LocalOnly, 1),
+    (PolicyKind::SandboxCustom, 1),
+];
+
+fn assign_policies<R: Rng>(
+    skeletons: &[InstanceSkeleton],
+    exposing: &[usize],
+    by_domain: &HashMap<&str, usize>,
+    config: &WorldConfig,
+    rng: &mut R,
+    enabled: &mut [Vec<PolicyKind>],
+) {
+    let catalog = fediscope_core::catalog::PolicyCatalog::global();
+    let non_retaliators: HashSet<usize> = NON_RETALIATORS
+        .iter()
+        .filter_map(|d| by_domain.get(d).copied())
+        .collect();
+
+    // Table 3 rows: instance counts exact (scaled), user totals matched by
+    // a budget-greedy pick.
+    for row in &paper::TABLE3_PREVALENCE {
+        let Some(entry) = catalog.by_name(row.name) else {
+            continue;
+        };
+        let kind = entry.kind;
+        let n_i = config.scaled(row.instances, 1) as usize;
+        let user_budget = config.scaled(row.users, 1) as f64;
+        let mut chosen: HashSet<usize> = HashSet::new();
+        // spinster.xyz is a known (heavy) SimplePolicy user.
+        if kind == PolicyKind::Simple {
+            if let Some(&idx) = by_domain.get("spinster.xyz") {
+                chosen.insert(idx);
+            }
+        }
+        let mut remaining_budget =
+            user_budget - chosen.iter().map(|&i| skeletons[i].users_target as f64).sum::<f64>();
+        while chosen.len() < n_i.min(exposing.len()) {
+            let need = (remaining_budget / (n_i - chosen.len()) as f64).max(1.0);
+            // Probe a handful of random candidates, keep the one whose
+            // size best matches the per-pick budget.
+            let mut best: Option<(usize, f64)> = None;
+            for _ in 0..14 {
+                let &cand = &exposing[rng.gen_range(0..exposing.len())];
+                if chosen.contains(&cand) {
+                    continue;
+                }
+                if kind == PolicyKind::Simple && non_retaliators.contains(&cand) {
+                    continue;
+                }
+                let gap = ((skeletons[cand].users_target as f64) - need).abs();
+                if best.map(|(_, g)| gap < g).unwrap_or(true) {
+                    best = Some((cand, gap));
+                }
+            }
+            let pick = match best {
+                Some((pick, _)) => pick,
+                None => {
+                    // Probes saturated (the policy covers most of the
+                    // pool); fall back to a linear scan for any
+                    // unchosen eligible instance.
+                    match exposing.iter().copied().find(|c| {
+                        !chosen.contains(c)
+                            && !(kind == PolicyKind::Simple && non_retaliators.contains(c))
+                    }) {
+                        Some(c) => c,
+                        None => break,
+                    }
+                }
+            };
+            chosen.insert(pick);
+            remaining_budget -= skeletons[pick].users_target as f64;
+        }
+        for idx in chosen {
+            enabled[idx].push(kind);
+        }
+    }
+
+    // Figure 7 tail: small counts, random small instances.
+    for (kind, count) in FIG7_TAIL {
+        let c = config.scaled(count, 1) as usize;
+        let mut placed = 0;
+        let mut guard = 0;
+        while placed < c && guard < 10_000 {
+            guard += 1;
+            let &idx = &exposing[rng.gen_range(0..exposing.len())];
+            if enabled[idx].contains(&kind) {
+                continue;
+            }
+            enabled[idx].push(kind);
+            placed += 1;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_simple_configs<R: Rng>(
+    skeletons: &[InstanceSkeleton],
+    enabled: &[Vec<PolicyKind>],
+    reject_counts: &BTreeMap<usize, u32>,
+    non_pleroma: &[usize],
+    by_domain: &HashMap<&str, usize>,
+    config: &WorldConfig,
+    rng: &mut R,
+    simple: &mut [Option<SimplePolicy>],
+) {
+    let simple_instances: Vec<usize> = enabled
+        .iter()
+        .enumerate()
+        .filter(|(_, kinds)| kinds.contains(&PolicyKind::Simple))
+        .map(|(i, _)| i)
+        .collect();
+    if simple_instances.is_empty() {
+        return;
+    }
+    for &i in &simple_instances {
+        simple[i] = Some(SimplePolicy::new());
+    }
+
+    // ---- reject edges ----
+    // §4.1: 73% of SimplePolicy instances apply reject. §4.2: the most
+    // rejected instances barely reject anyone themselves (no retaliation;
+    // Spearman ≈ −0.03) — heavily rejected instances stay out of the
+    // rejector pool, spinster.xyz excepted.
+    let reject_pool_size =
+        ((simple_instances.len() as f64) * paper::SIMPLEPOLICY_REJECT_SHARE).round() as usize;
+    let spinster = by_domain.get("spinster.xyz").copied();
+    let mut reject_pool: Vec<usize> = Vec::new();
+    if let Some(sp) = spinster {
+        if simple_instances.contains(&sp) {
+            reject_pool.push(sp);
+        }
+    }
+    let mut shuffled = simple_instances.clone();
+    partial_shuffle(&mut shuffled, rng);
+    for &i in &shuffled {
+        if reject_pool.len() >= reject_pool_size.max(1) {
+            break;
+        }
+        let heavily_rejected = reject_counts.get(&i).copied().unwrap_or(0) >= 20;
+        if heavily_rejected && Some(i) != spinster {
+            continue;
+        }
+        if !reject_pool.contains(&i) {
+            reject_pool.push(i);
+        }
+    }
+    // Per-rejector propensity: heavy-tailed blocklist sizes.
+    let weights: Vec<f64> = reject_pool
+        .iter()
+        .map(|_| (rng.gen_range(-1.0_f64..1.4)).exp())
+        .collect();
+    let weight_sum: f64 = weights.iter().sum();
+
+    for (&target, &count) in reject_counts {
+        let target_domain = skeletons[target].profile.domain.clone();
+        let k = (count as usize).min(reject_pool.len().saturating_sub(1)).max(1);
+        let mut picked: HashSet<usize> = HashSet::new();
+        let mut guard = 0;
+        while picked.len() < k && guard < 20_000 {
+            guard += 1;
+            // Roulette pick.
+            let mut roll = rng.gen::<f64>() * weight_sum;
+            let mut choice = reject_pool[0];
+            for (idx, &w) in weights.iter().enumerate() {
+                roll -= w;
+                if roll <= 0.0 {
+                    choice = reject_pool[idx];
+                    break;
+                }
+            }
+            if choice == target || picked.contains(&choice) {
+                continue;
+            }
+            picked.insert(choice);
+        }
+        for rejector in picked {
+            simple[rejector]
+                .as_mut()
+                .expect("pool members have configs")
+                .add_target(SimpleAction::Reject, target_domain.clone());
+        }
+    }
+
+    // spinster.xyz applies ~45 rejects (§4.2); trim or pad its list while
+    // keeping every target's total reject count intact.
+    if let (Some(sp), true) = (spinster, config.scale > 0.9) {
+        if simple[sp].is_some() {
+            let want = paper::SPINSTER_OUTGOING_REJECTS as usize;
+            let current = simple[sp]
+                .as_ref()
+                .unwrap()
+                .targets(SimpleAction::Reject)
+                .len();
+            if current > want {
+                // Move surplus edges to other rejectors.
+                let mut targets: Vec<_> = simple[sp]
+                    .as_ref()
+                    .unwrap()
+                    .targets(SimpleAction::Reject)
+                    .to_vec();
+                partial_shuffle(&mut targets, rng);
+                for t in targets.iter().take(current - want) {
+                    simple[sp]
+                        .as_mut()
+                        .unwrap()
+                        .remove_target(SimpleAction::Reject, t);
+                    // Hand the edge to a rejector that doesn't list it yet.
+                    for _ in 0..50 {
+                        let fallback = reject_pool[rng.gen_range(0..reject_pool.len())];
+                        if fallback != sp
+                            && !simple[fallback]
+                                .as_ref()
+                                .unwrap()
+                                .targets(SimpleAction::Reject)
+                                .contains(t)
+                        {
+                            simple[fallback]
+                                .as_mut()
+                                .unwrap()
+                                .add_target(SimpleAction::Reject, t.clone());
+                            break;
+                        }
+                    }
+                }
+            } else if current < want {
+                // Steal edges from other rejectors: for targets spinster
+                // doesn't list, move one existing edge over.
+                let mut target_domains: Vec<_> = reject_counts
+                    .keys()
+                    .map(|&i| skeletons[i].profile.domain.clone())
+                    .collect();
+                partial_shuffle(&mut target_domains, rng);
+                let mut have = current;
+                'outer: for t in target_domains {
+                    if have >= want {
+                        break;
+                    }
+                    if simple[sp]
+                        .as_ref()
+                        .unwrap()
+                        .targets(SimpleAction::Reject)
+                        .contains(&t)
+                    {
+                        continue;
+                    }
+                    for &donor in &reject_pool {
+                        if donor == sp {
+                            continue;
+                        }
+                        let lists_it = simple[donor]
+                            .as_ref()
+                            .map(|c| c.targets(SimpleAction::Reject).contains(&t))
+                            .unwrap_or(false);
+                        if lists_it {
+                            simple[donor]
+                                .as_mut()
+                                .unwrap()
+                                .remove_target(SimpleAction::Reject, &t);
+                            simple[sp]
+                                .as_mut()
+                                .unwrap()
+                                .add_target(SimpleAction::Reject, t.clone());
+                            have += 1;
+                            continue 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- the other nine actions ----
+    // Quotas sized so reject stays at 62.8% of all moderation events.
+    let reject_edges: usize = simple
+        .iter()
+        .flatten()
+        .map(|s| s.targets(SimpleAction::Reject).len())
+        .sum();
+    let other_total = ((reject_edges as f64) * (1.0 - paper::REJECT_SHARE_OF_EVENTS)
+        / paper::REJECT_SHARE_OF_EVENTS)
+        .round() as usize;
+    let action_rows: Vec<&paper::ActionTargeting> = paper::FIG23_ACTIONS
+        .iter()
+        .filter(|a| a.action != "reject")
+        .collect();
+    let mass_total: f64 = action_rows
+        .iter()
+        .map(|a| (a.targeted_pleroma + a.targeted_non_pleroma) as f64)
+        .sum();
+    let crawled: Vec<usize> = skeletons
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.profile.is_pleroma() && s.crawlable())
+        .map(|(i, _)| i)
+        .collect();
+    // §4.1: rejected instances make up 80% of all moderated instances —
+    // non-reject actions overwhelmingly pile onto already-rejected
+    // targets rather than fresh ones.
+    let rejected_pleroma: Vec<usize> = reject_counts
+        .keys()
+        .copied()
+        .filter(|&i| skeletons[i].profile.is_pleroma())
+        .collect();
+    let rejected_np: Vec<usize> = reject_counts
+        .keys()
+        .copied()
+        .filter(|&i| !skeletons[i].profile.is_pleroma())
+        .collect();
+
+    for row in action_rows {
+        let action = SimpleAction::parse(row.action).expect("paper action labels parse");
+        let quota = ((row.targeted_pleroma + row.targeted_non_pleroma) as f64 / mass_total
+            * other_total as f64)
+            .round()
+            .max(1.0) as usize;
+        // Targeting pool for this action.
+        let pool_n = config.scaled(row.targeting_instances, 1) as usize;
+        let mut pool = simple_instances.clone();
+        partial_shuffle(&mut pool, rng);
+        pool.truncate(pool_n.max(1));
+        // Targets: Pleroma + non-Pleroma, sizes from Figure 2.
+        let mut targets: Vec<usize> = Vec::new();
+        let want_p = config.scaled(row.targeted_pleroma, 1) as usize;
+        let want_np = config.scaled(row.targeted_non_pleroma, 1) as usize;
+        let mut guard = 0;
+        while targets.iter().filter(|&&t| skeletons[t].profile.is_pleroma()).count() < want_p
+            && guard < 100_000
+        {
+            guard += 1;
+            // 85%: pile onto an already-rejected instance; 15%: fresh.
+            let cand = if rng.gen_bool(0.93) && !rejected_pleroma.is_empty() {
+                rejected_pleroma[rng.gen_range(0..rejected_pleroma.len())]
+            } else {
+                crawled[rng.gen_range(0..crawled.len())]
+            };
+            if !targets.contains(&cand) {
+                let w = ((skeletons[cand].posts_full_scale as f64) + 1.0).powf(0.4);
+                if rng.gen::<f64>() < (w / 400.0).min(1.0).max(0.05) {
+                    targets.push(cand);
+                }
+            }
+        }
+        let mut guard = 0;
+        while targets.iter().filter(|&&t| !skeletons[t].profile.is_pleroma()).count() < want_np
+            && guard < 100_000
+        {
+            guard += 1;
+            let cand = if rng.gen_bool(0.93) && !rejected_np.is_empty() {
+                rejected_np[rng.gen_range(0..rejected_np.len())]
+            } else {
+                non_pleroma[rng.gen_range(0..non_pleroma.len())]
+            };
+            if !targets.contains(&cand) {
+                targets.push(cand);
+            }
+        }
+        if targets.is_empty() {
+            continue;
+        }
+        // Distribute `quota` edges: each target ≥ 1.
+        let mut per_target: Vec<usize> = vec![1; targets.len()];
+        let mut left = quota.saturating_sub(targets.len());
+        while left > 0 {
+            per_target[rng.gen_range(0..targets.len())] += 1;
+            left -= 1;
+        }
+        for (t_pos, &target) in targets.iter().enumerate() {
+            let domain = skeletons[target].profile.domain.clone();
+            let mut assigned: HashSet<usize> = HashSet::new();
+            let mut guard = 0;
+            while assigned.len() < per_target[t_pos].min(pool.len()) && guard < 10_000 {
+                guard += 1;
+                let &who = &pool[rng.gen_range(0..pool.len())];
+                if who == target || assigned.contains(&who) {
+                    continue;
+                }
+                assigned.insert(who);
+            }
+            for who in assigned {
+                simple[who]
+                    .as_mut()
+                    .expect("pool members have configs")
+                    .add_target(action, domain.clone());
+            }
+        }
+    }
+}
+
+/// Fisher–Yates shuffle (rand's slice shuffle lives behind a feature we
+/// don't pull; seven lines keep the dependency surface small).
+fn partial_shuffle<T, R: Rng>(v: &mut [T], rng: &mut R) {
+    if v.is_empty() {
+        return;
+    }
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::generate_population;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn full_plan() -> (Vec<InstanceSkeleton>, ModerationPlan) {
+        let config = WorldConfig::paper();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let skeletons = generate_population(&config, &mut rng);
+        let plan = plan(&skeletons, &config, &mut rng);
+        (skeletons, plan)
+    }
+
+    #[test]
+    fn rejected_counts_match_paper_scale() {
+        let (skeletons, plan) = full_plan();
+        let pleroma_rejected = plan
+            .reject_counts
+            .keys()
+            .filter(|&&i| skeletons[i].profile.is_pleroma())
+            .count() as u32;
+        let np_rejected = plan.reject_counts.len() as u32 - pleroma_rejected;
+        assert!(
+            (pleroma_rejected as i64 - paper::REJECTED_PLEROMA_INSTANCES as i64).abs() <= 8,
+            "pleroma rejected {pleroma_rejected}"
+        );
+        assert!(
+            (np_rejected as i64 - paper::REJECTED_NON_PLEROMA_INSTANCES as i64).abs() <= 40,
+            "non-pleroma rejected {np_rejected}"
+        );
+    }
+
+    #[test]
+    fn rejected_instances_hold_most_users() {
+        let (skeletons, plan) = full_plan();
+        let total: u64 = skeletons
+            .iter()
+            .filter(|s| s.profile.is_pleroma() && s.crawlable())
+            .map(|s| s.users_target as u64)
+            .sum();
+        let rejected: u64 = plan
+            .reject_counts
+            .keys()
+            .filter(|&&i| skeletons[i].profile.is_pleroma())
+            .map(|&i| skeletons[i].users_target as u64)
+            .sum();
+        let share = rejected as f64 / total as f64;
+        assert!(
+            (share - paper::USERS_ON_REJECTED_INSTANCES).abs() < 0.06,
+            "rejected user share {share:.3} vs paper 0.862"
+        );
+    }
+
+    #[test]
+    fn reject_count_distribution_quantiles() {
+        let (skeletons, plan) = full_plan();
+        let counts: Vec<u32> = plan
+            .reject_counts
+            .iter()
+            .filter(|(&i, _)| skeletons[i].profile.is_pleroma())
+            .map(|(_, &c)| c)
+            .collect();
+        let n = counts.len() as f64;
+        let below10 = counts.iter().filter(|&&c| c < 10).count() as f64 / n;
+        let elite = counts.iter().filter(|&&c| c > 20).count() as f64 / n;
+        assert!(
+            (below10 - paper::REJECTED_BY_FEWER_THAN_10).abs() < 0.12,
+            "below-10 share {below10:.3}"
+        );
+        assert!(elite > 0.015 && elite < 0.12, "elite share {elite:.3}");
+    }
+
+    #[test]
+    fn named_targets_keep_their_table1_counts() {
+        let (skeletons, plan) = full_plan();
+        let find = |d: &str| {
+            skeletons
+                .iter()
+                .position(|s| s.profile.domain.as_str() == d)
+                .unwrap()
+        };
+        assert_eq!(plan.reject_counts[&find("freespeechextremist.com")], 97);
+        assert_eq!(plan.reject_counts[&find("kiwifarms.cc")], 86);
+        assert_eq!(plan.reject_counts[&find("gab.com")], 120);
+    }
+
+    #[test]
+    fn table3_instance_counts_are_reproduced() {
+        let (_, plan) = full_plan();
+        let catalog = fediscope_core::catalog::PolicyCatalog::global();
+        for row in &paper::TABLE3_PREVALENCE {
+            let kind = catalog.by_name(row.name).unwrap().kind;
+            let got = plan
+                .enabled
+                .iter()
+                .filter(|kinds| kinds.contains(&kind))
+                .count() as i64;
+            assert!(
+                (got - row.instances as i64).abs() <= 2,
+                "{}: got {got}, want {}",
+                row.name,
+                row.instances
+            );
+        }
+    }
+
+    #[test]
+    fn table3_user_totals_are_approximated() {
+        let (skeletons, plan) = full_plan();
+        let catalog = fediscope_core::catalog::PolicyCatalog::global();
+        // Check the biggest rows; small rows are noise-dominated.
+        for row in paper::TABLE3_PREVALENCE.iter().take(6) {
+            let kind = catalog.by_name(row.name).unwrap().kind;
+            let users: u64 = plan
+                .enabled
+                .iter()
+                .enumerate()
+                .filter(|(_, kinds)| kinds.contains(&kind))
+                .map(|(i, _)| skeletons[i].users_target as u64)
+                .sum();
+            let want = row.users as f64;
+            let ratio = users as f64 / want;
+            assert!(
+                (0.55..1.8).contains(&ratio),
+                "{}: users {users} vs want {want}",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_46_policies_appear() {
+        let (_, plan) = full_plan();
+        for kind in PolicyKind::OBSERVED {
+            assert!(
+                plan.enabled.iter().any(|kinds| kinds.contains(&kind)),
+                "{kind} must be enabled somewhere"
+            );
+        }
+    }
+
+    #[test]
+    fn reject_share_of_events_near_62_8_percent() {
+        let (_, plan) = full_plan();
+        let share = plan.reject_events() as f64 / plan.total_events() as f64;
+        assert!(
+            (share - paper::REJECT_SHARE_OF_EVENTS).abs() < 0.05,
+            "reject share {share:.3}"
+        );
+    }
+
+    #[test]
+    fn non_retaliators_apply_no_rejects() {
+        let (skeletons, plan) = full_plan();
+        for domain in NON_RETALIATORS {
+            if let Some(i) = skeletons
+                .iter()
+                .position(|s| s.profile.domain.as_str() == domain)
+            {
+                let outgoing = plan.simple[i]
+                    .as_ref()
+                    .map(|s| s.targets(SimpleAction::Reject).len())
+                    .unwrap_or(0);
+                assert_eq!(outgoing, 0, "{domain} must not retaliate");
+            }
+        }
+    }
+
+    #[test]
+    fn spinster_rejects_about_45() {
+        let (skeletons, plan) = full_plan();
+        let sp = skeletons
+            .iter()
+            .position(|s| s.profile.domain.as_str() == "spinster.xyz")
+            .unwrap();
+        let outgoing = plan.simple[sp]
+            .as_ref()
+            .map(|s| s.targets(SimpleAction::Reject).len())
+            .unwrap_or(0);
+        assert!(
+            (outgoing as i64 - paper::SPINSTER_OUTGOING_REJECTS as i64).abs() <= 10,
+            "spinster outgoing {outgoing}"
+        );
+    }
+
+    #[test]
+    fn every_action_has_targeting_instances() {
+        let (_, plan) = full_plan();
+        for action in SimpleAction::ALL {
+            let targeting = plan
+                .simple
+                .iter()
+                .flatten()
+                .filter(|s| !s.targets(action).is_empty())
+                .count();
+            assert!(targeting > 0, "{} has no targeting instances", action.label());
+        }
+    }
+
+    #[test]
+    fn ground_truth_counts_match_distributed_edges() {
+        let (skeletons, plan) = full_plan();
+        // Measured rejects per target from the configs.
+        let mut measured: HashMap<String, u32> = HashMap::new();
+        for cfg in plan.simple.iter().flatten() {
+            for t in cfg.targets(SimpleAction::Reject) {
+                *measured.entry(t.to_string()).or_insert(0) += 1;
+            }
+        }
+        // Compare against ground truth for a sample of targets.
+        let mut checked = 0;
+        for (&idx, &want) in plan.reject_counts.iter().take(200) {
+            let domain = skeletons[idx].profile.domain.to_string();
+            let got = measured.get(&domain).copied().unwrap_or(0);
+            // Self-rejection exclusion and pool clamping allow small gaps.
+            assert!(
+                (got as i64 - want as i64).abs() <= 3 || got >= 1,
+                "{domain}: got {got}, want {want}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+}

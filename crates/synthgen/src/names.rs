@@ -1,0 +1,76 @@
+//! Domain names: the paper's named instances plus synthetic fill.
+
+use fediscope_core::id::Domain;
+
+/// The named Pleroma instances of Table 1 with their paper-reported user
+/// and post counts and reject counts: `(domain, users, posts, rejects)`.
+pub const NAMED_PLEROMA: [(&str, u32, u64, u32); 5] = [
+    ("freespeechextremist.com", 1_800, 1_130_000, 97),
+    ("kiwifarms.cc", 6_800, 391_000, 86),
+    ("spinster.xyz", 17_900, 1_340_000, 65),
+    ("neckbeard.xyz", 15_100, 816_000, 61),
+    ("poa.st", 5_100, 344_000, 51),
+];
+
+/// Named non-Pleroma instances the paper mentions. `gab.com` is the most
+/// rejected instance overall (§4.2); the §7 list names the others.
+/// `(domain, rejects)`.
+pub const NAMED_NON_PLEROMA: [(&str, u32); 3] = [
+    ("gab.com", 120),
+    ("social.myfreecams.com", 35),
+    ("baraag.net", 30),
+];
+
+/// Synthetic Pleroma domain for index `i`.
+pub fn pleroma_domain(i: u32) -> Domain {
+    Domain::new(format!("pleroma-{i:04}.fedi.test"))
+}
+
+/// Synthetic non-Pleroma domain for index `i`.
+pub fn mastodon_domain(i: u32) -> Domain {
+    Domain::new(format!("masto-{i:04}.fedi.test"))
+}
+
+/// Instance title for a domain.
+pub fn title_for(domain: &Domain) -> String {
+    format!("The {} community", domain.as_str().split('.').next().unwrap_or("fedi"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_pleroma_matches_table1_order() {
+        assert_eq!(NAMED_PLEROMA[0].0, "freespeechextremist.com");
+        assert_eq!(NAMED_PLEROMA[0].3, 97);
+        // Rejects strictly descending, mirroring Table 1.
+        for w in NAMED_PLEROMA.windows(2) {
+            assert!(w[0].3 > w[1].3);
+        }
+    }
+
+    #[test]
+    fn gab_is_most_rejected_overall() {
+        // §4.2: "the instance with the most reject actions against it is
+        // gab.com (a Mastodon instance)".
+        let gab = NAMED_NON_PLEROMA[0];
+        assert_eq!(gab.0, "gab.com");
+        assert!(gab.1 > NAMED_PLEROMA[0].3);
+    }
+
+    #[test]
+    fn synthetic_domains_are_distinct_and_stable() {
+        assert_eq!(pleroma_domain(7).as_str(), "pleroma-0007.fedi.test");
+        assert_eq!(mastodon_domain(7).as_str(), "masto-0007.fedi.test");
+        assert_ne!(pleroma_domain(1), pleroma_domain(2));
+    }
+
+    #[test]
+    fn titles_are_readable() {
+        assert_eq!(
+            title_for(&Domain::new("poa.st")),
+            "The poa community"
+        );
+    }
+}

@@ -1,0 +1,721 @@
+//! World assembly: users, posts, peers, and the final [`World`].
+
+use crate::character::InstanceCharacter;
+use crate::config::WorldConfig;
+use crate::content::ContentComposer;
+use crate::harm::{HarmProfile, UserHarm};
+use crate::moderation::{self, ModerationPlan};
+use crate::population::{self, InstanceSkeleton};
+use fediscope_core::config::InstanceModerationConfig;
+use fediscope_core::id::{Domain, InstanceId, PostId, UserId, UserRef};
+use fediscope_core::model::{InstanceProfile, MediaAttachment, MediaKind, Post, User, Visibility};
+use fediscope_core::paper;
+use fediscope_core::time::{CAMPAIGN_END, CAMPAIGN_START};
+use fediscope_simnet::FailureMode;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A generated user with their ground-truth harm profile and posts.
+#[derive(Debug, Clone)]
+pub struct GeneratedUser {
+    /// The account record.
+    pub user: User,
+    /// Harm ground truth (what the §5 analysis should re-discover).
+    pub harm: UserHarm,
+    /// The user's posts (already content-composed, sampled by
+    /// `post_scale`).
+    pub posts: Vec<Post>,
+}
+
+/// A generated instance: everything the materialiser needs to spin up a
+/// server, and the ground truth the calibration tests verify against.
+#[derive(Debug, Clone)]
+pub struct GeneratedInstance {
+    /// Identity and flags.
+    pub profile: InstanceProfile,
+    /// Network behaviour.
+    pub failure: FailureMode,
+    /// Moderation configuration (enabled policies + SimplePolicy targets).
+    pub moderation: InstanceModerationConfig,
+    /// Community character.
+    pub character: InstanceCharacter,
+    /// Users with their posts.
+    pub users: Vec<GeneratedUser>,
+    /// Domains this instance has ever federated with (Peers API payload).
+    pub peers: Vec<Domain>,
+    /// Full-scale post count (before `post_scale` sampling) — what the
+    /// instance's metadata would have reported in the real world.
+    pub posts_full_scale: u64,
+    /// Ground truth: number of instances rejecting this one.
+    pub rejects_received: u32,
+}
+
+impl GeneratedInstance {
+    /// Whether the instance answers the network.
+    pub fn crawlable(&self) -> bool {
+        self.failure == FailureMode::Healthy
+    }
+
+    /// All posts of the instance, sorted by id (= creation order), ready
+    /// for in-order timeline installation.
+    pub fn posts_sorted(&self) -> Vec<&Post> {
+        let mut posts: Vec<&Post> = self.users.iter().flat_map(|u| u.posts.iter()).collect();
+        posts.sort_by_key(|p| p.id);
+        posts
+    }
+
+    /// Number of generated (sampled) posts.
+    pub fn post_count(&self) -> usize {
+        self.users.iter().map(|u| u.posts.len()).sum()
+    }
+}
+
+/// The generated fediverse.
+#[derive(Debug)]
+pub struct World {
+    /// Configuration it was generated from.
+    pub config: WorldConfig,
+    /// Every instance, Pleroma first (crawlable, then failed), then
+    /// non-Pleroma. Indexed by `InstanceId`.
+    pub instances: Vec<GeneratedInstance>,
+    /// The seed directory (the distsn.org / the-federation.info stand-in):
+    /// a subset of Pleroma domains; the crawler discovers the rest through
+    /// the Peers API.
+    pub directory: Vec<Domain>,
+}
+
+impl World {
+    /// Generates a world. Deterministic in `config.seed`.
+    pub fn generate(config: WorldConfig) -> World {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let skeletons = population::generate_population(&config, &mut rng);
+        let plan = moderation::plan(&skeletons, &config, &mut rng);
+        let characters = assign_characters(&skeletons, &plan, &mut rng);
+        let timeline_open = fix_timelines(&skeletons, &plan, &config, &mut rng);
+        let directory = build_directory(&skeletons, &mut rng);
+        let peers = build_peers(&skeletons, &directory, &mut rng);
+
+        let harm_profile = HarmProfile::new();
+        let composer = ContentComposer::new();
+        let mut instances = Vec::with_capacity(skeletons.len());
+        for (i, skel) in skeletons.iter().enumerate() {
+            let mut profile = skel.profile.clone();
+            profile.public_timeline_open = timeline_open[i];
+            let rejected = plan.reject_counts.contains_key(&i);
+            let users = if skel.profile.is_pleroma() && skel.crawlable() {
+                generate_users(
+                    &config,
+                    skel,
+                    characters[i],
+                    rejected,
+                    &harm_profile,
+                    &composer,
+                    &mut rng,
+                )
+            } else {
+                Vec::new()
+            };
+            let mut moderation_config = InstanceModerationConfig::default();
+            for &kind in &plan.enabled[i] {
+                moderation_config.enable(kind);
+            }
+            if let Some(simple) = &plan.simple[i] {
+                moderation_config.set_simple(simple.clone());
+            }
+            instances.push(GeneratedInstance {
+                profile,
+                failure: skel.failure,
+                moderation: moderation_config,
+                character: characters[i],
+                users,
+                peers: peers[i].clone(),
+                posts_full_scale: skel.posts_full_scale,
+                rejects_received: plan.reject_counts.get(&i).copied().unwrap_or(0),
+            });
+        }
+        World {
+            config,
+            instances,
+            directory,
+        }
+    }
+
+    /// Crawlable Pleroma instances.
+    pub fn crawled_pleroma(&self) -> impl Iterator<Item = &GeneratedInstance> {
+        self.instances
+            .iter()
+            .filter(|i| i.profile.is_pleroma() && i.crawlable())
+    }
+
+    /// Rejected Pleroma instances (ground truth).
+    pub fn rejected_pleroma(&self) -> impl Iterator<Item = &GeneratedInstance> {
+        self.crawled_pleroma().filter(|i| i.rejects_received > 0)
+    }
+
+    /// Finds an instance by domain.
+    pub fn by_domain(&self, domain: &str) -> Option<&GeneratedInstance> {
+        self.instances
+            .iter()
+            .find(|i| i.profile.domain.as_str() == domain)
+    }
+
+    /// Total users on crawlable Pleroma instances.
+    pub fn total_users(&self) -> u64 {
+        self.crawled_pleroma().map(|i| i.users.len() as u64).sum()
+    }
+
+    /// Total generated (sampled) posts.
+    pub fn total_posts(&self) -> u64 {
+        self.crawled_pleroma().map(|i| i.post_count() as u64).sum()
+    }
+
+    /// The factor converting sampled post counts back to paper scale.
+    pub fn post_extrapolation(&self) -> f64 {
+        1.0 / self.config.post_scale
+    }
+}
+
+fn assign_characters<R: Rng>(
+    skeletons: &[InstanceSkeleton],
+    plan: &ModerationPlan,
+    rng: &mut R,
+) -> Vec<InstanceCharacter> {
+    skeletons
+        .iter()
+        .enumerate()
+        .map(|(i, skel)| {
+            // Named instances have documented characters.
+            match skel.profile.domain.as_str() {
+                "freespeechextremist.com" | "kiwifarms.cc" | "poa.st" | "gab.com" => {
+                    return InstanceCharacter::Toxic
+                }
+                "neckbeard.xyz" | "baraag.net" | "social.myfreecams.com" => {
+                    return InstanceCharacter::SexuallyExplicit
+                }
+                "spinster.xyz" => return InstanceCharacter::General,
+                _ => {}
+            }
+            if plan.reject_counts.contains_key(&i) {
+                InstanceCharacter::sample_rejected(rng)
+            } else {
+                InstanceCharacter::sample_unrejected(rng)
+            }
+        })
+        .collect()
+}
+
+/// Decides which crawled instances keep their public timeline open.
+///
+/// Calibrates jointly: (a) the §3 count of unreachable timelines; (b) §5's
+/// 61.9% of rejected Pleroma instances with post data; (c) the collected
+/// post mass landing near 14.5 M / 24.5 M.
+fn fix_timelines<R: Rng>(
+    skeletons: &[InstanceSkeleton],
+    plan: &ModerationPlan,
+    config: &WorldConfig,
+    rng: &mut R,
+) -> Vec<bool> {
+    let mut open: Vec<bool> = skeletons
+        .iter()
+        .map(|s| s.profile.public_timeline_open)
+        .collect();
+    let crawled: Vec<usize> = skeletons
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.profile.is_pleroma() && s.crawlable())
+        .map(|(i, _)| i)
+        .collect();
+    let quota = config.scaled(paper::INSTANCES_TIMELINE_UNREACHABLE, 2) as usize;
+    let mut closed: usize = crawled.iter().filter(|&&i| !open[i]).count();
+
+    // (b) Close rejected instances until only ~61.9% of rejected Pleroma
+    // instances with posts remain readable.
+    let rejected_with_posts: Vec<usize> = crawled
+        .iter()
+        .copied()
+        .filter(|&i| plan.reject_counts.contains_key(&i) && skeletons[i].posts_full_scale > 0)
+        .collect();
+    let keep_open = ((rejected_with_posts.len() as f64) * paper::REJECTED_WITH_POSTS_SHARE)
+        .round() as usize;
+    let mut to_close = rejected_with_posts.len().saturating_sub(keep_open);
+    let mut candidates = rejected_with_posts.clone();
+    shuffle(&mut candidates, rng);
+    for idx in candidates {
+        if to_close == 0 {
+            break;
+        }
+        // Keep the four open named Table 1 instances readable (their
+        // scores exist in the paper); spinster is already closed.
+        if skeletons[idx].named && skeletons[idx].profile.public_timeline_open {
+            continue;
+        }
+        if open[idx] {
+            open[idx] = false;
+            closed += 1;
+            to_close -= 1;
+        }
+    }
+
+    // (a) Fill the remaining closure quota from non-rejected instances,
+    // weighted towards posty instances so ~41% of post mass goes dark.
+    // Rejected instances are left alone: their open share was calibrated
+    // above.
+    let mut guard = 0;
+    while closed < quota && guard < 400_000 {
+        guard += 1;
+        let &idx = &crawled[rng.gen_range(0..crawled.len())];
+        if !open[idx] || skeletons[idx].named || plan.reject_counts.contains_key(&idx) {
+            continue;
+        }
+        let w = ((skeletons[idx].posts_full_scale as f64) + 1.0).powf(0.3);
+        if rng.gen::<f64>() < (w / 60.0).clamp(0.02, 1.0) {
+            open[idx] = false;
+            closed += 1;
+        }
+    }
+    open
+}
+
+fn generate_users<R: Rng>(
+    config: &WorldConfig,
+    skel: &InstanceSkeleton,
+    character: InstanceCharacter,
+    rejected: bool,
+    harm_profile: &HarmProfile,
+    composer: &ContentComposer,
+    rng: &mut R,
+) -> Vec<GeneratedUser> {
+    let n = skel.users_target.max(1);
+    let instance_id = skel.profile.id;
+    let domain = &skel.profile.domain;
+    let mut users: Vec<GeneratedUser> = (0..n)
+        .map(|k| {
+            let harm = if rejected {
+                harm_profile.sample_user(rng, character)
+            } else {
+                UserHarm::benign_default()
+            };
+            let created =
+                CAMPAIGN_START.0 as i64 - rng.gen_range(0..86_400 * 600) + 86_400 * 30;
+            GeneratedUser {
+                user: User {
+                    id: user_id(instance_id, k),
+                    instance: instance_id,
+                    domain: domain.clone(),
+                    handle: format!("u{k}"),
+                    created: fediscope_core::time::SimTime(created.max(0) as u64),
+                    bot: rng.gen_bool(0.02),
+                    followers: rng.gen_range(0..120),
+                    following: rng.gen_range(0..150),
+                    mrf_tags: Vec::new(),
+                    report_count: 0,
+                },
+                harm,
+                posts: Vec::new(),
+            }
+        })
+        .collect();
+
+    // ---- posts ----
+    // Instances with any full-scale posts keep at least one sampled post:
+    // "has post data" must survive subsampling (§5 counts instances with
+    // posts, and small rejected instances matter for the single-user
+    // filter).
+    let mut total_posts = ((skel.posts_full_scale as f64) * config.post_scale).round() as usize;
+    if skel.posts_full_scale > 0 {
+        total_posts = total_posts.max(1);
+    }
+    if total_posts == 0 {
+        return users;
+    }
+    // §3: 48.7% of users published at least one post.
+    let active: Vec<usize> = (0..users.len())
+        .filter(|_| rng.gen_bool(paper::USERS_WITH_POSTS_FRACTION))
+        .collect();
+    let active = if active.is_empty() { vec![0] } else { active };
+    // Post weights: rate multiplier × heavy-tailed activity.
+    let weights: Vec<f64> = active
+        .iter()
+        .map(|&u| {
+            let zipf: f64 = rng.gen_range(1e-3_f64..1.0);
+            users[u].harm.rate_multiplier * zipf.powf(-0.45)
+        })
+        .collect();
+    let weight_sum: f64 = weights.iter().sum();
+    // Two-phase allocation: every active user keeps at least one sampled
+    // post when the budget allows (so "users with ≥1 post" survives the
+    // post_scale subsampling), then the remainder follows the heavy-tailed
+    // activity weights.
+    let base = usize::from(total_posts >= active.len());
+    let remainder = total_posts.saturating_sub(base * active.len());
+    let mut seq: u64 = 0;
+    for (pos, &u) in active.iter().enumerate() {
+        let share = weights[pos] / weight_sum;
+        let mut count = base + (share * remainder as f64).round() as usize;
+        if pos == 0 {
+            count = count.max(1);
+        }
+        let user_ref = users[u].user.user_ref();
+        let harm = users[u].harm.clone();
+        let mut posts = Vec::with_capacity(count);
+        for _ in 0..count {
+            let target = harm_profile.sample_post_target(rng, &harm);
+            let content = if config.generate_text {
+                let len = rng.gen_range(8..28);
+                composer.compose(rng, &target, len)
+            } else {
+                String::new()
+            };
+            let created = fediscope_core::time::SimTime(
+                rng.gen_range(CAMPAIGN_START.0..CAMPAIGN_END.0),
+            );
+            let mut post = Post::stub(post_id(instance_id, seq), user_ref.clone(), created, content);
+            seq += 1;
+            // Media habits follow the community character: §7 notes the
+            // most rejected sexually-explicit instances carry their harm
+            // "mostly in media form".
+            let media_p = match character {
+                InstanceCharacter::SexuallyExplicit => 0.45,
+                InstanceCharacter::Toxic => 0.10,
+                _ => 0.12,
+            };
+            if rng.gen_bool(media_p) {
+                post.media.push(MediaAttachment {
+                    host: domain.clone(),
+                    kind: if rng.gen_bool(0.85) {
+                        MediaKind::Image
+                    } else {
+                        MediaKind::Video
+                    },
+                    sensitive: false,
+                });
+            }
+            if target.sexually_explicit > 0.6 && rng.gen_bool(0.25) {
+                post.hashtags.push("nsfw".into());
+            }
+            post.has_links = rng.gen_bool(0.08);
+            if rng.gen_bool(0.02) {
+                post.visibility = Visibility::Unlisted;
+            }
+            posts.push(post);
+        }
+        // Post ids must be monotone in time within the instance; sort this
+        // user's drafts by time and re-assign ids later in one pass.
+        users[u].posts = posts;
+    }
+    // Re-assign ids instance-wide in timestamp order so that id order ==
+    // chronological order (what makes max_id pagination exact).
+    let mut all: Vec<(usize, usize, fediscope_core::time::SimTime)> = Vec::new();
+    for (ui, gu) in users.iter().enumerate() {
+        for (pi, p) in gu.posts.iter().enumerate() {
+            all.push((ui, pi, p.created));
+        }
+    }
+    all.sort_by_key(|&(_, _, t)| t);
+    for (order, (ui, pi, _)) in all.into_iter().enumerate() {
+        users[ui].posts[pi].id = post_id(instance_id, order as u64);
+    }
+    users
+}
+
+/// Fisher–Yates shuffle.
+fn shuffle<T, R: Rng>(v: &mut [T], rng: &mut R) {
+    if v.is_empty() {
+        return;
+    }
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+fn user_id(instance: InstanceId, k: u32) -> UserId {
+    UserId(((instance.0 as u64) << 24) | k as u64)
+}
+
+fn post_id(instance: InstanceId, seq: u64) -> PostId {
+    PostId(((instance.0 as u64) << 36) | seq)
+}
+
+/// A user reference for mentions etc. (kept for API completeness).
+#[allow(dead_code)]
+fn user_ref(instance: InstanceId, domain: &Domain, k: u32) -> UserRef {
+    UserRef::new(user_id(instance, k), domain.clone())
+}
+
+fn build_peers<R: Rng>(
+    skeletons: &[InstanceSkeleton],
+    directory: &[Domain],
+    rng: &mut R,
+) -> Vec<Vec<Domain>> {
+    let n = skeletons.len();
+    let mut peers: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let crawled: Vec<usize> = skeletons
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.profile.is_pleroma() && s.crawlable())
+        .map(|(i, _)| i)
+        .collect();
+    if crawled.is_empty() {
+        return vec![Vec::new(); n];
+    }
+    // Peer-list sizes grow with activity.
+    for &i in &crawled {
+        let k = (4.0 + ((skeletons[i].posts_full_scale as f64) + 1.0).powf(0.28)
+            * rng.gen_range(0.5..2.0))
+        .round() as usize;
+        let k = k.clamp(3, 500).min(n - 1);
+        let mut guard = 0;
+        while peers[i].len() < k && guard < k * 30 {
+            guard += 1;
+            let j = rng.gen_range(0..n);
+            if j != i {
+                peers[i].insert(j);
+            }
+        }
+    }
+    // Coverage: the crawler's BFS starts from the directory, so every
+    // domain outside the directory must appear in the peer list of a
+    // *directory-listed, crawlable* instance to be guaranteed
+    // discoverable.
+    let directory_set: HashSet<&str> = directory.iter().map(|d| d.as_str()).collect();
+    let seeds: Vec<usize> = crawled
+        .iter()
+        .copied()
+        .filter(|&i| directory_set.contains(skeletons[i].profile.domain.as_str()))
+        .collect();
+    let seeds = if seeds.is_empty() { crawled.clone() } else { seeds };
+    let mut covered: HashSet<usize> = (0..n)
+        .filter(|&i| directory_set.contains(skeletons[i].profile.domain.as_str()))
+        .collect();
+    for &i in &seeds {
+        covered.extend(peers[i].iter().copied());
+    }
+    for j in 0..n {
+        if !covered.contains(&j) {
+            let &host = &seeds[rng.gen_range(0..seeds.len())];
+            peers[host].insert(j);
+        }
+    }
+    peers
+        .into_iter()
+        .map(|set| {
+            let mut v: Vec<Domain> = set
+                .into_iter()
+                .map(|j| skeletons[j].profile.domain.clone())
+                .collect();
+            v.sort();
+            v
+        })
+        .collect()
+}
+
+fn build_directory<R: Rng>(skeletons: &[InstanceSkeleton], rng: &mut R) -> Vec<Domain> {
+    // The public directories list most — not all — Pleroma instances,
+    // including ones that have since died (the §3 failure set was *found*
+    // and then failed to answer).
+    skeletons
+        .iter()
+        .filter(|s| s.profile.is_pleroma())
+        .filter(|s| s.named || !s.crawlable() || rng.gen_bool(0.85))
+        .map(|s| s.profile.domain.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harm::HarmTier;
+
+    fn small_world() -> World {
+        World::generate(WorldConfig::test_small())
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let a = small_world();
+        let b = small_world();
+        assert_eq!(a.instances.len(), b.instances.len());
+        assert_eq!(a.total_posts(), b.total_posts());
+        let ia = &a.instances[7];
+        let ib = &b.instances[7];
+        assert_eq!(ia.profile.domain, ib.profile.domain);
+        assert_eq!(ia.post_count(), ib.post_count());
+        if let (Some(ua), Some(ub)) = (ia.users.first(), ib.users.first()) {
+            assert_eq!(
+                ua.posts.first().map(|p| p.content.clone()),
+                ub.posts.first().map(|p| p.content.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn post_ids_are_monotone_in_time_per_instance() {
+        let world = small_world();
+        for inst in world.crawled_pleroma() {
+            let posts = inst.posts_sorted();
+            for w in posts.windows(2) {
+                assert!(w[0].id < w[1].id);
+                assert!(w[0].created <= w[1].created, "id order == time order");
+            }
+        }
+    }
+
+    #[test]
+    fn user_ids_are_globally_unique() {
+        let world = small_world();
+        let mut seen = HashSet::new();
+        for inst in &world.instances {
+            for u in &inst.users {
+                assert!(seen.insert(u.user.id), "duplicate {:?}", u.user.id);
+            }
+        }
+    }
+
+    #[test]
+    fn directory_contains_named_and_failed_instances() {
+        let world = small_world();
+        let dir: HashSet<&str> = world.directory.iter().map(|d| d.as_str()).collect();
+        assert!(dir.contains("freespeechextremist.com"));
+        // Every failed instance is in the directory (they were listed,
+        // then died).
+        for inst in &world.instances {
+            if inst.profile.is_pleroma() && !inst.crawlable() {
+                assert!(dir.contains(inst.profile.domain.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn peers_cover_every_domain() {
+        // Simulate the crawler's discovery: directory seeds + transitive
+        // peers of crawlable Pleroma instances. Every instance must end up
+        // discovered.
+        let world = small_world();
+        let by_domain: std::collections::HashMap<&str, &GeneratedInstance> = world
+            .instances
+            .iter()
+            .map(|i| (i.profile.domain.as_str(), i))
+            .collect();
+        let mut discovered: HashSet<&str> =
+            world.directory.iter().map(|d| d.as_str()).collect();
+        let mut frontier: Vec<&str> = discovered.iter().copied().collect();
+        while let Some(domain) = frontier.pop() {
+            let Some(inst) = by_domain.get(domain) else { continue };
+            if !(inst.profile.is_pleroma() && inst.crawlable()) {
+                continue;
+            }
+            for p in &inst.peers {
+                if discovered.insert(p.as_str()) {
+                    frontier.push(p.as_str());
+                }
+            }
+        }
+        for inst in &world.instances {
+            assert!(
+                discovered.contains(inst.profile.domain.as_str()),
+                "{} unreachable by BFS",
+                inst.profile.domain
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_instances_have_harm_profiles() {
+        let world = small_world();
+        let mut saw_harmful = false;
+        for inst in world.rejected_pleroma() {
+            for u in &inst.users {
+                if u.harm.tier == HarmTier::Harmful {
+                    saw_harmful = true;
+                }
+            }
+        }
+        assert!(saw_harmful, "some harmful users must exist");
+    }
+
+    #[test]
+    fn unrejected_users_are_benign() {
+        let world = small_world();
+        for inst in world.crawled_pleroma().filter(|i| i.rejects_received == 0) {
+            for u in &inst.users {
+                assert_eq!(u.harm.tier, HarmTier::Benign);
+            }
+        }
+    }
+
+    #[test]
+    fn post_content_scores_match_declared_harm() {
+        let world = small_world();
+        let scorer = fediscope_perspective::Scorer::new();
+        // Sample: harmful users' posts score high.
+        let mut checked = 0;
+        for inst in world.rejected_pleroma() {
+            for u in &inst.users {
+                if u.harm.tier == HarmTier::Harmful && !u.posts.is_empty() {
+                    let mean: f64 = u
+                        .posts
+                        .iter()
+                        .map(|p| scorer.analyze(&p.content).max())
+                        .sum::<f64>()
+                        / u.posts.len() as f64;
+                    // Single-post users are noisy; demand only the bulk.
+                    if u.posts.len() >= 3 {
+                        assert!(
+                            mean > 0.55,
+                            "harmful user mean {mean} on {}",
+                            inst.profile.domain
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "found harmful users with enough posts");
+    }
+
+    #[test]
+    fn named_instances_keep_characters() {
+        let world = small_world();
+        assert_eq!(
+            world.by_domain("freespeechextremist.com").unwrap().character,
+            InstanceCharacter::Toxic
+        );
+        assert_eq!(
+            world.by_domain("neckbeard.xyz").unwrap().character,
+            InstanceCharacter::SexuallyExplicit
+        );
+        assert_eq!(
+            world.by_domain("spinster.xyz").unwrap().character,
+            InstanceCharacter::General
+        );
+    }
+
+    #[test]
+    fn spinster_timeline_is_closed() {
+        let world = small_world();
+        assert!(
+            !world
+                .by_domain("spinster.xyz")
+                .unwrap()
+                .profile
+                .public_timeline_open,
+            "Table 1 NA scores mean no post data"
+        );
+    }
+
+    #[test]
+    fn moderation_configs_are_buildable() {
+        let world = small_world();
+        for inst in world.crawled_pleroma().take(50) {
+            let _ = inst.moderation.build_pipeline();
+        }
+    }
+
+    #[test]
+    fn extrapolation_factor() {
+        let world = small_world();
+        assert!((world.post_extrapolation() - 500.0).abs() < 1e-9);
+    }
+}

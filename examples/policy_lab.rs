@@ -1,0 +1,154 @@
+//! Policy lab: run one activity stream through every in-built Pleroma
+//! policy and print each verdict — a conformance tour of the MRF engine.
+//!
+//! ```text
+//! cargo run --release --example policy_lab
+//! ```
+
+use fediscope::prelude::*;
+use fediscope_core::catalog::PolicyCatalog;
+use fediscope_core::model::{ActivityPayload, CustomEmoji, MediaAttachment, MediaKind};
+use fediscope_core::mrf::NullActorDirectory;
+
+fn sample_activities() -> Vec<(&'static str, Activity)> {
+    let troll = UserRef::new(UserId(1), Domain::new("troll.example"));
+    let artist = UserRef::new(UserId(2), Domain::new("art.example"));
+    let local = UserRef::new(UserId(3), Domain::new("home.example"));
+    let mut acts = Vec::new();
+
+    let mut hate = Post::stub(
+        PostId(1),
+        troll.clone(),
+        fediscope_core::time::CAMPAIGN_START,
+        "grukk vrelk subhuman scum",
+    );
+    hate.hashtags.push("pol".into());
+    acts.push(("hateful remote post", Activity::create(fediscope_core::id::ActivityId(1), hate)));
+
+    let mut art = Post::stub(
+        PostId(2),
+        artist.clone(),
+        fediscope_core::time::CAMPAIGN_START,
+        "new piece",
+    );
+    art.media.push(MediaAttachment {
+        host: Domain::new("art.example"),
+        kind: MediaKind::Image,
+        sensitive: false,
+    });
+    art.emojis.push(CustomEmoji {
+        shortcode: "blobcat".into(),
+        host: Domain::new("art.example"),
+    });
+    art.hashtags.push("nsfw".into());
+    acts.push(("nsfw-tagged art with emoji", Activity::create(fediscope_core::id::ActivityId(2), art)));
+
+    let mut hellthread = Post::stub(
+        PostId(3),
+        troll.clone(),
+        fediscope_core::time::CAMPAIGN_START,
+        "everyone look at this",
+    );
+    for i in 0..25 {
+        hellthread
+            .mentions
+            .push(UserRef::new(UserId(100 + i), Domain::new("x.example")));
+    }
+    acts.push(("25-mention hellthread", Activity::create(fediscope_core::id::ActivityId(3), hellthread)));
+
+    let mut stale = Post::stub(
+        PostId(4),
+        artist.clone(),
+        fediscope_core::time::SimTime(fediscope_core::time::CAMPAIGN_START.0 - 30 * 86_400),
+        "a post from a month ago",
+    );
+    stale.subject = Some("old news".into());
+    stale.in_reply_to = Some(PostId(1));
+    acts.push(("30-day-old reply", Activity::create(fediscope_core::id::ActivityId(4), stale)));
+
+    acts.push((
+        "local empty post",
+        Activity::create(
+            fediscope_core::id::ActivityId(5),
+            Post::stub(PostId(5), local, fediscope_core::time::CAMPAIGN_START, "   "),
+        ),
+    ));
+
+    acts.push((
+        "remote delete",
+        Activity::delete(
+            fediscope_core::id::ActivityId(6),
+            troll.clone(),
+            PostId(1),
+            fediscope_core::time::CAMPAIGN_START,
+        ),
+    ));
+
+    acts.push((
+        "emoji reaction",
+        Activity {
+            id: fediscope_core::id::ActivityId(7),
+            actor: troll,
+            kind: fediscope_core::model::ActivityKind::EmojiReact,
+            payload: ActivityPayload::Reaction {
+                post: PostId(2),
+                emoji: Some("fire".into()),
+            },
+            published: fediscope_core::time::CAMPAIGN_START,
+        },
+    ));
+    acts
+}
+
+fn main() {
+    let local = Domain::new("home.example");
+    let dir = NullActorDirectory;
+    let catalog = PolicyCatalog::global();
+
+    println!("MRF policy lab: every observed policy × a stream of activities");
+    println!("(each cell: ✓ pass, ✗ reject, ± pass-with-rewrite)\n");
+
+    let activities = sample_activities();
+    print!("{:<28}", "policy \\ activity");
+    for i in 0..activities.len() {
+        print!(" a{i}");
+    }
+    println!();
+
+    for kind in PolicyKind::OBSERVED {
+        let mut config = InstanceModerationConfig::default();
+        config.enable(kind);
+        if kind == PolicyKind::Simple {
+            config.set_simple(
+                SimplePolicy::new()
+                    .with_target(SimpleAction::Reject, Domain::new("troll.example"))
+                    .with_target(SimpleAction::MediaNsfw, Domain::new("art.example")),
+            );
+        }
+        let pipeline = config.build_pipeline();
+        print!("{:<28}", catalog.entry(kind).name);
+        for (_, act) in &activities {
+            let ctx = PolicyContext::new(&local, fediscope_core::time::CAMPAIGN_START, &dir);
+            let before = format!("{:?}", act.note().map(|p| (&p.content, p.visibility, p.sensitive, p.media.len())));
+            let outcome = pipeline.filter(&ctx, act.clone());
+            let cell = match &outcome.verdict {
+                PolicyVerdict::Reject(_) => " ✗",
+                PolicyVerdict::Pass(a) => {
+                    let after = format!("{:?}", a.note().map(|p| (&p.content, p.visibility, p.sensitive, p.media.len())));
+                    if after != before {
+                        " ±"
+                    } else {
+                        " ✓"
+                    }
+                }
+            };
+            print!("{cell}");
+        }
+        println!();
+    }
+
+    println!();
+    for (i, (name, _)) in activities.iter().enumerate() {
+        println!("  a{i} = {name}");
+    }
+}

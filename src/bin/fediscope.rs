@@ -1,0 +1,279 @@
+//! The `fediscope` command-line tool: generate a calibrated world, run a
+//! measurement campaign, save/load datasets, and print any of the paper's
+//! analyses.
+//!
+//! ```text
+//! fediscope crawl --scale 0.35 --out dataset.json   # campaign → dataset
+//! fediscope report dataset.json census              # §3 census
+//! fediscope report dataset.json headline            # §4/§5 headline stats
+//! fediscope report dataset.json table2              # Table 2 sweep
+//! fediscope report dataset.json fig1                # policy prevalence
+//! fediscope report dataset.json curate              # §7 curated lists
+//! fediscope report dataset.json ablation            # §7 strategy ablation
+//! ```
+
+use fediscope::harness;
+use fediscope::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("fediscope — measure content moderation in a (synthetic) fediverse");
+    eprintln!();
+    eprintln!("USAGE:");
+    eprintln!("  fediscope crawl [--scale S] [--post-scale P] [--seed N] [--out FILE]");
+    eprintln!("  fediscope report FILE <census|headline|table1|table2|fig1|fig2|fig3|curate|ablation|graph>");
+    ExitCode::from(2)
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("crawl") => crawl(&args[1..]),
+        Some("report") => report(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn crawl(args: &[String]) -> ExitCode {
+    let mut config = WorldConfig::paper();
+    if let Some(s) = parse_flag(args, "--scale").and_then(|v| v.parse().ok()) {
+        config.scale = s;
+    }
+    if let Some(p) = parse_flag(args, "--post-scale").and_then(|v| v.parse().ok()) {
+        config.post_scale = p;
+    }
+    if let Some(n) = parse_flag(args, "--seed").and_then(|v| v.parse().ok()) {
+        config.seed = n;
+    }
+    let out = parse_flag(args, "--out").unwrap_or_else(|| "dataset.json".to_string());
+
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async move {
+        eprintln!(
+            "generating world (seed {}, scale {}, post_scale {}) ...",
+            config.seed, config.scale, config.post_scale
+        );
+        let world = World::generate(config);
+        eprintln!(
+            "  {} instances, {} users, {} posts",
+            world.instances.len(),
+            world.total_users(),
+            world.total_posts()
+        );
+        eprintln!("running the measurement campaign ...");
+        let dataset = harness::crawl_world(&world, CrawlerConfig::default()).await;
+        eprintln!(
+            "  crawled {} domains, collected {} posts",
+            dataset.instances.len(),
+            dataset.collected_posts()
+        );
+        match dataset.save(&out) {
+            Ok(()) => {
+                eprintln!("dataset written to {out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to write {out}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    })
+}
+
+fn report(args: &[String]) -> ExitCode {
+    let (Some(file), Some(which)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let dataset = match Dataset::load(file) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot load {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match which.as_str() {
+        "census" => {
+            let rows = fediscope::analysis::headline::crawl_census(&dataset);
+            println!("{}", render_comparisons("§3 census", &rows));
+        }
+        "headline" => {
+            let ann = HarmAnnotations::annotate(&dataset);
+            for (title, rows) in [
+                ("§4.1 policy impact", fediscope::analysis::headline::policy_impact(&dataset)),
+                ("§4.2 reject graph", fediscope::analysis::headline::reject_graph(&dataset, &ann)),
+                ("§4.2 annotation", fediscope::analysis::headline::annotation(&dataset, &ann)),
+                ("§5 collateral damage", fediscope::analysis::headline::collateral_damage(&dataset, &ann)),
+            ] {
+                println!("{}", render_comparisons(title, &rows));
+            }
+        }
+        "table1" => {
+            let ann = HarmAnnotations::annotate(&dataset);
+            let rows = fediscope::analysis::tables::table1_top_rejected(&dataset, &ann);
+            let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or("NA".into());
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.domain.to_string(),
+                        r.rejects.to_string(),
+                        r.users.to_string(),
+                        r.posts.to_string(),
+                        fmt(r.toxicity),
+                        fmt(r.profanity),
+                        fmt(r.sexually_explicit),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(
+                    "Table 1",
+                    &["instance", "rejects", "users", "posts", "tox", "prof", "sexual"],
+                    &table
+                )
+            );
+        }
+        "table2" => {
+            let ann = HarmAnnotations::annotate(&dataset);
+            let rows = fediscope::analysis::tables::table2_threshold_sweep(&dataset, &ann);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{:.1}", r.threshold),
+                        format!("{:.1}%", r.non_harmful_share * 100.0),
+                    ]
+                })
+                .collect();
+            println!("{}", render_table("Table 2", &["threshold", "non-harmful"], &table));
+        }
+        "fig1" => {
+            let rows = fediscope::analysis::figures::fig1_policy_prevalence(&dataset);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        r.instances.to_string(),
+                        format!("{:.1}%", r.instance_share * 100.0),
+                        format!("{:.1}%", r.user_share * 100.0),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table("Figure 1", &["policy", "instances", "inst%", "users%"], &table)
+            );
+        }
+        "fig2" => {
+            let rows = fediscope::analysis::figures::fig2_targeted_by_action(&dataset);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.action.to_string(),
+                        r.targeted_pleroma.to_string(),
+                        r.targeted_non_pleroma.to_string(),
+                        r.users_on_targeted.to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table("Figure 2", &["action", "pleroma", "non-pleroma", "users"], &table)
+            );
+        }
+        "fig3" => {
+            let rows = fediscope::analysis::figures::fig3_targeting_by_action(&dataset);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.action.to_string(),
+                        r.targeting_instances.to_string(),
+                        r.users_on_targeted.to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table("Figure 3", &["action", "targeting", "users on targeted"], &table)
+            );
+        }
+        "curate" => {
+            let ann = HarmAnnotations::annotate(&dataset);
+            let lists = fediscope::analysis::curation::curate(
+                &dataset,
+                &ann,
+                &fediscope::analysis::curation::CurationConfig::default(),
+            );
+            for list in [&lists.no_hate, &lists.no_porn, &lists.no_profanity] {
+                println!("{} ({:?}):", list.name, list.action);
+                for d in &list.entries {
+                    println!("  {d}");
+                }
+            }
+        }
+        "ablation" => {
+            let ann = HarmAnnotations::annotate(&dataset);
+            let rows = fediscope::analysis::ablation::solutions(&dataset, &ann);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.strategy.name().to_string(),
+                        format!("{:.1}%", r.innocent_blocked * 100.0),
+                        format!("{:.1}%", r.innocent_degraded * 100.0),
+                        format!("{:.1}%", r.harmful_blocked * 100.0),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(
+                    "§7 ablation",
+                    &["strategy", "innocent blocked", "innocent degraded", "harmful blocked"],
+                    &table
+                )
+            );
+        }
+        "graph" => {
+            let rows = fediscope::analysis::ablation::federation_graph(&dataset, 15);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.domain.clone(),
+                        r.rejects.to_string(),
+                        r.audience_lost.to_string(),
+                        format!("{:.1}%", r.peer_loss_share * 100.0),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(
+                    "§6 graph damage",
+                    &["instance", "rejects", "audience lost", "peers lost%"],
+                    &table
+                )
+            );
+        }
+        other => {
+            eprintln!("unknown report: {other}");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,104 @@
+//! Materialisation and campaign driving.
+//!
+//! [`materialize`] turns a generated [`World`] into running
+//! [`InstanceServer`]s registered on a [`SimNet`] (with the §3 failure
+//! modes injected); [`crawl_world`] additionally runs the full §3
+//! measurement campaign and returns the dataset.
+
+use fediscope_core::id::Domain;
+use fediscope_crawler::{Crawler, CrawlerConfig, Dataset};
+use fediscope_server::InstanceServer;
+use fediscope_simnet::SimNet;
+use fediscope_synthgen::World;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A world materialised into servers on a network.
+pub struct Materialized {
+    /// The network (crawlers issue requests against it).
+    pub net: Arc<SimNet>,
+    /// Every healthy instance's server, by domain.
+    pub servers: HashMap<Domain, Arc<InstanceServer>>,
+}
+
+impl Materialized {
+    /// Looks up a server.
+    pub fn server(&self, domain: &str) -> Option<&Arc<InstanceServer>> {
+        self.servers.get(&Domain::new(domain))
+    }
+}
+
+/// Spins up every instance of the world: builds servers, installs users,
+/// posts and peer links, registers endpoints, injects failure modes.
+///
+/// Requires a tokio runtime (endpoint registration spawns serving tasks).
+pub fn materialize(world: &World) -> Materialized {
+    let net = Arc::new(SimNet::new());
+    let mut servers = HashMap::new();
+    for inst in &world.instances {
+        if inst.failure != fediscope_simnet::FailureMode::Healthy {
+            // Dead instances answer with their failure status; no server
+            // needed behind the injection.
+            net.set_failure(inst.profile.domain.clone(), inst.failure);
+            continue;
+        }
+        let server = Arc::new(InstanceServer::new(
+            inst.profile.clone(),
+            inst.moderation.clone(),
+        ));
+        for gu in &inst.users {
+            server.add_user(gu.user.clone());
+        }
+        for post in inst.posts_sorted() {
+            server.install_post(post.clone());
+        }
+        for peer in &inst.peers {
+            server.note_peer(peer);
+        }
+        let endpoint: Arc<dyn fediscope_simnet::Endpoint> = Arc::clone(&server) as _;
+        net.register(inst.profile.domain.clone(), endpoint);
+        servers.insert(inst.profile.domain.clone(), server);
+    }
+    Materialized { net, servers }
+}
+
+/// Materialises the world and runs the full measurement campaign.
+pub async fn crawl_world(world: &World, config: CrawlerConfig) -> Dataset {
+    let materialized = materialize(world);
+    let crawler = Crawler::new(Arc::clone(&materialized.net), config);
+    crawler.run(&world.directory).await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_synthgen::WorldConfig;
+
+    #[tokio::test]
+    async fn materialize_small_world() {
+        let world = fediscope_synthgen::World::generate(WorldConfig::test_small());
+        let m = materialize(&world);
+        // Healthy instances registered; failed ones only injected.
+        let healthy = world.instances.iter().filter(|i| i.crawlable()).count();
+        assert_eq!(m.servers.len(), healthy);
+        assert_eq!(m.net.host_count(), healthy);
+        // A named instance exists and holds its users and posts.
+        let fse = m.server("freespeechextremist.com").unwrap();
+        let gen = world.by_domain("freespeechextremist.com").unwrap();
+        assert_eq!(fse.user_count(), gen.users.len());
+        assert_eq!(fse.post_count(), gen.post_count());
+    }
+
+    #[tokio::test]
+    async fn crawl_small_world_produces_consistent_dataset() {
+        let world = fediscope_synthgen::World::generate(WorldConfig::test_small());
+        let dataset = crawl_world(&world, CrawlerConfig::default()).await;
+        // Every world instance is discovered (peers cover everything).
+        assert_eq!(dataset.instances.len(), world.instances.len());
+        // Crawled Pleroma count matches the healthy Pleroma count.
+        let want = world.crawled_pleroma().count();
+        assert_eq!(dataset.pleroma_crawled().count(), want);
+        // Users totals agree with ground truth.
+        assert_eq!(dataset.total_users(), world.total_users());
+    }
+}

@@ -1,0 +1,151 @@
+//! Failure injection: the crawler must survive a fediverse that decays
+//! mid-campaign, exactly like the real one did (§3's 236 dead instances
+//! were *discovered* dead; others died during the five months).
+
+use fediscope::prelude::*;
+use fediscope_core::id::InstanceId;
+use fediscope_core::model::SoftwareVersion;
+use std::sync::Arc;
+
+fn pleroma_server(domain: &str, id: u32, posts: u64) -> Arc<InstanceServer> {
+    let profile = InstanceProfile {
+        id: InstanceId(id),
+        domain: Domain::new(domain),
+        kind: InstanceKind::Pleroma(SoftwareVersion::new(2, 2, 0)),
+        title: domain.into(),
+        registrations_open: true,
+        founded: SimTime(0),
+        exposes_policies: true,
+        public_timeline_open: true,
+    };
+    let server = Arc::new(InstanceServer::new(
+        profile,
+        InstanceModerationConfig::pleroma_default(),
+    ));
+    let author = User {
+        id: UserId(id as u64 * 1000),
+        instance: InstanceId(id),
+        domain: Domain::new(domain),
+        handle: "author".into(),
+        created: SimTime(0),
+        bot: false,
+        followers: 0,
+        following: 0,
+        mrf_tags: Vec::new(),
+        report_count: 0,
+    };
+    server.add_user(author.clone());
+    for i in 0..posts {
+        server
+            .publish(Post::stub(
+                PostId(i + 1),
+                author.user_ref(),
+                fediscope::core::time::CAMPAIGN_START,
+                format!("post {i}"),
+            ))
+            .unwrap();
+    }
+    server
+}
+
+fn register(net: &SimNet, server: &Arc<InstanceServer>) {
+    let endpoint: Arc<dyn fediscope::simnet::Endpoint> = Arc::clone(server) as _;
+    net.register(server.domain().clone(), endpoint);
+}
+
+#[tokio::test]
+async fn instance_dying_between_discovery_and_snapshots() {
+    let net = Arc::new(SimNet::new());
+    let a = pleroma_server("stable.example", 1, 10);
+    let b = pleroma_server("doomed.example", 2, 10);
+    a.note_peer(&Domain::new("doomed.example"));
+    register(&net, &a);
+    register(&net, &b);
+
+    // Crawl once while both are alive.
+    let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+    let alive = crawler.run(&[Domain::new("stable.example")]).await;
+    assert!(alive.by_domain("doomed.example").unwrap().crawled());
+    assert_eq!(alive.by_domain("doomed.example").unwrap().snapshots.len(), 3);
+
+    // The instance dies; a re-run still completes and records the failure.
+    net.set_failure(Domain::new("doomed.example"), FailureMode::Gone);
+    let decayed = crawler.run(&[Domain::new("stable.example")]).await;
+    let doomed = decayed.by_domain("doomed.example").unwrap();
+    assert_eq!(
+        doomed.outcome,
+        fediscope::crawler::CrawlOutcome::Failed { status: 410 }
+    );
+    assert!(doomed.snapshots.is_empty(), "no snapshots from the dead");
+    // The rest of the campaign is unaffected.
+    assert!(decayed.by_domain("stable.example").unwrap().crawled());
+}
+
+#[tokio::test]
+async fn every_failure_mode_is_classified_correctly() {
+    let net = Arc::new(SimNet::new());
+    let seed = pleroma_server("seed.example", 1, 1);
+    let mut directory = vec![Domain::new("seed.example")];
+    for (i, (mode, _)) in FailureMode::PAPER_TAXONOMY.iter().enumerate() {
+        let domain = Domain::new(format!("fail{i}.example"));
+        net.set_failure(domain.clone(), *mode);
+        directory.push(domain);
+    }
+    register(&net, &seed);
+    let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+    let dataset = crawler.run(&directory).await;
+    for (i, (mode, _)) in FailureMode::PAPER_TAXONOMY.iter().enumerate() {
+        let inst = dataset.by_domain(&format!("fail{i}.example")).unwrap();
+        let want = mode.forced_status().unwrap().0;
+        assert_eq!(
+            inst.outcome,
+            fediscope::crawler::CrawlOutcome::Failed { status: want }
+        );
+        assert!(inst.is_pleroma(), "directory membership implies Pleroma");
+    }
+}
+
+#[tokio::test]
+async fn dead_peers_do_not_poison_discovery() {
+    let net = Arc::new(SimNet::new());
+    let hub = pleroma_server("hub.example", 1, 5);
+    // The hub lists a pile of dead or missing peers plus one live one.
+    for i in 0..20 {
+        hub.note_peer(&Domain::new(format!("ghost{i}.example")));
+    }
+    let live = pleroma_server("live.example", 2, 5);
+    hub.note_peer(&Domain::new("live.example"));
+    register(&net, &hub);
+    register(&net, &live);
+    let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+    let dataset = crawler.run(&[Domain::new("hub.example")]).await;
+    // All ghosts recorded as unreachable, the live peer fully crawled.
+    assert_eq!(dataset.instances.len(), 22);
+    assert!(dataset.by_domain("live.example").unwrap().crawled());
+    let unreachable = dataset
+        .instances
+        .iter()
+        .filter(|i| i.outcome == fediscope::crawler::CrawlOutcome::Unreachable)
+        .count();
+    assert_eq!(unreachable, 20);
+}
+
+#[tokio::test]
+async fn recovering_instance_serves_again() {
+    let net = Arc::new(SimNet::new());
+    let flaky = pleroma_server("flaky.example", 1, 3);
+    register(&net, &flaky);
+    net.set_failure(Domain::new("flaky.example"), FailureMode::Unavailable);
+    let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+    let down = crawler.run(&[Domain::new("flaky.example")]).await;
+    assert_eq!(
+        down.by_domain("flaky.example").unwrap().outcome,
+        fediscope::crawler::CrawlOutcome::Failed { status: 503 }
+    );
+    // Ops fixes the box; the next campaign collects everything.
+    net.set_failure(Domain::new("flaky.example"), FailureMode::Healthy);
+    let up = crawler.run(&[Domain::new("flaky.example")]).await;
+    let inst = up.by_domain("flaky.example").unwrap();
+    assert!(inst.crawled());
+    assert_eq!(inst.timeline.posts().len(), 3);
+}

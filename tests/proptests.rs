@@ -1,0 +1,254 @@
+//! Property-based tests over the workspace's core invariants.
+
+use fediscope::prelude::*;
+use fediscope_analysis::stats;
+use fediscope_core::id::ActivityId;
+use fediscope_core::time::CAMPAIGN_START;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- stats --
+
+proptest! {
+    /// Spearman is bounded and invariant under strictly monotone maps.
+    #[test]
+    fn spearman_bounded_and_monotone_invariant(
+        xs in proptest::collection::vec(0.0_f64..1000.0, 3..40),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 7.0).collect();
+        if let Some(rho) = stats::spearman(&xs, &ys) {
+            prop_assert!((rho - 1.0).abs() < 1e-9, "rho {rho}");
+        }
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        if let Some(rho) = stats::spearman(&xs, &neg) {
+            prop_assert!((rho + 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Ranks are a permutation-respecting assignment: sum preserved.
+    #[test]
+    fn ranks_sum_is_n_n_plus_1_over_2(
+        xs in proptest::collection::vec(-100.0_f64..100.0, 1..50),
+    ) {
+        let ranks = stats::ranks(&xs);
+        let sum: f64 = ranks.iter().sum();
+        let n = xs.len() as f64;
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Quantiles are order statistics: min ≤ q(p) ≤ max.
+    #[test]
+    fn quantile_within_range(
+        xs in proptest::collection::vec(-1000.0_f64..1000.0, 1..60),
+        p in 0.0_f64..1.0,
+    ) {
+        let q = stats::quantile(&xs, p).unwrap();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q >= min && q <= max);
+    }
+}
+
+// ------------------------------------------------------------- domains --
+
+proptest! {
+    /// Subdomain matching: `sub.d` matches `d`; `d` never matches `sub.d`;
+    /// matching is reflexive.
+    #[test]
+    fn domain_matching_laws(label in "[a-z]{1,10}", base in "[a-z]{1,10}\\.[a-z]{2,5}") {
+        let parent = Domain::new(base.clone());
+        let sub = Domain::new(format!("{label}.{base}"));
+        prop_assert!(parent.matches(&parent));
+        prop_assert!(sub.matches(&parent));
+        prop_assert!(!parent.matches(&sub));
+        // A sibling with a merely-suffixing name must not match.
+        let sibling = Domain::new(format!("{label}{base}"));
+        prop_assert!(!sibling.matches(&parent) || sibling == parent);
+    }
+}
+
+// ---------------------------------------------------------- perspective --
+
+proptest! {
+    /// Scores are probabilities, and adding toxic tokens never lowers the
+    /// toxicity score (monotonicity in offending density).
+    #[test]
+    fn scorer_bounded_and_monotone(
+        benign_words in proptest::collection::vec(0usize..50, 1..20),
+        toxic_count in 0usize..8,
+    ) {
+        let scorer = Scorer::new();
+        let benign: Vec<&str> = benign_words
+            .iter()
+            .map(|&i| fediscope::perspective::BENIGN_WORDS[i % fediscope::perspective::BENIGN_WORDS.len()])
+            .collect();
+        let mut text = benign.join(" ");
+        let base = scorer.analyze(&text);
+        prop_assert!((0.0..=1.0).contains(&base.max()));
+        let mut previous = base.toxicity;
+        for _ in 0..toxic_count {
+            text.push_str(" grukk");
+            let s = scorer.analyze(&text);
+            prop_assert!((0.0..=1.0).contains(&s.toxicity));
+            prop_assert!(s.toxicity >= previous - 1e-12, "monotone in toxic density");
+            previous = s.toxicity;
+        }
+    }
+
+    /// The density curve and its inverse are inverse on (0, 0.99].
+    #[test]
+    fn density_curve_inverts(score in 0.001_f64..0.99) {
+        let scorer = Scorer::new();
+        let d = scorer.score_to_density(score);
+        let back = scorer.density_to_score(d);
+        prop_assert!((back - score).abs() < 1e-9);
+    }
+}
+
+// ------------------------------------------------------------ pipeline --
+
+proptest! {
+    /// SimplePolicy reject semantics: an activity is rejected iff its
+    /// origin matches a reject target.
+    #[test]
+    fn simple_policy_reject_iff_match(
+        targets in proptest::collection::vec("[a-z]{3,8}\\.[a-z]{2,4}", 0..10),
+        origin in "[a-z]{3,8}\\.[a-z]{2,4}",
+    ) {
+        let mut simple = SimplePolicy::new();
+        for t in &targets {
+            simple.add_target(SimpleAction::Reject, Domain::new(t.clone()));
+        }
+        let mut config = InstanceModerationConfig::default();
+        config.set_simple(simple);
+        let pipeline = config.build_pipeline();
+        let local = Domain::new("home.example");
+        let dir = fediscope_core::mrf::NullActorDirectory;
+        let ctx = fediscope_core::mrf::PolicyContext::new(&local, CAMPAIGN_START, &dir);
+        let author = UserRef::new(UserId(1), Domain::new(origin.clone()));
+        let act = Activity::create(
+            ActivityId(1),
+            Post::stub(PostId(1), author, CAMPAIGN_START, "x"),
+        );
+        let outcome = pipeline.filter(&ctx, act);
+        let origin_domain = Domain::new(origin);
+        let should_reject = targets
+            .iter()
+            .any(|t| origin_domain.matches(&Domain::new(t.clone())));
+        prop_assert_eq!(outcome.accepted(), !should_reject);
+    }
+
+    /// Config → metadata JSON → config round-trips enabled kinds and
+    /// every SimplePolicy target list.
+    #[test]
+    fn moderation_config_json_roundtrip(
+        reject in proptest::collection::vec("[a-z]{3,8}\\.[a-z]{2,4}", 0..8),
+        nsfw in proptest::collection::vec("[a-z]{3,8}\\.[a-z]{2,4}", 0..8),
+    ) {
+        let mut simple = SimplePolicy::new();
+        for t in &reject {
+            simple.add_target(SimpleAction::Reject, Domain::new(t.clone()));
+        }
+        for t in &nsfw {
+            simple.add_target(SimpleAction::MediaNsfw, Domain::new(t.clone()));
+        }
+        let mut config = InstanceModerationConfig::pleroma_default();
+        config.enable(PolicyKind::Tag);
+        config.set_simple(simple.clone());
+        let json = config.to_metadata_json();
+        let back = InstanceModerationConfig::from_metadata_json(&json);
+        for kind in &config.enabled {
+            prop_assert!(back.has(*kind));
+        }
+        let back_simple = back.simple.unwrap();
+        prop_assert_eq!(
+            back_simple.targets(SimpleAction::Reject).len(),
+            simple.targets(SimpleAction::Reject).len()
+        );
+        prop_assert_eq!(
+            back_simple.targets(SimpleAction::MediaNsfw).len(),
+            simple.targets(SimpleAction::MediaNsfw).len()
+        );
+    }
+}
+
+// ------------------------------------------------------------ timelines --
+
+proptest! {
+    /// Walking the public timeline with max_id pagination yields every
+    /// public post exactly once, newest first, for any page size.
+    #[test]
+    fn pagination_complete_and_duplicate_free(
+        n_posts in 0usize..120,
+        page in 1usize..50,
+    ) {
+        let mut timelines = fediscope::activitypub::Timelines::new();
+        let author = UserRef::new(UserId(1), Domain::new("home.example"));
+        for i in 0..n_posts {
+            timelines.ingest_local(
+                Post::stub(
+                    PostId(i as u64 + 1),
+                    author.clone(),
+                    SimTime(i as u64),
+                    format!("post {i}"),
+                ),
+                &[],
+            );
+        }
+        let mut seen = Vec::new();
+        let mut max_id = None;
+        loop {
+            let batch = timelines.page(
+                fediscope::activitypub::TimelineKind::PublicLocal,
+                None,
+                max_id,
+                page,
+            );
+            if batch.is_empty() {
+                break;
+            }
+            prop_assert!(batch.len() <= page);
+            for w in batch.windows(2) {
+                prop_assert!(w[0].id > w[1].id, "newest first within a page");
+            }
+            max_id = Some(batch.last().unwrap().id);
+            seen.extend(batch.iter().map(|p| p.id.0));
+        }
+        prop_assert_eq!(seen.len(), n_posts, "complete");
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), n_posts, "duplicate-free");
+    }
+}
+
+// -------------------------------------------------------------- content --
+
+proptest! {
+    /// The content composer hits single-attribute targets within tolerance
+    /// for any reasonable target and length.
+    #[test]
+    fn composer_hits_targets(
+        target in 0.0_f64..0.93,
+        len in 10usize..40,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let composer = fediscope::synthgen::ContentComposer::new();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut scores = AttributeScores::default();
+        scores.set(Attribute::Toxicity, target);
+        // Average over a few posts: per-post the fractional-token path is
+        // intentionally noisy, the *expected* score is calibrated.
+        let mut sum = 0.0;
+        let n = 24;
+        for _ in 0..n {
+            let text = composer.compose(&mut rng, &scores, len);
+            sum += composer.scorer().analyze(&text).toxicity;
+        }
+        let mean = sum / n as f64;
+        prop_assert!(
+            (mean - target).abs() < 0.17,
+            "target {target}, mean {mean}"
+        );
+    }
+}
