@@ -89,14 +89,8 @@ impl FollowGraph {
         if a == b {
             return;
         }
-        self.peers
-            .entry(a.clone())
-            .or_default()
-            .insert(b.clone());
-        self.peers
-            .entry(b.clone())
-            .or_default()
-            .insert(a.clone());
+        self.peers.entry(a.clone()).or_default().insert(b.clone());
+        self.peers.entry(b.clone()).or_default().insert(a.clone());
     }
 
     /// Whether `follower` follows `followee`.
@@ -186,8 +180,14 @@ mod tests {
         assert_eq!(g.follower_count(&bob), 1);
         assert_eq!(g.following_count(&alice), 1);
         // Federation is symmetric.
-        assert_eq!(g.peers_of(&Domain::new("a.example")), vec![Domain::new("b.example")]);
-        assert_eq!(g.peers_of(&Domain::new("b.example")), vec![Domain::new("a.example")]);
+        assert_eq!(
+            g.peers_of(&Domain::new("a.example")),
+            vec![Domain::new("b.example")]
+        );
+        assert_eq!(
+            g.peers_of(&Domain::new("b.example")),
+            vec![Domain::new("a.example")]
+        );
         assert_eq!(g.established_at(&alice, &bob), Some(SimTime(10)));
     }
 

@@ -221,8 +221,14 @@ mod tests {
         let local_author = user(1, "home.example");
         let follower = user(2, "home.example");
         let remote = user(9, "remote.example");
-        t.ingest_local(post(1, &local_author, Visibility::Public), &[follower.clone()]);
-        t.ingest_remote(post(2, &remote, Visibility::Public), &[follower.clone()]);
+        t.ingest_local(
+            post(1, &local_author, Visibility::Public),
+            std::slice::from_ref(&follower),
+        );
+        t.ingest_remote(
+            post(2, &remote, Visibility::Public),
+            std::slice::from_ref(&follower),
+        );
         assert_eq!(t.timeline_len(TimelineKind::Home, Some(&follower)), 2);
         // The author sees their own post at home.
         assert_eq!(t.timeline_len(TimelineKind::Home, Some(&local_author)), 1);
@@ -235,7 +241,7 @@ mod tests {
         let follower = user(2, "home.example");
         let mut p = post(1, &remote, Visibility::Public);
         p.followers_stripped = true;
-        t.ingest_remote(p, &[follower.clone()]);
+        t.ingest_remote(p, std::slice::from_ref(&follower));
         assert_eq!(t.timeline_len(TimelineKind::Home, Some(&follower)), 0);
         // It still shows on the whole known network (it is public).
         assert_eq!(t.timeline_len(TimelineKind::WholeKnownNetwork, None), 1);
@@ -280,7 +286,10 @@ mod tests {
         let mut t = Timelines::new();
         let author = user(1, "home.example");
         let follower = user(2, "home.example");
-        t.ingest_local(post(1, &author, Visibility::Public), &[follower.clone()]);
+        t.ingest_local(
+            post(1, &author, Visibility::Public),
+            std::slice::from_ref(&follower),
+        );
         assert!(t.delete(PostId(1)));
         assert_eq!(t.post_count(), 0);
         assert_eq!(t.timeline_len(TimelineKind::PublicLocal, None), 0);

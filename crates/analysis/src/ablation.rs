@@ -170,9 +170,7 @@ pub fn federation_graph(dataset: &Dataset, top: usize) -> Vec<GraphDamageRow> {
                     if ps.is_empty() {
                         0.0
                     } else {
-                        ps.iter()
-                            .filter(|p| rejectors.contains(p.as_str()))
-                            .count() as f64
+                        ps.iter().filter(|p| rejectors.contains(p.as_str())).count() as f64
                             / ps.len() as f64
                     }
                 })
@@ -254,7 +252,11 @@ mod tests {
             }),
             peers: vec![Domain::new("blocker.example")],
             timeline: TimelineCrawl::Posts(vec![
-                post(1, "target.example", "grukk vrelk subhuman kys scum die vermin"),
+                post(
+                    1,
+                    "target.example",
+                    "grukk vrelk subhuman kys scum die vermin",
+                ),
                 post(2, "target.example", "coffee morning walk"),
                 post(3, "target.example", "book garden tea"),
             ]),
@@ -284,9 +286,15 @@ mod tests {
             .unwrap();
         assert_eq!(per_user.innocent_blocked, 0.0, "innocents spared");
         assert_eq!(per_user.harmful_blocked, 1.0, "harm still blocked");
-        let nsfw = rows.iter().find(|r| r.strategy == Strategy::NsfwTag).unwrap();
+        let nsfw = rows
+            .iter()
+            .find(|r| r.strategy == Strategy::NsfwTag)
+            .unwrap();
         assert_eq!(nsfw.innocent_blocked, 0.0);
-        assert_eq!(nsfw.innocent_degraded, 1.0, "tagging affects all, blocks none");
+        assert_eq!(
+            nsfw.innocent_degraded, 1.0,
+            "tagging affects all, blocks none"
+        );
     }
 
     #[test]

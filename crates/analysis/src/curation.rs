@@ -152,7 +152,11 @@ mod tests {
         }
     }
 
-    fn pleroma(domain: &str, posts: Vec<CollectedPost>, cfg: Option<SimplePolicy>) -> CrawledInstance {
+    fn pleroma(
+        domain: &str,
+        posts: Vec<CollectedPost>,
+        cfg: Option<SimplePolicy>,
+    ) -> CrawledInstance {
         CrawledInstance {
             domain: Domain::new(domain),
             outcome: CrawlOutcome::Crawled,

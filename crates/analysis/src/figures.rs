@@ -59,19 +59,14 @@ pub fn fig1_policy_prevalence(dataset: &Dataset) -> Vec<PolicyPrevalenceRow> {
     if spectrum.len() > 15 {
         let crawled = dataset.pleroma_crawled().count().max(1);
         // "Others": instances running at least one tail policy.
-        let tail_names: HashSet<&str> =
-            spectrum[15..].iter().map(|r| r.name.as_str()).collect();
+        let tail_names: HashSet<&str> = spectrum[15..].iter().map(|r| r.name.as_str()).collect();
         let mut instances = 0usize;
         let mut users = 0u64;
         let mut total_users = 0u64;
         for inst in dataset.pleroma_crawled() {
             total_users += inst.user_count();
             if let Some(config) = inst.policies() {
-                if config
-                    .enabled
-                    .iter()
-                    .any(|k| tail_names.contains(k.name()))
-                {
+                if config.enabled.iter().any(|k| tail_names.contains(k.name())) {
                     instances += 1;
                     users += inst.user_count();
                 }
@@ -110,8 +105,7 @@ pub fn fig2_targeted_by_action(dataset: &Dataset) -> Vec<TargetedByActionRow> {
         .pleroma_crawled()
         .map(|i| (&i.domain, i.user_count()))
         .collect();
-    let pleroma_domains: HashSet<&Domain> =
-        dataset.pleroma_all().map(|i| &i.domain).collect();
+    let pleroma_domains: HashSet<&Domain> = dataset.pleroma_all().map(|i| &i.domain).collect();
     let mut per_action: HashMap<SimpleAction, HashSet<&Domain>> = HashMap::new();
     for (_, action, target) in dataset.moderation_events() {
         per_action.entry(action).or_default().insert(target);
@@ -172,12 +166,7 @@ pub fn fig3_targeting_by_action(dataset: &Dataset) -> Vec<TargetingByActionRow> 
             targeting_instances: appliers.get(&action).map(HashSet::len).unwrap_or(0),
             users_on_targeted: targets
                 .get(&action)
-                .map(|ts| {
-                    ts.iter()
-                        .filter_map(|t| user_counts.get(t))
-                        .copied()
-                        .sum()
-                })
+                .map(|ts| ts.iter().filter_map(|t| user_counts.get(t)).copied().sum())
                 .unwrap_or(0),
         })
         .collect()
@@ -301,8 +290,8 @@ pub fn fig6_user_harm(dataset: &Dataset, annotations: &HarmAnnotations) -> Vec<U
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fediscope_core::config::InstanceModerationConfig;
     use fediscope_core::catalog::PolicyKind;
+    use fediscope_core::config::InstanceModerationConfig;
     use fediscope_core::mrf::policies::SimplePolicy;
     use fediscope_core::time::SimTime;
     use fediscope_crawler::{CrawlOutcome, CrawledInstance, InstanceMetadata, TimelineCrawl};
@@ -355,7 +344,12 @@ mod tests {
             instances: vec![
                 instance("blocker.example", "pleroma", 100, Some(blocker_cfg)),
                 instance("second.example", "pleroma", 50, Some(second_cfg)),
-                instance("bad.example", "pleroma", 500, Some(InstanceModerationConfig::default())),
+                instance(
+                    "bad.example",
+                    "pleroma",
+                    500,
+                    Some(InstanceModerationConfig::default()),
+                ),
                 instance("lewd.example", "pleroma", 30, None),
                 instance("gab.example", "mastodon", 0, None),
             ],

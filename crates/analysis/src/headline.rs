@@ -210,10 +210,7 @@ pub fn policy_impact(dataset: &Dataset) -> Vec<Comparison> {
 /// §4.2 headline: the reject graph.
 pub fn reject_graph(dataset: &Dataset, annotations: &HarmAnnotations) -> Vec<Comparison> {
     let reject_counts = dataset.reject_counts();
-    let pleroma_domains: HashSet<&str> = dataset
-        .pleroma_all()
-        .map(|i| i.domain.as_str())
-        .collect();
+    let pleroma_domains: HashSet<&str> = dataset.pleroma_all().map(|i| i.domain.as_str()).collect();
     let total_rejected = reject_counts.len();
     let pleroma_rejected: Vec<(&&fediscope_core::id::Domain, &u32)> = reject_counts
         .iter()
@@ -314,9 +311,7 @@ pub fn annotation(dataset: &Dataset, annotations: &HarmAnnotations) -> Vec<Compa
     let candidates: Vec<_> = dataset
         .pleroma_crawled()
         .filter(|i| {
-            reject_counts.contains_key(&i.domain)
-                && i.timeline.has_posts()
-                && i.user_count() > 1
+            reject_counts.contains_key(&i.domain) && i.timeline.has_posts() && i.user_count() > 1
         })
         .collect();
     let labels: Vec<AnnotationLabel> = candidates
@@ -444,9 +439,7 @@ mod tests {
     use fediscope_core::id::Domain;
     use fediscope_core::mrf::policies::SimplePolicy;
     use fediscope_core::time::SimTime;
-    use fediscope_crawler::{
-        CollectedPost, CrawledInstance, InstanceMetadata, TimelineCrawl,
-    };
+    use fediscope_crawler::{CollectedPost, CrawledInstance, InstanceMetadata, TimelineCrawl};
 
     fn post(author: u64, domain: &str, content: &str) -> CollectedPost {
         CollectedPost {
@@ -535,10 +528,7 @@ mod tests {
     #[test]
     fn census_counts_failures() {
         let rows = crawl_census(&dataset());
-        let f404 = rows
-            .iter()
-            .find(|r| r.label.contains("404"))
-            .unwrap();
+        let f404 = rows.iter().find(|r| r.label.contains("404")).unwrap();
         assert_eq!(f404.measured, 1.0);
         let crawled = rows
             .iter()

@@ -84,7 +84,11 @@ pub fn render_comparisons(title: &str, rows: &[Comparison]) -> String {
         .unwrap_or(10)
         .max("metric".len());
     let _ = writeln!(out, "== {title} ==");
-    let _ = writeln!(out, "{:<label_w$}  {:>12}  {:>12}", "metric", "paper", "measured");
+    let _ = writeln!(
+        out,
+        "{:<label_w$}  {:>12}  {:>12}",
+        "metric", "paper", "measured"
+    );
     for row in rows {
         let paper = row
             .paper

@@ -7,8 +7,9 @@
 //! ≥ 0.8) and users (average of their posts ≥ 0.8 on any attribute).
 
 use fediscope_core::id::Domain;
-use fediscope_crawler::Dataset;
+use fediscope_crawler::{CrawledInstance, Dataset};
 use fediscope_perspective::{Attribute, AttributeScores, Scorer};
+use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 /// A user's aggregated scores.
@@ -72,8 +73,79 @@ pub struct HarmAnnotations {
     pub posts_scored: usize,
 }
 
+/// Per-shard accumulator of the annotation campaign: `(posts, harmful,
+/// score sum)` keyed per user and per instance, plus the shard's post
+/// count. Shards merge by key-wise addition.
+#[derive(Default)]
+struct AnnotationShard {
+    users: HashMap<(Domain, u64), (usize, usize, AttributeScores)>,
+    instances: HashMap<Domain, (usize, usize, AttributeScores)>,
+    posts_scored: usize,
+}
+
+impl AnnotationShard {
+    /// Scores one instance's timeline into this shard.
+    fn absorb(&mut self, scorer: &Scorer, inst: &CrawledInstance) {
+        for post in inst.timeline.posts() {
+            // The paper scores posts of the rejected instance's own
+            // users (local timeline ⇒ local authors).
+            let scores = scorer.analyze(&post.content);
+            self.posts_scored += 1;
+            let harmful = scores.harmful(fediscope_core::paper::HARMFUL_THRESHOLD);
+            let u = self
+                .users
+                .entry((inst.domain.clone(), post.author_id))
+                .or_insert((0, 0, AttributeScores::default()));
+            u.0 += 1;
+            u.1 += usize::from(harmful);
+            u.2 = u.2.add(&scores);
+            let i = self.instances.entry(inst.domain.clone()).or_insert((
+                0,
+                0,
+                AttributeScores::default(),
+            ));
+            i.0 += 1;
+            i.1 += usize::from(harmful);
+            i.2 = i.2.add(&scores);
+        }
+    }
+
+    /// Merges another shard into this one.
+    fn merge(mut self, other: AnnotationShard) -> AnnotationShard {
+        for (k, (posts, harmful, sum)) in other.users {
+            let u = self
+                .users
+                .entry(k)
+                .or_insert((0, 0, AttributeScores::default()));
+            u.0 += posts;
+            u.1 += harmful;
+            u.2 = u.2.add(&sum);
+        }
+        for (k, (posts, harmful, sum)) in other.instances {
+            let i = self
+                .instances
+                .entry(k)
+                .or_insert((0, 0, AttributeScores::default()));
+            i.0 += posts;
+            i.1 += harmful;
+            i.2 = i.2.add(&sum);
+        }
+        self.posts_scored += other.posts_scored;
+        self
+    }
+}
+
 impl HarmAnnotations {
     /// Scores every post of every instance with ≥ 1 reject against it.
+    ///
+    /// The scoring fans out across the global rayon pool (size it with
+    /// `rayon::ThreadPoolBuilder` — the bench harness wires
+    /// `FEDISCOPE_THREADS` / `WorldConfig::parallelism` into it): a
+    /// par-iter fold builds per-shard partial maps, then a reduce merges
+    /// them. Every instance — and therefore every user, since the paper
+    /// scores local timelines — lands wholly inside one shard, so the
+    /// merged per-key float sums accumulate in the same order as a
+    /// sequential pass: results are bit-identical at any thread count.
     pub fn annotate(dataset: &Dataset) -> HarmAnnotations {
         let scorer = Scorer::new();
         let rejected: HashSet<Domain> = dataset
@@ -81,33 +153,22 @@ impl HarmAnnotations {
             .keys()
             .map(|d| (*d).clone())
             .collect();
-        let mut users: HashMap<(Domain, u64), (usize, usize, AttributeScores)> = HashMap::new();
-        let mut instances: HashMap<Domain, (usize, usize, AttributeScores)> = HashMap::new();
-        let mut posts_scored = 0;
-        for inst in dataset.pleroma_crawled() {
-            if !rejected.contains(&inst.domain) {
-                continue;
-            }
-            for post in inst.timeline.posts() {
-                // The paper scores posts of the rejected instance's own
-                // users (local timeline ⇒ local authors).
-                let scores = scorer.analyze(&post.content);
-                posts_scored += 1;
-                let harmful = scores.harmful(fediscope_core::paper::HARMFUL_THRESHOLD);
-                let u = users
-                    .entry((inst.domain.clone(), post.author_id))
-                    .or_insert((0, 0, AttributeScores::default()));
-                u.0 += 1;
-                u.1 += usize::from(harmful);
-                u.2 = u.2.add(&scores);
-                let i = instances
-                    .entry(inst.domain.clone())
-                    .or_insert((0, 0, AttributeScores::default()));
-                i.0 += 1;
-                i.1 += usize::from(harmful);
-                i.2 = i.2.add(&scores);
-            }
-        }
+        let targets: Vec<&CrawledInstance> = dataset
+            .pleroma_crawled()
+            .filter(|inst| rejected.contains(&inst.domain))
+            .collect();
+        let merged = targets
+            .par_iter()
+            .fold(AnnotationShard::default, |mut shard, inst| {
+                shard.absorb(&scorer, inst);
+                shard
+            })
+            .reduce(AnnotationShard::default, AnnotationShard::merge);
+        let AnnotationShard {
+            users,
+            instances,
+            posts_scored,
+        } = merged;
         HarmAnnotations {
             users: users
                 .into_iter()
@@ -180,9 +241,7 @@ mod tests {
     use fediscope_core::config::InstanceModerationConfig;
     use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
     use fediscope_core::time::SimTime;
-    use fediscope_crawler::{
-        CollectedPost, CrawlOutcome, CrawledInstance, TimelineCrawl,
-    };
+    use fediscope_crawler::{CollectedPost, CrawlOutcome, CrawledInstance, TimelineCrawl};
 
     fn post(author: u64, domain: &str, content: &str) -> CollectedPost {
         CollectedPost {
@@ -250,9 +309,7 @@ mod tests {
         let moderator = instance(
             "mod.example",
             vec![post(9, "mod.example", "peaceful coffee")],
-            Some(
-                SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("bad.example")),
-            ),
+            Some(SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("bad.example"))),
         );
         Dataset {
             started: SimTime(0),

@@ -40,10 +40,7 @@ pub fn table2_threshold_sweep(
     paper::TABLE2_THRESHOLDS
         .iter()
         .map(|&threshold| {
-            let harmful = users
-                .iter()
-                .filter(|u| u.mean.max() >= threshold)
-                .count();
+            let harmful = users.iter().filter(|u| u.mean.max() >= threshold).count();
             ThresholdRow {
                 threshold,
                 non_harmful_share: if users.is_empty() {

@@ -12,8 +12,9 @@ fn bench_analysis(c: &mut Criterion) {
         .enable_all()
         .build()
         .expect("tokio runtime");
-    let dataset =
-        rt.block_on(async { fediscope::harness::crawl_world(&world, CrawlerConfig::default()).await });
+    let dataset = rt.block_on(async {
+        fediscope::harness::crawl_world(&world, CrawlerConfig::default()).await
+    });
 
     let mut group = c.benchmark_group("analysis");
     group.sample_size(20);
@@ -23,18 +24,39 @@ fn bench_analysis(c: &mut Criterion) {
     let annotations = HarmAnnotations::annotate(&dataset);
     group.bench_function("all_figures_and_tables", |b| {
         b.iter(|| {
-            black_box(fediscope_analysis::figures::fig1_policy_prevalence(&dataset));
-            black_box(fediscope_analysis::figures::fig2_targeted_by_action(&dataset));
-            black_box(fediscope_analysis::figures::fig3_targeting_by_action(&dataset));
-            black_box(fediscope_analysis::figures::rejected_instances(&dataset, &annotations));
-            black_box(fediscope_analysis::figures::fig6_user_harm(&dataset, &annotations));
+            black_box(fediscope_analysis::figures::fig1_policy_prevalence(
+                &dataset,
+            ));
+            black_box(fediscope_analysis::figures::fig2_targeted_by_action(
+                &dataset,
+            ));
+            black_box(fediscope_analysis::figures::fig3_targeting_by_action(
+                &dataset,
+            ));
+            black_box(fediscope_analysis::figures::rejected_instances(
+                &dataset,
+                &annotations,
+            ));
+            black_box(fediscope_analysis::figures::fig6_user_harm(
+                &dataset,
+                &annotations,
+            ));
             black_box(fediscope_analysis::figures::policy_spectrum(&dataset));
-            black_box(fediscope_analysis::tables::table2_threshold_sweep(&dataset, &annotations));
+            black_box(fediscope_analysis::tables::table2_threshold_sweep(
+                &dataset,
+                &annotations,
+            ));
             black_box(fediscope_analysis::tables::table3_policy_catalog(&dataset));
             black_box(fediscope_analysis::headline::crawl_census(&dataset));
             black_box(fediscope_analysis::headline::policy_impact(&dataset));
-            black_box(fediscope_analysis::headline::reject_graph(&dataset, &annotations));
-            black_box(fediscope_analysis::headline::collateral_damage(&dataset, &annotations));
+            black_box(fediscope_analysis::headline::reject_graph(
+                &dataset,
+                &annotations,
+            ));
+            black_box(fediscope_analysis::headline::collateral_damage(
+                &dataset,
+                &annotations,
+            ));
         })
     });
     group.finish();

@@ -17,14 +17,14 @@ fn bench_crawl(c: &mut Criterion) {
     group.bench_function("small_world_full_campaign", |b| {
         b.iter(|| {
             rt.block_on(async {
-                black_box(
-                    fediscope::harness::crawl_world(&world, CrawlerConfig::default()).await,
-                )
+                black_box(fediscope::harness::crawl_world(&world, CrawlerConfig::default()).await)
             })
         })
     });
-    let mut low_concurrency = CrawlerConfig::default();
-    low_concurrency.concurrency = 4;
+    let low_concurrency = CrawlerConfig {
+        concurrency: 4,
+        ..CrawlerConfig::default()
+    };
     group.bench_function("small_world_concurrency_4", |b| {
         b.iter(|| {
             rt.block_on(async {

@@ -5,8 +5,8 @@
 //! through its whole chain.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use fediscope_core::config::InstanceModerationConfig;
 use fediscope_core::catalog::PolicyKind;
+use fediscope_core::config::InstanceModerationConfig;
 use fediscope_core::id::{ActivityId, Domain, PostId, UserId, UserRef};
 use fediscope_core::model::{Activity, Post};
 use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
@@ -46,7 +46,10 @@ fn bench_pipelines(c: &mut Criterion) {
     }
     let mut simple = SimplePolicy::new();
     for t in 0..200 {
-        simple.add_target(SimpleAction::Reject, Domain::new(format!("blocked-{t}.example")));
+        simple.add_target(
+            SimpleAction::Reject,
+            Domain::new(format!("blocked-{t}.example")),
+        );
     }
     simple.add_target(SimpleAction::MediaNsfw, Domain::new("lewd.example"));
     heavy_cfg.set_simple(simple);

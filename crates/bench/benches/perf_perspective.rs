@@ -7,7 +7,8 @@ use fediscope_perspective::Scorer;
 
 fn bench_scorer(c: &mut Criterion) {
     let scorer = Scorer::new();
-    let benign = "coffee in the garden this morning with a book and some tea while the server updates";
+    let benign =
+        "coffee in the garden this morning with a book and some tea while the server updates";
     let toxic = "you absolute idiot grukk vrelk subhuman scum kys worthless vermin filth";
     let mixed = "coffee idiot garden damn lewd morning stupid release nsfw server hate";
 
@@ -26,7 +27,12 @@ fn bench_scorer(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("perspective_corpus");
     let corpus: Vec<String> = (0..1000)
-        .map(|i| format!("{} post number {i}", if i % 7 == 0 { toxic } else { benign }))
+        .map(|i| {
+            format!(
+                "{} post number {i}",
+                if i % 7 == 0 { toxic } else { benign }
+            )
+        })
         .collect();
     group.throughput(Throughput::Elements(corpus.len() as u64));
     group.bench_function("score_1000_posts", |b| {

@@ -29,7 +29,13 @@ fn main() {
             "{}",
             render_table(
                 "Top rejected instances: audience and peer loss",
-                &["instance", "rejects", "audience lost", "audience%", "peers lost%"],
+                &[
+                    "instance",
+                    "rejects",
+                    "audience lost",
+                    "audience%",
+                    "peers lost%"
+                ],
                 &table
             )
         );

@@ -10,7 +10,10 @@ fn main() {
         .build()
         .expect("tokio runtime");
     rt.block_on(async {
-        fediscope_bench::banner("F5", "Figure 5: rejected instances, users and reject counts");
+        fediscope_bench::banner(
+            "F5",
+            "Figure 5: rejected instances, users and reject counts",
+        );
         let (_world, dataset, ann) = fediscope_bench::run_campaign().await;
         let rows = fediscope_analysis::figures::rejected_instances(&dataset, &ann);
         let table: Vec<Vec<String>> = rows

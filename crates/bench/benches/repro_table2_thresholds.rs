@@ -32,6 +32,9 @@ fn main() {
                 &table
             )
         );
-        println!("users evaluated: {}", rows.first().map(|r| r.users).unwrap_or(0));
+        println!(
+            "users evaluated: {}",
+            rows.first().map(|r| r.users).unwrap_or(0)
+        );
     });
 }

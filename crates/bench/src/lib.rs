@@ -7,38 +7,78 @@
 //! the corresponding analysis, and prints the paper's reported values next
 //! to ours.
 //!
-//! Scale knobs (environment variables, read by [`bench_world_config`]):
+//! Scale and parallelism knobs (environment variables, read by
+//! [`bench_world_config`]):
 //!
 //! * `FEDISCOPE_SCALE` — instance/user scale (default 1.0 = the paper's
 //!   full population);
 //! * `FEDISCOPE_POST_SCALE` — per-user post sampling (default 0.01; all
 //!   reported §4/§5 statistics are fractions invariant under this);
-//! * `FEDISCOPE_SEED` — world seed (default 1534).
+//! * `FEDISCOPE_SEED` — world seed (default 1534);
+//! * `FEDISCOPE_THREADS` — worker threads for the parallel campaign
+//!   phases (annotation scoring, server materialisation); default 0 =
+//!   one per core. World *generation* is single-threaded regardless, so
+//!   worlds stay bit-reproducible per seed — and the parallel phases
+//!   shard per instance, so their outputs are bit-identical at any
+//!   thread count.
+//!
+//! Config parsing goes through an injectable [`ConfigSource`] rather than
+//! `std::env` directly, so tests never race on process-global environment
+//! state (`cargo test` runs tests concurrently; `set_var`/`remove_var` in
+//! one test would poison `bench_world_config` in another).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use fediscope_analysis::HarmAnnotations;
 use fediscope_crawler::{CrawlerConfig, Dataset};
-use fediscope_synthgen::{World, WorldConfig};
+use fediscope_synthgen::{Parallelism, World, WorldConfig};
+
+/// A key-value source for benchmark configuration — the process
+/// environment in production, a plain map in tests.
+pub trait ConfigSource {
+    /// The value for `key`, if set.
+    fn get(&self, key: &str) -> Option<String>;
+}
+
+/// Reads from the process environment.
+pub struct EnvSource;
+
+impl ConfigSource for EnvSource {
+    fn get(&self, key: &str) -> Option<String> {
+        std::env::var(key).ok()
+    }
+}
+
+impl ConfigSource for std::collections::HashMap<String, String> {
+    fn get(&self, key: &str) -> Option<String> {
+        std::collections::HashMap::get(self, key).cloned()
+    }
+}
 
 /// Reads the benchmark world configuration from the environment.
 pub fn bench_world_config() -> WorldConfig {
+    bench_world_config_from(&EnvSource)
+}
+
+/// Reads the benchmark world configuration from any [`ConfigSource`].
+/// Unparseable values fall back to the paper defaults.
+pub fn bench_world_config_from(source: &dyn ConfigSource) -> WorldConfig {
     let mut config = WorldConfig::paper();
-    if let Ok(v) = std::env::var("FEDISCOPE_SCALE") {
-        if let Ok(s) = v.parse::<f64>() {
-            config.scale = s;
-        }
+    if let Some(s) = source.get("FEDISCOPE_SCALE").and_then(|v| v.parse().ok()) {
+        config.scale = s;
     }
-    if let Ok(v) = std::env::var("FEDISCOPE_POST_SCALE") {
-        if let Ok(s) = v.parse::<f64>() {
-            config.post_scale = s;
-        }
+    if let Some(s) = source
+        .get("FEDISCOPE_POST_SCALE")
+        .and_then(|v| v.parse().ok())
+    {
+        config.post_scale = s;
     }
-    if let Ok(v) = std::env::var("FEDISCOPE_SEED") {
-        if let Ok(s) = v.parse::<u64>() {
-            config.seed = s;
-        }
+    if let Some(s) = source.get("FEDISCOPE_SEED").and_then(|v| v.parse().ok()) {
+        config.seed = s;
+    }
+    if let Some(n) = source.get("FEDISCOPE_THREADS").and_then(|v| v.parse().ok()) {
+        config.parallelism = Parallelism(n);
     }
     config
 }
@@ -47,9 +87,21 @@ pub fn bench_world_config() -> WorldConfig {
 /// Prints timing breadcrumbs so long runs are observable.
 pub async fn run_campaign() -> (World, Dataset, HarmAnnotations) {
     let config = bench_world_config();
+    // Size the worker pool once for every parallel phase of the run.
+    if let Err(e) = rayon::ThreadPoolBuilder::new()
+        .num_threads(config.parallelism.0)
+        .build_global()
+    {
+        // With real rayon this fires when the global pool was already
+        // used; the run still works, but the knob did not apply.
+        eprintln!("[fediscope] warning: FEDISCOPE_THREADS not applied — {e}");
+    }
     eprintln!(
-        "[fediscope] generating world (seed={}, scale={}, post_scale={}) ...",
-        config.seed, config.scale, config.post_scale
+        "[fediscope] generating world (seed={}, scale={}, post_scale={}, threads={}) ...",
+        config.seed,
+        config.scale,
+        config.post_scale,
+        config.parallelism.effective()
     );
     let t0 = std::time::Instant::now();
     let world = World::generate(config);
@@ -102,11 +154,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn env_overrides_apply() {
-        // Not setting env vars: defaults.
-        let c = bench_world_config();
+    fn config_defaults_from_empty_source() {
+        // An empty injected source: paper defaults. No process env reads,
+        // so concurrent tests that set FEDISCOPE_* vars cannot poison us.
+        let source = std::collections::HashMap::new();
+        let c = bench_world_config_from(&source);
         assert_eq!(c.seed, 1534);
         assert_eq!(c.scale, 1.0);
+        assert_eq!(c.parallelism, Parallelism::AUTO);
+    }
+
+    #[test]
+    fn config_overrides_apply_from_injected_source() {
+        let mut source = std::collections::HashMap::new();
+        source.insert("FEDISCOPE_SCALE".to_string(), "0.25".to_string());
+        source.insert("FEDISCOPE_POST_SCALE".to_string(), "0.5".to_string());
+        source.insert("FEDISCOPE_SEED".to_string(), "99".to_string());
+        source.insert("FEDISCOPE_THREADS".to_string(), "4".to_string());
+        let c = bench_world_config_from(&source);
+        assert_eq!(c.scale, 0.25);
+        assert_eq!(c.post_scale, 0.5);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.parallelism, Parallelism(4));
+    }
+
+    #[test]
+    fn config_ignores_unparseable_values() {
+        let mut source = std::collections::HashMap::new();
+        source.insert("FEDISCOPE_SCALE".to_string(), "not-a-number".to_string());
+        source.insert("FEDISCOPE_THREADS".to_string(), "-3".to_string());
+        let c = bench_world_config_from(&source);
+        assert_eq!(c.scale, 1.0);
+        assert_eq!(c.parallelism, Parallelism::AUTO);
     }
 
     #[test]

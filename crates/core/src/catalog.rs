@@ -213,50 +213,323 @@ impl PolicyCatalog {
             })
         };
         // ---- In-built (descriptions follow the paper's Table 3) ----
-        push(ObjectAge, "ObjectAgePolicy", "Rejects or delists posts based on their age when received", true, false, true);
-        push(Tag, "TagPolicy", "Applies policies to individual users based on tags", true, false, true);
-        push(Simple, "SimplePolicy", "Restrict the visibility of activities from certain instances with a suite of actions", true, false, true);
-        push(NoOp, "NoOpPolicy", "Doesn't modify activities (default)", true, false, true);
+        push(
+            ObjectAge,
+            "ObjectAgePolicy",
+            "Rejects or delists posts based on their age when received",
+            true,
+            false,
+            true,
+        );
+        push(
+            Tag,
+            "TagPolicy",
+            "Applies policies to individual users based on tags",
+            true,
+            false,
+            true,
+        );
+        push(
+            Simple,
+            "SimplePolicy",
+            "Restrict the visibility of activities from certain instances with a suite of actions",
+            true,
+            false,
+            true,
+        );
+        push(
+            NoOp,
+            "NoOpPolicy",
+            "Doesn't modify activities (default)",
+            true,
+            false,
+            true,
+        );
         push(Hellthread, "HellthreadPolicy", "De-list or reject messages when the set number of mentioned users threshold is exceeded", true, false, true);
-        push(StealEmoji, "StealEmojiPolicy", "List of hosts to steal emojis from", true, false, true);
-        push(Hashtag, "HashtagPolicy", "List of hashtags to mark activities as sensitive (default: nsfw)", true, false, true);
-        push(AntiFollowbot, "AntiFollowbotPolicy", "Stop the automatic following of newly discovered users", true, false, true);
-        push(MediaProxyWarming, "MediaProxyWarmingPolicy", "Crawls attachments using their MediaProxy URLs so that the MediaProxy cache is primed", true, false, true);
-        push(Keyword, "KeywordPolicy", "A list of patterns which result in message being reject/unlisted/replaced", true, false, true);
+        push(
+            StealEmoji,
+            "StealEmojiPolicy",
+            "List of hosts to steal emojis from",
+            true,
+            false,
+            true,
+        );
+        push(
+            Hashtag,
+            "HashtagPolicy",
+            "List of hashtags to mark activities as sensitive (default: nsfw)",
+            true,
+            false,
+            true,
+        );
+        push(
+            AntiFollowbot,
+            "AntiFollowbotPolicy",
+            "Stop the automatic following of newly discovered users",
+            true,
+            false,
+            true,
+        );
+        push(
+            MediaProxyWarming,
+            "MediaProxyWarmingPolicy",
+            "Crawls attachments using their MediaProxy URLs so that the MediaProxy cache is primed",
+            true,
+            false,
+            true,
+        );
+        push(
+            Keyword,
+            "KeywordPolicy",
+            "A list of patterns which result in message being reject/unlisted/replaced",
+            true,
+            false,
+            true,
+        );
         push(AntiLinkSpam, "AntiLinkSpamPolicy", "Rejects posts from likely spambots by rejecting posts from new users that contain links", true, false, true);
-        push(ForceBotUnlisted, "ForceBotUnlistedPolicy", "Makes all bot posts to disappear from public timelines", true, false, true);
+        push(
+            ForceBotUnlisted,
+            "ForceBotUnlistedPolicy",
+            "Makes all bot posts to disappear from public timelines",
+            true,
+            false,
+            true,
+        );
         push(EnsureRePrepended, "EnsureRePrepended", "Rewrites posts to ensure that replies to posts with subjects do not have an identical subject and instead begin with re:", true, false, true);
-        push(ActivityExpiration, "ActivityExpirationPolicy", "Sets a default expiration on all posts made by users of the local instance", true, false, true);
-        push(Subchain, "SubchainPolicy", "Selectively runs other MRF policies when messages match", true, false, true);
-        push(Mention, "MentionPolicy", "Drops posts mentioning configurable users", true, false, true);
-        push(Vocabulary, "VocabularyPolicy", "Restricts activities to a configured set of vocabulary", true, false, true);
-        push(AntiHellthread, "AntiHellthreadPolicy", "Stops the use of the HellthreadPolicy", true, false, true);
-        push(RejectNonPublic, "RejectNonPublic", "Whether to allow followers-only/direct posts", true, false, true);
-        push(FollowBot, "FollowBotPolicy", "Automatically follows newly discovered users from the specified bot account", true, false, true);
-        push(Drop, "DropPolicy", "Drops all activities", true, false, true);
-        push(NormalizeMarkup, "NormalizeMarkup", "Scrubs HTML markup in posts down to a common subset", true, false, true);
-        push(NoEmpty, "NoEmptyPolicy", "Denies local users from sending posts with no text and no attachments", true, false, true);
-        push(NoPlaceholderText, "NoPlaceholderTextPolicy", "Strips placeholder text (\".\") from posts with media attachments", true, false, true);
-        push(UserAllowList, "UserAllowListPolicy", "Accepts activities only from an explicitly allowed set of users per instance", true, false, true);
-        push(Block, "BlockPolicy", "Applies instance-wide blocks configured outside SimplePolicy", true, false, true);
+        push(
+            ActivityExpiration,
+            "ActivityExpirationPolicy",
+            "Sets a default expiration on all posts made by users of the local instance",
+            true,
+            false,
+            true,
+        );
+        push(
+            Subchain,
+            "SubchainPolicy",
+            "Selectively runs other MRF policies when messages match",
+            true,
+            false,
+            true,
+        );
+        push(
+            Mention,
+            "MentionPolicy",
+            "Drops posts mentioning configurable users",
+            true,
+            false,
+            true,
+        );
+        push(
+            Vocabulary,
+            "VocabularyPolicy",
+            "Restricts activities to a configured set of vocabulary",
+            true,
+            false,
+            true,
+        );
+        push(
+            AntiHellthread,
+            "AntiHellthreadPolicy",
+            "Stops the use of the HellthreadPolicy",
+            true,
+            false,
+            true,
+        );
+        push(
+            RejectNonPublic,
+            "RejectNonPublic",
+            "Whether to allow followers-only/direct posts",
+            true,
+            false,
+            true,
+        );
+        push(
+            FollowBot,
+            "FollowBotPolicy",
+            "Automatically follows newly discovered users from the specified bot account",
+            true,
+            false,
+            true,
+        );
+        push(
+            Drop,
+            "DropPolicy",
+            "Drops all activities",
+            true,
+            false,
+            true,
+        );
+        push(
+            NormalizeMarkup,
+            "NormalizeMarkup",
+            "Scrubs HTML markup in posts down to a common subset",
+            true,
+            false,
+            true,
+        );
+        push(
+            NoEmpty,
+            "NoEmptyPolicy",
+            "Denies local users from sending posts with no text and no attachments",
+            true,
+            false,
+            true,
+        );
+        push(
+            NoPlaceholderText,
+            "NoPlaceholderTextPolicy",
+            "Strips placeholder text (\".\") from posts with media attachments",
+            true,
+            false,
+            true,
+        );
+        push(
+            UserAllowList,
+            "UserAllowListPolicy",
+            "Accepts activities only from an explicitly allowed set of users per instance",
+            true,
+            false,
+            true,
+        );
+        push(
+            Block,
+            "BlockPolicy",
+            "Applies instance-wide blocks configured outside SimplePolicy",
+            true,
+            false,
+            true,
+        );
         // ---- Admin-created custom policies (Figure 7) ----
-        push(Amqp, "AMQPPolicy", "Mirrors every accepted activity onto an AMQP message bus for out-of-band processing", false, false, true);
-        push(KanayaBlogProcess, "KanayaBlogProcessPolicy", "Site-specific rewrite pipeline for a blog-bridging instance", false, false, true);
-        push(AntispamSandbox, "AntispamSandbox", "Forces posts from suspected spam accounts to followers-only visibility", false, false, true);
-        push(SupSlashX, "SupSlashX", "Board-specific custom filter (/x/)", false, false, true);
-        push(SupSlashPol, "SupSlashPOL", "Board-specific custom filter (/pol/)", false, false, true);
-        push(SupSlashMlp, "SupSlashMLP", "Board-specific custom filter (/mlp/)", false, false, true);
-        push(BlockNotification, "BlockNotification", "Announces incoming instance blocks to the local admin", false, false, true);
-        push(SupSlashG, "SupSlashG", "Board-specific custom filter (/g/)", false, false, true);
-        push(NoIncomingDeletes, "NoIncomingDeletes", "Ignores Delete activities from remote instances", false, false, true);
-        push(Rewrite, "RewritePolicy", "Rewrites configured substrings in incoming posts", false, false, true);
-        push(RejectCloudflare, "RejectCloudflarePolicy", "Rejects activities from instances fronted by a disliked CDN", false, false, true);
-        push(RacismRemover, "RacismRemover", "Drops posts matching a racism keyword list", false, false, true);
-        push(CdnWarming, "CdnWarmingPolicy", "Primes a CDN cache with incoming attachments", false, false, true);
-        push(NotifyLocalUsers, "NotifyLocalUsersPolicy", "Notifies local users when a followed remote account is targeted by a local policy", false, false, true);
+        push(
+            Amqp,
+            "AMQPPolicy",
+            "Mirrors every accepted activity onto an AMQP message bus for out-of-band processing",
+            false,
+            false,
+            true,
+        );
+        push(
+            KanayaBlogProcess,
+            "KanayaBlogProcessPolicy",
+            "Site-specific rewrite pipeline for a blog-bridging instance",
+            false,
+            false,
+            true,
+        );
+        push(
+            AntispamSandbox,
+            "AntispamSandbox",
+            "Forces posts from suspected spam accounts to followers-only visibility",
+            false,
+            false,
+            true,
+        );
+        push(
+            SupSlashX,
+            "SupSlashX",
+            "Board-specific custom filter (/x/)",
+            false,
+            false,
+            true,
+        );
+        push(
+            SupSlashPol,
+            "SupSlashPOL",
+            "Board-specific custom filter (/pol/)",
+            false,
+            false,
+            true,
+        );
+        push(
+            SupSlashMlp,
+            "SupSlashMLP",
+            "Board-specific custom filter (/mlp/)",
+            false,
+            false,
+            true,
+        );
+        push(
+            BlockNotification,
+            "BlockNotification",
+            "Announces incoming instance blocks to the local admin",
+            false,
+            false,
+            true,
+        );
+        push(
+            SupSlashG,
+            "SupSlashG",
+            "Board-specific custom filter (/g/)",
+            false,
+            false,
+            true,
+        );
+        push(
+            NoIncomingDeletes,
+            "NoIncomingDeletes",
+            "Ignores Delete activities from remote instances",
+            false,
+            false,
+            true,
+        );
+        push(
+            Rewrite,
+            "RewritePolicy",
+            "Rewrites configured substrings in incoming posts",
+            false,
+            false,
+            true,
+        );
+        push(
+            RejectCloudflare,
+            "RejectCloudflarePolicy",
+            "Rejects activities from instances fronted by a disliked CDN",
+            false,
+            false,
+            true,
+        );
+        push(
+            RacismRemover,
+            "RacismRemover",
+            "Drops posts matching a racism keyword list",
+            false,
+            false,
+            true,
+        );
+        push(
+            CdnWarming,
+            "CdnWarmingPolicy",
+            "Primes a CDN cache with incoming attachments",
+            false,
+            false,
+            true,
+        );
+        push(
+            NotifyLocalUsers,
+            "NotifyLocalUsersPolicy",
+            "Notifies local users when a followed remote account is targeted by a local policy",
+            false,
+            false,
+            true,
+        );
         push(BonziEmojiReactions, "BonziEmojiReactions", "Drops EmojiReact activities (instance-specific custom policy; full name in the paper's Figure 7)", false, false, true);
-        push(SogigiMindWarming, "SogigiMindWarmingPolicy", "Instance-specific media cache warmer", false, false, true);
-        push(SupSlashB, "SupSlashB", "Board-specific custom filter (/b/)", false, false, true);
+        push(
+            SogigiMindWarming,
+            "SogigiMindWarmingPolicy",
+            "Instance-specific media cache warmer",
+            false,
+            false,
+            true,
+        );
+        push(
+            SupSlashB,
+            "SupSlashB",
+            "Board-specific custom filter (/b/)",
+            false,
+            false,
+            true,
+        );
         push(AutoReject, "AutoRejectPolicy", "Rejects activities from instances matching a local heuristic list (custom; not individually named in the paper)", false, false, false);
         push(LocalOnly, "LocalOnlyPolicy", "Keeps selected users' posts off the federation entirely (custom; not individually named in the paper)", false, false, false);
         push(SandboxCustom, "SandboxPolicy", "Quarantines new remote instances until manually reviewed (custom; not individually named in the paper)", false, false, false);
@@ -361,6 +634,9 @@ mod tests {
     fn display_uses_paper_names() {
         assert_eq!(PolicyKind::Simple.to_string(), "SimplePolicy");
         assert_eq!(PolicyKind::ObjectAge.to_string(), "ObjectAgePolicy");
-        assert_eq!(PolicyKind::EnsureRePrepended.to_string(), "EnsureRePrepended");
+        assert_eq!(
+            PolicyKind::EnsureRePrepended.to_string(),
+            "EnsureRePrepended"
+        );
     }
 }

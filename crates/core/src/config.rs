@@ -10,16 +10,15 @@
 
 use crate::catalog::PolicyKind;
 use crate::mrf::policies::{
-    ActivityExpirationPolicy, AntiFollowbotPolicy, AntiHellthreadPolicy, AntiLinkSpamPolicy,
-    AmqpPolicy, AntispamSandboxPolicy, AutoRejectPolicy, BlockNotificationPolicy, BlockPolicy,
-    BoardFilterPolicy, BonziEmojiReactionsPolicy, CdnWarmingPolicy, CuratedListPolicy,
-    DropPolicy, EnsureRePrependedPolicy, ForceBotUnlistedPolicy, HashtagPolicy,
-    HellthreadPolicy, KanayaBlogProcessPolicy, KeywordPolicy, LocalOnlyPolicy,
-    MediaProxyWarmingPolicy, MentionPolicy, NoEmptyPolicy, NoIncomingDeletesPolicy, NoOpPolicy,
-    NoPlaceholderTextPolicy, NormalizeMarkupPolicy, NotifyLocalUsersPolicy, ObjectAgePolicy,
-    RacismRemoverPolicy, RejectCloudflarePolicy, RejectNonPublicPolicy, RewritePolicy,
-    SandboxPolicy, SimplePolicy, SogigiMindWarmingPolicy, StealEmojiPolicy, TagPolicy,
-    UserAllowListPolicy, VocabularyPolicy,
+    ActivityExpirationPolicy, AmqpPolicy, AntiFollowbotPolicy, AntiHellthreadPolicy,
+    AntiLinkSpamPolicy, AntispamSandboxPolicy, AutoRejectPolicy, BlockNotificationPolicy,
+    BlockPolicy, BoardFilterPolicy, BonziEmojiReactionsPolicy, CdnWarmingPolicy, CuratedListPolicy,
+    DropPolicy, EnsureRePrependedPolicy, ForceBotUnlistedPolicy, HashtagPolicy, HellthreadPolicy,
+    KanayaBlogProcessPolicy, KeywordPolicy, LocalOnlyPolicy, MediaProxyWarmingPolicy,
+    MentionPolicy, NoEmptyPolicy, NoIncomingDeletesPolicy, NoOpPolicy, NoPlaceholderTextPolicy,
+    NormalizeMarkupPolicy, NotifyLocalUsersPolicy, ObjectAgePolicy, RacismRemoverPolicy,
+    RejectCloudflarePolicy, RejectNonPublicPolicy, RewritePolicy, SandboxPolicy, SimplePolicy,
+    SogigiMindWarmingPolicy, StealEmojiPolicy, TagPolicy, UserAllowListPolicy, VocabularyPolicy,
 };
 use crate::mrf::{MrfPipeline, MrfPolicy};
 use serde::{Deserialize, Serialize};
@@ -253,12 +252,8 @@ impl InstanceModerationConfig {
             }),
             PolicyKind::AntispamSandbox => Arc::new(AntispamSandboxPolicy),
             PolicyKind::SupSlashX => Arc::new(BoardFilterPolicy::new(kind, vec!["x".into()])),
-            PolicyKind::SupSlashPol => {
-                Arc::new(BoardFilterPolicy::new(kind, vec!["pol".into()]))
-            }
-            PolicyKind::SupSlashMlp => {
-                Arc::new(BoardFilterPolicy::new(kind, vec!["mlp".into()]))
-            }
+            PolicyKind::SupSlashPol => Arc::new(BoardFilterPolicy::new(kind, vec!["pol".into()])),
+            PolicyKind::SupSlashMlp => Arc::new(BoardFilterPolicy::new(kind, vec!["mlp".into()])),
             PolicyKind::SupSlashG => Arc::new(BoardFilterPolicy::new(kind, vec!["g".into()])),
             PolicyKind::SupSlashB => Arc::new(BoardFilterPolicy::new(kind, vec!["b".into()])),
             PolicyKind::BlockNotification => Arc::new(BlockNotificationPolicy),
@@ -351,7 +346,8 @@ mod tests {
         use crate::time::SimDuration;
         let mut c = InstanceModerationConfig::default();
         c.enable(PolicyKind::ObjectAge);
-        c.configs.push(PolicyConfig::ObjectAge(ObjectAgePolicy::rejecting()));
+        c.configs
+            .push(PolicyConfig::ObjectAge(ObjectAgePolicy::rejecting()));
         let pipe = c.build_pipeline();
         assert_eq!(pipe.len(), 1);
         // Old post should now be rejected (default config would delist).
@@ -361,11 +357,7 @@ mod tests {
         use crate::time::SimTime;
         let local = Domain::new("home.example");
         let dir = NullActorDirectory;
-        let ctx = PolicyContext::new(
-            &local,
-            SimTime(SimDuration::days(30).as_secs()),
-            &dir,
-        );
+        let ctx = PolicyContext::new(&local, SimTime(SimDuration::days(30).as_secs()), &dir);
         let act = Activity::create(
             ActivityId(1),
             Post::stub(

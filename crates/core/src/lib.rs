@@ -40,11 +40,11 @@ pub use catalog::{PolicyCatalog, PolicyEntry, PolicyKind};
 pub use config::{InstanceModerationConfig, PolicyConfig};
 pub use id::{ActivityId, Domain, InstanceId, PostId, UserId, UserRef};
 pub use model::{
-    Activity, ActivityKind, ActivityPayload, InstanceKind, InstanceProfile, MediaAttachment,
-    Post, SoftwareVersion, User, Visibility,
+    Activity, ActivityKind, ActivityPayload, InstanceKind, InstanceProfile, MediaAttachment, Post,
+    SoftwareVersion, User, Visibility,
 };
 pub use mrf::{
-    EffectSink, FilterOutcome, MrfPipeline, MrfPolicy, PolicyContext, PolicyVerdict,
-    RejectReason, SideEffect,
+    EffectSink, FilterOutcome, MrfPipeline, MrfPolicy, PolicyContext, PolicyVerdict, RejectReason,
+    SideEffect,
 };
 pub use time::{SimDuration, SimTime};

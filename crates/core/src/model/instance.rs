@@ -54,7 +54,11 @@ pub struct SoftwareVersion {
 impl SoftwareVersion {
     /// Builds a version triple.
     pub const fn new(major: u8, minor: u8, patch: u8) -> Self {
-        SoftwareVersion { major, minor, patch }
+        SoftwareVersion {
+            major,
+            minor,
+            patch,
+        }
     }
 
     /// The first version that enables `ObjectAgePolicy` by default.
@@ -132,7 +136,7 @@ mod tests {
             "pleroma"
         );
         assert_eq!(InstanceKind::Mastodon.software_name(), "mastodon");
-        assert!(InstanceKind::Mastodon.is_pleroma() == false);
+        assert!(!InstanceKind::Mastodon.is_pleroma());
         assert_eq!(
             InstanceKind::Other("peertube".into()).software_name(),
             "peertube"

@@ -53,9 +53,16 @@ impl FilterOutcome {
 
 /// An ordered chain of MRF policies, mirroring Pleroma's
 /// `config :pleroma, :mrf, policies: [...]`.
+///
+/// The anti-hellthread interaction (an `AntiHellthreadPolicy` anywhere in
+/// the chain disables every `HellthreadPolicy`) is precomputed into a
+/// per-policy skip mask at construction, so the per-activity filter loop
+/// never re-scans the chain.
 #[derive(Clone, Default)]
 pub struct MrfPipeline {
     policies: Vec<Arc<dyn MrfPolicy>>,
+    /// `skip[i]` ⇒ `policies[i]` never runs (disabled by another policy).
+    skip: Vec<bool>,
 }
 
 impl MrfPipeline {
@@ -67,6 +74,20 @@ impl MrfPipeline {
     /// Appends a policy to the end of the chain.
     pub fn push(&mut self, policy: Arc<dyn MrfPolicy>) {
         self.policies.push(policy);
+        self.skip.push(false);
+        self.recompute_skips();
+    }
+
+    /// Rebuilds the skip mask. O(n) in chain length, run only on
+    /// construction/mutation — never per activity.
+    fn recompute_skips(&mut self) {
+        let hellthread_disabled = self
+            .policies
+            .iter()
+            .any(|p| p.kind() == PolicyKind::AntiHellthread);
+        for (i, policy) in self.policies.iter().enumerate() {
+            self.skip[i] = hellthread_disabled && policy.kind() == PolicyKind::Hellthread;
+        }
     }
 
     /// Builder-style [`push`](Self::push).
@@ -109,9 +130,8 @@ impl MrfPipeline {
     pub fn filter(&self, ctx: &PolicyContext<'_>, activity: Activity) -> FilterOutcome {
         let mut current = activity;
         let mut trace = Vec::with_capacity(self.policies.len());
-        let hellthread_disabled = self.has(PolicyKind::AntiHellthread);
-        for policy in &self.policies {
-            if hellthread_disabled && policy.kind() == PolicyKind::Hellthread {
+        for (policy, &skip) in self.policies.iter().zip(&self.skip) {
+            if skip {
                 continue;
             }
             match policy.filter(ctx, current) {
@@ -138,6 +158,28 @@ impl MrfPipeline {
             verdict: PolicyVerdict::Pass(current),
             trace,
         }
+    }
+
+    /// Runs `activity` through the chain without recording a trace.
+    ///
+    /// Identical decision semantics to [`filter`](Self::filter) — same
+    /// skip mask, same short-circuit on first rejection — but allocation
+    /// free, for bulk simulation where only the verdict matters (e.g.
+    /// materialising millions of posts). The traced path stays available
+    /// for explainability. The `filter_fast_agrees_with_filter` proptest
+    /// in [`super::proptests`] pins the equivalence across the catalog.
+    pub fn filter_fast(&self, ctx: &PolicyContext<'_>, activity: Activity) -> PolicyVerdict {
+        let mut current = activity;
+        for (policy, &skip) in self.policies.iter().zip(&self.skip) {
+            if skip {
+                continue;
+            }
+            match policy.filter(ctx, current) {
+                PolicyVerdict::Pass(a) => current = a,
+                reject @ PolicyVerdict::Reject(_) => return reject,
+            }
+        }
+        PolicyVerdict::Pass(current)
     }
 }
 
@@ -230,6 +272,55 @@ mod tests {
         // trace: Tagger passed, Rejector rejected, third never ran.
         assert_eq!(out.trace.len(), 2);
         assert_eq!(out.rejection().unwrap().policy, PolicyKind::Drop);
+    }
+
+    #[test]
+    fn filter_fast_matches_filter() {
+        let (d, dir) = ctx_parts();
+        let pipe = MrfPipeline::new()
+            .with(Arc::new(Tagger("a")))
+            .with(Arc::new(Tagger("b")));
+        let ctx = PolicyContext::new(&d, SimTime(0), &dir);
+        let slow = pipe.filter(&ctx, act());
+        let ctx = PolicyContext::new(&d, SimTime(0), &dir);
+        let fast = pipe.filter_fast(&ctx, act());
+        assert_eq!(
+            slow.verdict.expect_pass().note().unwrap().content,
+            fast.expect_pass().note().unwrap().content
+        );
+
+        let rejecting = MrfPipeline::new().with(Arc::new(Rejector));
+        let ctx = PolicyContext::new(&d, SimTime(0), &dir);
+        assert!(!rejecting.filter_fast(&ctx, act()).is_pass());
+    }
+
+    #[test]
+    fn anti_hellthread_skip_is_precomputed() {
+        use crate::mrf::policies::{AntiHellthreadPolicy, HellthreadPolicy};
+        // Hellthread first, AntiHellthread later: the mask must still
+        // disable the earlier policy (any position disables, as before).
+        let pipe = MrfPipeline::new()
+            .with(Arc::new(HellthreadPolicy::default()))
+            .with(Arc::new(AntiHellthreadPolicy));
+        assert_eq!(pipe.skip, vec![true, false]);
+        let (d, dir) = ctx_parts();
+        // A hellthread-sized mention list passes because Hellthread is
+        // disabled.
+        let mut hell = act();
+        if let Some(p) = hell.note_mut() {
+            for i in 0..50 {
+                p.mentions
+                    .push(UserRef::new(UserId(i), Domain::new("m.example")));
+            }
+        }
+        let ctx = PolicyContext::new(&d, SimTime(0), &dir);
+        let out = pipe.filter(&ctx, hell.clone());
+        assert!(out.accepted());
+        // Without AntiHellthread the same activity is rejected.
+        let alone = MrfPipeline::new().with(Arc::new(HellthreadPolicy::default()));
+        assert_eq!(alone.skip, vec![false]);
+        let ctx = PolicyContext::new(&d, SimTime(0), &dir);
+        assert!(!alone.filter(&ctx, hell).accepted());
     }
 
     #[test]

@@ -202,9 +202,15 @@ mod tests {
     #[test]
     fn force_bot_unlisted_delists_bot_posts() {
         let (v, _) = run_with_effects(&ForceBotUnlistedPolicy, create_from(1, false));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Unlisted);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Unlisted
+        );
         let (v, _) = run_with_effects(&ForceBotUnlistedPolicy, create_from(3, false));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Public);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Public
+        );
     }
 
     #[test]
@@ -229,7 +235,9 @@ mod tests {
         let p = FollowBotPolicy::new(bot);
         let (_, effects) = run_with_effects(&p, create_from(5, false));
         assert_eq!(effects.len(), 1);
-        assert!(matches!(&effects[0], SideEffect::AutoFollowed { target } if target.user == UserId(5)));
+        assert!(
+            matches!(&effects[0], SideEffect::AutoFollowed { target } if target.user == UserId(5))
+        );
         // Second post from the same actor: no new follow.
         let (_, effects) = run_with_effects(&p, create_from(5, false));
         assert!(effects.is_empty());

@@ -69,7 +69,11 @@ impl MrfPolicy for KeywordPolicy {
             return PolicyVerdict::Pass(activity);
         };
         for rule in &self.rules {
-            let subject_hit = post.subject.as_deref().map(|s| rule.matches(s)).unwrap_or(false);
+            let subject_hit = post
+                .subject
+                .as_deref()
+                .map(|s| rule.matches(s))
+                .unwrap_or(false);
             if !rule.matches(&post.content) && !subject_hit {
                 continue;
             }
@@ -236,21 +240,12 @@ impl MrfPolicy for NoPlaceholderTextPolicy {
 
 /// `RejectNonPublic` — "Whether to allow followers-only/direct posts"
 /// (Table 3; 3 instances).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct RejectNonPublicPolicy {
     /// Allow followers-only posts through?
     pub allow_followers_only: bool,
     /// Allow direct messages through?
     pub allow_direct: bool,
-}
-
-impl Default for RejectNonPublicPolicy {
-    fn default() -> Self {
-        RejectNonPublicPolicy {
-            allow_followers_only: false,
-            allow_direct: false,
-        }
-    }
 }
 
 impl MrfPolicy for RejectNonPublicPolicy {
@@ -323,7 +318,10 @@ mod tests {
             KeywordAction::FederatedTimelineRemoval,
         )]);
         let v = run(&p, note("fediverse drama again", "a.example"));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Unlisted);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Unlisted
+        );
     }
 
     #[test]
@@ -341,7 +339,11 @@ mod tests {
 
     #[test]
     fn replace_ci_edge_cases() {
-        assert_eq!(replace_ci("abc", "", "x"), "abc", "empty pattern is a no-op");
+        assert_eq!(
+            replace_ci("abc", "", "x"),
+            "abc",
+            "empty pattern is a no-op"
+        );
         assert_eq!(replace_ci("aaa", "a", "b"), "bbb");
         assert_eq!(replace_ci("xyz", "q", "r"), "xyz");
     }
@@ -418,7 +420,10 @@ mod tests {
             kind: MediaKind::Image,
             sensitive: false,
         });
-        let v = run(&NoPlaceholderTextPolicy, Activity::create(ActivityId(1), post));
+        let v = run(
+            &NoPlaceholderTextPolicy,
+            Activity::create(ActivityId(1), post),
+        );
         assert_eq!(v.expect_pass().note().unwrap().content, "");
         // Without media the dot is kept.
         let v = run(&NoPlaceholderTextPolicy, note(".", "a.example"));

@@ -445,11 +445,7 @@ impl MrfPolicy for SandboxPolicy {
         if ctx.is_local(&origin) {
             return PolicyVerdict::Pass(activity);
         }
-        let first = *self
-            .first_seen
-            .lock()
-            .entry(origin)
-            .or_insert(ctx.now);
+        let first = *self.first_seen.lock().entry(origin).or_insert(ctx.now);
         if ctx.now.since(first) < self.quarantine {
             if let Some(post) = activity.note_mut() {
                 if post.visibility.is_public_ish() {
@@ -492,7 +488,9 @@ mod tests {
     fn amqp_mirrors_everything() {
         let (v, effects) = run(&AmqpPolicy::default(), note("a.example", "x"));
         assert!(v.is_pass());
-        assert!(matches!(&effects[0], SideEffect::MirroredToBus { routing_key } if routing_key == "fediverse.inbound"));
+        assert!(
+            matches!(&effects[0], SideEffect::MirroredToBus { routing_key } if routing_key == "fediverse.inbound")
+        );
     }
 
     #[test]
@@ -586,7 +584,10 @@ mod tests {
     #[test]
     fn rewrite_applies_rules_in_order() {
         let p = RewritePolicy {
-            rules: vec![("cat".into(), "dog".into()), ("dog".into(), "ferret".into())],
+            rules: vec![
+                ("cat".into(), "dog".into()),
+                ("dog".into(), "ferret".into()),
+            ],
         };
         let (v, _) = run(&p, note("a.example", "my cat"));
         assert_eq!(v.expect_pass().note().unwrap().content, "my ferret");
@@ -606,7 +607,9 @@ mod tests {
         let p = RacismRemoverPolicy {
             lexicon: vec!["slur1".into()],
         };
-        assert!(!run(&p, note("a.example", "text with SLUR1 inside")).0.is_pass());
+        assert!(!run(&p, note("a.example", "text with SLUR1 inside"))
+            .0
+            .is_pass());
         assert!(run(&p, note("a.example", "clean text")).0.is_pass());
     }
 
@@ -625,7 +628,9 @@ mod tests {
         };
         let (v, _) = run(&BonziEmojiReactionsPolicy, react);
         assert_eq!(v.expect_reject().code, "emoji_react_dropped");
-        assert!(run(&BonziEmojiReactionsPolicy, note("a.example", "x")).0.is_pass());
+        assert!(run(&BonziEmojiReactionsPolicy, note("a.example", "x"))
+            .0
+            .is_pass());
     }
 
     #[test]
@@ -673,7 +678,10 @@ mod tests {
         // Day 8: released.
         let t8 = SimTime(SimDuration::days(8).as_secs());
         let (v, _) = run_at(&p, note("new.example", "x"), t8);
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Public);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Public
+        );
     }
 
     #[test]

@@ -191,7 +191,8 @@ mod tests {
     #[test]
     fn steal_emoji_from_whitelisted_hosts_once() {
         let p = StealEmojiPolicy::new(vec![Domain::new("emoji.example")]);
-        let (_, effects) = run_with_effects(&p, emoji_post("emoji.example", &["blobcat", "ablobcat"]));
+        let (_, effects) =
+            run_with_effects(&p, emoji_post("emoji.example", &["blobcat", "ablobcat"]));
         assert_eq!(effects.len(), 2);
         assert_eq!(p.stolen_count(), 2);
         // Same emojis again: already stolen, no effects.
@@ -210,7 +211,8 @@ mod tests {
     fn steal_emoji_respects_rejected_shortcodes() {
         let mut p = StealEmojiPolicy::new(vec![Domain::new("emoji.example")]);
         p.rejected_shortcodes.push("verified".into());
-        let (_, effects) = run_with_effects(&p, emoji_post("emoji.example", &["verified", "blobcat"]));
+        let (_, effects) =
+            run_with_effects(&p, emoji_post("emoji.example", &["verified", "blobcat"]));
         assert_eq!(effects.len(), 1);
     }
 
@@ -245,8 +247,10 @@ mod tests {
                 sensitive: false,
             });
         }
-        let (v, effects) =
-            run_with_effects(&MediaProxyWarmingPolicy, Activity::create(ActivityId(1), post));
+        let (v, effects) = run_with_effects(
+            &MediaProxyWarmingPolicy,
+            Activity::create(ActivityId(1), post),
+        );
         assert!(v.is_pass());
         assert_eq!(effects.len(), 2);
     }
@@ -274,6 +278,9 @@ mod tests {
         let mut post = Post::stub(PostId(1), author, SimTime(0), "x");
         post.expires_at = Some(SimTime(42));
         let (v, _) = run_with_effects(&p, Activity::create(ActivityId(1), post));
-        assert_eq!(v.expect_pass().note().unwrap().expires_at, Some(SimTime(42)));
+        assert_eq!(
+            v.expect_pass().note().unwrap().expires_at,
+            Some(SimTime(42))
+        );
     }
 }

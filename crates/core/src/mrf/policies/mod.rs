@@ -26,7 +26,7 @@ pub use content::{
 };
 pub use custom::{
     AmqpPolicy, AntispamSandboxPolicy, AutoRejectPolicy, BlockNotificationPolicy,
-    BonziEmojiReactionsPolicy, BoardFilterPolicy, CdnWarmingPolicy, KanayaBlogProcessPolicy,
+    BoardFilterPolicy, BonziEmojiReactionsPolicy, CdnWarmingPolicy, KanayaBlogProcessPolicy,
     LocalOnlyPolicy, NoIncomingDeletesPolicy, NotifyLocalUsersPolicy, RacismRemoverPolicy,
     RejectCloudflarePolicy, RewritePolicy, SandboxPolicy, SogigiMindWarmingPolicy,
 };
@@ -36,11 +36,9 @@ pub use media::{
 pub use object_age::{ObjectAgeAction, ObjectAgePolicy};
 pub use simple::{SimpleAction, SimplePolicy};
 pub use strawman::{
-    CuratedBlocklist, CuratedListPolicy, EscalationAction, HarmClassifier,
-    RepeatOffenderPolicy, UserTagModerationPolicy,
+    CuratedBlocklist, CuratedListPolicy, EscalationAction, HarmClassifier, RepeatOffenderPolicy,
+    UserTagModerationPolicy,
 };
 pub use subchain::{SubchainMatch, SubchainPolicy};
 pub use tag::TagPolicy;
-pub use threads::{
-    AntiHellthreadPolicy, EnsureRePrependedPolicy, HellthreadPolicy, MentionPolicy,
-};
+pub use threads::{AntiHellthreadPolicy, EnsureRePrependedPolicy, HellthreadPolicy, MentionPolicy};

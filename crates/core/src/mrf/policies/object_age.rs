@@ -78,8 +78,7 @@ impl MrfPolicy for ObjectAgePolicy {
                 format!("post age {age} exceeds {}", self.threshold),
             ));
         }
-        if self.actions.contains(&ObjectAgeAction::Delist)
-            && post.visibility == Visibility::Public
+        if self.actions.contains(&ObjectAgeAction::Delist) && post.visibility == Visibility::Public
         {
             post.visibility = Visibility::Unlisted;
         }
@@ -133,7 +132,10 @@ mod tests {
         let p = ObjectAgePolicy::default();
         let now = SimTime(SimDuration::days(7).as_secs());
         let v = filter_at(&p, aged_create(SimTime(0)), now);
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Public);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Public
+        );
     }
 
     #[test]

@@ -18,9 +18,7 @@ use std::collections::BTreeMap;
 
 /// The ten `SimplePolicy` actions, named exactly as the paper's Figures 2/3
 /// label them (Pleroma's `mrf_simple` keys).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SimpleAction {
     /// Block all activities from the target instance.
     Reject,
@@ -198,8 +196,7 @@ impl MrfPolicy for SimplePolicy {
         {
             return self.reject("delete_rejected", format!("deletes from {origin} ignored"));
         }
-        if activity.kind == ActivityKind::Flag
-            && self.matches(SimpleAction::ReportRemoval, &origin)
+        if activity.kind == ActivityKind::Flag && self.matches(SimpleAction::ReportRemoval, &origin)
         {
             return self.reject("report_removed", format!("reports from {origin} ignored"));
         }
@@ -229,8 +226,7 @@ impl MrfPolicy for SimplePolicy {
             {
                 post.visibility = Visibility::Unlisted;
             }
-            if self.matches(SimpleAction::FollowersOnly, &origin)
-                && post.visibility.is_public_ish()
+            if self.matches(SimpleAction::FollowersOnly, &origin) && post.visibility.is_public_ish()
             {
                 post.visibility = Visibility::FollowersOnly;
             }
@@ -309,7 +305,8 @@ mod tests {
 
     #[test]
     fn accept_whitelist_blocks_unlisted_instances() {
-        let p = SimplePolicy::new().with_target(SimpleAction::Accept, Domain::new("friend.example"));
+        let p =
+            SimplePolicy::new().with_target(SimpleAction::Accept, Domain::new("friend.example"));
         let (v, _) = run(&p, remote_post("friend.example"));
         assert!(v.is_pass());
         let (v, _) = run(&p, remote_post("stranger.example"));
@@ -318,8 +315,8 @@ mod tests {
 
     #[test]
     fn media_removal_strips_attachments_keeps_text() {
-        let p =
-            SimplePolicy::new().with_target(SimpleAction::MediaRemoval, Domain::new("porn.example"));
+        let p = SimplePolicy::new()
+            .with_target(SimpleAction::MediaRemoval, Domain::new("porn.example"));
         let (v, _) = run(&p, remote_post("porn.example"));
         let a = v.expect_pass();
         let post = a.note().unwrap();
@@ -329,7 +326,8 @@ mod tests {
 
     #[test]
     fn nsfw_forces_sensitive() {
-        let p = SimplePolicy::new().with_target(SimpleAction::MediaNsfw, Domain::new("lewd.example"));
+        let p =
+            SimplePolicy::new().with_target(SimpleAction::MediaNsfw, Domain::new("lewd.example"));
         let (v, _) = run(&p, remote_post("lewd.example"));
         let a = v.expect_pass();
         assert!(a.note().unwrap().sensitive);
@@ -337,16 +335,21 @@ mod tests {
 
     #[test]
     fn fed_timeline_removal_delists() {
-        let p = SimplePolicy::new()
-            .with_target(SimpleAction::FederatedTimelineRemoval, Domain::new("loud.example"));
+        let p = SimplePolicy::new().with_target(
+            SimpleAction::FederatedTimelineRemoval,
+            Domain::new("loud.example"),
+        );
         let (v, _) = run(&p, remote_post("loud.example"));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Unlisted);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Unlisted
+        );
     }
 
     #[test]
     fn followers_only_downgrades_visibility() {
-        let p =
-            SimplePolicy::new().with_target(SimpleAction::FollowersOnly, Domain::new("spam.example"));
+        let p = SimplePolicy::new()
+            .with_target(SimpleAction::FollowersOnly, Domain::new("spam.example"));
         let (v, _) = run(&p, remote_post("spam.example"));
         assert_eq!(
             v.expect_pass().note().unwrap().visibility,
@@ -388,11 +391,17 @@ mod tests {
         assert_eq!(effects.len(), 2);
         assert!(effects.iter().any(|e| matches!(
             e,
-            SideEffect::ProfileMediaStripped { image: ProfileImage::Banner, .. }
+            SideEffect::ProfileMediaStripped {
+                image: ProfileImage::Banner,
+                ..
+            }
         )));
         assert!(effects.iter().any(|e| matches!(
             e,
-            SideEffect::ProfileMediaStripped { image: ProfileImage::Avatar, .. }
+            SideEffect::ProfileMediaStripped {
+                image: ProfileImage::Avatar,
+                ..
+            }
         )));
     }
 

@@ -421,11 +421,8 @@ mod tests {
         let innocent = UserRef::new(UserId(2), Domain::new("mixed.example"));
         classifier.set(harmful, 0.93);
         classifier.set(innocent, 0.05);
-        let p = UserTagModerationPolicy::new(
-            Arc::new(classifier),
-            0.8,
-            EscalationAction::ForceNsfw,
-        );
+        let p =
+            UserTagModerationPolicy::new(Arc::new(classifier), 0.8, EscalationAction::ForceNsfw);
         // Harmful user: NSFW forced.
         let v = run(&p, media_note("mixed.example", 1));
         assert!(v.expect_pass().note().unwrap().sensitive);
@@ -439,11 +436,8 @@ mod tests {
     fn user_tag_moderation_reject_user_variant() {
         let mut classifier = StaticHarmClassifier::new();
         classifier.set(UserRef::new(UserId(1), Domain::new("m.example")), 0.99);
-        let p = UserTagModerationPolicy::new(
-            Arc::new(classifier),
-            0.8,
-            EscalationAction::RejectUser,
-        );
+        let p =
+            UserTagModerationPolicy::new(Arc::new(classifier), 0.8, EscalationAction::RejectUser);
         assert_eq!(
             run(&p, media_note("m.example", 1)).expect_reject().code,
             "user_rejected"
@@ -496,9 +490,15 @@ mod tests {
             EscalationAction::Unlisted,
         );
         let v = run(&p, media_note("r.example", 1));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Unlisted);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Unlisted
+        );
         // Unknown users are untouched.
         let v = run(&p, media_note("r.example", 2));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Public);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Public
+        );
     }
 }

@@ -59,7 +59,11 @@ impl MrfPolicy for SubchainPolicy {
 
     fn filter(&self, ctx: &PolicyContext<'_>, activity: Activity) -> PolicyVerdict {
         if self.matcher.matches(&activity) {
-            self.chain.filter(ctx, activity).verdict
+            // The inner chain's trace is never surfaced (only the verdict
+            // propagates), so take the untraced path — this keeps the
+            // outer pipeline's `filter_fast` allocation-free even with a
+            // subchain configured.
+            self.chain.filter_fast(ctx, activity)
         } else {
             PolicyVerdict::Pass(activity)
         }
@@ -109,10 +113,7 @@ mod tests {
     #[test]
     fn subchain_matches_content() {
         let chain = MrfPipeline::new().with(Arc::new(DropPolicy));
-        let p = SubchainPolicy::new(
-            SubchainMatch::ContentContains("CRYPTO".into()),
-            chain,
-        );
+        let p = SubchainPolicy::new(SubchainMatch::ContentContains("CRYPTO".into()), chain);
         assert!(!run(&p, note("a.example", "buy crypto now")).is_pass());
         assert!(run(&p, note("a.example", "buy bread now")).is_pass());
     }

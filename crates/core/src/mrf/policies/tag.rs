@@ -44,15 +44,11 @@ impl MrfPolicy for TagPolicy {
                     match tag.as_str() {
                         mrf_tags::MEDIA_FORCE_NSFW => post.force_sensitive(),
                         mrf_tags::MEDIA_STRIP => post.strip_media(),
-                        mrf_tags::FORCE_UNLISTED => {
-                            if post.visibility == Visibility::Public {
-                                post.visibility = Visibility::Unlisted;
-                            }
+                        mrf_tags::FORCE_UNLISTED if post.visibility == Visibility::Public => {
+                            post.visibility = Visibility::Unlisted;
                         }
-                        mrf_tags::SANDBOX => {
-                            if post.visibility.is_public_ish() {
-                                post.visibility = Visibility::FollowersOnly;
-                            }
+                        mrf_tags::SANDBOX if post.visibility.is_public_ish() => {
+                            post.visibility = Visibility::FollowersOnly;
                         }
                         _ => {}
                     }
@@ -171,7 +167,10 @@ mod tests {
     fn force_unlisted_tag() {
         let dir = tagged_dir(UserId(1), mrf_tags::FORCE_UNLISTED);
         let v = run(&dir, post_with_media(UserId(1)));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Unlisted);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Unlisted
+        );
     }
 
     #[test]
@@ -194,7 +193,10 @@ mod tests {
             target,
             SimTime(0),
         );
-        assert_eq!(run(&dir, follow).expect_reject().code, "subscription_disabled");
+        assert_eq!(
+            run(&dir, follow).expect_reject().code,
+            "subscription_disabled"
+        );
     }
 
     #[test]

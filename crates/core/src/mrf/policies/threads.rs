@@ -144,9 +144,9 @@ impl MrfPolicy for MentionPolicy {
 mod tests {
     use super::*;
     use crate::id::{ActivityId, Domain, PostId, UserId};
+    use crate::model::Post;
     use crate::mrf::context::NullActorDirectory;
     use crate::mrf::MrfPipeline;
-    use crate::model::Post;
     use crate::time::SimTime;
     use std::sync::Arc;
 
@@ -154,8 +154,10 @@ mod tests {
         let author = UserRef::new(UserId(1), Domain::new("thread.example"));
         let mut post = Post::stub(PostId(1), author, SimTime(0), "oi");
         for i in 0..n {
-            post.mentions
-                .push(UserRef::new(UserId(100 + i as u64), Domain::new("x.example")));
+            post.mentions.push(UserRef::new(
+                UserId(100 + i as u64),
+                Domain::new("x.example"),
+            ));
         }
         Activity::create(ActivityId(1), post)
     }
@@ -171,14 +173,20 @@ mod tests {
     fn few_mentions_pass() {
         let p = HellthreadPolicy::default();
         let v = run(&p, post_with_mentions(3));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Public);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Public
+        );
     }
 
     #[test]
     fn moderate_mentions_delist() {
         let p = HellthreadPolicy::default();
         let v = run(&p, post_with_mentions(15));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Unlisted);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Unlisted
+        );
     }
 
     #[test]
@@ -195,7 +203,10 @@ mod tests {
             reject_threshold: None,
         };
         let v = run(&p, post_with_mentions(500));
-        assert_eq!(v.expect_pass().note().unwrap().visibility, Visibility::Public);
+        assert_eq!(
+            v.expect_pass().note().unwrap().visibility,
+            Visibility::Public
+        );
     }
 
     #[test]
@@ -218,7 +229,10 @@ mod tests {
         let mut post = Post::stub(PostId(2), author, SimTime(0), "body");
         post.in_reply_to = Some(PostId(1));
         post.subject = Some("topic".into());
-        let v = run(&EnsureRePrependedPolicy, Activity::create(ActivityId(1), post));
+        let v = run(
+            &EnsureRePrependedPolicy,
+            Activity::create(ActivityId(1), post),
+        );
         assert_eq!(
             v.expect_pass().note().unwrap().subject.as_deref(),
             Some("re: topic")
@@ -231,7 +245,10 @@ mod tests {
         let mut post = Post::stub(PostId(2), author, SimTime(0), "body");
         post.in_reply_to = Some(PostId(1));
         post.subject = Some("re: topic".into());
-        let v = run(&EnsureRePrependedPolicy, Activity::create(ActivityId(1), post));
+        let v = run(
+            &EnsureRePrependedPolicy,
+            Activity::create(ActivityId(1), post),
+        );
         assert_eq!(
             v.expect_pass().note().unwrap().subject.as_deref(),
             Some("re: topic"),
@@ -244,8 +261,14 @@ mod tests {
         let author = UserRef::new(UserId(1), Domain::new("a.example"));
         let mut post = Post::stub(PostId(2), author, SimTime(0), "body");
         post.subject = Some("topic".into());
-        let v = run(&EnsureRePrependedPolicy, Activity::create(ActivityId(1), post));
-        assert_eq!(v.expect_pass().note().unwrap().subject.as_deref(), Some("topic"));
+        let v = run(
+            &EnsureRePrependedPolicy,
+            Activity::create(ActivityId(1), post),
+        );
+        assert_eq!(
+            v.expect_pass().note().unwrap().subject.as_deref(),
+            Some("topic")
+        );
     }
 
     #[test]

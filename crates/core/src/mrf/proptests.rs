@@ -33,18 +33,21 @@ fn arb_post() -> impl Strategy<Value = Post> {
         proptest::option::of("[a-z ]{1,20}"),
         any::<bool>(),
     )
-        .prop_map(|(id, domain, words, mentions, visibility, subject, reply)| {
-            let author = UserRef::new(UserId(id % 977), Domain::new(domain));
-            let mut post = Post::stub(PostId(id), author, SimTime(id % 10_000), words.join(" "));
-            post.visibility = visibility;
-            post.subject = subject;
-            post.in_reply_to = reply.then_some(PostId(1));
-            for m in 0..mentions {
-                post.mentions
-                    .push(UserRef::new(UserId(m as u64), Domain::new("m.example")));
-            }
-            post
-        })
+        .prop_map(
+            |(id, domain, words, mentions, visibility, subject, reply)| {
+                let author = UserRef::new(UserId(id % 977), Domain::new(domain));
+                let mut post =
+                    Post::stub(PostId(id), author, SimTime(id % 10_000), words.join(" "));
+                post.visibility = visibility;
+                post.subject = subject;
+                post.in_reply_to = reply.then_some(PostId(1));
+                for m in 0..mentions {
+                    post.mentions
+                        .push(UserRef::new(UserId(m as u64), Domain::new("m.example")));
+                }
+                post
+            },
+        )
 }
 
 proptest! {
@@ -183,6 +186,51 @@ proptest! {
             ));
         } else {
             prop_assert_eq!(out.trace.len(), pipeline.len());
+        }
+    }
+
+    /// `filter_fast` agrees with `filter` on every catalog policy:
+    /// identical accept/reject decision and identical surviving activity
+    /// (rewrites included), for arbitrary posts through a pipeline built
+    /// from every instantiable policy in the catalog.
+    #[test]
+    fn filter_fast_agrees_with_filter(
+        post in arb_post(),
+        subset_mask in any::<u64>(),
+        reject_origin in any::<bool>(),
+    ) {
+        let (local, dir) = ctx_bits();
+        let catalog = crate::catalog::PolicyCatalog::global();
+        let mut config = crate::config::InstanceModerationConfig::default();
+        for (i, entry) in catalog.entries().iter().enumerate() {
+            if subset_mask & (1 << (i % 64)) != 0 {
+                config.enable(entry.kind);
+            }
+        }
+        if reject_origin {
+            let mut simple = SimplePolicy::new();
+            simple.add_target(SimpleAction::Reject, post.author.domain.clone());
+            config.set_simple(simple);
+        }
+        let pipeline = config.build_pipeline();
+        let act = Activity::create(ActivityId(1), post);
+        let ctx1 = PolicyContext::new(&local, SimTime(0), &dir);
+        let traced = pipeline.filter(&ctx1, act.clone());
+        let ctx2 = PolicyContext::new(&local, SimTime(0), &dir);
+        let fast = pipeline.filter_fast(&ctx2, act);
+        match (&traced.verdict, &fast) {
+            (PolicyVerdict::Pass(a), PolicyVerdict::Pass(b)) => {
+                prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+            (PolicyVerdict::Reject(a), PolicyVerdict::Reject(b)) => {
+                prop_assert_eq!(a, b);
+            }
+            _ => prop_assert!(
+                false,
+                "filter/filter_fast verdicts diverge: {:?} vs {:?}",
+                traced.verdict,
+                fast
+            ),
         }
     }
 

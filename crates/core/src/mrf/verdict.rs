@@ -34,6 +34,9 @@ impl fmt::Display for RejectReason {
 }
 
 /// Result of one policy's `filter` call.
+// `Pass` carries the full `Activity` by value on purpose: boxing it to
+// shrink the enum would put an allocation on the bulk filtering hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum PolicyVerdict {
     /// Let the (possibly rewritten) activity continue down the chain.
@@ -100,7 +103,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "expected pass")]
     fn expect_pass_panics_on_reject() {
-        PolicyVerdict::Reject(RejectReason::new(PolicyKind::Drop, "drop", "all"))
-            .expect_pass();
+        PolicyVerdict::Reject(RejectReason::new(PolicyKind::Drop, "drop", "all")).expect_pass();
     }
 }

@@ -277,27 +277,111 @@ pub struct PolicyPrevalence {
 
 /// Table 3 rows, in the paper's order.
 pub const TABLE3_PREVALENCE: [PolicyPrevalence; 21] = [
-    PolicyPrevalence { name: "ObjectAgePolicy", instances: 869, users: 57_854 },
-    PolicyPrevalence { name: "TagPolicy", instances: 429, users: 38_067 },
-    PolicyPrevalence { name: "SimplePolicy", instances: 330, users: 46_691 },
-    PolicyPrevalence { name: "NoOpPolicy", instances: 176, users: 6_443 },
-    PolicyPrevalence { name: "HellthreadPolicy", instances: 87, users: 14_401 },
-    PolicyPrevalence { name: "StealEmojiPolicy", instances: 81, users: 7_003 },
-    PolicyPrevalence { name: "HashtagPolicy", instances: 62, users: 10_933 },
-    PolicyPrevalence { name: "AntiFollowbotPolicy", instances: 51, users: 6_918 },
-    PolicyPrevalence { name: "MediaProxyWarmingPolicy", instances: 46, users: 9_851 },
-    PolicyPrevalence { name: "KeywordPolicy", instances: 42, users: 22_428 },
-    PolicyPrevalence { name: "AntiLinkSpamPolicy", instances: 32, users: 7_347 },
-    PolicyPrevalence { name: "ForceBotUnlistedPolicy", instances: 23, users: 6_746 },
-    PolicyPrevalence { name: "EnsureRePrepended", instances: 18, users: 247 },
-    PolicyPrevalence { name: "ActivityExpirationPolicy", instances: 11, users: 1_420 },
-    PolicyPrevalence { name: "SubchainPolicy", instances: 8, users: 81 },
-    PolicyPrevalence { name: "MentionPolicy", instances: 6, users: 1_149 },
-    PolicyPrevalence { name: "VocabularyPolicy", instances: 5, users: 121 },
-    PolicyPrevalence { name: "AntiHellthreadPolicy", instances: 4, users: 2_106 },
-    PolicyPrevalence { name: "RejectNonPublic", instances: 3, users: 1_101 },
-    PolicyPrevalence { name: "FollowBotPolicy", instances: 2, users: 281 },
-    PolicyPrevalence { name: "DropPolicy", instances: 1, users: 1_098 },
+    PolicyPrevalence {
+        name: "ObjectAgePolicy",
+        instances: 869,
+        users: 57_854,
+    },
+    PolicyPrevalence {
+        name: "TagPolicy",
+        instances: 429,
+        users: 38_067,
+    },
+    PolicyPrevalence {
+        name: "SimplePolicy",
+        instances: 330,
+        users: 46_691,
+    },
+    PolicyPrevalence {
+        name: "NoOpPolicy",
+        instances: 176,
+        users: 6_443,
+    },
+    PolicyPrevalence {
+        name: "HellthreadPolicy",
+        instances: 87,
+        users: 14_401,
+    },
+    PolicyPrevalence {
+        name: "StealEmojiPolicy",
+        instances: 81,
+        users: 7_003,
+    },
+    PolicyPrevalence {
+        name: "HashtagPolicy",
+        instances: 62,
+        users: 10_933,
+    },
+    PolicyPrevalence {
+        name: "AntiFollowbotPolicy",
+        instances: 51,
+        users: 6_918,
+    },
+    PolicyPrevalence {
+        name: "MediaProxyWarmingPolicy",
+        instances: 46,
+        users: 9_851,
+    },
+    PolicyPrevalence {
+        name: "KeywordPolicy",
+        instances: 42,
+        users: 22_428,
+    },
+    PolicyPrevalence {
+        name: "AntiLinkSpamPolicy",
+        instances: 32,
+        users: 7_347,
+    },
+    PolicyPrevalence {
+        name: "ForceBotUnlistedPolicy",
+        instances: 23,
+        users: 6_746,
+    },
+    PolicyPrevalence {
+        name: "EnsureRePrepended",
+        instances: 18,
+        users: 247,
+    },
+    PolicyPrevalence {
+        name: "ActivityExpirationPolicy",
+        instances: 11,
+        users: 1_420,
+    },
+    PolicyPrevalence {
+        name: "SubchainPolicy",
+        instances: 8,
+        users: 81,
+    },
+    PolicyPrevalence {
+        name: "MentionPolicy",
+        instances: 6,
+        users: 1_149,
+    },
+    PolicyPrevalence {
+        name: "VocabularyPolicy",
+        instances: 5,
+        users: 121,
+    },
+    PolicyPrevalence {
+        name: "AntiHellthreadPolicy",
+        instances: 4,
+        users: 2_106,
+    },
+    PolicyPrevalence {
+        name: "RejectNonPublic",
+        instances: 3,
+        users: 1_101,
+    },
+    PolicyPrevalence {
+        name: "FollowBotPolicy",
+        instances: 2,
+        users: 281,
+    },
+    PolicyPrevalence {
+        name: "DropPolicy",
+        instances: 1,
+        users: 1_098,
+    },
 ];
 
 /// Figure 2 (read from the plot): number of instances *targeted by* each
@@ -317,16 +401,66 @@ pub struct ActionTargeting {
 /// Figures 2/3 calibration rows (figure-read approximations; the exact
 /// values are not tabulated in the paper).
 pub const FIG23_ACTIONS: [ActionTargeting; 10] = [
-    ActionTargeting { action: "reject", targeted_pleroma: 202, targeted_non_pleroma: 998, targeting_instances: 241 },
-    ActionTargeting { action: "fed_timeline_rem", targeted_pleroma: 145, targeted_non_pleroma: 755, targeting_instances: 160 },
-    ActionTargeting { action: "accept", targeted_pleroma: 110, targeted_non_pleroma: 590, targeting_instances: 90 },
-    ActionTargeting { action: "media_removal", targeted_pleroma: 80, targeted_non_pleroma: 370, targeting_instances: 70 },
-    ActionTargeting { action: "banner_removal", targeted_pleroma: 60, targeted_non_pleroma: 290, targeting_instances: 35 },
-    ActionTargeting { action: "avatar_removal", targeted_pleroma: 50, targeted_non_pleroma: 250, targeting_instances: 55 },
-    ActionTargeting { action: "nsfw", targeted_pleroma: 45, targeted_non_pleroma: 205, targeting_instances: 40 },
-    ActionTargeting { action: "reject_deletes", targeted_pleroma: 30, targeted_non_pleroma: 120, targeting_instances: 50 },
-    ActionTargeting { action: "report_removal", targeted_pleroma: 20, targeted_non_pleroma: 80, targeting_instances: 25 },
-    ActionTargeting { action: "followers_only", targeted_pleroma: 10, targeted_non_pleroma: 40, targeting_instances: 60 },
+    ActionTargeting {
+        action: "reject",
+        targeted_pleroma: 202,
+        targeted_non_pleroma: 998,
+        targeting_instances: 241,
+    },
+    ActionTargeting {
+        action: "fed_timeline_rem",
+        targeted_pleroma: 145,
+        targeted_non_pleroma: 755,
+        targeting_instances: 160,
+    },
+    ActionTargeting {
+        action: "accept",
+        targeted_pleroma: 110,
+        targeted_non_pleroma: 590,
+        targeting_instances: 90,
+    },
+    ActionTargeting {
+        action: "media_removal",
+        targeted_pleroma: 80,
+        targeted_non_pleroma: 370,
+        targeting_instances: 70,
+    },
+    ActionTargeting {
+        action: "banner_removal",
+        targeted_pleroma: 60,
+        targeted_non_pleroma: 290,
+        targeting_instances: 35,
+    },
+    ActionTargeting {
+        action: "avatar_removal",
+        targeted_pleroma: 50,
+        targeted_non_pleroma: 250,
+        targeting_instances: 55,
+    },
+    ActionTargeting {
+        action: "nsfw",
+        targeted_pleroma: 45,
+        targeted_non_pleroma: 205,
+        targeting_instances: 40,
+    },
+    ActionTargeting {
+        action: "reject_deletes",
+        targeted_pleroma: 30,
+        targeted_non_pleroma: 120,
+        targeting_instances: 50,
+    },
+    ActionTargeting {
+        action: "report_removal",
+        targeted_pleroma: 20,
+        targeted_non_pleroma: 80,
+        targeting_instances: 25,
+    },
+    ActionTargeting {
+        action: "followers_only",
+        targeted_pleroma: 10,
+        targeted_non_pleroma: 40,
+        targeting_instances: 60,
+    },
 ];
 
 #[cfg(test)]

@@ -119,9 +119,9 @@ impl fmt::Display for SimTime {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 86_400 == 0 {
+        if self.0.is_multiple_of(86_400) {
             write!(f, "{}d", self.0 / 86_400)
-        } else if self.0 % 3600 == 0 {
+        } else if self.0.is_multiple_of(3600) {
             write!(f, "{}h", self.0 / 3600)
         } else {
             write!(f, "{}s", self.0)

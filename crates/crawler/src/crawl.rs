@@ -55,8 +55,7 @@ impl Crawler {
     /// timelines → periodic snapshots. Returns the dataset.
     pub async fn run(&self, directory: &[Domain]) -> Dataset {
         let started = CAMPAIGN_START;
-        let directory_set: Arc<HashSet<Domain>> =
-            Arc::new(directory.iter().cloned().collect());
+        let directory_set: Arc<HashSet<Domain>> = Arc::new(directory.iter().cloned().collect());
         let semaphore = Arc::new(Semaphore::new(self.config.concurrency.max(1)));
 
         let mut seen: HashSet<Domain> = HashSet::new();
@@ -283,9 +282,7 @@ mod tests {
     use super::*;
     use fediscope_core::catalog::PolicyKind;
     use fediscope_core::id::{InstanceId, PostId, UserId, UserRef};
-    use fediscope_core::model::{
-        InstanceKind, InstanceProfile, Post, SoftwareVersion, User,
-    };
+    use fediscope_core::model::{InstanceKind, InstanceProfile, Post, SoftwareVersion, User};
     use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
     use fediscope_server::InstanceServer;
     use fediscope_simnet::FailureMode;
@@ -386,7 +383,12 @@ mod tests {
         let policies = a_data.policies().unwrap();
         assert!(policies.has(PolicyKind::Simple));
         assert_eq!(
-            policies.simple.as_ref().unwrap().targets(SimpleAction::Reject)[0].as_str(),
+            policies
+                .simple
+                .as_ref()
+                .unwrap()
+                .targets(SimpleAction::Reject)[0]
+                .as_str(),
             "gab.com"
         );
         // Mastodon classified, not crawled for data.

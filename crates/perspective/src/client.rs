@@ -80,9 +80,7 @@ mod tests {
     async fn analyze_round_trip() {
         let client = PerspectiveClient::new(4);
         let resp = client
-            .analyze(AnalyzeCommentRequest::all_attributes(
-                "subhuman scum grukk",
-            ))
+            .analyze(AnalyzeCommentRequest::all_attributes("subhuman scum grukk"))
             .await;
         assert!(resp.score(Attribute::Toxicity).unwrap() > 0.8);
         assert_eq!(client.stats().requests.load(Ordering::Relaxed), 1);

@@ -23,7 +23,20 @@ pub struct Lexicon {
 
 impl Lexicon {
     /// Weight of a token in this lexicon (0.0 if absent).
+    ///
+    /// For the three catalog lexicons this resolves through the
+    /// process-wide [`UnifiedLexicon`](crate::UnifiedLexicon) — one hash
+    /// probe instead of a linear scan of the entry list — so `explain()`
+    /// and policy-side lookups share the scorer hot path's speed. A
+    /// hand-built `Lexicon` with its own entry list falls back to the
+    /// linear scan, so both methods of such a value answer from the same
+    /// vocabulary. (The frozen always-linear scan also survives inside
+    /// [`crate::reference`].)
     pub fn weight(&self, token: &str) -> f64 {
+        let canonical = lexicon_for(self.attribute);
+        if std::ptr::eq(self.entries, canonical.entries) {
+            return crate::unified::UnifiedLexicon::global().weight(token, self.attribute);
+        }
         self.entries
             .iter()
             .find(|(t, _)| *t == token)
@@ -69,9 +82,9 @@ pub static TOXIC_LEXICON: Lexicon = Lexicon {
         ("kys", 3.0),
         ("die", 2.0),
         ("threat", 1.5),
-        ("grukk", 3.0),   // synthetic slur marker
-        ("vrelk", 3.0),   // synthetic slur marker
-        ("zhurr", 2.5),   // synthetic identity-attack marker
+        ("grukk", 3.0), // synthetic slur marker
+        ("vrelk", 3.0), // synthetic slur marker
+        ("zhurr", 2.5), // synthetic identity-attack marker
     ],
 };
 
@@ -90,8 +103,8 @@ pub static PROFANE_LEXICON: Lexicon = Lexicon {
         ("shite", 2.0),
         ("feck", 1.5),
         ("frick", 1.0),
-        ("fsck", 2.5),    // synthetic strong-profanity marker
-        ("shuk", 2.5),    // synthetic strong-profanity marker
+        ("fsck", 2.5), // synthetic strong-profanity marker
+        ("shuk", 2.5), // synthetic strong-profanity marker
         ("dreck", 1.5),
         ("cuss", 1.0),
         ("swear", 0.8),
@@ -124,20 +137,63 @@ pub static SEXUAL_LEXICON: Lexicon = Lexicon {
         ("lust", 1.2),
         ("obscene", 1.5),
         ("risque", 1.0),
-        ("zmut", 3.0),    // synthetic explicit marker
-        ("qorn", 3.0),    // synthetic explicit marker
+        ("zmut", 3.0), // synthetic explicit marker
+        ("qorn", 3.0), // synthetic explicit marker
     ],
 };
 
 /// Benign filler vocabulary for non-harmful text.
 pub static BENIGN_WORDS: &[&str] = &[
-    "coffee", "morning", "garden", "release", "server", "update", "music",
-    "weather", "bread", "cat", "dog", "photo", "walk", "book", "game",
-    "patch", "kernel", "fediverse", "instance", "friend", "lunch", "train",
-    "paint", "story", "flower", "river", "keyboard", "window", "cloud",
-    "coding", "tea", "bicycle", "garlic", "picture", "autumn", "winter",
-    "spring", "summer", "melody", "library", "museum", "recipe", "puzzle",
-    "market", "forest", "mountain", "valley", "harbor", "lantern", "notebook",
+    "coffee",
+    "morning",
+    "garden",
+    "release",
+    "server",
+    "update",
+    "music",
+    "weather",
+    "bread",
+    "cat",
+    "dog",
+    "photo",
+    "walk",
+    "book",
+    "game",
+    "patch",
+    "kernel",
+    "fediverse",
+    "instance",
+    "friend",
+    "lunch",
+    "train",
+    "paint",
+    "story",
+    "flower",
+    "river",
+    "keyboard",
+    "window",
+    "cloud",
+    "coding",
+    "tea",
+    "bicycle",
+    "garlic",
+    "picture",
+    "autumn",
+    "winter",
+    "spring",
+    "summer",
+    "melody",
+    "library",
+    "museum",
+    "recipe",
+    "puzzle",
+    "market",
+    "forest",
+    "mountain",
+    "valley",
+    "harbor",
+    "lantern",
+    "notebook",
 ];
 
 /// All three attribute lexicons.
@@ -200,6 +256,28 @@ mod tests {
                 assert_eq!(lex.weight(w), 0.0, "{w} must be benign");
             }
         }
+    }
+
+    #[test]
+    fn custom_lexicon_answers_from_its_own_entries() {
+        // A hand-built lexicon must not leak the global catalog's
+        // vocabulary: both `weight` and `tokens_with_min_weight` answer
+        // from the same entry list.
+        let custom = Lexicon {
+            attribute: Attribute::Toxicity,
+            entries: &[("newslur", 3.0)],
+        };
+        assert_eq!(custom.weight("newslur"), 3.0);
+        assert_eq!(
+            custom.weight("idiot"),
+            0.0,
+            "catalog entry must not leak in"
+        );
+        assert_eq!(custom.tokens_with_min_weight(1.0), vec!["newslur"]);
+        // Clones of the catalog lexicons still take the unified-table
+        // path (the entries slice is the same static data).
+        let clone = TOXIC_LEXICON.clone();
+        assert_eq!(clone.weight("idiot"), 1.0);
     }
 
     #[test]

@@ -33,9 +33,12 @@
 mod api;
 mod client;
 mod lexicon;
+pub mod reference;
 mod scorer;
+mod unified;
 
 pub use api::{AnalyzeCommentRequest, AnalyzeCommentResponse, AttributeScore};
 pub use client::{ClientStats, PerspectiveClient};
 pub use lexicon::{lexicon_for, Lexicon, BENIGN_WORDS, LEXICONS};
 pub use scorer::{Attribute, AttributeScores, Scorer};
+pub use unified::{UnifiedLexicon, WeightRow};

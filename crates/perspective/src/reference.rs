@@ -1,0 +1,66 @@
+//! The retained naive scorer, frozen for differential testing and as the
+//! benchmark baseline.
+//!
+//! This is the original `Scorer::analyze`: collect tokens into a `Vec`,
+//! then for each lexicon linearly scan every entry for every token. Kept
+//! verbatim (scanning `Lexicon::entries` directly, so speeding up
+//! [`crate::Lexicon::weight`] does not silently speed up the baseline).
+//! The optimized scorer must stay bit-identical to this implementation —
+//! see the `optimized_matches_reference` proptest in `scorer.rs`.
+
+use crate::lexicon::{Lexicon, LEXICONS};
+use crate::scorer::{Attribute, AttributeScores, Scorer};
+
+/// Linear scan of one lexicon's entry list — the O(entries) lookup the
+/// unified table replaces.
+fn naive_weight(lexicon: &Lexicon, token: &str) -> f64 {
+    lexicon
+        .entries
+        .iter()
+        .find(|(t, _)| *t == token)
+        .map(|(_, w)| *w)
+        .unwrap_or(0.0)
+}
+
+/// Tokens of `text` that carry weight in the attribute's lexicon,
+/// resolved by linear scan.
+pub fn explain_naive(text: &str, attribute: Attribute) -> Vec<&str> {
+    let lexicon = crate::lexicon::lexicon_for(attribute);
+    crate::scorer::tokenize(text)
+        .filter(|t| naive_weight(lexicon, t) > 0.0)
+        .collect()
+}
+
+/// Scores a text exactly as the pre-optimization scorer did.
+pub fn analyze_naive(scorer: &Scorer, text: &str) -> AttributeScores {
+    let tokens: Vec<&str> = crate::scorer::tokenize(text).collect();
+    if tokens.is_empty() {
+        return AttributeScores::default();
+    }
+    let total = tokens.len() as f64;
+    let mut scores = AttributeScores::default();
+    for lexicon in LEXICONS {
+        let weighted: f64 = tokens.iter().map(|t| naive_weight(lexicon, t)).sum();
+        let density = weighted / total;
+        scores.set(lexicon.attribute, scorer.density_to_score(density));
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_reproduces_original_fixtures() {
+        let scorer = Scorer::new();
+        let s = analyze_naive(&scorer, "grukk vrelk subhuman scum kys");
+        assert!(s.toxicity > 0.9);
+        assert_eq!(s.profanity, 0.0);
+        assert_eq!(analyze_naive(&scorer, "").max(), 0.0);
+        assert_eq!(
+            explain_naive("you absolute idiot drinking coffee", Attribute::Toxicity),
+            vec!["idiot"]
+        );
+    }
+}

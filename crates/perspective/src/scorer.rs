@@ -1,6 +1,6 @@
 //! The deterministic attribute scorer.
 
-use crate::lexicon::{lexicon_for, LEXICONS};
+use crate::unified::UnifiedLexicon;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -22,6 +22,17 @@ impl Attribute {
         Attribute::Profanity,
         Attribute::SexuallyExplicit,
     ];
+
+    /// Dense index of the attribute in unified weight rows
+    /// (`[toxicity, profanity, sexually_explicit]`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Attribute::Toxicity => 0,
+            Attribute::Profanity => 1,
+            Attribute::SexuallyExplicit => 2,
+        }
+    }
 
     /// The Perspective API attribute name (`TOXICITY`, ...).
     pub fn api_name(self) -> &'static str {
@@ -76,7 +87,9 @@ impl AttributeScores {
     /// The maximum across attributes — the quantity the paper thresholds
     /// ("a score of ≥ 0.8 in at least one of the three attributes").
     pub fn max(&self) -> f64 {
-        self.toxicity.max(self.profanity).max(self.sexually_explicit)
+        self.toxicity
+            .max(self.profanity)
+            .max(self.sexually_explicit)
     }
 
     /// Whether any attribute crosses `threshold` (post harmfulness, §3).
@@ -150,19 +163,26 @@ impl Scorer {
     }
 
     /// Scores a text on all three attributes.
+    ///
+    /// Hot path: one fused byte-level pass
+    /// ([`UnifiedLexicon::accumulate`]) — rolling packed keys, one probe
+    /// per token scoring all three attributes at once, zero allocation.
+    /// Bit-identical to [`crate::reference::analyze_naive`] (weights
+    /// accumulate in the same token order; skipped benign tokens
+    /// contribute an exact `+0.0` either way), which the
+    /// `optimized_matches_reference` proptest enforces.
+    #[inline]
     pub fn analyze(&self, text: &str) -> AttributeScores {
-        let tokens: Vec<&str> = tokenize(text).collect();
-        if tokens.is_empty() {
+        let (totals, token_count) = UnifiedLexicon::global().accumulate(text);
+        if token_count == 0 {
             return AttributeScores::default();
         }
-        let total = tokens.len() as f64;
-        let mut scores = AttributeScores::default();
-        for lexicon in LEXICONS {
-            let weighted: f64 = tokens.iter().map(|t| lexicon.weight(t)).sum();
-            let density = weighted / total;
-            scores.set(lexicon.attribute, self.density_to_score(density));
+        let total = token_count as f64;
+        AttributeScores {
+            toxicity: self.density_to_score(totals[0] / total),
+            profanity: self.density_to_score(totals[1] / total),
+            sexually_explicit: self.density_to_score(totals[2] / total),
         }
-        scores
     }
 
     /// The density→score curve.
@@ -187,14 +207,17 @@ impl Scorer {
     /// Convenience: the tokens of `text` that hit the given attribute's
     /// lexicon (explainability output, as the real API's span annotations).
     pub fn explain<'t>(&self, text: &'t str, attribute: Attribute) -> Vec<&'t str> {
-        let lexicon = lexicon_for(attribute);
-        tokenize(text).filter(|t| lexicon.weight(t) > 0.0).collect()
+        let table = UnifiedLexicon::global();
+        let idx = attribute.index();
+        tokenize(text)
+            .filter(|t| table.weights(t).is_some_and(|row| row[idx] > 0.0))
+            .collect()
     }
 }
 
 /// Lowercased alphanumeric tokenization. Allocation-free per token for
 /// already-lowercase ASCII text (the synthetic generator emits lowercase).
-fn tokenize(text: &str) -> impl Iterator<Item = &str> {
+pub(crate) fn tokenize(text: &str) -> impl Iterator<Item = &str> {
     text.split(|c: char| !c.is_ascii_alphanumeric())
         .filter(|t| !t.is_empty())
 }
@@ -308,5 +331,83 @@ mod tests {
         assert_eq!(Attribute::Toxicity.api_name(), "TOXICITY");
         assert_eq!(Attribute::SexuallyExplicit.api_name(), "SEXUALLY_EXPLICIT");
         assert_eq!(Attribute::Profanity.to_string(), "profanity");
+    }
+
+    #[test]
+    fn attribute_indices_are_dense_and_distinct() {
+        let mut seen = [false; 3];
+        for a in Attribute::ALL {
+            assert!(!seen[a.index()], "duplicate index {}", a.index());
+            seen[a.index()] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod differential {
+    //! The optimized scorer must be bit-identical to the retained naive
+    //! reference on arbitrary text — not merely approximately equal:
+    //! downstream harmfulness thresholds (§3's 0.8 cut) must never flip
+    //! between the two implementations.
+
+    use super::*;
+    use crate::lexicon::{BENIGN_WORDS, LEXICONS};
+    use crate::reference;
+    use proptest::prelude::*;
+
+    /// Mixes free-form text with known-vocabulary words so lexicon hits
+    /// are dense enough to exercise every accumulation path.
+    fn arb_text() -> impl Strategy<Value = String> {
+        (proptest::collection::vec(0usize..200, 0..40), "[ -~]{0,60}").prop_map(
+            |(word_picks, free)| {
+                let mut words: Vec<&str> = Vec::new();
+                let flat: Vec<&str> = LEXICONS
+                    .iter()
+                    .flat_map(|l| l.entries.iter().map(|(t, _)| *t))
+                    .chain(BENIGN_WORDS.iter().copied())
+                    .collect();
+                for pick in word_picks {
+                    words.push(flat[pick % flat.len()]);
+                }
+                format!("{} {}", words.join(" "), free)
+            },
+        )
+    }
+
+    proptest! {
+        /// Optimized output is bit-identical to the naive reference.
+        #[test]
+        fn optimized_matches_reference(text in arb_text()) {
+            let scorer = Scorer::new();
+            let fast = scorer.analyze(&text);
+            let naive = reference::analyze_naive(&scorer, &text);
+            prop_assert_eq!(fast.toxicity.to_bits(), naive.toxicity.to_bits());
+            prop_assert_eq!(fast.profanity.to_bits(), naive.profanity.to_bits());
+            prop_assert_eq!(
+                fast.sexually_explicit.to_bits(),
+                naive.sexually_explicit.to_bits()
+            );
+        }
+
+        /// Explain output matches the naive linear-scan explain.
+        #[test]
+        fn explain_matches_reference(text in arb_text()) {
+            let scorer = Scorer::new();
+            for attribute in Attribute::ALL {
+                prop_assert_eq!(
+                    scorer.explain(&text, attribute),
+                    reference::explain_naive(&text, attribute)
+                );
+            }
+        }
+
+        /// Non-default calibrations stay bit-identical too.
+        #[test]
+        fn calibration_invariant(text in arb_text(), c in 0.01f64..0.5) {
+            let scorer = Scorer { half_saturation: c };
+            let fast = scorer.analyze(&text);
+            let naive = reference::analyze_naive(&scorer, &text);
+            prop_assert_eq!(fast.max().to_bits(), naive.max().to_bits());
+        }
     }
 }

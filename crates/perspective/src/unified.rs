@@ -1,0 +1,592 @@
+//! The unified lexicon automaton: one collision-free fingerprint probe
+//! scores all three attributes at once, driven by a SIMD/SWAR word-mask
+//! tokenizer.
+//!
+//! The naive scorer walks every token past every entry of every lexicon —
+//! O(tokens × entries × lexicons) string comparisons, with a `Vec`
+//! allocation per text to count tokens first. At campaign scale (the
+//! paper scores 46.8 M posts) that scan dominates the entire measurement
+//! pipeline. On realistic traffic (every post distinct) it is also
+//! branch-predictor-hostile: each token's early-exit point in the entry
+//! list is unpredictable.
+//!
+//! This module replaces it with three cooperating pieces:
+//!
+//! 1. **Packed token keys.** A token's key is its last ≤ 8 bytes packed
+//!    big-endian into a `u64` (alphanumeric bytes are never NUL, so for
+//!    tokens ≤ 8 bytes the key *is* the token — no spelling comparison
+//!    needed). Keys are computed in O(1) per token by one unaligned load
+//!    plus a mask, not per byte.
+//! 2. **A collision-free fingerprint table.** At build time a
+//!    deterministic search finds a multiply-shift hash under which all
+//!    vocabulary keys land in distinct slots. A lookup is then a single
+//!    compare against a 4 KiB, L1-resident key array — no probe loop. The
+//!    handful of > 8-byte vocabulary entries store their full spelling
+//!    and length and are verified exactly on the (rare) key match.
+//! 3. **A word-mask tokenizer.** Text is classified 64 bytes at a time
+//!    into an alphanumeric bitmask via portable branch-free SWAR range
+//!    checks, and token runs are extracted with trailing-zeros
+//!    arithmetic. The per-byte branch of a scalar tokenizer
+//!    (mispredicted at every token boundary on real text) disappears
+//!    entirely.
+//!
+//! The table is the single runtime source of truth for token weights:
+//! [`crate::Scorer::analyze`], [`crate::Scorer::explain`] and
+//! [`crate::Lexicon::weight`] all resolve through it. The retained naive
+//! implementation lives in [`crate::reference`] and is differentially
+//! tested (bit-identical scores) against this one.
+
+use crate::lexicon::LEXICONS;
+use crate::scorer::Attribute;
+use std::sync::OnceLock;
+
+/// Per-token weights for all three attributes, indexed by
+/// [`Attribute::index`].
+pub type WeightRow = [f64; 3];
+
+/// Base multiplier for the multiply-shift hash; the build-time search
+/// perturbs it until the vocabulary maps collision-free.
+const HASH_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Candidate table sizes (powers of two), smallest first so the key
+/// array stays L1-resident. 512 slots ⇒ a 4 KiB key array at ~13% load.
+const TABLE_SIZES: [usize; 4] = [512, 1024, 2048, 4096];
+
+/// Multiplier perturbations tried per table size.
+const HASH_SEARCH_TRIALS: u64 = 4096;
+
+/// Slot metadata, consulted only after a fingerprint hit.
+#[derive(Clone)]
+struct SlotMeta {
+    /// Token length in bytes (disambiguates truncated > 8-byte keys).
+    len: u32,
+    /// Full spelling, for byte-exact verification of > 8-byte tokens.
+    word: &'static str,
+    /// The token's weight in each attribute's lexicon.
+    row: WeightRow,
+}
+
+const EMPTY_META: SlotMeta = SlotMeta {
+    len: 0,
+    word: "",
+    row: [0.0; 3],
+};
+
+/// The unified token → weight-row automaton.
+pub struct UnifiedLexicon {
+    /// Searched multiplier under which all vocabulary keys are
+    /// collision-free.
+    mult: u64,
+    /// `64 - log2(slots)`: the multiply-shift right shift.
+    shift: u32,
+    /// `slots - 1`.
+    mask: usize,
+    /// Packed keys, 0 = empty (no token packs to 0). Split from the
+    /// metadata so the miss path — overwhelmingly the common case on
+    /// benign vocabulary — touches only this small array.
+    fps: Box<[u64]>,
+    /// Parallel metadata, loaded only on a fingerprint hit.
+    meta: Box<[SlotMeta]>,
+    entries: usize,
+}
+
+/// The packed key of a full token: last ≤ 8 bytes, big-endian.
+#[inline]
+fn key_of(token: &str) -> u64 {
+    let mut key = 0u64;
+    for &b in token.as_bytes() {
+        key = (key << 8) | b as u64;
+    }
+    key
+}
+
+/// The packed key of the token `bytes[s..e]`, in O(1) via one unaligned
+/// load when the token ends at offset ≥ 8.
+#[inline(always)]
+fn key_of_span(bytes: &[u8], s: usize, e: usize) -> u64 {
+    let len = e - s;
+    if e >= 8 {
+        let full = u64::from_be_bytes(bytes[e - 8..e].try_into().unwrap());
+        if len >= 8 {
+            full
+        } else {
+            full & (u64::MAX >> (64 - 8 * len as u32))
+        }
+    } else {
+        let mut key = 0u64;
+        for &b in &bytes[s..e] {
+            key = (key << 8) | b as u64;
+        }
+        key
+    }
+}
+
+/// Portable branch-free SWAR classification: bit `i` of the result is set
+/// iff `x`'s byte `i` is an ASCII alphanumeric, as a 0x80-positioned mask.
+#[inline(always)]
+fn alnum_hi_bits(x: u64) -> u64 {
+    const ONE: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let low7 = x & !HI;
+    // `| 0x20` folds 'A'-'Z' onto 'a'-'z' (digits are unaffected, but
+    // other bytes may alias into the digit range — so digits are tested
+    // on the unfolded value).
+    let folded = low7 | (0x20 * ONE);
+    let ge_a = folded.wrapping_add((0x80 - 0x61) * ONE) & HI;
+    let le_z = !folded.wrapping_add((0x7f - 0x7a) * ONE) & HI;
+    let ge_0 = low7.wrapping_add((0x80 - 0x30) * ONE) & HI;
+    let le_9 = !low7.wrapping_add((0x7f - 0x39) * ONE) & HI;
+    // Non-ASCII bytes (high bit set) are delimiters, exactly like the
+    // char-level tokenizer, which splits on every non-ASCII-alphanumeric
+    // `char`.
+    ((ge_a & le_z) | (ge_0 & le_9)) & !(x & HI)
+}
+
+/// Alphanumeric bitmask (bit per byte, LSB = first byte) for the 64 text
+/// bytes at `base`, zero-padded past the end of text — portable SWAR.
+#[inline(always)]
+fn mask64_swar(bytes: &[u8], base: usize) -> u64 {
+    #[inline(always)]
+    fn masked_chunks(buf: &[u8]) -> u64 {
+        let mut out = 0u64;
+        let mut c = 0;
+        while c < 8 {
+            let off = c * 8;
+            let x = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            let hi = alnum_hi_bits(x);
+            // Compress the eight 0x80-positioned bits to the low byte.
+            let m8 = ((hi >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56) & 0xff;
+            out |= m8 << (c * 8);
+            c += 1;
+        }
+        out
+    }
+    let end = (base + 64).min(bytes.len());
+    if end - base == 64 {
+        masked_chunks(&bytes[base..end])
+    } else {
+        let mut buf = [0u8; 64];
+        buf[..end - base].copy_from_slice(&bytes[base..end]);
+        masked_chunks(&buf)
+    }
+}
+
+/// The word-mask entry point. SWAR keeps the crate's
+/// `#![forbid(unsafe_code)]` guarantee — an SSE2 classifier measures only
+/// ~16% faster end to end and would need raw-pointer loads.
+#[inline(always)]
+fn mask64(bytes: &[u8], base: usize) -> u64 {
+    mask64_swar(bytes, base)
+}
+
+impl UnifiedLexicon {
+    /// Tries to place every vocabulary entry collision-free under one
+    /// multiply-shift hash of the given table size.
+    fn try_build(slots: usize) -> Option<UnifiedLexicon> {
+        let mask = slots - 1;
+        let shift = 64 - slots.trailing_zeros();
+        for trial in 0..HASH_SEARCH_TRIALS {
+            let mult = HASH_MULTIPLIER.wrapping_add(trial.wrapping_mul(0x0000_0001_0000_0001)) | 1;
+            let mut fps = vec![0u64; slots].into_boxed_slice();
+            let mut meta = vec![EMPTY_META; slots].into_boxed_slice();
+            let mut entries = 0usize;
+            let mut ok = true;
+            'insert: for lexicon in LEXICONS {
+                let attr = lexicon.attribute.index();
+                for &(token, weight) in lexicon.entries {
+                    let key = key_of(token);
+                    let idx = (key.wrapping_mul(mult) >> shift) as usize & mask;
+                    if fps[idx] == 0 {
+                        fps[idx] = key;
+                        meta[idx] = SlotMeta {
+                            len: token.len() as u32,
+                            word: token,
+                            row: [0.0; 3],
+                        };
+                        entries += 1;
+                    } else if fps[idx] != key || meta[idx].word != token {
+                        // Slot taken by a different token (or by a
+                        // truncated-key twin, which the table cannot
+                        // represent): try the next multiplier.
+                        ok = false;
+                        break 'insert;
+                    }
+                    meta[idx].row[attr] = weight;
+                }
+            }
+            if ok {
+                return Some(UnifiedLexicon {
+                    mult,
+                    shift,
+                    mask,
+                    fps,
+                    meta,
+                    entries,
+                });
+            }
+        }
+        None
+    }
+
+    fn build() -> UnifiedLexicon {
+        // Fail fast, with names, on the one conflict no multiplier can
+        // separate: two distinct vocabulary entries sharing a packed key
+        // (identical last ≤ 8 bytes). Without this check the search
+        // below would grind through every size × multiplier combination
+        // and panic uninformatively.
+        let mut seen: Vec<(u64, &'static str)> = Vec::new();
+        for lexicon in LEXICONS {
+            for &(token, _) in lexicon.entries {
+                let key = key_of(token);
+                if let Some((_, twin)) = seen.iter().find(|(k, w)| *k == key && *w != token) {
+                    panic!(
+                        "lexicon entries {twin:?} and {token:?} share their last 8 bytes; \
+                         the unified table cannot distinguish them — rename one"
+                    );
+                }
+                seen.push((key, token));
+            }
+        }
+        for slots in TABLE_SIZES {
+            if let Some(table) = Self::try_build(slots) {
+                return table;
+            }
+        }
+        // Statistically unreachable: P(miss) per multiplier is far below
+        // 50% at 4096 slots, and 4096 multipliers are tried per size. A
+        // unit test pins the current vocabulary to the smallest size.
+        panic!("no collision-free hash found for the lexicon vocabulary");
+    }
+
+    /// The process-wide table, built on first use.
+    pub fn global() -> &'static UnifiedLexicon {
+        static TABLE: OnceLock<UnifiedLexicon> = OnceLock::new();
+        TABLE.get_or_init(UnifiedLexicon::build)
+    }
+
+    /// Number of slots in the fingerprint table.
+    pub fn slots(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline(always)]
+    fn slot_index(&self, key: u64) -> usize {
+        (key.wrapping_mul(self.mult) >> self.shift) as usize & self.mask
+    }
+
+    /// Resolves the token `bytes[s..e]` and accumulates its weight row
+    /// into `totals`. One key-array compare on the miss path; length and
+    /// (for > 8-byte tokens) spelling are verified on the rare hit.
+    #[inline(always)]
+    fn probe_add(&self, bytes: &[u8], s: usize, e: usize, totals: &mut WeightRow) {
+        let key = key_of_span(bytes, s, e);
+        let idx = self.slot_index(key);
+        if self.fps[idx] == key {
+            let m = &self.meta[idx];
+            let len = e - s;
+            if m.len as usize == len && (len <= 8 || m.word.as_bytes() == &bytes[s..e]) {
+                totals[0] += m.row[0];
+                totals[1] += m.row[1];
+                totals[2] += m.row[2];
+            }
+        }
+    }
+
+    /// Weight row for a token: `None` for benign vocabulary (the common
+    /// case — one compare and out).
+    #[inline]
+    pub fn weights(&self, token: &str) -> Option<&WeightRow> {
+        if token.is_empty() {
+            return None;
+        }
+        let bytes = token.as_bytes();
+        let key = key_of_span(bytes, 0, bytes.len());
+        let idx = self.slot_index(key);
+        if self.fps[idx] != key {
+            return None;
+        }
+        let m = &self.meta[idx];
+        if m.len as usize == bytes.len() && (bytes.len() <= 8 || m.word.as_bytes() == bytes) {
+            Some(&m.row)
+        } else {
+            None
+        }
+    }
+
+    /// Single-attribute weight (0.0 if the token is benign).
+    #[inline]
+    pub fn weight(&self, token: &str, attribute: Attribute) -> f64 {
+        self.weights(token)
+            .map(|row| row[attribute.index()])
+            .unwrap_or(0.0)
+    }
+
+    /// The fused hot path: classifies the text 64 bytes at a time into an
+    /// alphanumeric bitmask and extracts token runs with trailing-zeros
+    /// arithmetic, accumulating the summed weight row over all tokens
+    /// plus the token count — the two quantities
+    /// [`crate::Scorer::analyze`] needs. No allocation, no UTF-8
+    /// decoding, no per-byte branches.
+    ///
+    /// Weights accumulate in token order, so the sums are bit-identical
+    /// to the naive per-lexicon `Σ weight(token)` (benign tokens
+    /// contribute an exact `+0.0` there and nothing here — the same
+    /// float either way, since weights are non-negative).
+    #[inline]
+    pub fn accumulate(&self, text: &str) -> (WeightRow, u64) {
+        self.accumulate_with(text, mask64)
+    }
+
+    /// [`Self::accumulate`] over an explicit classifier, so tests can
+    /// pin the SWAR classifier against a per-byte reference.
+    #[inline(always)]
+    fn accumulate_with<M: Fn(&[u8], usize) -> u64>(
+        &self,
+        text: &str,
+        classify: M,
+    ) -> (WeightRow, u64) {
+        let bytes = text.as_bytes();
+        let n = bytes.len();
+        let mut totals: WeightRow = [0.0; 3];
+        let mut tokens: u64 = 0;
+        // Start of a token left unterminated by the previous word, or -1.
+        let mut carry_start: isize = -1;
+        let mut base = 0usize;
+        while base < n {
+            let mut m = classify(bytes, base);
+            if carry_start >= 0 {
+                if m & 1 == 1 {
+                    // The carried token continues into this word.
+                    let run = (!m).trailing_zeros() as usize;
+                    if run == 64 {
+                        base += 64;
+                        continue;
+                    }
+                    tokens += 1;
+                    self.probe_add(bytes, carry_start as usize, base + run, &mut totals);
+                    carry_start = -1;
+                    m &= !((1u64 << run) - 1);
+                } else {
+                    // The carried token ended exactly at the word seam.
+                    tokens += 1;
+                    self.probe_add(bytes, carry_start as usize, base, &mut totals);
+                    carry_start = -1;
+                }
+            }
+            if (m >> 63) & 1 == 1 {
+                // The trailing run may continue into the next word; defer
+                // it as the new carry.
+                let t = (!m).leading_zeros() as usize;
+                carry_start = (base + 64 - t) as isize;
+                m = if t == 64 { 0 } else { m & (u64::MAX >> t) };
+            }
+            // Run boundaries: a start bit is a 1 not preceded by a 1, an
+            // end bit is a 1 not followed by a 1. Both streams pop in
+            // lockstep, one token per pair.
+            let starts = m & !(m << 1);
+            let mut e_bits = m & !(m >> 1);
+            let mut s_bits = starts;
+            tokens += u64::from(starts.count_ones());
+            while s_bits != 0 {
+                let s = s_bits.trailing_zeros() as usize;
+                let e = e_bits.trailing_zeros() as usize;
+                self.probe_add(bytes, base + s, base + e + 1, &mut totals);
+                s_bits &= s_bits - 1;
+                e_bits &= e_bits - 1;
+            }
+            base += 64;
+        }
+        if carry_start >= 0 {
+            tokens += 1;
+            self.probe_add(bytes, carry_start as usize, n, &mut totals);
+        }
+        (totals, tokens)
+    }
+
+    /// Number of distinct offending tokens across all lexicons.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the table is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::lexicon_for;
+
+    #[test]
+    fn table_covers_every_lexicon_entry() {
+        let table = UnifiedLexicon::global();
+        let total: usize = LEXICONS.iter().map(|l| l.entries.len()).sum();
+        // Lexicons are disjoint, so the union is the sum.
+        assert_eq!(table.len(), total);
+        for lexicon in LEXICONS {
+            for &(token, weight) in lexicon.entries {
+                assert_eq!(table.weight(token, lexicon.attribute), weight, "{token}");
+                let row = table.weights(token).unwrap();
+                assert_eq!(row[lexicon.attribute.index()], weight);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_search_stays_at_the_smallest_table() {
+        // The deterministic multiplier search must keep succeeding at 512
+        // slots for the current vocabulary, so the key array stays 4 KiB
+        // and L1-resident. If a vocabulary change trips this, either
+        // reorder TABLE_SIZES expectations or widen the search.
+        let table = UnifiedLexicon::global();
+        assert_eq!(table.slots(), 512);
+    }
+
+    #[test]
+    fn benign_tokens_miss() {
+        let table = UnifiedLexicon::global();
+        for w in crate::lexicon::BENIGN_WORDS {
+            assert!(table.weights(w).is_none(), "{w} must miss the table");
+        }
+        assert!(table.weights("").is_none());
+        assert!(table.weights("averyveryverylongtoken").is_none());
+    }
+
+    #[test]
+    fn long_tokens_verify_full_bytes() {
+        let table = UnifiedLexicon::global();
+        // "worthless" (9 bytes) keys on its last 8 bytes "orthless"; a
+        // same-length impostor sharing that suffix must still miss.
+        assert!(table.weights("worthless").is_some());
+        assert!(table.weights("borthless").is_none());
+        assert!(table.weights("xorthless").is_none());
+        // And the suffix alone (8 bytes, same packed key) must miss on
+        // the length check.
+        assert!(table.weights("orthless").is_none());
+        assert!(table.weights("disgusting").is_some());
+        assert!(table.weights("xisgusting").is_none());
+        // A long token *ending* in a full ≤ 8-byte vocabulary word must
+        // miss on length.
+        assert!(table.weights("unsubhuman").is_none());
+    }
+
+    #[test]
+    fn rows_agree_with_per_attribute_lexicons() {
+        let table = UnifiedLexicon::global();
+        for attribute in Attribute::ALL {
+            let lexicon = lexicon_for(attribute);
+            for &(token, _) in lexicon.entries {
+                let row = table.weights(token).unwrap();
+                for other in Attribute::ALL {
+                    let expected = lexicon_for(other)
+                        .entries
+                        .iter()
+                        .find(|(t, _)| *t == token)
+                        .map(|(_, w)| *w)
+                        .unwrap_or(0.0);
+                    assert_eq!(row[other.index()], expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_counts_and_sums() {
+        let table = UnifiedLexicon::global();
+        let (row, tokens) = table.accumulate("idiot coffee damn; lewd!!");
+        assert_eq!(tokens, 4);
+        assert_eq!(row[Attribute::Toxicity.index()], 1.0);
+        assert_eq!(row[Attribute::Profanity.index()], 1.0);
+        assert_eq!(row[Attribute::SexuallyExplicit.index()], 1.5);
+        let (row, tokens) = table.accumulate("");
+        assert_eq!(tokens, 0);
+        assert_eq!(row, [0.0; 3]);
+        // Multi-byte UTF-8 is a delimiter, exactly like the char-level
+        // tokenizer.
+        let (_, tokens) = table.accumulate("idiot→scum");
+        assert_eq!(tokens, 2);
+    }
+
+    #[test]
+    fn word_seam_edge_cases() {
+        let table = UnifiedLexicon::global();
+        // Tokens spanning, ending at, and starting at 64-byte word seams.
+        let cases = [
+            format!("{} scum", "q".repeat(64)),
+            format!("{} scum", "q".repeat(130)),
+            format!("ab {}", "q".repeat(63)),
+            format!("{}idiot", "q".repeat(59)),   // crosses seam
+            format!("{} idiot", "q".repeat(63)),  // token ends at bit 63
+            format!("{}  idiot", "q".repeat(62)), // delimiter at seam
+            "q".repeat(64),                       // one 64-byte token
+            "q".repeat(200),                      // one 200-byte token
+            format!("{} damn {}", "q".repeat(60), "r".repeat(60)),
+        ];
+        for text in &cases {
+            let naive_tokens = crate::scorer::tokenize(text).count() as u64;
+            let naive_row: WeightRow = {
+                let mut row = [0.0; 3];
+                for t in crate::scorer::tokenize(text) {
+                    if let Some(r) = table.weights(t) {
+                        row[0] += r[0];
+                        row[1] += r[1];
+                        row[2] += r[2];
+                    }
+                }
+                row
+            };
+            let (row, tokens) = table.accumulate(text);
+            assert_eq!(tokens, naive_tokens, "{text:?}");
+            assert_eq!(row, naive_row, "{text:?}");
+        }
+    }
+
+    /// A per-byte classifier with the same contract as [`mask64`],
+    /// written the obvious slow way.
+    fn mask64_per_byte(bytes: &[u8], base: usize) -> u64 {
+        let end = (base + 64).min(bytes.len());
+        let mut m = 0u64;
+        for (i, &b) in bytes[base..end].iter().enumerate() {
+            m |= u64::from(b.is_ascii_alphanumeric()) << i;
+        }
+        m
+    }
+
+    #[test]
+    fn swar_classifier_matches_per_byte_reference() {
+        // `accumulate` runs the SWAR classifier; pin it against the
+        // per-byte one on texts that exercise every byte class.
+        let table = UnifiedLexicon::global();
+        let mut texts: Vec<String> = vec![
+            String::new(),
+            " ".into(),
+            "idiot".into(),
+            "Idiot SCUM MiXeD".into(),
+            "0123456789 42 a1b2".into(),
+            "ünïcode→damn £$%^ porn".into(),
+            "\u{0}\u{1}\u{7f} idiot \u{80}".into(),
+        ];
+        // Every single byte value, embedded between tokens.
+        for b in 0u8..=255 {
+            texts.push(format!("idiot {}damn", char::from(b)));
+        }
+        for text in &texts {
+            let fast = table.accumulate_with(text, mask64);
+            let reference = table.accumulate_with(text, mask64_per_byte);
+            assert_eq!(fast, reference, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn swar_classifier_matches_char_tokenizer_per_byte() {
+        for b in 0u8..=255 {
+            let expected = b.is_ascii_alphanumeric();
+            let mut buf = [0u8; 64];
+            buf[0] = b;
+            let got = mask64_swar(&buf, 0) & 1 == 1;
+            assert_eq!(got, expected, "byte {b:#04x}");
+        }
+    }
+}

@@ -344,7 +344,10 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("/nodeinfo/2.0"));
-        let ni = s.handle(HttpRequest::get("/nodeinfo/2.0")).json_body().unwrap();
+        let ni = s
+            .handle(HttpRequest::get("/nodeinfo/2.0"))
+            .json_body()
+            .unwrap();
         assert_eq!(ni["software"]["name"], "pleroma");
         assert_eq!(ni["software"]["version"], "2.2.0");
     }
@@ -367,7 +370,12 @@ mod tests {
         let ok_author = UserRef::new(UserId(7), Domain::new("friendly.example"));
         let ok = Activity::create(
             ActivityId(1),
-            Post::stub(PostId(100), ok_author, fediscope_core::time::CAMPAIGN_START, "hi"),
+            Post::stub(
+                PostId(100),
+                ok_author,
+                fediscope_core::time::CAMPAIGN_START,
+                "hi",
+            ),
         );
         let resp = s.handle(HttpRequest::post_json("/inbox", &ok));
         assert_eq!(resp.status, StatusCode::ACCEPTED);
@@ -376,7 +384,12 @@ mod tests {
         let bad_author = UserRef::new(UserId(8), Domain::new("gab.com"));
         let bad = Activity::create(
             ActivityId(2),
-            Post::stub(PostId(101), bad_author, fediscope_core::time::CAMPAIGN_START, "hate"),
+            Post::stub(
+                PostId(101),
+                bad_author,
+                fediscope_core::time::CAMPAIGN_START,
+                "hate",
+            ),
         );
         let resp = s.handle(HttpRequest::post_json("/inbox", &bad));
         assert_eq!(resp.status, StatusCode::ACCEPTED, "rejection is silent");

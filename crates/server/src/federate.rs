@@ -97,7 +97,11 @@ mod tests {
     #[tokio::test]
     async fn end_to_end_federation() {
         let net = Arc::new(SimNet::new());
-        let home = server("home.example", 1, InstanceModerationConfig::pleroma_default());
+        let home = server(
+            "home.example",
+            1,
+            InstanceModerationConfig::pleroma_default(),
+        );
         let friend = server(
             "friend.example",
             2,
@@ -134,7 +138,11 @@ mod tests {
     #[tokio::test]
     async fn rejecting_instance_silently_drops_delivery() {
         let net = Arc::new(SimNet::new());
-        let home = server("home.example", 1, InstanceModerationConfig::pleroma_default());
+        let home = server(
+            "home.example",
+            1,
+            InstanceModerationConfig::pleroma_default(),
+        );
         let mut config = InstanceModerationConfig::pleroma_default();
         config.set_simple(
             SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("home.example")),
@@ -174,7 +182,11 @@ mod tests {
     #[tokio::test]
     async fn dead_instances_fail_delivery() {
         let net = Arc::new(SimNet::new());
-        let home = server("home.example", 1, InstanceModerationConfig::pleroma_default());
+        let home = server(
+            "home.example",
+            1,
+            InstanceModerationConfig::pleroma_default(),
+        );
         crate::api::register_on(&net, Arc::clone(&home));
         net.set_failure(Domain::new("dead.example"), FailureMode::BadGateway);
 

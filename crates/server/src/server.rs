@@ -4,9 +4,7 @@ use fediscope_activitypub::{FollowGraph, Inbox, Outbox, Timelines};
 use fediscope_core::config::InstanceModerationConfig;
 use fediscope_core::id::{ActivityId, Domain, UserId, UserRef};
 use fediscope_core::model::{Activity, ActivityKind, ActivityPayload, InstanceProfile, Post, User};
-use fediscope_core::mrf::{
-    ActorDirectory, FilterOutcome, MrfPipeline, PolicyContext, SideEffect,
-};
+use fediscope_core::mrf::{ActorDirectory, FilterOutcome, MrfPipeline, PolicyContext, SideEffect};
 use fediscope_core::time::{SimDuration, SimTime};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -191,8 +189,12 @@ impl InstanceServer {
         let activity_id = ActivityId(((self.profile.id.0 as u64) << 40) | st.next_activity);
         st.next_activity += 1;
         let activity = Activity::create(activity_id, post);
-        let outcome = self.run_pipeline(&mut st, activity);
-        match outcome.verdict {
+        // Nothing downstream of publish ever reads a trace (callers
+        // consume only the verdict), so use the untraced pipeline.
+        // Inbound federation (`ingest_remote`) keeps the traced path for
+        // explainability.
+        let verdict = self.run_pipeline_fast(&mut st, activity);
+        match verdict {
             fediscope_core::mrf::PolicyVerdict::Reject(r) => {
                 self.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(PublishError::Rejected(r.to_string()))
@@ -268,7 +270,16 @@ impl InstanceServer {
         }
     }
 
-    fn run_pipeline(&self, st: &mut State, activity: Activity) -> FilterOutcome {
+    /// Shared setup and accounting around one pipeline invocation: snap a
+    /// directory view, build the policy context, run `invoke`, then drain
+    /// its side effects into the stats counter and effect log. The traced
+    /// and untraced entry points below differ only in the `invoke` they
+    /// pass, so any future context or accounting change lands in both.
+    fn with_pipeline<R>(
+        &self,
+        st: &mut State,
+        invoke: impl FnOnce(&MrfPipeline, &PolicyContext<'_>) -> R,
+    ) -> R {
         // The pipeline borrows the directory immutably while we hold the
         // write lock; split borrows via a snapshot directory view.
         let dir = DirectoryView {
@@ -276,13 +287,27 @@ impl InstanceServer {
             local: &self.profile.domain,
         };
         let ctx = PolicyContext::new(&self.profile.domain, st.clock, &dir);
-        let outcome = st.pipeline.filter(&ctx, activity);
+        let out = invoke(&st.pipeline, &ctx);
         let effects = ctx.take_effects();
         self.stats
             .effects
             .fetch_add(effects.len() as u64, Ordering::Relaxed);
         st.effect_log.extend(effects);
-        outcome
+        out
+    }
+
+    fn run_pipeline(&self, st: &mut State, activity: Activity) -> FilterOutcome {
+        self.with_pipeline(st, |pipeline, ctx| pipeline.filter(ctx, activity))
+    }
+
+    /// Untraced twin of [`run_pipeline`](Self::run_pipeline) for bulk
+    /// paths that only consume the verdict.
+    fn run_pipeline_fast(
+        &self,
+        st: &mut State,
+        activity: Activity,
+    ) -> fediscope_core::mrf::PolicyVerdict {
+        self.with_pipeline(st, |pipeline, ctx| pipeline.filter_fast(ctx, activity))
     }
 
     fn apply_accepted(&self, st: &mut State, activity: Activity) {
@@ -412,9 +437,9 @@ fn account_age(user: &User, now: SimTime) -> SimDuration {
 mod tests {
     use super::*;
     use fediscope_core::catalog::PolicyKind;
+    use fediscope_core::id::{InstanceId, PostId};
     use fediscope_core::model::{InstanceKind, SoftwareVersion, Visibility};
     use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
-    use fediscope_core::id::{InstanceId, PostId};
 
     fn profile(domain: &str) -> InstanceProfile {
         InstanceProfile {
@@ -445,10 +470,8 @@ mod tests {
     }
 
     fn make_server(domain: &str) -> InstanceServer {
-        let server = InstanceServer::new(
-            profile(domain),
-            InstanceModerationConfig::pleroma_default(),
-        );
+        let server =
+            InstanceServer::new(profile(domain), InstanceModerationConfig::pleroma_default());
         server.add_user(local_user(1, domain));
         server
     }
@@ -457,7 +480,12 @@ mod tests {
         let author = UserRef::new(UserId(1000 + id), Domain::new(domain));
         Activity::create(
             ActivityId(id),
-            Post::stub(PostId(5000 + id), author, fediscope_core::time::CAMPAIGN_START, content),
+            Post::stub(
+                PostId(5000 + id),
+                author,
+                fediscope_core::time::CAMPAIGN_START,
+                content,
+            ),
         )
     }
 
@@ -465,7 +493,12 @@ mod tests {
     fn publish_stores_on_public_timeline() {
         let s = make_server("home.example");
         let author = UserRef::new(UserId(1), Domain::new("home.example"));
-        let post = Post::stub(PostId(1), author, fediscope_core::time::CAMPAIGN_START, "hello");
+        let post = Post::stub(
+            PostId(1),
+            author,
+            fediscope_core::time::CAMPAIGN_START,
+            "hello",
+        );
         let act = s.publish(post).unwrap();
         assert_eq!(act.kind, ActivityKind::Create);
         assert_eq!(s.post_count(), 1);
@@ -496,10 +529,7 @@ mod tests {
         assert!(outcome.accepted());
         s.with_timelines(|t| {
             assert_eq!(
-                t.timeline_len(
-                    fediscope_activitypub::TimelineKind::WholeKnownNetwork,
-                    None
-                ),
+                t.timeline_len(fediscope_activitypub::TimelineKind::WholeKnownNetwork, None),
                 1
             );
         });
@@ -522,7 +552,9 @@ mod tests {
         assert_eq!(s.post_count(), 0);
         assert_eq!(s.stats().rejected.load(Ordering::Relaxed), 1);
         // Unrelated instances still get through.
-        assert!(s.ingest_remote(remote_create(2, "ok.example", "fine")).accepted());
+        assert!(s
+            .ingest_remote(remote_create(2, "ok.example", "fine"))
+            .accepted());
     }
 
     #[test]

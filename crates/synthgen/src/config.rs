@@ -2,6 +2,37 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Worker-thread count for the campaign's parallel phases (annotation,
+/// server materialisation). `Parallelism(0)` means "one per core".
+///
+/// Threaded through [`WorldConfig`] so a single knob — set explicitly or
+/// via the `FEDISCOPE_THREADS` environment variable in the bench harness
+/// — governs every parallel stage of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism(pub usize);
+
+impl Parallelism {
+    /// One worker per available core.
+    pub const AUTO: Parallelism = Parallelism(0);
+
+    /// The concrete worker count: `self.0`, or the machine's available
+    /// parallelism when auto.
+    pub fn effective(self) -> usize {
+        match self.0 {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::AUTO
+    }
+}
+
 /// Configuration of the synthetic world.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorldConfig {
@@ -17,6 +48,10 @@ pub struct WorldConfig {
     /// Whether to generate post text (content composition is the most
     /// expensive step; analyses that only need metadata can skip it).
     pub generate_text: bool,
+    /// Worker threads for the parallel campaign phases. Generation itself
+    /// stays sequential (one RNG stream ⇒ bit-reproducible worlds);
+    /// annotation and materialisation fan out to this many workers.
+    pub parallelism: Parallelism,
 }
 
 impl Default for WorldConfig {
@@ -34,6 +69,7 @@ impl WorldConfig {
             scale: 1.0,
             post_scale: 0.01,
             generate_text: true,
+            parallelism: Parallelism::AUTO,
         }
     }
 
@@ -44,6 +80,7 @@ impl WorldConfig {
             scale: 0.1,
             post_scale: 0.002,
             generate_text: true,
+            parallelism: Parallelism::AUTO,
         }
     }
 
@@ -54,6 +91,7 @@ impl WorldConfig {
             scale: 0.35,
             post_scale: 0.004,
             generate_text: true,
+            parallelism: Parallelism::AUTO,
         }
     }
 
@@ -85,5 +123,13 @@ mod tests {
     #[test]
     fn default_is_paper() {
         assert_eq!(WorldConfig::default().seed, WorldConfig::paper().seed);
+    }
+
+    #[test]
+    fn parallelism_resolves() {
+        assert!(Parallelism::AUTO.effective() >= 1);
+        assert_eq!(Parallelism(3).effective(), 3);
+        assert_eq!(Parallelism::default(), Parallelism::AUTO);
+        assert_eq!(WorldConfig::paper().parallelism, Parallelism::AUTO);
     }
 }

@@ -91,11 +91,7 @@ impl HarmProfile {
     /// dominant attribute follows the instance character; secondary
     /// attributes follow the §5 split (69.7% toxic / 57.6% profane /
     /// 43.9% sexually explicit among harmful users, overlapping).
-    pub fn sample_user<R: Rng>(
-        &self,
-        rng: &mut R,
-        character: InstanceCharacter,
-    ) -> UserHarm {
+    pub fn sample_user<R: Rng>(&self, rng: &mut R, character: InstanceCharacter) -> UserHarm {
         let u: f64 = rng.gen();
         // Walk the survival function from the top.
         let mean_max = if u < self.tail[4] {
@@ -167,7 +163,10 @@ impl HarmProfile {
         // among harmful users; a user can carry all three).
         let inclusion = [
             (Attribute::Toxicity, paper::harmful_user_attributes::TOXIC),
-            (Attribute::Profanity, paper::harmful_user_attributes::PROFANE),
+            (
+                Attribute::Profanity,
+                paper::harmful_user_attributes::PROFANE,
+            ),
             (
                 Attribute::SexuallyExplicit,
                 paper::harmful_user_attributes::SEXUALLY_EXPLICIT,
@@ -263,10 +262,7 @@ mod tests {
     #[test]
     fn harmful_share_is_4_2_percent() {
         let users = pooled_sample(40_000);
-        let harmful = users
-            .iter()
-            .filter(|u| u.tier == HarmTier::Harmful)
-            .count() as f64
+        let harmful = users.iter().filter(|u| u.tier == HarmTier::Harmful).count() as f64
             / users.len() as f64;
         assert!(
             (harmful - paper::HARMFUL_USER_SHARE).abs() < 0.01,

@@ -38,7 +38,7 @@ mod population;
 mod world;
 
 pub use character::InstanceCharacter;
-pub use config::WorldConfig;
+pub use config::{Parallelism, WorldConfig};
 pub use content::ContentComposer;
 pub use harm::{HarmProfile, UserHarm};
 pub use world::{GeneratedInstance, GeneratedUser, World};

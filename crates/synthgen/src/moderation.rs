@@ -89,7 +89,8 @@ pub fn plan<R: Rng>(
         .collect();
 
     // ---------- 1. Rejected targets and their reject counts ----------
-    let reject_counts = build_reject_targets(skeletons, &crawled, &non_pleroma, &by_domain, config, rng);
+    let reject_counts =
+        build_reject_targets(skeletons, &crawled, &non_pleroma, &by_domain, config, rng);
 
     // ---------- 2. Policy prevalence (Table 3 + the Figure 7 tail) ------
     assign_policies(skeletons, &exposing, &by_domain, config, rng, &mut enabled);
@@ -148,7 +149,10 @@ fn build_reject_targets<R: Rng>(
     // then a weighted tail of smaller ones (weight ∝ posts^0.45 gives the
     // weak posts↔rejects Spearman of 0.38).
     let target_pleroma = config.scaled(paper::REJECTED_PLEROMA_INSTANCES, 4) as usize;
-    let total_users: u64 = crawled.iter().map(|&i| skeletons[i].users_target as u64).sum();
+    let total_users: u64 = crawled
+        .iter()
+        .map(|&i| skeletons[i].users_target as u64)
+        .sum();
     let mut by_size: Vec<usize> = crawled.to_vec();
     by_size.sort_by_key(|&i| std::cmp::Reverse(skeletons[i].users_target));
     let mut covered = 0u64;
@@ -160,7 +164,9 @@ fn build_reject_targets<R: Rng>(
             break;
         }
         covered += skeletons[i].users_target as u64;
-        counts.entry(i).or_insert_with(|| sample_reject_count(skeletons[i].posts_full_scale, rng));
+        counts
+            .entry(i)
+            .or_insert_with(|| sample_reject_count(skeletons[i].posts_full_scale, rng));
     }
     // Weighted fill to the target count. §5 finds 26.4% of rejected
     // instances with post data are single-user, so a third of the fill
@@ -182,9 +188,9 @@ fn build_reject_targets<R: Rng>(
         attempts += 1;
         if !tiny.is_empty() && rng.gen_bool(0.34) {
             let &i = &tiny[rng.gen_range(0..tiny.len())];
-            if !counts.contains_key(&i) {
-                counts.insert(i, sample_small_reject_count(rng).min(8));
-            }
+            counts
+                .entry(i)
+                .or_insert_with(|| sample_small_reject_count(rng).min(8));
             continue;
         }
         let &i = &crawled[rng.gen_range(0..crawled.len())];
@@ -193,7 +199,7 @@ fn build_reject_targets<R: Rng>(
         }
         let w = ((skeletons[i].posts_full_scale as f64) + 1.0).powf(0.45);
         let max_w = 1_000.0f64; // ~posts 4.5M^0.45
-        if rng.gen::<f64>() < (w / max_w).min(1.0).max(0.002) {
+        if rng.gen::<f64>() < (w / max_w).clamp(0.002, 1.0) {
             counts.insert(i, sample_reject_count(skeletons[i].posts_full_scale, rng));
         }
     }
@@ -212,7 +218,7 @@ fn build_reject_targets<R: Rng>(
             continue;
         }
         let w = (skeletons[i].users_target as f64 + 1.0).powf(0.4);
-        if rng.gen::<f64>() < (w / 30.0).min(1.0).max(0.01) {
+        if rng.gen::<f64>() < (w / 30.0).clamp(0.01, 1.0) {
             counts.insert(i, sample_small_reject_count(rng));
             np_rejected += 1;
         }
@@ -317,8 +323,11 @@ fn assign_policies<R: Rng>(
                 chosen.insert(idx);
             }
         }
-        let mut remaining_budget =
-            user_budget - chosen.iter().map(|&i| skeletons[i].users_target as f64).sum::<f64>();
+        let mut remaining_budget = user_budget
+            - chosen
+                .iter()
+                .map(|&i| skeletons[i].users_target as f64)
+                .sum::<f64>();
         while chosen.len() < n_i.min(exposing.len()) {
             let need = (remaining_budget / (n_i - chosen.len()) as f64).max(1.0);
             // Probe a handful of random candidates, keep the one whose
@@ -344,8 +353,8 @@ fn assign_policies<R: Rng>(
                     // pool); fall back to a linear scan for any
                     // unchosen eligible instance.
                     match exposing.iter().copied().find(|c| {
-                        !chosen.contains(c)
-                            && !(kind == PolicyKind::Simple && non_retaliators.contains(c))
+                        !(chosen.contains(c)
+                            || kind == PolicyKind::Simple && non_retaliators.contains(c))
                     }) {
                         Some(c) => c,
                         None => break,
@@ -438,7 +447,9 @@ fn build_simple_configs<R: Rng>(
 
     for (&target, &count) in reject_counts {
         let target_domain = skeletons[target].profile.domain.clone();
-        let k = (count as usize).min(reject_pool.len().saturating_sub(1)).max(1);
+        let k = (count as usize)
+            .min(reject_pool.len().saturating_sub(1))
+            .max(1);
         let mut picked: HashSet<usize> = HashSet::new();
         let mut guard = 0;
         while picked.len() < k && guard < 20_000 {
@@ -608,7 +619,11 @@ fn build_simple_configs<R: Rng>(
         let want_p = config.scaled(row.targeted_pleroma, 1) as usize;
         let want_np = config.scaled(row.targeted_non_pleroma, 1) as usize;
         let mut guard = 0;
-        while targets.iter().filter(|&&t| skeletons[t].profile.is_pleroma()).count() < want_p
+        while targets
+            .iter()
+            .filter(|&&t| skeletons[t].profile.is_pleroma())
+            .count()
+            < want_p
             && guard < 100_000
         {
             guard += 1;
@@ -620,13 +635,17 @@ fn build_simple_configs<R: Rng>(
             };
             if !targets.contains(&cand) {
                 let w = ((skeletons[cand].posts_full_scale as f64) + 1.0).powf(0.4);
-                if rng.gen::<f64>() < (w / 400.0).min(1.0).max(0.05) {
+                if rng.gen::<f64>() < (w / 400.0).clamp(0.05, 1.0) {
                     targets.push(cand);
                 }
             }
         }
         let mut guard = 0;
-        while targets.iter().filter(|&&t| !skeletons[t].profile.is_pleroma()).count() < want_np
+        while targets
+            .iter()
+            .filter(|&&t| !skeletons[t].profile.is_pleroma())
+            .count()
+            < want_np
             && guard < 100_000
         {
             guard += 1;
@@ -880,7 +899,11 @@ mod tests {
                 .flatten()
                 .filter(|s| !s.targets(action).is_empty())
                 .count();
-            assert!(targeting > 0, "{} has no targeting instances", action.label());
+            assert!(
+                targeting > 0,
+                "{} has no targeting instances",
+                action.label()
+            );
         }
     }
 

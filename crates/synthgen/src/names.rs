@@ -33,7 +33,10 @@ pub fn mastodon_domain(i: u32) -> Domain {
 
 /// Instance title for a domain.
 pub fn title_for(domain: &Domain) -> String {
-    format!("The {} community", domain.as_str().split('.').next().unwrap_or("fedi"))
+    format!(
+        "The {} community",
+        domain.as_str().split('.').next().unwrap_or("fedi")
+    )
 }
 
 #[cfg(test)]
@@ -68,9 +71,6 @@ mod tests {
 
     #[test]
     fn titles_are_readable() {
-        assert_eq!(
-            title_for(&Domain::new("poa.st")),
-            "The poa community"
-        );
+        assert_eq!(title_for(&Domain::new("poa.st")), "The poa community");
     }
 }

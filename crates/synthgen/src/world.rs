@@ -236,8 +236,8 @@ fn fix_timelines<R: Rng>(
         .copied()
         .filter(|&i| plan.reject_counts.contains_key(&i) && skeletons[i].posts_full_scale > 0)
         .collect();
-    let keep_open = ((rejected_with_posts.len() as f64) * paper::REJECTED_WITH_POSTS_SHARE)
-        .round() as usize;
+    let keep_open =
+        ((rejected_with_posts.len() as f64) * paper::REJECTED_WITH_POSTS_SHARE).round() as usize;
     let mut to_close = rejected_with_posts.len().saturating_sub(keep_open);
     let mut candidates = rejected_with_posts.clone();
     shuffle(&mut candidates, rng);
@@ -296,8 +296,7 @@ fn generate_users<R: Rng>(
             } else {
                 UserHarm::benign_default()
             };
-            let created =
-                CAMPAIGN_START.0 as i64 - rng.gen_range(0..86_400 * 600) + 86_400 * 30;
+            let created = CAMPAIGN_START.0 as i64 - rng.gen_range(0..86_400 * 600) + 86_400 * 30;
             GeneratedUser {
                 user: User {
                     id: user_id(instance_id, k),
@@ -367,10 +366,14 @@ fn generate_users<R: Rng>(
             } else {
                 String::new()
             };
-            let created = fediscope_core::time::SimTime(
-                rng.gen_range(CAMPAIGN_START.0..CAMPAIGN_END.0),
+            let created =
+                fediscope_core::time::SimTime(rng.gen_range(CAMPAIGN_START.0..CAMPAIGN_END.0));
+            let mut post = Post::stub(
+                post_id(instance_id, seq),
+                user_ref.clone(),
+                created,
+                content,
             );
-            let mut post = Post::stub(post_id(instance_id, seq), user_ref.clone(), created, content);
             seq += 1;
             // Media habits follow the community character: §7 notes the
             // most rejected sexually-explicit instances carry their harm
@@ -462,8 +465,8 @@ fn build_peers<R: Rng>(
     }
     // Peer-list sizes grow with activity.
     for &i in &crawled {
-        let k = (4.0 + ((skeletons[i].posts_full_scale as f64) + 1.0).powf(0.28)
-            * rng.gen_range(0.5..2.0))
+        let k = (4.0
+            + ((skeletons[i].posts_full_scale as f64) + 1.0).powf(0.28) * rng.gen_range(0.5..2.0))
         .round() as usize;
         let k = k.clamp(3, 500).min(n - 1);
         let mut guard = 0;
@@ -485,7 +488,11 @@ fn build_peers<R: Rng>(
         .copied()
         .filter(|&i| directory_set.contains(skeletons[i].profile.domain.as_str()))
         .collect();
-    let seeds = if seeds.is_empty() { crawled.clone() } else { seeds };
+    let seeds = if seeds.is_empty() {
+        crawled.clone()
+    } else {
+        seeds
+    };
     let mut covered: HashSet<usize> = (0..n)
         .filter(|&i| directory_set.contains(skeletons[i].profile.domain.as_str()))
         .collect();
@@ -598,11 +605,12 @@ mod tests {
             .iter()
             .map(|i| (i.profile.domain.as_str(), i))
             .collect();
-        let mut discovered: HashSet<&str> =
-            world.directory.iter().map(|d| d.as_str()).collect();
+        let mut discovered: HashSet<&str> = world.directory.iter().map(|d| d.as_str()).collect();
         let mut frontier: Vec<&str> = discovered.iter().copied().collect();
         while let Some(domain) = frontier.pop() {
-            let Some(inst) = by_domain.get(domain) else { continue };
+            let Some(inst) = by_domain.get(domain) else {
+                continue;
+            };
             if !(inst.profile.is_pleroma() && inst.crawlable()) {
                 continue;
             }
@@ -679,7 +687,10 @@ mod tests {
     fn named_instances_keep_characters() {
         let world = small_world();
         assert_eq!(
-            world.by_domain("freespeechextremist.com").unwrap().character,
+            world
+                .by_domain("freespeechextremist.com")
+                .unwrap()
+                .character,
             InstanceCharacter::Toxic
         );
         assert_eq!(

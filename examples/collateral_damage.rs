@@ -41,7 +41,11 @@ async fn main() {
         .collect();
     println!(
         "{}",
-        render_table("Table 2: non-harmful share by threshold", &["threshold", "non-harmful"], &rows)
+        render_table(
+            "Table 2: non-harmful share by threshold",
+            &["threshold", "non-harmful"],
+            &rows
+        )
     );
 
     println!("Whatever the threshold, the overwhelming majority of users on");

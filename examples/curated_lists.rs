@@ -22,9 +22,21 @@ async fn main() {
     // 2. Curate.
     let lists = curate(&dataset, &annotations, &CurationConfig::default());
     println!("curated from measurements:");
-    println!("  NoHate      ({} instances, action {:?})", lists.no_hate.entries.len(), lists.no_hate.action);
-    println!("  NoPorn      ({} instances, action {:?})", lists.no_porn.entries.len(), lists.no_porn.action);
-    println!("  NoProfanity ({} instances, action {:?})", lists.no_profanity.entries.len(), lists.no_profanity.action);
+    println!(
+        "  NoHate      ({} instances, action {:?})",
+        lists.no_hate.entries.len(),
+        lists.no_hate.action
+    );
+    println!(
+        "  NoPorn      ({} instances, action {:?})",
+        lists.no_porn.entries.len(),
+        lists.no_porn.action
+    );
+    println!(
+        "  NoProfanity ({} instances, action {:?})",
+        lists.no_profanity.entries.len(),
+        lists.no_profanity.action
+    );
     let sample: Vec<&str> = lists
         .no_porn
         .entries
@@ -62,7 +74,10 @@ async fn main() {
         PolicyVerdict::Pass(act) => {
             let p = act.note().unwrap();
             println!();
-            println!("post from {porn_domain} passed with {} media attachment(s) left", p.media.len());
+            println!(
+                "post from {porn_domain} passed with {} media attachment(s) left",
+                p.media.len()
+            );
             println!("→ the text got through; the harmful payload did not.");
         }
         PolicyVerdict::Reject(r) => println!("rejected: {r}"),

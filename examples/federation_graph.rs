@@ -31,7 +31,13 @@ async fn main() {
         "{}",
         render_table(
             "§6 federation-graph damage (top rejected instances)",
-            &["instance", "rejects", "audience lost", "audience%", "peers rejecting%"],
+            &[
+                "instance",
+                "rejects",
+                "audience lost",
+                "audience%",
+                "peers rejecting%"
+            ],
             &table
         )
     );

@@ -11,7 +11,10 @@ use fediscope::prelude::*;
 #[tokio::main]
 async fn main() {
     let config = WorldConfig::test_medium();
-    println!("generating a medium synthetic fediverse (seed {}) ...", config.seed);
+    println!(
+        "generating a medium synthetic fediverse (seed {}) ...",
+        config.seed
+    );
     let world = World::generate(config);
     println!(
         "  {} instances ({} crawlable Pleroma), {} users, {} posts",
@@ -25,7 +28,10 @@ async fn main() {
     let dataset = harness::crawl_world(&world, CrawlerConfig::default()).await;
 
     let census = fediscope::analysis::headline::crawl_census(&dataset);
-    println!("{}", render_comparisons("§3 census (paper values are full-scale)", &census));
+    println!(
+        "{}",
+        render_comparisons("§3 census (paper values are full-scale)", &census)
+    );
 
     let rows = fediscope::analysis::figures::fig1_policy_prevalence(&dataset);
     let table: Vec<Vec<String>> = rows
@@ -40,7 +46,11 @@ async fn main() {
         .collect();
     println!(
         "{}",
-        render_table("Figure 1: top policies", &["policy", "instances", "users"], &table)
+        render_table(
+            "Figure 1: top policies",
+            &["policy", "instances", "users"],
+            &table
+        )
     );
 
     let impact = fediscope::analysis::headline::policy_impact(&dataset);

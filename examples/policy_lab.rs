@@ -23,7 +23,10 @@ fn sample_activities() -> Vec<(&'static str, Activity)> {
         "grukk vrelk subhuman scum",
     );
     hate.hashtags.push("pol".into());
-    acts.push(("hateful remote post", Activity::create(fediscope_core::id::ActivityId(1), hate)));
+    acts.push((
+        "hateful remote post",
+        Activity::create(fediscope_core::id::ActivityId(1), hate),
+    ));
 
     let mut art = Post::stub(
         PostId(2),
@@ -41,7 +44,10 @@ fn sample_activities() -> Vec<(&'static str, Activity)> {
         host: Domain::new("art.example"),
     });
     art.hashtags.push("nsfw".into());
-    acts.push(("nsfw-tagged art with emoji", Activity::create(fediscope_core::id::ActivityId(2), art)));
+    acts.push((
+        "nsfw-tagged art with emoji",
+        Activity::create(fediscope_core::id::ActivityId(2), art),
+    ));
 
     let mut hellthread = Post::stub(
         PostId(3),
@@ -54,7 +60,10 @@ fn sample_activities() -> Vec<(&'static str, Activity)> {
             .mentions
             .push(UserRef::new(UserId(100 + i), Domain::new("x.example")));
     }
-    acts.push(("25-mention hellthread", Activity::create(fediscope_core::id::ActivityId(3), hellthread)));
+    acts.push((
+        "25-mention hellthread",
+        Activity::create(fediscope_core::id::ActivityId(3), hellthread),
+    ));
 
     let mut stale = Post::stub(
         PostId(4),
@@ -64,13 +73,21 @@ fn sample_activities() -> Vec<(&'static str, Activity)> {
     );
     stale.subject = Some("old news".into());
     stale.in_reply_to = Some(PostId(1));
-    acts.push(("30-day-old reply", Activity::create(fediscope_core::id::ActivityId(4), stale)));
+    acts.push((
+        "30-day-old reply",
+        Activity::create(fediscope_core::id::ActivityId(4), stale),
+    ));
 
     acts.push((
         "local empty post",
         Activity::create(
             fediscope_core::id::ActivityId(5),
-            Post::stub(PostId(5), local, fediscope_core::time::CAMPAIGN_START, "   "),
+            Post::stub(
+                PostId(5),
+                local,
+                fediscope_core::time::CAMPAIGN_START,
+                "   ",
+            ),
         ),
     ));
 
@@ -129,12 +146,20 @@ fn main() {
         print!("{:<28}", catalog.entry(kind).name);
         for (_, act) in &activities {
             let ctx = PolicyContext::new(&local, fediscope_core::time::CAMPAIGN_START, &dir);
-            let before = format!("{:?}", act.note().map(|p| (&p.content, p.visibility, p.sensitive, p.media.len())));
+            let before = format!(
+                "{:?}",
+                act.note()
+                    .map(|p| (&p.content, p.visibility, p.sensitive, p.media.len()))
+            );
             let outcome = pipeline.filter(&ctx, act.clone());
             let cell = match &outcome.verdict {
                 PolicyVerdict::Reject(_) => " ✗",
                 PolicyVerdict::Pass(a) => {
-                    let after = format!("{:?}", a.note().map(|p| (&p.content, p.visibility, p.sensitive, p.media.len())));
+                    let after = format!(
+                        "{:?}",
+                        a.note()
+                            .map(|p| (&p.content, p.visibility, p.sensitive, p.media.len()))
+                    );
                     if after != before {
                         " ±"
                     } else {

@@ -49,7 +49,10 @@ async fn main() {
             .with_target(SimpleAction::Reject, Domain::new("troll.example"))
             .with_target(SimpleAction::MediaRemoval, Domain::new("lewd.example")),
     );
-    let wholesome = Arc::new(InstanceServer::new(profile(1, "wholesome.example"), moderation));
+    let wholesome = Arc::new(InstanceServer::new(
+        profile(1, "wholesome.example"),
+        moderation,
+    ));
     let troll = Arc::new(InstanceServer::new(
         profile(2, "troll.example"),
         InstanceModerationConfig::pleroma_default(),
@@ -107,8 +110,12 @@ async fn main() {
     println!("wholesome.example state after federation:");
     println!("  posts stored: {}", wholesome.post_count());
     wholesome.with_timelines(|t| {
-        for post in t.page(fediscope::activitypub::TimelineKind::WholeKnownNetwork, None, None, 10)
-        {
+        for post in t.page(
+            fediscope::activitypub::TimelineKind::WholeKnownNetwork,
+            None,
+            None,
+            10,
+        ) {
             println!(
                 "  - from {}: {:?} (media: {})",
                 post.author.domain,

@@ -1,0 +1,276 @@
+//! Offline shim for the `criterion` surface this workspace uses: a
+//! wall-clock benchmark harness with warmup, repeated samples, and
+//! median/mean/throughput reporting. No plotting or statistics beyond
+//! that — but the macro and builder API matches, so benches compile and
+//! run unchanged against the real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group/function identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Elements per iteration, when a throughput was declared.
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    /// Elements processed per second, when a throughput was declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements.map(|e| e as f64 / (self.median_ns / 1e9))
+    }
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// All measurements recorded so far (accessible to custom reporters).
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            measurement_time: Duration::from_millis(900),
+            warm_up_time: Duration::from_millis(150),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warmup time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let m = run_bench(
+            id.to_string(),
+            None,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        report(&m);
+        self.measurements.push(m);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares the per-iteration throughput of subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benches one function in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let elements = match self.throughput {
+            Some(Throughput::Elements(e)) => Some(e),
+            Some(Throughput::Bytes(b)) => Some(b),
+            None => None,
+        };
+        let m = run_bench(
+            format!("{}/{id}", self.name),
+            elements,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            f,
+        );
+        report(&m);
+        self.criterion.measurements.push(m);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total time over all timed iterations of the current sample.
+    elapsed: Duration,
+    /// Iterations the current sample ran.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: String,
+    elements: Option<u64>,
+    sample_size: usize,
+    warm_up: Duration,
+    budget: Duration,
+    mut f: F,
+) -> Measurement {
+    // Warmup: find an iteration count that makes one sample ~1ms+.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= warm_up {
+            if b.elapsed < Duration::from_micros(500) && iters < 1 << 28 {
+                iters *= 4;
+            }
+            break;
+        }
+        if b.elapsed < Duration::from_micros(500) && iters < 1 << 28 {
+            iters *= 2;
+        }
+    }
+    // Fit the sample count into the time budget.
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    let run_start = Instant::now();
+    for done in 0..sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_nanos() as f64 / iters.max(1) as f64);
+        if run_start.elapsed() > budget && done >= 1 {
+            break;
+        }
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median_ns = per_iter[per_iter.len() / 2];
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    Measurement {
+        id,
+        median_ns,
+        mean_ns,
+        elements,
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(m: &Measurement) {
+    match m.elements_per_sec() {
+        Some(eps) => println!(
+            "{:<56} time: {:>12}  thrpt: {:>14.0} elem/s",
+            m.id,
+            human_ns(m.median_ns),
+            eps
+        ),
+        None => println!("{:<56} time: {:>12}", m.id, human_ns(m.median_ns)),
+    }
+}
+
+/// Declares a benchmark group, in either criterion spelling.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

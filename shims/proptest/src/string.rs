@@ -1,0 +1,145 @@
+//! String generation for the regex subset proptest patterns in this
+//! workspace use: literal characters, `\`-escapes, `[...]` classes with
+//! ranges, and `{m}` / `{m,n}` quantifiers.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Element {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let mut chars = pattern.chars().peekable();
+    let mut elements = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("proptest shim: unterminated class in {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let start = prev.take().expect("checked");
+                            let end = chars.next().expect("checked");
+                            for v in (start as u32)..=(end as u32) {
+                                if let Some(ch) = char::from_u32(v) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "proptest shim: empty class in {pattern:?}");
+                Atom::Class(set)
+            }
+            '.' => {
+                // Any printable ASCII character.
+                Atom::Class((0x20u8..0x7f).map(|b| b as char).collect())
+            }
+            c => Atom::Literal(c),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut first = String::new();
+            let mut second: Option<String> = None;
+            loop {
+                match chars.next() {
+                    None => panic!("proptest shim: unterminated quantifier in {pattern:?}"),
+                    Some('}') => break,
+                    Some(',') => second = Some(String::new()),
+                    Some(d) => match &mut second {
+                        Some(s) => s.push(d),
+                        None => first.push(d),
+                    },
+                }
+            }
+            let min: usize = first.parse().expect("quantifier minimum");
+            let max = match second {
+                Some(s) => s.parse().expect("quantifier maximum"),
+                None => min,
+            };
+            (min, max)
+        } else {
+            (1, 1)
+        };
+        elements.push(Element { atom, min, max });
+    }
+    elements
+}
+
+/// Generates a string matching the pattern subset.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for element in parse(pattern) {
+        let count = rng.rng.gen_range(element.min..=element.max);
+        for _ in 0..count {
+            match &element.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => {
+                    let i = rng.rng.gen_range(0..set.len());
+                    out.push(set[i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_and_classes() {
+        let mut rng = TestRng::for_test("domains_and_classes");
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{2,8}\\.[a-z]{2,4}", &mut rng);
+            let dot = s.find('.').expect("has a dot");
+            assert!((2..=8).contains(&dot));
+            assert!(s.chars().all(|c| c == '.' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let mut rng = TestRng::for_test("zero_length_allowed");
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = generate_from_pattern("[a-f]{0,2}", &mut rng);
+            assert!(s.len() <= 2);
+            saw_empty |= s.is_empty();
+        }
+        assert!(saw_empty);
+    }
+
+    #[test]
+    fn classes_with_specials() {
+        let mut rng = TestRng::for_test("classes_with_specials");
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z<>/ ]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "<>/ ".contains(c)));
+        }
+    }
+}

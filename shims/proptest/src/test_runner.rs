@@ -1,0 +1,34 @@
+//! Deterministic per-test RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub struct TestRng {
+    /// The underlying generator (public to the shim's strategy modules).
+    pub rng: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for a named test: seeded from `PROPTEST_SEED`
+    /// when set, otherwise from an FNV hash of the test name, so every
+    /// test explores a distinct but reproducible sequence.
+    pub fn for_test(name: &str) -> TestRng {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        TestRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}

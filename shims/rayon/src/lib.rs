@@ -1,0 +1,414 @@
+//! Offline shim for the `rayon` surface this workspace uses.
+//!
+//! Parallel iterators over slices with `map` / `fold` / `reduce` /
+//! `for_each` / `collect`, executed by splitting the input into one
+//! contiguous chunk per worker on `std::thread::scope` threads. No work
+//! stealing — our workloads are uniform enough that static chunking is
+//! within noise of the real crate — but the API shape matches, so
+//! swapping the real rayon back in is a manifest-only change.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Mirrors `rayon::ThreadPoolBuilder` far enough to set the global
+/// parallelism level.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] (never produced by the
+/// shim; the global level is freely re-settable).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = one per core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the setting globally.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The current global parallelism level.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// The glob-import module, as in real rayon.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Chunk boundaries splitting `len` items over the worker count.
+fn chunk_bounds(len: usize) -> Vec<(usize, usize)> {
+    let workers = current_num_threads().max(1).min(len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut bounds = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        if size == 0 {
+            continue;
+        }
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Runs `work` over each chunk on scoped threads, collecting per-chunk
+/// outputs in order. The last chunk runs on the calling thread.
+fn run_chunks<T, F>(bounds: &[(usize, usize)], work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    if bounds.is_empty() {
+        return Vec::new();
+    }
+    if bounds.len() == 1 {
+        let (s, e) = bounds[0];
+        return vec![work(s, e)];
+    }
+    let work = &work;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(bounds.len() - 1);
+        for &(s, e) in &bounds[..bounds.len() - 1] {
+            handles.push(scope.spawn(move || work(s, e)));
+        }
+        let (ls, le) = bounds[bounds.len() - 1];
+        let last = work(ls, le);
+        let mut out: Vec<T> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect();
+        out.push(last);
+        out
+    })
+}
+
+/// The parallel-iterator core. Implementors expose indexed access so the
+/// driver can hand out contiguous chunks.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// Item produced per element.
+    type Item: Send;
+
+    /// Number of elements.
+    fn pi_len(&self) -> usize;
+
+    /// Produces the element at `index`. `&self` because chunks run
+    /// concurrently.
+    fn pi_get(&self, index: usize) -> Self::Item;
+
+    /// Maps each element through `f`.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Per-chunk folds: each worker folds its chunk from `identity()`.
+    /// Combine the partials with [`Fold::reduce`].
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, Self::Item) -> A + Sync + Send,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Runs `f` on every element.
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        let bounds = chunk_bounds(self.pi_len());
+        let this = &self;
+        let f = &f;
+        run_chunks(&bounds, |s, e| {
+            for i in s..e {
+                f(this.pi_get(i));
+            }
+        });
+    }
+
+    /// Collects into any `FromIterator` container, preserving element
+    /// order. (Real rayon bounds this on `FromParallelIterator`; every
+    /// container this workspace collects into implements both.)
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.collect_vec().into_iter().collect()
+    }
+
+    /// Collects into a `Vec`, preserving order.
+    fn collect_vec(self) -> Vec<Self::Item> {
+        let bounds = chunk_bounds(self.pi_len());
+        let this = &self;
+        let chunks = run_chunks(&bounds, |s, e| {
+            (s..e).map(|i| this.pi_get(i)).collect::<Vec<_>>()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Reduces all elements with `op`, starting each worker at
+    /// `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let bounds = chunk_bounds(self.pi_len());
+        let this = &self;
+        let op_ref = &op;
+        let partials = run_chunks(&bounds, |s, e| {
+            let mut acc = this.pi_get(s);
+            for i in (s + 1)..e {
+                acc = op_ref(acc, this.pi_get(i));
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+
+    /// Sums all elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send + std::iter::Sum<S>,
+    {
+        let bounds = chunk_bounds(self.pi_len());
+        let this = &self;
+        let partials = run_chunks(&bounds, |s, e| (s..e).map(|i| this.pi_get(i)).sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    /// Counts the elements.
+    fn count(self) -> usize {
+        self.pi_len()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows into a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// Borrowed-slice parallel iterator.
+pub struct SliceParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data [T] {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+    fn into_par_iter(self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+    fn into_par_iter(self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// Owned range parallel iterator (`(0..n).into_par_iter()`).
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    fn pi_get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Map adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_get(&self, index: usize) -> U {
+        (self.f)(self.base.pi_get(index))
+    }
+}
+
+/// Fold adapter: holds the per-worker fold; terminal ops live here.
+pub struct Fold<B, ID, F> {
+    base: B,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<B, A, ID, F> Fold<B, ID, F>
+where
+    B: ParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Sync + Send,
+    F: Fn(A, B::Item) -> A + Sync + Send,
+{
+    /// Folds each chunk, then combines the per-chunk accumulators with
+    /// `op` starting from `identity()`.
+    pub fn reduce<ID2, OP>(self, identity: ID2, op: OP) -> A
+    where
+        ID2: Fn() -> A + Sync + Send,
+        OP: Fn(A, A) -> A + Sync + Send,
+    {
+        let bounds = chunk_bounds(self.base.pi_len());
+        let base = &self.base;
+        let fold_id = &self.identity;
+        let fold_op = &self.fold_op;
+        let partials = run_chunks(&bounds, |s, e| {
+            let mut acc = fold_id();
+            for i in s..e {
+                acc = fold_op(acc, base.pi_get(i));
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_fold_reduce_matches_sequential() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let total = data
+            .par_iter()
+            .map(|&x| x * 2)
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, data.iter().map(|&x| x * 2).sum::<u64>());
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let data: Vec<usize> = (0..1000).collect();
+        let doubled = data.par_iter().map(|&x| x * 2).collect_vec();
+        assert_eq!(doubled, data.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let data: Vec<u64> = Vec::new();
+        let total = data
+            .par_iter()
+            .map(|&x| x)
+            .fold(|| 0u64, |a, x| a + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 0);
+        assert_eq!(data.par_iter().map(|&x| x).collect_vec(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn thread_knob_applies() {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 2);
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(crate::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,352 @@
+//! Deserialization half of the shim.
+
+use crate::content::{Content, Number};
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Error constraint for deserializer errors (mirrors `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format producing the shim's value tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the entire input as a value tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from the shim's data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Owned-deserializable marker, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Deserializer view over an in-memory tree, generic in its error type so
+/// derived code can thread `D::Error` through nested fields.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes a `T` out of a tree, with the caller's error type.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+fn type_name(c: &Content) -> &'static str {
+    match c {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::Number(_) => "number",
+        Content::String(_) => "string",
+        Content::Array(_) => "array",
+        Content::Object(_) => "object",
+    }
+}
+
+// ---------------------------------------------------------------- impls --
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_content()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!(
+                "expected bool, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::String(s) => Ok(s),
+            other => Err(D::Error::custom(format!(
+                "expected string, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::Number(n) => n
+                        .as_u64()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| D::Error::custom(concat!("number out of range for ", stringify!($t)))),
+                    other => Err(D::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        type_name(&other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::Number(n) => n
+                        .as_i64()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| D::Error::custom(concat!("number out of range for ", stringify!($t)))),
+                    other => Err(D::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        type_name(&other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Number(n) => Ok(n.as_f64()),
+            other => Err(D::Error::custom(format!(
+                "expected f64, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(()),
+            other => Err(D::Error::custom(format!(
+                "expected null, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            content => from_content(content).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Array(items) => items.into_iter().map(from_content).collect(),
+            other => Err(D::Error::custom(format!(
+                "expected array, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(std::sync::Arc::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::Array(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n;
+                            from_content::<$t, D::Error>(it.next().expect("length checked"))?
+                        },)+))
+                    }
+                    other => Err(D::Error::custom(format!(
+                        concat!("expected array of length ", $len, ", found {}"),
+                        type_name(&other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 T0)
+    (2; 0 T0, 1 T1)
+    (3; 0 T0, 1 T1, 2 T2)
+    (4; 0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+/// Recovers a map key from its JSON-object string form: first as the
+/// string itself, then — for numeric key types — via a numeric reparse.
+pub fn key_from_string<'de, K: Deserialize<'de>, E: Error>(key: String) -> Result<K, E> {
+    match from_content(Content::String(key.clone())) {
+        Ok(v) => Ok(v),
+        Err(first) => {
+            if let Ok(u) = key.parse::<u64>() {
+                if let Ok(v) = from_content::<K, E>(Content::Number(Number::PosInt(u))) {
+                    return Ok(v);
+                }
+            }
+            if let Ok(i) = key.parse::<i64>() {
+                if let Ok(v) = from_content::<K, E>(Content::Number(Number::NegInt(i))) {
+                    return Ok(v);
+                }
+            }
+            if key == "true" || key == "false" {
+                if let Ok(v) = from_content::<K, E>(Content::Bool(key == "true")) {
+                    return Ok(v);
+                }
+            }
+            Err(first)
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Object(map) => map
+                .into_iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, from_content(v)?)))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected object, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Object(map) => map
+                .into_iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, from_content(v)?)))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected object, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+/// `&'static str` deserialization leaks the string. Only catalog metadata
+/// types carry static strings, and they are deserialized rarely (if ever)
+/// — real serde would demand borrowed input here instead.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        String::deserialize(deserializer).map(|s| -> &'static str { Box::leak(s.into_boxed_str()) })
+    }
+}
+
+impl<'de, T> Deserialize<'de> for std::collections::HashSet<T>
+where
+    T: Deserialize<'de> + std::hash::Hash + Eq,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for std::collections::BTreeSet<T>
+where
+    T: Deserialize<'de> + Ord,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Object(map) => {
+                let secs = map.get("secs").and_then(Content::as_u64).unwrap_or(0);
+                let nanos = map.get("nanos").and_then(Content::as_u64).unwrap_or(0);
+                Ok(std::time::Duration::new(secs, nanos as u32))
+            }
+            Content::Number(Number::PosInt(secs)) => Ok(std::time::Duration::from_secs(secs)),
+            other => Err(D::Error::custom(format!(
+                "expected duration, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The shim keeps serde's public shape — `Serialize` / `Deserialize`
+//! traits generic over `Serializer` / `Deserializer`, plus derive macros —
+//! but collapses the data model to a self-describing [`content::Content`]
+//! tree. Every serializer in the workspace (only `serde_json`) is
+//! tree-based anyway, so the simplification is observationally equivalent
+//! for our types while staying drop-in replaceable by the real crate.
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Private helpers referenced by `serde_derive`-generated code.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::content::{Content, Map, Number};
+    pub use crate::de::{from_content, Error as DeError};
+    pub use crate::ser::to_content;
+}

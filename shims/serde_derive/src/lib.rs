@@ -1,0 +1,435 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote` in the
+//! offline environment). Supports the shapes this workspace uses:
+//! named-field structs, tuple structs (serde newtype semantics for a
+//! single field), unit structs, and externally-tagged enums with unit,
+//! newtype, tuple and struct variants. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            _ => break,
+        }
+    }
+}
+
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(TokenTree::Ident(i)) = tokens.peek() {
+        if i.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens, what: &str) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parses the fields of a brace-delimited body: `name: Type, ...`.
+fn parse_named_fields(group: proc_macro::Group) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens: Tokens = group.stream().into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        names.push(name.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected ':' after field, found {other:?}"),
+        }
+        // Skip the type up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Counts the fields of a paren-delimited tuple body.
+fn count_tuple_fields(group: proc_macro::Group) -> usize {
+    let mut count = 0usize;
+    let mut any = false;
+    let mut angle_depth = 0i32;
+    for tt in group.stream() {
+        any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => count += 1,
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        // Trailing commas are not used in this codebase's tuple structs.
+        count + 1
+    }
+}
+
+fn parse_variants(group: proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens: Tokens = group.stream().into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                tokens.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("serde shim derive: expected ',' between variants, found {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = expect_ident(&mut tokens, "struct/enum keyword");
+    let name = expect_ident(&mut tokens, "type name");
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde shim derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("serde shim derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ------------------------------------------------------------ serialize --
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (
+            name,
+            format!(
+                "serializer.serialize_content({})",
+                content_expr(fields, None)
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&serialize_variant_arm(name, v));
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Expression building the `Content` tree for a set of fields. With
+/// `bound`, fields are read from the given match-arm bindings instead of
+/// `self.` access.
+fn content_expr(fields: &Fields, bound: Option<&[String]>) -> String {
+    let access = |i: usize, n: &str| match bound {
+        Some(names) => names[i].clone(),
+        None if n.is_empty() => format!("&self.{i}"),
+        None => format!("&self.{n}"),
+    };
+    match fields {
+        Fields::Unit => "::serde::__private::Content::Null".to_string(),
+        Fields::Named(names) => {
+            let mut inserts = String::new();
+            for (i, n) in names.iter().enumerate() {
+                inserts.push_str(&format!(
+                    "map.insert(\"{n}\".to_string(), ::serde::__private::to_content({}));\n",
+                    access(i, n)
+                ));
+            }
+            format!(
+                "{{ let mut map = ::serde::__private::Map::new();\n{inserts}\
+                 ::serde::__private::Content::Object(map) }}"
+            )
+        }
+        Fields::Tuple(1) => format!("::serde::__private::to_content({})", access(0, "")),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::to_content({})", access(i, "")))
+                .collect();
+            format!(
+                "::serde::__private::Content::Array(vec![{}])",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => format!("{enum_name}::{vname} => serializer.serialize_str(\"{vname}\"),\n"),
+        Fields::Named(names) => {
+            let binds = names.join(", ");
+            let inner = content_expr(&v.fields, Some(names));
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => {{\n\
+                 let inner = {inner};\n\
+                 let mut outer = ::serde::__private::Map::new();\n\
+                 outer.insert(\"{vname}\".to_string(), inner);\n\
+                 serializer.serialize_content(::serde::__private::Content::Object(outer))\n}}\n"
+            )
+        }
+        Fields::Tuple(n) => {
+            let names: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let binds = names.join(", ");
+            let inner = content_expr(&v.fields, Some(&names));
+            format!(
+                "{enum_name}::{vname}({binds}) => {{\n\
+                 let inner = {inner};\n\
+                 let mut outer = ::serde::__private::Map::new();\n\
+                 outer.insert(\"{vname}\".to_string(), inner);\n\
+                 serializer.serialize_content(::serde::__private::Content::Object(outer))\n}}\n"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------- deserialize --
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, deserialize_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n\
+         let content = deserializer.take_content()?;\n{body}\n}}\n}}"
+    )
+}
+
+fn named_fields_ctor(path: &str, names: &[String], map_var: &str) -> String {
+    let mut fields = String::new();
+    for n in names {
+        fields.push_str(&format!(
+            "{n}: ::serde::__private::from_content({map_var}.remove(\"{n}\")\
+             .unwrap_or(::serde::__private::Content::Null))?,\n"
+        ));
+    }
+    format!("::core::result::Result::Ok({path} {{ {fields} }})")
+}
+
+fn tuple_fields_ctor(path: &str, n: usize, vec_var: &str) -> String {
+    let mut args = Vec::new();
+    for _ in 0..n {
+        args.push(format!(
+            "::serde::__private::from_content({vec_var}.next()\
+             .unwrap_or(::serde::__private::Content::Null))?"
+        ));
+    }
+    format!("::core::result::Result::Ok({path}({}))", args.join(", "))
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("let _ = content; ::core::result::Result::Ok({name})"),
+        Fields::Named(names) => format!(
+            "let mut map = match content {{\n\
+             ::serde::__private::Content::Object(m) => m,\n\
+             other => return ::core::result::Result::Err(\
+             <D::Error as ::serde::de::Error>::custom(\
+             format!(\"expected object for struct {name}, found {{other:?}}\"))),\n}};\n{}",
+            named_fields_ctor(name, names, "map")
+        ),
+        Fields::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::__private::from_content(content)?))"
+        ),
+        Fields::Tuple(n) => format!(
+            "let mut items = match content {{\n\
+             ::serde::__private::Content::Array(a) => a.into_iter(),\n\
+             other => return ::core::result::Result::Err(\
+             <D::Error as ::serde::de::Error>::custom(\
+             format!(\"expected array for struct {name}, found {{other:?}}\"))),\n}};\n{}",
+            tuple_fields_ctor(name, *n, "items")
+        ),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                ));
+                // Tolerate the {"Variant": null} spelling, too.
+                payload_arms.push_str(&format!(
+                    "\"{vname}\" => {{ let _ = value; \
+                     ::core::result::Result::Ok({name}::{vname}) }},\n"
+                ));
+            }
+            Fields::Tuple(1) => payload_arms.push_str(&format!(
+                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                 ::serde::__private::from_content(value)?)),\n"
+            )),
+            Fields::Tuple(n) => payload_arms.push_str(&format!(
+                "\"{vname}\" => {{\n\
+                 let mut items = match value {{\n\
+                 ::serde::__private::Content::Array(a) => a.into_iter(),\n\
+                 other => return ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected array payload for {name}::{vname}, found {{other:?}}\"))),\n}};\n{}\n}},\n",
+                tuple_fields_ctor(&format!("{name}::{vname}"), *n, "items")
+            )),
+            Fields::Named(names) => payload_arms.push_str(&format!(
+                "\"{vname}\" => {{\n\
+                 let mut map = match value {{\n\
+                 ::serde::__private::Content::Object(m) => m,\n\
+                 other => return ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected object payload for {name}::{vname}, found {{other:?}}\"))),\n}};\n{}\n}},\n",
+                named_fields_ctor(&format!("{name}::{vname}"), names, "map")
+            )),
+        }
+    }
+    format!(
+        "match content {{\n\
+         ::serde::__private::Content::String(s) => match s.as_str() {{\n{unit_arms}\
+         other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+         format!(\"unknown {name} variant {{other:?}}\"))),\n}},\n\
+         ::serde::__private::Content::Object(m) => {{\n\
+         let mut it = m.into_iter();\n\
+         let (key, value) = match it.next() {{\n\
+         Some(kv) => kv,\n\
+         None => return ::core::result::Result::Err(\
+         <D::Error as ::serde::de::Error>::custom(\"empty object for enum {name}\")),\n}};\n\
+         match key.as_str() {{\n{payload_arms}\
+         other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+         format!(\"unknown {name} variant {{other:?}}\"))),\n}}\n}},\n\
+         other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+         format!(\"expected string or object for enum {name}, found {{other:?}}\"))),\n}}"
+    )
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive generated invalid Deserialize impl")
+}

@@ -1,0 +1,56 @@
+//! Runtime construction. All runtimes share the one global worker pool;
+//! `block_on` drives the root future on the calling thread.
+
+use std::future::Future;
+use std::io;
+
+/// Builder mirroring `tokio::runtime::Builder`.
+#[derive(Debug, Default)]
+pub struct Builder {
+    _private: (),
+}
+
+impl Builder {
+    /// Multi-thread flavor (the only flavor; the pool is global).
+    pub fn new_multi_thread() -> Builder {
+        Builder::default()
+    }
+
+    /// Current-thread flavor. Spawned tasks still run on the global pool.
+    pub fn new_current_thread() -> Builder {
+        Builder::default()
+    }
+
+    /// Accepted for compatibility; the shim has no I/O or time drivers.
+    pub fn enable_all(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the pool size is fixed globally.
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Builds the runtime handle.
+    pub fn build(&mut self) -> io::Result<Runtime> {
+        Ok(Runtime { _private: () })
+    }
+}
+
+/// A handle to the shim's global executor.
+#[derive(Debug)]
+pub struct Runtime {
+    _private: (),
+}
+
+impl Runtime {
+    /// A runtime with default settings.
+    pub fn new() -> io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    /// Drives `future` to completion on the calling thread.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        crate::executor::block_on(future)
+    }
+}

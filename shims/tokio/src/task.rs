@@ -1,0 +1,175 @@
+//! Task spawning, join handles, and `JoinSet`.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Failure to join a task (the task panicked).
+#[derive(Debug)]
+pub struct JoinError {
+    message: String,
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinState<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+/// Owned permission to await a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has finished.
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().unwrap().result.is_some()
+    }
+
+    /// Aborting is a no-op in the shim (tasks are short-lived or exit
+    /// when their channels close).
+    pub fn abort(&self) {}
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.state.lock().unwrap();
+        match state.result.take() {
+            Some(result) => Poll::Ready(result),
+            None => {
+                state.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Sets the join result when the task's future is dropped — whether it
+/// ran to completion (result already stored) or unwound in a panic.
+struct CompletionGuard<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+    completed: bool,
+}
+
+impl<T> Drop for CompletionGuard<T> {
+    fn drop(&mut self) {
+        if !self.completed {
+            let mut state = self.state.lock().unwrap();
+            if state.result.is_none() {
+                state.result = Some(Err(JoinError {
+                    message: "task panicked or was dropped".into(),
+                }));
+                if let Some(waker) = state.waker.take() {
+                    waker.wake();
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a future onto the global pool.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(Mutex::new(JoinState {
+        result: None,
+        waker: None,
+    }));
+    let task_state = Arc::clone(&state);
+    crate::executor::spawn_unit(async move {
+        let mut guard = CompletionGuard {
+            state: task_state,
+            completed: false,
+        };
+        let output = future.await;
+        let mut state = guard.state.lock().unwrap();
+        state.result = Some(Ok(output));
+        if let Some(waker) = state.waker.take() {
+            waker.wake();
+        }
+        drop(state);
+        guard.completed = true;
+    });
+    JoinHandle { state }
+}
+
+/// A dynamic collection of spawned tasks joined in completion order.
+pub struct JoinSet<T> {
+    handles: Vec<JoinHandle<T>>,
+}
+
+impl<T> Default for JoinSet<T> {
+    fn default() -> Self {
+        JoinSet::new()
+    }
+}
+
+impl<T> JoinSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        JoinSet {
+            handles: Vec::new(),
+        }
+    }
+
+    /// Number of tasks still tracked.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Spawns a task into the set.
+    pub fn spawn<F>(&mut self, future: F)
+    where
+        F: Future<Output = T> + Send + 'static,
+        T: Send + 'static,
+    {
+        self.handles.push(spawn(future));
+    }
+
+    /// Waits for the next task to finish. `None` when the set is empty.
+    pub async fn join_next(&mut self) -> Option<Result<T, JoinError>> {
+        if self.handles.is_empty() {
+            return None;
+        }
+        Some(JoinNext { set: self }.await)
+    }
+}
+
+struct JoinNext<'a, T> {
+    set: &'a mut JoinSet<T>,
+}
+
+impl<'a, T> Future for JoinNext<'a, T> {
+    type Output = Result<T, JoinError>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let handles = &mut self.as_mut().set.handles;
+        for i in 0..handles.len() {
+            let mut state = handles[i].state.lock().unwrap();
+            if let Some(result) = state.result.take() {
+                drop(state);
+                handles.swap_remove(i);
+                return Poll::Ready(result);
+            }
+            state.waker = Some(cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}

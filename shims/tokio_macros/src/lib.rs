@@ -1,0 +1,84 @@
+//! `#[tokio::main]` and `#[tokio::test]` for the offline tokio shim.
+//!
+//! Both rewrite `async fn name(...) -> Ret { body }` into a synchronous
+//! function that drives the body on the shim's `block_on`. Attribute
+//! arguments (`flavor = ...`, `worker_threads = ...`) are accepted and
+//! ignored — the shim has one global executor.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct AsyncFn {
+    /// Tokens before the `async` keyword: attributes, visibility.
+    prefix: Vec<TokenTree>,
+    /// Tokens between `fn` and the body: name, args, return type.
+    signature: Vec<TokenTree>,
+    /// The body block.
+    body: proc_macro::Group,
+}
+
+fn parse_async_fn(item: TokenStream) -> AsyncFn {
+    let mut prefix = Vec::new();
+    let mut tokens = item.into_iter().peekable();
+    // Everything up to and including `async` goes to the prefix (minus
+    // `async` itself).
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(i)) if i.to_string() == "async" => break,
+            Some(tt) => prefix.push(tt),
+            None => panic!("tokio shim macro: expected `async fn`"),
+        }
+    }
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "fn" => {}
+        other => panic!("tokio shim macro: expected `fn` after `async`, found {other:?}"),
+    }
+    let mut signature = Vec::new();
+    let mut body = None;
+    for tt in tokens {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g);
+                break;
+            }
+            tt => signature.push(tt),
+        }
+    }
+    AsyncFn {
+        prefix,
+        signature,
+        body: body.expect("tokio shim macro: async fn has no body"),
+    }
+}
+
+fn wrap(item: TokenStream, extra_attr: &str) -> TokenStream {
+    let AsyncFn {
+        prefix,
+        signature,
+        body,
+    } = parse_async_fn(item);
+    let prefix: TokenStream = prefix.into_iter().collect();
+    let signature: TokenStream = signature.into_iter().collect();
+    let body_ts: TokenStream = TokenStream::from(TokenTree::Group(body));
+    let text = format!(
+        "{extra_attr}\n{prefix} fn {signature} {{\n\
+         ::tokio::runtime::Builder::new_multi_thread()\n\
+         .enable_all()\n\
+         .build()\n\
+         .expect(\"tokio shim runtime\")\n\
+         .block_on(async {body_ts})\n}}"
+    );
+    text.parse()
+        .expect("tokio shim macro generated invalid code")
+}
+
+/// Runs an async `main` (or any entry point) on the shim executor.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, "")
+}
+
+/// Runs an async test on the shim executor.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, "#[::core::prelude::v1::test]")
+}

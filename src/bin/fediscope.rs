@@ -109,10 +109,22 @@ fn report(args: &[String]) -> ExitCode {
         "headline" => {
             let ann = HarmAnnotations::annotate(&dataset);
             for (title, rows) in [
-                ("§4.1 policy impact", fediscope::analysis::headline::policy_impact(&dataset)),
-                ("§4.2 reject graph", fediscope::analysis::headline::reject_graph(&dataset, &ann)),
-                ("§4.2 annotation", fediscope::analysis::headline::annotation(&dataset, &ann)),
-                ("§5 collateral damage", fediscope::analysis::headline::collateral_damage(&dataset, &ann)),
+                (
+                    "§4.1 policy impact",
+                    fediscope::analysis::headline::policy_impact(&dataset),
+                ),
+                (
+                    "§4.2 reject graph",
+                    fediscope::analysis::headline::reject_graph(&dataset, &ann),
+                ),
+                (
+                    "§4.2 annotation",
+                    fediscope::analysis::headline::annotation(&dataset, &ann),
+                ),
+                (
+                    "§5 collateral damage",
+                    fediscope::analysis::headline::collateral_damage(&dataset, &ann),
+                ),
             ] {
                 println!("{}", render_comparisons(title, &rows));
             }
@@ -156,7 +168,10 @@ fn report(args: &[String]) -> ExitCode {
                     ]
                 })
                 .collect();
-            println!("{}", render_table("Table 2", &["threshold", "non-harmful"], &table));
+            println!(
+                "{}",
+                render_table("Table 2", &["threshold", "non-harmful"], &table)
+            );
         }
         "fig1" => {
             let rows = fediscope::analysis::figures::fig1_policy_prevalence(&dataset);
@@ -173,7 +188,11 @@ fn report(args: &[String]) -> ExitCode {
                 .collect();
             println!(
                 "{}",
-                render_table("Figure 1", &["policy", "instances", "inst%", "users%"], &table)
+                render_table(
+                    "Figure 1",
+                    &["policy", "instances", "inst%", "users%"],
+                    &table
+                )
             );
         }
         "fig2" => {
@@ -191,7 +210,11 @@ fn report(args: &[String]) -> ExitCode {
                 .collect();
             println!(
                 "{}",
-                render_table("Figure 2", &["action", "pleroma", "non-pleroma", "users"], &table)
+                render_table(
+                    "Figure 2",
+                    &["action", "pleroma", "non-pleroma", "users"],
+                    &table
+                )
             );
         }
         "fig3" => {
@@ -208,7 +231,11 @@ fn report(args: &[String]) -> ExitCode {
                 .collect();
             println!(
                 "{}",
-                render_table("Figure 3", &["action", "targeting", "users on targeted"], &table)
+                render_table(
+                    "Figure 3",
+                    &["action", "targeting", "users on targeted"],
+                    &table
+                )
             );
         }
         "curate" => {
@@ -243,7 +270,12 @@ fn report(args: &[String]) -> ExitCode {
                 "{}",
                 render_table(
                     "§7 ablation",
-                    &["strategy", "innocent blocked", "innocent degraded", "harmful blocked"],
+                    &[
+                        "strategy",
+                        "innocent blocked",
+                        "innocent degraded",
+                        "harmful blocked"
+                    ],
                     &table
                 )
             );

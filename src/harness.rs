@@ -9,7 +9,8 @@ use fediscope_core::id::Domain;
 use fediscope_crawler::{Crawler, CrawlerConfig, Dataset};
 use fediscope_server::InstanceServer;
 use fediscope_simnet::SimNet;
-use fediscope_synthgen::World;
+use fediscope_synthgen::{GeneratedInstance, World};
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -31,33 +32,53 @@ impl Materialized {
 /// Spins up every instance of the world: builds servers, installs users,
 /// posts and peer links, registers endpoints, injects failure modes.
 ///
+/// Building a server — installing its users, sorted posts and peer links
+/// — is pure per-instance work, so it fans out across the global rayon
+/// pool. Sizing that pool is the caller's job (one process-wide
+/// `ThreadPoolBuilder::build_global`, as `fediscope-bench`'s
+/// `run_campaign` does from
+/// [`WorldConfig::parallelism`](fediscope_synthgen::WorldConfig)) —
+/// doing it here would clobber or silently fight a pool another phase
+/// already configured. Only the cheap endpoint registration, which
+/// spawns each instance's serving task, stays sequential.
+///
 /// Requires a tokio runtime (endpoint registration spawns serving tasks).
 pub fn materialize(world: &World) -> Materialized {
     let net = Arc::new(SimNet::new());
-    let mut servers = HashMap::new();
+    let mut healthy: Vec<&GeneratedInstance> = Vec::with_capacity(world.instances.len());
     for inst in &world.instances {
         if inst.failure != fediscope_simnet::FailureMode::Healthy {
             // Dead instances answer with their failure status; no server
             // needed behind the injection.
             net.set_failure(inst.profile.domain.clone(), inst.failure);
-            continue;
+        } else {
+            healthy.push(inst);
         }
-        let server = Arc::new(InstanceServer::new(
-            inst.profile.clone(),
-            inst.moderation.clone(),
-        ));
-        for gu in &inst.users {
-            server.add_user(gu.user.clone());
-        }
-        for post in inst.posts_sorted() {
-            server.install_post(post.clone());
-        }
-        for peer in &inst.peers {
-            server.note_peer(peer);
-        }
+    }
+    let built: Vec<(Domain, Arc<InstanceServer>)> = healthy
+        .par_iter()
+        .map(|inst| {
+            let server = Arc::new(InstanceServer::new(
+                inst.profile.clone(),
+                inst.moderation.clone(),
+            ));
+            for gu in &inst.users {
+                server.add_user(gu.user.clone());
+            }
+            for post in inst.posts_sorted() {
+                server.install_post(post.clone());
+            }
+            for peer in &inst.peers {
+                server.note_peer(peer);
+            }
+            (inst.profile.domain.clone(), server)
+        })
+        .collect();
+    let mut servers = HashMap::with_capacity(built.len());
+    for (domain, server) in built {
         let endpoint: Arc<dyn fediscope_simnet::Endpoint> = Arc::clone(&server) as _;
-        net.register(inst.profile.domain.clone(), endpoint);
-        servers.insert(inst.profile.domain.clone(), server);
+        net.register(domain.clone(), endpoint);
+        servers.insert(domain, server);
     }
     Materialized { net, servers }
 }

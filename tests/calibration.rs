@@ -53,10 +53,8 @@ async fn census_matches_section3() {
 async fn reject_graph_matches_section42() {
     let dataset = paper_structural_run().await;
     let counts = dataset.reject_counts();
-    let pleroma: std::collections::HashSet<&str> = dataset
-        .pleroma_all()
-        .map(|i| i.domain.as_str())
-        .collect();
+    let pleroma: std::collections::HashSet<&str> =
+        dataset.pleroma_all().map(|i| i.domain.as_str()).collect();
     let pleroma_rejected = counts
         .keys()
         .filter(|d| pleroma.contains(d.as_str()))

@@ -142,7 +142,10 @@ async fn timeline_collection_matches_server_state() {
         let crawled = dataset.by_domain(inst.profile.domain.as_str()).unwrap();
         if !inst.profile.public_timeline_open {
             assert!(
-                matches!(crawled.timeline, fediscope::crawler::TimelineCrawl::Forbidden),
+                matches!(
+                    crawled.timeline,
+                    fediscope::crawler::TimelineCrawl::Forbidden
+                ),
                 "{} timeline should be 403",
                 inst.profile.domain
             );
@@ -197,7 +200,10 @@ async fn analysis_pipeline_runs_on_crawled_data() {
     assert!(!fediscope::analysis::headline::policy_impact(&dataset).is_empty());
     assert!(!fediscope::analysis::headline::reject_graph(&dataset, &annotations).is_empty());
     assert!(!fediscope::analysis::headline::collateral_damage(&dataset, &annotations).is_empty());
-    assert_eq!(fediscope::analysis::ablation::solutions(&dataset, &annotations).len(), 5);
+    assert_eq!(
+        fediscope::analysis::ablation::solutions(&dataset, &annotations).len(),
+        5
+    );
     assert!(!fediscope::analysis::ablation::federation_graph(&dataset, 10).is_empty());
 }
 

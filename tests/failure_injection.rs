@@ -66,7 +66,10 @@ async fn instance_dying_between_discovery_and_snapshots() {
     let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
     let alive = crawler.run(&[Domain::new("stable.example")]).await;
     assert!(alive.by_domain("doomed.example").unwrap().crawled());
-    assert_eq!(alive.by_domain("doomed.example").unwrap().snapshots.len(), 3);
+    assert_eq!(
+        alive.by_domain("doomed.example").unwrap().snapshots.len(),
+        3
+    );
 
     // The instance dies; a re-run still completes and records the failure.
     net.set_failure(Domain::new("doomed.example"), FailureMode::Gone);

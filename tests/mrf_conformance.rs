@@ -121,14 +121,16 @@ fn rewrites_compose_across_policies_in_order() {
     let mut config = InstanceModerationConfig::default();
     config.enable(PolicyKind::NormalizeMarkup);
     config.enable(PolicyKind::Keyword);
-    config.configs.push(fediscope_core::config::PolicyConfig::Keyword(
-        fediscope_core::mrf::policies::KeywordPolicy::new(vec![
-            fediscope_core::mrf::policies::KeywordRule::new(
-                "elixir",
-                fediscope_core::mrf::policies::KeywordAction::Replace("rust".into()),
-            ),
-        ]),
-    ));
+    config
+        .configs
+        .push(fediscope_core::config::PolicyConfig::Keyword(
+            fediscope_core::mrf::policies::KeywordPolicy::new(vec![
+                fediscope_core::mrf::policies::KeywordRule::new(
+                    "elixir",
+                    fediscope_core::mrf::policies::KeywordAction::Replace("rust".into()),
+                ),
+            ]),
+        ));
     let pipeline = config.build_pipeline();
     let local = Domain::new("home.example");
     let dir = NullActorDirectory;
@@ -148,8 +150,7 @@ fn catalog_and_configs_agree_on_all_49_kinds() {
         let mut config = InstanceModerationConfig::default();
         config.enable(entry.kind);
         let pipeline = config.build_pipeline();
-        if entry.kind == PolicyKind::UserTagModeration || entry.kind == PolicyKind::RepeatOffender
-        {
+        if entry.kind == PolicyKind::UserTagModeration || entry.kind == PolicyKind::RepeatOffender {
             assert_eq!(pipeline.len(), 0, "{}: needs a classifier", entry.name);
         } else {
             assert_eq!(pipeline.len(), 1, "{}", entry.name);

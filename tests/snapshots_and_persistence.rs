@@ -46,7 +46,10 @@ async fn dataset_survives_a_full_persistence_round_trip() {
     assert_eq!(restored.instances.len(), dataset.instances.len());
     assert_eq!(restored.total_users(), dataset.total_users());
     assert_eq!(restored.collected_posts(), dataset.collected_posts());
-    assert_eq!(restored.reject_counts().len(), dataset.reject_counts().len());
+    assert_eq!(
+        restored.reject_counts().len(),
+        dataset.reject_counts().len()
+    );
 
     let a = HarmAnnotations::annotate(&dataset);
     let b = HarmAnnotations::annotate(&restored);
