@@ -93,6 +93,35 @@ impl FollowGraph {
         self.peers.entry(b.clone()).or_default().insert(a.clone());
     }
 
+    /// Tears down every follow edge between domains `a` and `b` (both
+    /// directions) — what defederation does to the social graph. Returns
+    /// the number of edges removed.
+    ///
+    /// The *peers* relation survives, as everywhere else in this module:
+    /// the Peers API reports ever-federated domains, and the paper's
+    /// measurements rely on that ("the list of instances that each
+    /// Pleroma instance has **ever** federated with"). Only live
+    /// subscriptions are destroyed.
+    pub fn sever(&mut self, a: &Domain, b: &Domain) -> usize {
+        let crossing: Vec<(UserRef, UserRef)> = self
+            .following
+            .iter()
+            .flat_map(|(follower, followees)| {
+                followees
+                    .iter()
+                    .filter(|followee| {
+                        (follower.domain == *a && followee.domain == *b)
+                            || (follower.domain == *b && followee.domain == *a)
+                    })
+                    .map(|followee| (follower.clone(), followee.clone()))
+            })
+            .collect();
+        for (follower, followee) in &crossing {
+            self.unfollow(follower, followee);
+        }
+        crossing.len()
+    }
+
     /// Whether `follower` follows `followee`.
     pub fn follows(&self, follower: &UserRef, followee: &UserRef) -> bool {
         self.following
@@ -221,6 +250,33 @@ mod tests {
         assert_eq!(g.peer_count(&Domain::new("a.example")), 1);
         // Unfollowing again is a no-op.
         assert!(!g.unfollow(&a, &b));
+    }
+
+    #[test]
+    fn sever_tears_down_both_directions_but_keeps_peers() {
+        let mut g = FollowGraph::new();
+        let a1 = user(1, "a.example");
+        let a2 = user(2, "a.example");
+        let b1 = user(10, "b.example");
+        let c1 = user(20, "c.example");
+        g.follow(a1.clone(), b1.clone(), SimTime(0));
+        g.follow(b1.clone(), a2.clone(), SimTime(1));
+        g.follow(a2.clone(), c1.clone(), SimTime(2));
+        assert_eq!(g.edge_count(), 3);
+        let removed = g.sever(&Domain::new("a.example"), &Domain::new("b.example"));
+        assert_eq!(removed, 2);
+        assert!(!g.follows(&a1, &b1));
+        assert!(!g.follows(&b1, &a2));
+        // The unrelated edge and the ever-federated peer links survive.
+        assert!(g.follows(&a2, &c1));
+        assert!(g
+            .peers_of(&Domain::new("a.example"))
+            .contains(&Domain::new("b.example")));
+        // Severing again finds nothing.
+        assert_eq!(
+            g.sever(&Domain::new("a.example"), &Domain::new("b.example")),
+            0
+        );
     }
 
     #[test]

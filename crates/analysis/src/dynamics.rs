@@ -1,0 +1,228 @@
+//! Time-series tables over a [`DynamicsTrace`] — the dynamic companion
+//! to the paper's static figures.
+//!
+//! The paper's snapshot answers *what the moderation landscape is*;
+//! these tables answer *what it does over time*: how fast a staged
+//! rollout starts preventing toxic exposure, how quickly defederation
+//! cascades shred the federation graph, how much delivery mass churn
+//! destroys. Everything consumes only the engine's trace — the analysis
+//! side never reaches into engine state, mirroring how the rest of this
+//! crate only reads the crawler's dataset.
+
+use crate::report::render_table;
+use fediscope_dynamics::DynamicsTrace;
+
+/// One row of the per-tick time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsRow {
+    /// Tick index.
+    pub tick: u64,
+    /// Campaign day the tick falls on.
+    pub day: u64,
+    /// Live federation links.
+    pub links: u64,
+    /// Instances answering the network.
+    pub instances_up: u64,
+    /// Instances that changed moderation since the run began.
+    pub adopted: u64,
+    /// Deliveries attempted this tick.
+    pub delivered: u64,
+    /// Share of deliveries rejected by MRF pipelines (0 when idle).
+    pub rejected_share: f64,
+    /// Deliveries lost to down receivers.
+    pub failed: u64,
+    /// Toxic mass that got through.
+    pub toxic_exposure: f64,
+    /// Toxic mass the pipelines prevented.
+    pub exposure_prevented: f64,
+}
+
+/// The per-tick series of a trace.
+pub fn dynamics_timeseries(trace: &DynamicsTrace) -> Vec<DynamicsRow> {
+    trace
+        .ticks
+        .iter()
+        .map(|t| DynamicsRow {
+            tick: t.tick,
+            day: t.at.campaign_day(),
+            links: t.links,
+            instances_up: t.instances_up,
+            adopted: t.adopted,
+            delivered: t.delivered,
+            rejected_share: if t.delivered > 0 {
+                t.rejected as f64 / t.delivered as f64
+            } else {
+                0.0
+            },
+            failed: t.failed,
+            toxic_exposure: t.toxic_exposure,
+            exposure_prevented: t.exposure_prevented,
+        })
+        .collect()
+}
+
+/// Run-level prevention outcome: what the rollout (or the standing
+/// configs) kept out of users' timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreventionSummary {
+    /// Toxic mass accepted over the run.
+    pub exposure: f64,
+    /// Toxic mass rejected over the run.
+    pub prevented: f64,
+    /// `prevented / (prevented + exposure)` — the headline number a
+    /// rollout scenario is after.
+    pub prevented_share: f64,
+    /// Federation links at the first and last tick.
+    pub links: (u64, u64),
+    /// Deliveries attempted / rejected / lost over the run.
+    pub deliveries: (u64, u64, u64),
+}
+
+/// Summarises a trace.
+pub fn prevention_summary(trace: &DynamicsTrace) -> PreventionSummary {
+    let exposure = trace.total_exposure();
+    let prevented = trace.total_prevented();
+    let mass = exposure + prevented;
+    PreventionSummary {
+        exposure,
+        prevented,
+        prevented_share: if mass > 0.0 { prevented / mass } else { 0.0 },
+        links: (trace.initial_links(), trace.final_links()),
+        deliveries: (
+            trace.total_delivered(),
+            trace.total_rejected(),
+            trace.ticks.iter().map(|t| t.failed).sum(),
+        ),
+    }
+}
+
+/// The `k` instances with the highest accumulated toxic exposure, as
+/// `(instance index, exposure)` — descending, ties by index.
+pub fn top_exposed(trace: &DynamicsTrace, k: usize) -> Vec<(usize, f64)> {
+    let n = trace
+        .ticks
+        .iter()
+        .map(|t| t.per_instance_exposure.len())
+        .max()
+        .unwrap_or(0);
+    let mut totals = vec![0.0_f64; n];
+    for t in &trace.ticks {
+        for (i, &e) in t.per_instance_exposure.iter().enumerate() {
+            totals[i] += e;
+        }
+    }
+    let mut ranked: Vec<(usize, f64)> = totals.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+/// Renders the time series next to the paper's static figures.
+pub fn render_dynamics(trace: &DynamicsTrace) -> String {
+    let rows: Vec<Vec<String>> = dynamics_timeseries(trace)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.tick.to_string(),
+                r.day.to_string(),
+                r.links.to_string(),
+                r.instances_up.to_string(),
+                r.adopted.to_string(),
+                r.delivered.to_string(),
+                format!("{:.1}%", r.rejected_share * 100.0),
+                r.failed.to_string(),
+                format!("{:.1}", r.toxic_exposure),
+                format!("{:.1}", r.exposure_prevented),
+            ]
+        })
+        .collect();
+    render_table(
+        &format!("dynamics: {} (seed {})", trace.scenario, trace.seed),
+        &[
+            "tick",
+            "day",
+            "links",
+            "up",
+            "adopted",
+            "delivered",
+            "rej%",
+            "failed",
+            "exposure",
+            "prevented",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_core::time::SimTime;
+    use fediscope_dynamics::TickTrace;
+
+    fn trace() -> DynamicsTrace {
+        let tick = |tick: u64, links: u64, delivered: u64, rejected: u64| TickTrace {
+            tick,
+            at: SimTime(fediscope_core::time::CAMPAIGN_START.0 + tick * 14_400),
+            links,
+            instances_up: 9,
+            adopted: tick,
+            events: 0,
+            delivered,
+            accepted: delivered - rejected,
+            rejected,
+            failed: 3,
+            rejected_authors: rejected.min(2),
+            toxic_exposure: 2.0 * tick as f64,
+            exposure_prevented: 1.0 * tick as f64,
+            failure_mix: vec![0; 5],
+            per_instance_exposure: vec![0.5, 1.5 * tick as f64],
+        };
+        DynamicsTrace {
+            scenario: "unit".into(),
+            seed: 7,
+            ticks: vec![
+                tick(0, 30, 100, 10),
+                tick(1, 28, 100, 25),
+                tick(2, 25, 100, 40),
+            ],
+        }
+    }
+
+    #[test]
+    fn timeseries_tracks_the_trace() {
+        let rows = dynamics_timeseries(&trace());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].links, 30);
+        assert!((rows[1].rejected_share - 0.25).abs() < 1e-12);
+        assert_eq!(rows[2].day, 0, "tick 2 is 8h in — still campaign day 0");
+    }
+
+    #[test]
+    fn summary_aggregates_prevention() {
+        let s = prevention_summary(&trace());
+        assert!((s.exposure - 6.0).abs() < 1e-12);
+        assert!((s.prevented - 3.0).abs() < 1e-12);
+        assert!((s.prevented_share - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.links, (30, 25));
+        assert_eq!(s.deliveries, (300, 75, 9));
+    }
+
+    #[test]
+    fn top_exposed_ranks_descending() {
+        let top = top_exposed(&trace(), 2);
+        assert_eq!(top.len(), 2);
+        // Instance 1 accumulated 0 + 1.5 + 3.0 = 4.5; instance 0: 1.5.
+        assert_eq!(top[0].0, 1);
+        assert!((top[0].1 - 4.5).abs() < 1e-12);
+        assert_eq!(top[1].0, 0);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_tick() {
+        let rendered = render_dynamics(&trace());
+        assert!(rendered.contains("== dynamics: unit (seed 7) =="));
+        // title + header + 3 rows
+        assert_eq!(rendered.trim_end().lines().count(), 5);
+    }
+}

@@ -13,12 +13,18 @@
 //!
 //! Figure/table functions return typed rows; [`report`] renders them next
 //! to the paper's reported values for the experiment harness.
+//!
+//! The [`dynamics`] module extends the same discipline to *time-evolving*
+//! experiments: it consumes only the `fediscope-dynamics` engine's
+//! [`fediscope_dynamics::DynamicsTrace`] (never engine state) and renders
+//! per-tick time-series tables alongside the static figures.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod curation;
+pub mod dynamics;
 pub mod figures;
 pub mod headline;
 pub mod report;

@@ -1,0 +1,198 @@
+//! Performance: the dynamics engine under its saturation workloads.
+//!
+//! Two measurements, both emitted to `BENCH_dynamics.json`:
+//!
+//! * **posts filtered/sec** — a toxicity-storm run: every delivery goes
+//!   through the receiver's `MrfPipeline::filter_fast` *and* the
+//!   Perspective scorer. Acceptance gate: ≥ 1 M simulated
+//!   post-deliveries/sec (asserted below, like `perf_scorer`'s 5×).
+//! * **events/sec** — a churn flood with emissions capped to zero:
+//!   thousands of outage/recovery events through the binary-heap queue
+//!   with no measurement work, isolating control-phase throughput.
+//!
+//! A high-imitation defederation cascade rides along in the Criterion
+//! group as the mixed (events + deliveries) workload.
+//!
+//! The worker pool is sized by `FEDISCOPE_THREADS` (default: one per
+//! core), matching the campaign benches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fediscope_dynamics::scenarios::{
+    CascadeConfig, ChurnConfig, ChurnScenario, DefederationCascadeScenario, StormConfig,
+    ToxicityStormScenario,
+};
+use fediscope_dynamics::{DynamicsConfig, DynamicsEngine, DynamicsTrace};
+use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
+use std::time::Instant;
+
+/// The bench world: a fifth-scale population (≈ 2 K instances) with the
+/// full link structure — big enough that one storm tick delivers tens of
+/// thousands of posts, small enough to generate in seconds.
+fn bench_seeds() -> ScenarioSeeds {
+    let config = WorldConfig {
+        seed: 1534,
+        scale: 0.2,
+        post_scale: 0.004,
+        generate_text: true,
+        parallelism: fediscope_synthgen::Parallelism::AUTO,
+    };
+    ScenarioSeeds::from_world(&World::generate(config))
+}
+
+fn storm_engine(seeds: &ScenarioSeeds) -> (DynamicsEngine, ToxicityStormScenario) {
+    let config = DynamicsConfig {
+        seed: seeds.seed,
+        ticks: 10,
+        ..DynamicsConfig::default()
+    };
+    // Burst from tick 1 to the end: nearly the whole run is storm.
+    let scenario = ToxicityStormScenario::new(StormConfig {
+        start_offset: fediscope_core::time::SimDuration::hours(4),
+        duration: fediscope_core::time::SimDuration::days(30),
+        multiplier: 12.0,
+    });
+    (DynamicsEngine::new(config, seeds), scenario)
+}
+
+fn run_storm(seeds: &ScenarioSeeds) -> DynamicsTrace {
+    let (mut engine, mut scenario) = storm_engine(seeds);
+    engine.run(&mut scenario)
+}
+
+fn run_cascade(seeds: &ScenarioSeeds) -> DynamicsTrace {
+    let config = DynamicsConfig {
+        seed: seeds.seed,
+        ticks: 18,
+        ..DynamicsConfig::default()
+    };
+    let mut engine = DynamicsEngine::new(config, seeds);
+    let mut scenario = DefederationCascadeScenario::new(CascadeConfig {
+        imitation_p: 0.6,
+        ..CascadeConfig::default()
+    });
+    engine.run(&mut scenario)
+}
+
+/// A pure control-phase flood: every healthy instance suffers a
+/// transient outage + recovery (thousands of events through the heap),
+/// and `emission_cap: 0` silences the measurement phase entirely.
+fn run_event_flood(seeds: &ScenarioSeeds) -> DynamicsTrace {
+    let config = DynamicsConfig {
+        seed: seeds.seed,
+        ticks: 40,
+        emission_cap: 0,
+        ..DynamicsConfig::default()
+    };
+    let mut engine = DynamicsEngine::new(config, seeds);
+    let mut scenario = ChurnScenario::new(ChurnConfig {
+        transient_p: 0.95,
+        ..ChurnConfig::default()
+    });
+    engine.run(&mut scenario)
+}
+
+/// Best-of-`n` wall-clock rate for `f`, where `f` reports units done.
+fn best_rate<F: FnMut() -> u64>(n: usize, mut f: F) -> f64 {
+    let mut best = 0.0_f64;
+    for _ in 0..n {
+        let start = Instant::now();
+        let units = f();
+        let rate = units as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+fn emit_json(posts_per_sec: f64, events_per_sec: f64, delivered: u64, events: u64) {
+    let report = serde_json::json!({
+        "bench": "perf_dynamics",
+        "storm_deliveries_per_run": delivered,
+        "posts_filtered_per_sec": posts_per_sec,
+        "flood_events_per_run": events,
+        "events_per_sec": events_per_sec,
+        "threads": rayon::current_num_threads(),
+        "acceptance_min_posts_per_sec": 1.0e6,
+        "acceptance_met": posts_per_sec >= 1.0e6,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamics.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(path, body + "\n") {
+                eprintln!("[perf_dynamics] could not write {path}: {e}");
+            } else {
+                println!("[perf_dynamics] wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("[perf_dynamics] could not serialize report: {e}"),
+    }
+}
+
+fn bench_dynamics(c: &mut Criterion) {
+    if let Ok(threads) = std::env::var("FEDISCOPE_THREADS") {
+        if let Ok(n) = threads.parse::<usize>() {
+            let _ = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global();
+        }
+    }
+    let seeds = bench_seeds();
+
+    // Determinism sanity inside the bench itself, mirroring perf_scorer:
+    // two storm runs must be bit-identical before we time anything.
+    let reference = run_storm(&seeds);
+    assert_eq!(
+        reference.digest(),
+        run_storm(&seeds).digest(),
+        "storm runs must be reproducible"
+    );
+    let delivered = reference.total_delivered();
+    assert!(
+        delivered > 100_000,
+        "storm must saturate ({delivered} posts)"
+    );
+
+    // Each workload delivers a different post count per run; declare the
+    // matching throughput before each bench so elem/s is in that bench's
+    // own units.
+    let cascade_delivered = run_cascade(&seeds).total_delivered();
+    let mut group = c.benchmark_group("dynamics_engine");
+    group.throughput(Throughput::Elements(delivered));
+    group.bench_function("toxicity_storm", |b| {
+        b.iter(|| black_box(run_storm(&seeds).total_delivered()))
+    });
+    group.throughput(Throughput::Elements(cascade_delivered));
+    group.bench_function("defederation_cascade", |b| {
+        b.iter(|| black_box(run_cascade(&seeds).total_delivered()))
+    });
+    group.finish();
+
+    // Acceptance measurement + machine-readable trajectory record.
+    let posts_per_sec = best_rate(5, || run_storm(&seeds).total_delivered());
+    let flood = run_event_flood(&seeds);
+    let flood_events: u64 = flood.ticks.iter().map(|t| t.events).sum();
+    assert!(
+        flood_events > 1_000,
+        "the flood must exercise the queue ({flood_events} events)"
+    );
+    let events_per_sec = best_rate(3, || {
+        let t = run_event_flood(&seeds);
+        t.ticks.iter().map(|x| x.events).sum()
+    });
+    println!(
+        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec, {flood_events} flood events/run, {:.0} events/sec",
+        posts_per_sec / 1e6,
+        events_per_sec
+    );
+    emit_json(posts_per_sec, events_per_sec, delivered, flood_events);
+    assert!(
+        posts_per_sec >= 1.0e6,
+        "dynamics acceptance: expected >= 1M simulated post-deliveries/sec through filter_fast, measured {posts_per_sec:.0}"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dynamics
+}
+criterion_main!(benches);

@@ -155,6 +155,19 @@ impl PolicyKind {
         matches!(self, PolicyKind::ObjectAge | PolicyKind::NoOp)
     }
 
+    /// Whether this policy can sever federation with a whole instance —
+    /// the defederation class. `SimplePolicy` (via its `reject` action)
+    /// blocks all connections from a target; `BlockPolicy` and
+    /// `AutoRejectPolicy` reject at the instance level by construction.
+    /// Defederation-cascade scenarios seed their imitation dynamics from
+    /// instances running a policy in this class.
+    pub fn severs_federation(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Simple | PolicyKind::Block | PolicyKind::AutoReject
+        )
+    }
+
     /// Full catalog entry for this policy.
     pub fn entry(self) -> &'static PolicyEntry {
         PolicyCatalog::global().entry(self)

@@ -34,6 +34,7 @@ pub mod id;
 pub mod model;
 pub mod mrf;
 pub mod paper;
+pub mod rollout;
 pub mod time;
 
 pub use catalog::{PolicyCatalog, PolicyEntry, PolicyKind};
@@ -47,4 +48,5 @@ pub use mrf::{
     EffectSink, FilterOutcome, MrfPipeline, MrfPolicy, PolicyContext, PolicyVerdict, RejectReason,
     SideEffect,
 };
+pub use rollout::{PolicyRollout, RolloutWave};
 pub use time::{SimDuration, SimTime};

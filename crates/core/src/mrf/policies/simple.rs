@@ -143,6 +143,16 @@ impl SimplePolicy {
         self.targets.get(&action).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Merges every `(action, domain)` pair of `other` into this config
+    /// (deduplicated, existing order preserved). This is how a staged
+    /// rollout grows an instance's configuration wave by wave until it
+    /// reaches the full target list.
+    pub fn merge(&mut self, other: &SimplePolicy) {
+        for (action, domain) in other.events() {
+            self.add_target(action, domain.clone());
+        }
+    }
+
     /// Every `(action, domain)` pair — one *moderation event* in the
     /// paper's accounting.
     pub fn events(&self) -> impl Iterator<Item = (SimpleAction, &Domain)> {

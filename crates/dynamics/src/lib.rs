@@ -1,0 +1,82 @@
+//! # fediscope-dynamics
+//!
+//! A deterministic discrete-event simulation engine for *time-evolving*
+//! moderation experiments over the synthetic fediverse.
+//!
+//! The paper measures Pleroma moderation as a static snapshot; its core
+//! questions — how MRF policy adoption spreads, how defederation
+//! fragments the network, how much toxic exposure a rollout actually
+//! prevents — are dynamic. This crate adds the missing layer:
+//!
+//! * [`EventQueue`] — a binary-heap future-event list over logical
+//!   [`fediscope_core::time::SimTime`] ticks (no wall clock anywhere);
+//! * [`NetworkState`] — the mutable network (per-instance moderation
+//!   configs with compiled [`fediscope_core::mrf::MrfPipeline`]s,
+//!   federation links, §3 failure modes, post templates), built from
+//!   [`fediscope_synthgen::ScenarioSeeds`];
+//! * [`DynamicsEngine`] — the tick loop: a single-threaded control
+//!   phase applies events in `(time, sequence)` order, then a
+//!   measurement phase fans out per instance across the rayon pool
+//!   (sized by `FEDISCOPE_THREADS` via
+//!   `rayon::ThreadPoolBuilder`), pushing every live neighbor's
+//!   emissions through the receiver's `filter_fast` and the
+//!   Perspective scorer;
+//! * [`DynamicsTrace`] — per-tick metrics (federation link count,
+//!   rejected posts/users, per-instance toxic exposure) that
+//!   `fediscope-analysis` turns into time-series tables next to the
+//!   paper's static figures;
+//! * the [`Scenario`] trait with four shipped scenarios
+//!   ([`scenarios`]): staged policy rollout, defederation cascade,
+//!   §3-taxonomy instance churn, and a toxicity-storm burst workload.
+//!
+//! # Determinism
+//!
+//! Same seeds + same scenario ⇒ **bit-identical trace at any thread
+//! count**, by construction: all mutation happens in the totally-ordered
+//! control phase; measurement randomness derives per `(seed, tick,
+//! sender)` rather than from any shared stream; and per-instance floats
+//! are reduced in fixed instance order. The crate's proptests run every
+//! scenario at 1, 2 and 8 workers and compare whole traces with `==`.
+//!
+//! ```
+//! use fediscope_dynamics::{DynamicsConfig, DynamicsEngine};
+//! use fediscope_dynamics::scenarios::{CascadeConfig, DefederationCascadeScenario};
+//! use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig::test_small());
+//! let seeds = ScenarioSeeds::from_world(&world);
+//! let mut engine = DynamicsEngine::new(DynamicsConfig::with_seed(seeds.seed), &seeds);
+//! let mut scenario = DefederationCascadeScenario::new(CascadeConfig::default());
+//! let trace = engine.run(&mut scenario);
+//! assert!(trace.final_links() <= trace.initial_links());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod event;
+mod scenario;
+mod state;
+mod trace;
+
+pub mod scenarios;
+
+pub use engine::{DynamicsConfig, DynamicsEngine};
+pub use event::{Event, EventQueue, Scheduled};
+pub use scenario::Scenario;
+pub use state::{InstanceState, NetworkState, PostTemplate};
+pub use trace::{failure_mix_index, DynamicsTrace, TickTrace};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
+    use std::sync::OnceLock;
+
+    /// One shared small-world seed set per test binary (world generation
+    /// dominates test time; every test reads the same immutable extract).
+    pub fn seeds() -> &'static ScenarioSeeds {
+        static SEEDS: OnceLock<ScenarioSeeds> = OnceLock::new();
+        SEEDS.get_or_init(|| ScenarioSeeds::from_world(&World::generate(WorldConfig::test_small())))
+    }
+}

@@ -1,0 +1,47 @@
+//! The pluggable scenario contract.
+
+use crate::event::{EventQueue, Scheduled};
+use crate::state::NetworkState;
+use fediscope_core::time::SimTime;
+use rand::rngs::SmallRng;
+
+/// A scenario seeds the event queue and reacts to applied events.
+///
+/// The split of responsibilities is what keeps runs replayable:
+///
+/// * the **engine** owns every mechanical state transition (it applies
+///   [`crate::Event`]s), so the same event stream always produces the
+///   same state;
+/// * the **scenario** owns the narrative — which events exist, when, and
+///   what follows from them. Both its hooks run inside the
+///   single-threaded control phase with a deterministic control RNG, so
+///   anything it schedules is part of the total order.
+pub trait Scenario {
+    /// Display name (lands in the trace).
+    fn name(&self) -> &'static str;
+
+    /// Prepares initial state (e.g. stripping moderation for a rollout)
+    /// and schedules the opening events. Called once before tick 0.
+    fn init(
+        &mut self,
+        start: SimTime,
+        state: &mut NetworkState,
+        queue: &mut EventQueue,
+        rng: &mut SmallRng,
+    );
+
+    /// Called after the engine applied `event`. `applied` is false when
+    /// the event was a no-op (link already gone, rate unchanged, ...) —
+    /// cascade scenarios use it as their propagation gate. Default: no
+    /// reaction.
+    fn after_event(
+        &mut self,
+        event: &Scheduled,
+        applied: bool,
+        state: &NetworkState,
+        queue: &mut EventQueue,
+        rng: &mut SmallRng,
+    ) {
+        let _ = (event, applied, state, queue, rng);
+    }
+}

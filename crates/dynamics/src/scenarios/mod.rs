@@ -1,0 +1,11 @@
+//! The shipped scenarios: rollout, cascade, churn, storm.
+
+mod cascade;
+mod churn;
+mod rollout;
+mod storm;
+
+pub use cascade::{CascadeConfig, DefederationCascadeScenario};
+pub use churn::{ChurnConfig, ChurnScenario};
+pub use rollout::{PolicyRolloutScenario, RolloutConfig};
+pub use storm::{StormConfig, ToxicityStormScenario};

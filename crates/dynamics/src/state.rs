@@ -1,0 +1,359 @@
+//! The mutable network state a scenario evolves.
+//!
+//! Built once from [`ScenarioSeeds`], then mutated only by the engine's
+//! single-threaded control phase (event application). The parallel
+//! measurement phase reads it immutably, which is what makes the
+//! per-tick fan-out safe *and* bit-reproducible: no worker ever observes
+//! a state another worker is changing.
+
+use fediscope_core::config::InstanceModerationConfig;
+use fediscope_core::id::{Domain, PostId, UserId, UserRef};
+use fediscope_core::model::{Activity, Post};
+use fediscope_core::mrf::policies::SimpleAction;
+use fediscope_core::mrf::MrfPipeline;
+use fediscope_core::rollout::RolloutWave;
+use fediscope_core::time::CAMPAIGN_START;
+use fediscope_simnet::FailureMode;
+use fediscope_synthgen::ScenarioSeeds;
+use std::collections::HashMap;
+
+/// A reusable inbound post: the pre-built `Create` activity plus the raw
+/// text the scorer reads (kept separate so scoring never has to reach
+/// through the payload).
+#[derive(Debug, Clone)]
+pub struct PostTemplate {
+    /// Authoring user id.
+    pub author: u64,
+    /// Post text.
+    pub content: String,
+    /// The deliverable activity.
+    pub activity: Activity,
+}
+
+/// One instance's live state.
+#[derive(Debug)]
+pub struct InstanceState {
+    /// The instance domain.
+    pub domain: Domain,
+    /// Whether the instance runs Pleroma.
+    pub pleroma: bool,
+    /// Current network behaviour ([`FailureMode::Healthy`] = answering).
+    pub failure: FailureMode,
+    /// The §3 failure mode the world assigned (what churn replays).
+    pub seed_failure: FailureMode,
+    /// Emission-rate multiplier (storm bursts raise it).
+    pub rate: f64,
+    /// Posts emitted per tick at `rate == 1.0`.
+    pub base_emission: u32,
+    /// Whether the instance has changed moderation since the run began.
+    pub adopted: bool,
+    /// Currently active moderation configuration.
+    pub moderation: InstanceModerationConfig,
+    /// Compiled pipeline of `moderation` (rebuilt on every change).
+    pub pipeline: MrfPipeline,
+    /// The final configuration the seeds prescribe (rollout target).
+    pub target: InstanceModerationConfig,
+    /// Inbound-post templates.
+    pub templates: Vec<PostTemplate>,
+    /// Registered users.
+    pub users: u32,
+    /// Ground truth: instances rejecting this one.
+    pub rejects_received: u32,
+}
+
+impl InstanceState {
+    /// Whether the instance answers the network.
+    pub fn up(&self) -> bool {
+        self.failure == FailureMode::Healthy
+    }
+
+    /// Posts this instance emits per tick right now, capped at `cap`.
+    pub fn emissions(&self, cap: u64) -> u64 {
+        if self.templates.is_empty() || !self.up() {
+            return 0;
+        }
+        ((self.base_emission as f64 * self.rate).round() as u64).min(cap)
+    }
+}
+
+/// The whole simulated network.
+#[derive(Debug)]
+pub struct NetworkState {
+    /// Per-instance state, indexed like the seeds.
+    pub instances: Vec<InstanceState>,
+    /// Sorted neighbor lists (undirected federation links).
+    neighbors: Vec<Vec<u32>>,
+    link_count: u64,
+    by_domain: HashMap<String, u32>,
+    adoption_order: Vec<u32>,
+}
+
+impl NetworkState {
+    /// Builds the initial state from seeds: every instance runs its final
+    /// seed moderation, links come from the Peers API extract, and
+    /// everyone starts in their seed failure mode.
+    pub fn from_seeds(seeds: &ScenarioSeeds) -> NetworkState {
+        let instances: Vec<InstanceState> = seeds
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, seed)| {
+                let templates: Vec<PostTemplate> = seed
+                    .templates
+                    .iter()
+                    .enumerate()
+                    .map(|(k, t)| {
+                        let author = UserRef::new(UserId(t.author), seed.domain.clone());
+                        let post = Post::stub(
+                            PostId(((i as u64) << 24) | k as u64),
+                            author,
+                            CAMPAIGN_START,
+                            t.content.clone(),
+                        );
+                        PostTemplate {
+                            author: t.author,
+                            content: t.content.clone(),
+                            activity: Activity::create(
+                                fediscope_core::id::ActivityId((i as u64) << 24 | k as u64),
+                                post,
+                            ),
+                        }
+                    })
+                    .collect();
+                // Posty instances emit more per tick, saturating at 8 —
+                // enough spread to make storm multipliers visible without
+                // letting one giant drown the trace.
+                let base_emission = if templates.is_empty() {
+                    0
+                } else {
+                    1 + (seed.posts_full_scale / 25_000).min(7) as u32
+                };
+                InstanceState {
+                    domain: seed.domain.clone(),
+                    pleroma: seed.pleroma,
+                    failure: seed.failure,
+                    seed_failure: seed.failure,
+                    rate: 1.0,
+                    base_emission,
+                    adopted: false,
+                    moderation: seed.moderation.clone(),
+                    pipeline: seed.moderation.build_pipeline(),
+                    target: seed.moderation.clone(),
+                    templates,
+                    users: seed.users,
+                    rejects_received: seed.rejects_received,
+                }
+            })
+            .collect();
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); instances.len()];
+        for &(a, b) in &seeds.links {
+            neighbors[a as usize].push(b);
+            neighbors[b as usize].push(a);
+        }
+        for list in &mut neighbors {
+            list.sort_unstable();
+        }
+        let by_domain = instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (inst.domain.as_str().to_string(), i as u32))
+            .collect();
+        NetworkState {
+            instances,
+            neighbors,
+            link_count: seeds.links.len() as u64,
+            by_domain,
+            adoption_order: seeds.adoption_order().iter().map(|&i| i as u32).collect(),
+        }
+    }
+
+    /// The canonical rollout adoption order, carried verbatim from
+    /// [`ScenarioSeeds::adoption_order`]: instances with a non-default
+    /// final config, heaviest reject lists first.
+    pub fn adoption_order(&self) -> &[u32] {
+        &self.adoption_order
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True if the network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Current federation neighbors of `i`, sorted ascending.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.neighbors[i]
+    }
+
+    /// Live federation links (undirected).
+    pub fn link_count(&self) -> u64 {
+        self.link_count
+    }
+
+    /// Whether `a` and `b` are currently linked.
+    pub fn linked(&self, a: u32, b: u32) -> bool {
+        self.neighbors[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Instance index for a domain.
+    pub fn index_of(&self, domain: &str) -> Option<u32> {
+        self.by_domain.get(domain).copied()
+    }
+
+    /// Removes the undirected link `a`–`b`; returns whether it existed.
+    pub fn unlink(&mut self, a: u32, b: u32) -> bool {
+        let Ok(pos) = self.neighbors[a as usize].binary_search(&b) else {
+            return false;
+        };
+        self.neighbors[a as usize].remove(pos);
+        if let Ok(pos) = self.neighbors[b as usize].binary_search(&a) {
+            self.neighbors[b as usize].remove(pos);
+        }
+        self.link_count -= 1;
+        true
+    }
+
+    /// Applies a rollout wave to instance `i` and recompiles its
+    /// pipeline. Returns whether the wave changed anything.
+    pub fn apply_wave(&mut self, i: u32, wave: &RolloutWave) -> bool {
+        if wave.is_empty() {
+            return false;
+        }
+        let inst = &mut self.instances[i as usize];
+        inst.moderation.apply_wave(wave);
+        inst.pipeline = inst.moderation.build_pipeline();
+        inst.adopted = true;
+        true
+    }
+
+    /// Instance `a` defederates from `t`: reject-lists `t`'s domain,
+    /// recompiles `a`'s pipeline, and tears the link down. Returns
+    /// whether a live link was actually severed (the cascade
+    /// propagation gate — re-blocking an already-severed pair is a
+    /// no-op and must not re-trigger imitation).
+    pub fn defederate(&mut self, a: u32, t: u32) -> bool {
+        let target_domain = self.instances[t as usize].domain.clone();
+        let inst = &mut self.instances[a as usize];
+        let already = inst
+            .moderation
+            .simple
+            .as_ref()
+            .map(|s| s.matches(SimpleAction::Reject, &target_domain))
+            .unwrap_or(false);
+        if !already {
+            let mut simple = inst.moderation.simple.take().unwrap_or_default();
+            simple.add_target(SimpleAction::Reject, target_domain);
+            inst.moderation.set_simple(simple);
+            inst.pipeline = inst.moderation.build_pipeline();
+            inst.adopted = true;
+        }
+        self.unlink(a, t)
+    }
+
+    /// Forces a failure mode; returns whether it changed.
+    pub fn set_failure(&mut self, i: u32, mode: FailureMode) -> bool {
+        let inst = &mut self.instances[i as usize];
+        let changed = inst.failure != mode;
+        inst.failure = mode;
+        changed
+    }
+
+    /// Sets the emission multiplier; returns whether it changed.
+    pub fn set_rate(&mut self, i: u32, rate: f64) -> bool {
+        let inst = &mut self.instances[i as usize];
+        let changed = inst.rate != rate;
+        inst.rate = rate;
+        changed
+    }
+
+    /// Resets instance `i` to the fresh-install moderation default
+    /// (rollout scenarios start everyone here and replay adoption).
+    pub fn reset_moderation_default(&mut self, i: usize) {
+        let inst = &mut self.instances[i];
+        inst.moderation = if inst.pleroma {
+            InstanceModerationConfig::pleroma_default()
+        } else {
+            InstanceModerationConfig::default()
+        };
+        inst.pipeline = inst.moderation.build_pipeline();
+        inst.adopted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::seeds;
+
+    #[test]
+    fn state_mirrors_seed_topology() {
+        let s = seeds();
+        let state = NetworkState::from_seeds(s);
+        assert_eq!(state.len(), s.instances.len());
+        assert_eq!(state.link_count(), s.links.len() as u64);
+        let &(a, b) = s.links.first().unwrap();
+        assert!(state.linked(a, b));
+        assert!(state.linked(b, a));
+    }
+
+    #[test]
+    fn unlink_and_defederate() {
+        let s = seeds();
+        let mut state = NetworkState::from_seeds(s);
+        let &(a, b) = s.links.first().unwrap();
+        let before = state.link_count();
+        assert!(state.defederate(a, b));
+        assert!(!state.linked(a, b));
+        assert_eq!(state.link_count(), before - 1);
+        let target = state.instances[b as usize].domain.clone();
+        assert!(state.instances[a as usize]
+            .moderation
+            .simple
+            .as_ref()
+            .unwrap()
+            .matches(SimpleAction::Reject, &target));
+        assert!(state.instances[a as usize].adopted);
+        // Re-blocking the severed pair applies nothing new.
+        assert!(!state.defederate(a, b));
+    }
+
+    #[test]
+    fn reset_to_default_disarms_rejects() {
+        let s = seeds();
+        let mut state = NetworkState::from_seeds(s);
+        let rejector = (0..state.len())
+            .find(|&i| {
+                state.instances[i]
+                    .moderation
+                    .simple
+                    .as_ref()
+                    .map(|sp| !sp.targets(SimpleAction::Reject).is_empty())
+                    .unwrap_or(false)
+            })
+            .expect("the seed world has rejectors");
+        state.reset_moderation_default(rejector);
+        assert!(state.instances[rejector].moderation.simple.is_none());
+        // The target config is untouched — rollouts replay it.
+        assert!(state.instances[rejector].target.simple.as_ref().is_some());
+    }
+
+    #[test]
+    fn emissions_scale_with_rate_and_cap() {
+        let s = seeds();
+        let mut state = NetworkState::from_seeds(s);
+        let emitter = (0..state.len())
+            .find(|&i| !state.instances[i].templates.is_empty())
+            .expect("some instance has posts");
+        let base = state.instances[emitter].emissions(64);
+        assert!(base >= 1);
+        state.set_rate(emitter as u32, 10.0);
+        assert!(state.instances[emitter].emissions(u64::MAX) >= base * 9);
+        assert_eq!(state.instances[emitter].emissions(2), 2);
+        state.set_failure(emitter as u32, FailureMode::Gone);
+        assert_eq!(state.instances[emitter].emissions(64), 0);
+    }
+}

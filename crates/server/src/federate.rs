@@ -5,6 +5,13 @@ use fediscope_activitypub::Mailman;
 use fediscope_core::model::{Activity, Post};
 use fediscope_simnet::{HttpRequest, SimNet};
 use std::sync::Arc;
+use tokio::sync::Semaphore;
+
+/// Upper bound on concurrently in-flight inbox POSTs per delivery fan-out.
+/// Pleroma's own federator publisher works the same way: a bounded worker
+/// pool drains the delivery queue rather than a serial loop or an
+/// unbounded task storm.
+const MAX_IN_FLIGHT: usize = 16;
 
 /// Delivers activities published on a server to the instances hosting the
 /// author's followers, over the simulated network (a `POST /inbox` per
@@ -40,16 +47,40 @@ impl Federator {
 
     /// Delivers an already-published activity; returns
     /// `(succeeded, failed)` target counts.
+    ///
+    /// The inbox POSTs go out concurrently, bounded to [`MAX_IN_FLIGHT`]
+    /// in-flight requests at a time, so one slow peer no longer stalls the
+    /// whole fan-out. Ordering guarantees are unchanged: each target
+    /// receives at most one POST per activity (the target set is a set),
+    /// and `SimNet` serves every instance through a single ordered queue,
+    /// so per-target delivery order across successive `deliver` calls is
+    /// the call order, exactly as with the old sequential loop.
     pub async fn deliver(&self, activity: &Activity) -> (usize, usize) {
         let targets = self
             .server
             .with_graph(|g| Mailman.delivery_targets(g, activity));
-        let mut ok = 0;
-        let mut failed = 0;
+        let semaphore = Arc::new(Semaphore::new(MAX_IN_FLIGHT));
+        // Serialize once; every target's request shares the buffer (a
+        // `Bytes` clone is a refcount), and the request itself is built
+        // inside the task after its permit — peak memory stays bounded
+        // by MAX_IN_FLIGHT plus one small handle per target, not by one
+        // serialized body per follower domain.
+        let body = bytes::Bytes::from(serde_json::to_vec(activity).expect("activities serialize"));
+        let mut handles = Vec::with_capacity(targets.len());
         for target in targets {
-            let req = HttpRequest::post_json("/inbox", activity);
-            match self.net.request(&target, req).await {
-                Ok(resp) if resp.is_success() => ok += 1,
+            let net = Arc::clone(&self.net);
+            let gate = Arc::clone(&semaphore);
+            let body = body.clone();
+            handles.push(tokio::spawn(async move {
+                let _permit = gate.acquire_owned().await;
+                let req = HttpRequest::post_bytes("/inbox", body);
+                matches!(net.request(&target, req).await, Ok(resp) if resp.is_success())
+            }));
+        }
+        let (mut ok, mut failed) = (0, 0);
+        for handle in handles {
+            match handle.await {
+                Ok(true) => ok += 1,
                 _ => failed += 1,
             }
         }
@@ -177,6 +208,52 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
+    }
+
+    #[tokio::test]
+    async fn wide_fanout_counts_every_target_once() {
+        // 60 followers across 40 live, 15 dead and 5 unknown domains —
+        // far beyond MAX_IN_FLIGHT, so the bounded-concurrency path is
+        // exercised. Counts must match the old sequential loop exactly.
+        let net = Arc::new(SimNet::new());
+        let home = server(
+            "home.example",
+            1,
+            InstanceModerationConfig::pleroma_default(),
+        );
+        crate::api::register_on(&net, Arc::clone(&home));
+        let author = UserRef::new(UserId(1000), Domain::new("home.example"));
+        for k in 0..60u32 {
+            let domain = match k {
+                0..=39 => {
+                    let d = format!("live{k}.example");
+                    let peer = server(&d, 100 + k, InstanceModerationConfig::pleroma_default());
+                    crate::api::register_on(&net, peer);
+                    d
+                }
+                40..=54 => {
+                    let d = format!("dead{k}.example");
+                    net.set_failure(Domain::new(&d), FailureMode::BadGateway);
+                    d
+                }
+                _ => format!("ghost{k}.example"),
+            };
+            let fan = UserRef::new(UserId(50_000 + k as u64), Domain::new(domain));
+            home.follow(fan, author.clone());
+        }
+        let fed = Federator::new(Arc::clone(&net), Arc::clone(&home));
+        let (_, ok, failed) = fed
+            .publish_and_deliver(Post::stub(
+                PostId(1),
+                author,
+                fediscope_core::time::CAMPAIGN_START,
+                "wide fanout",
+            ))
+            .await
+            .unwrap();
+        assert_eq!((ok, failed), (40, 20));
+        // Exactly one POST per target reached the network.
+        assert_eq!(net.stats().snapshot().0, 60);
     }
 
     #[tokio::test]

@@ -164,6 +164,30 @@ impl InstanceServer {
         }
     }
 
+    /// Defederates from `remote`: adds it to the `SimplePolicy` reject
+    /// list (enabling the policy if needed, rebuilding the pipeline) and
+    /// tears down every follow edge between the two domains. Returns the
+    /// number of follow edges destroyed. The ever-federated peer record
+    /// survives, matching the Peers API semantics the paper measures.
+    ///
+    /// This is the server-level form of the block events a
+    /// defederation-cascade scenario replays: moderation config and
+    /// social graph change together, atomically under the state lock.
+    pub fn defederate(&self, remote: &Domain) -> usize {
+        let mut st = self.state.write();
+        let mut config = st.config.clone();
+        let mut simple = config.simple.take().unwrap_or_default();
+        simple.add_target(
+            fediscope_core::mrf::policies::SimpleAction::Reject,
+            remote.clone(),
+        );
+        config.set_simple(simple);
+        st.pipeline = config.build_pipeline();
+        st.config = config;
+        let local = self.profile.domain.clone();
+        st.graph.sever(&local, remote)
+    }
+
     /// Marks a federation peer without a follow (e.g. discovered via a
     /// boost). Powers the Peers API.
     pub fn note_peer(&self, remote: &Domain) {
@@ -635,5 +659,33 @@ mod tests {
         let s = make_server("home.example");
         s.set_clock(SimTime(123_456));
         assert_eq!(s.clock(), SimTime(123_456));
+    }
+
+    #[test]
+    fn defederate_blocks_and_tears_down_links() {
+        let s = make_server("home.example");
+        let local = UserRef::new(UserId(1), Domain::new("home.example"));
+        let fan = UserRef::new(UserId(1001), Domain::new("bad.example"));
+        s.follow(fan.clone(), local.clone());
+        s.follow(local.clone(), fan.clone());
+        let severed = s.defederate(&Domain::new("bad.example"));
+        assert_eq!(severed, 2);
+        s.with_graph(|g| {
+            assert!(!g.follows(&fan, &local));
+            assert!(!g.follows(&local, &fan));
+            // Ever-federated: the peer record outlives the block.
+            assert!(g
+                .peers_of(&Domain::new("home.example"))
+                .contains(&Domain::new("bad.example")));
+        });
+        // The rebuilt pipeline now rejects everything from bad.example.
+        let outcome = s.ingest_remote(remote_create(7, "bad.example", "still here?"));
+        assert!(!outcome.accepted());
+        assert!(s
+            .moderation()
+            .simple
+            .as_ref()
+            .unwrap()
+            .matches(SimpleAction::Reject, &Domain::new("bad.example")));
     }
 }

@@ -80,11 +80,21 @@ impl HttpRequest {
 
     /// A POST request with a JSON body.
     pub fn post_json<T: Serialize>(path: &str, body: &T) -> Self {
+        Self::post_bytes(
+            path,
+            Bytes::from(serde_json::to_vec(body).expect("serializable body")),
+        )
+    }
+
+    /// A POST request with a pre-serialized body. `Bytes` clones share
+    /// the buffer, so a wide delivery fan-out serializes the activity
+    /// once and hands every target a refcount, not a copy.
+    pub fn post_bytes(path: &str, body: Bytes) -> Self {
         HttpRequest {
             method: Method::Post,
             path: path.to_string(),
             query: BTreeMap::new(),
-            body: Bytes::from(serde_json::to_vec(body).expect("serializable body")),
+            body,
         }
     }
 

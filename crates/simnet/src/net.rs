@@ -1,10 +1,10 @@
 //! The network fabric: registration, dispatch, failure injection, stats.
 
 use crate::failure::FailureMode;
-use crate::http::{HttpRequest, HttpResponse};
+use crate::http::{HttpRequest, HttpResponse, StatusCode};
 use fediscope_core::id::Domain;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,6 +51,22 @@ impl std::error::Error for NetError {}
 
 type ServingChannel = mpsc::UnboundedSender<(HttpRequest, oneshot::Sender<HttpResponse>)>;
 
+/// The status codes the simulated fediverse ever answers with: the §3
+/// failure taxonomy plus the success/client-error codes the API surface
+/// produces. Fixed at compile time so the per-status counters stay
+/// lock-free `AtomicU64`s on the request hot path (the crawler campaign
+/// and the concurrent delivery fan-out both hammer it).
+const TRACKED_STATUSES: [StatusCode; 8] = [
+    StatusCode::OK,
+    StatusCode::ACCEPTED,
+    StatusCode::BAD_REQUEST,
+    StatusCode::FORBIDDEN,
+    StatusCode::NOT_FOUND,
+    StatusCode::GONE,
+    StatusCode::BAD_GATEWAY,
+    StatusCode::SERVICE_UNAVAILABLE,
+];
+
 /// Aggregate request statistics.
 #[derive(Debug, Default)]
 pub struct NetStats {
@@ -60,6 +76,13 @@ pub struct NetStats {
     pub injected_failures: AtomicU64,
     /// Requests that failed at the network level (unknown host etc.).
     pub net_errors: AtomicU64,
+    /// Responses observed per tracked status code (injected failures and
+    /// real endpoint answers alike), indexed like [`TRACKED_STATUSES`].
+    /// Lets churn scenarios and the crawler error taxonomy assert the
+    /// exact §3 404/403/502/503/410 mix.
+    by_status: [AtomicU64; TRACKED_STATUSES.len()],
+    /// Responses with a status outside [`TRACKED_STATUSES`].
+    other_status: AtomicU64,
 }
 
 impl NetStats {
@@ -69,6 +92,51 @@ impl NetStats {
             self.requests.load(Ordering::Relaxed),
             self.injected_failures.load(Ordering::Relaxed),
             self.net_errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Records one response status.
+    fn record_status(&self, status: StatusCode) {
+        match TRACKED_STATUSES.iter().position(|&s| s == status) {
+            Some(idx) => self.by_status[idx].fetch_add(1, Ordering::Relaxed),
+            None => self.other_status.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Responses observed with exactly this status code (0 for codes
+    /// outside the tracked set — see [`Self::status_other`]).
+    pub fn status_count(&self, status: StatusCode) -> u64 {
+        TRACKED_STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .map(|idx| self.by_status[idx].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Responses with a status outside the tracked set.
+    pub fn status_other(&self) -> u64 {
+        self.other_status.load(Ordering::Relaxed)
+    }
+
+    /// Nonzero per-status counters, keyed by numeric code, ascending.
+    pub fn status_counts(&self) -> BTreeMap<u16, u64> {
+        TRACKED_STATUSES
+            .iter()
+            .enumerate()
+            .map(|(idx, s)| (s.0, self.by_status[idx].load(Ordering::Relaxed)))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// The §3 error-taxonomy counters, in the paper's reporting order:
+    /// `(404, 403, 502, 503, 410)`.
+    pub fn failure_taxonomy(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.status_count(StatusCode::NOT_FOUND),
+            self.status_count(StatusCode::FORBIDDEN),
+            self.status_count(StatusCode::BAD_GATEWAY),
+            self.status_count(StatusCode::SERVICE_UNAVAILABLE),
+            self.status_count(StatusCode::GONE),
         )
     }
 }
@@ -162,6 +230,7 @@ impl SimNet {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         if let Some(status) = self.failure_of(domain).forced_status() {
             self.stats.injected_failures.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_status(status);
             return Ok(HttpResponse::status(status));
         }
         let tx = {
@@ -180,7 +249,10 @@ impl SimNet {
             return Err(NetError::ConnectionRefused(domain.clone()));
         }
         match reply_rx.await {
-            Ok(resp) => Ok(resp),
+            Ok(resp) => {
+                self.stats.record_status(resp.status);
+                Ok(resp)
+            }
             Err(_) => {
                 self.stats.net_errors.fetch_add(1, Ordering::Relaxed);
                 Err(NetError::ConnectionRefused(domain.clone()))
@@ -281,6 +353,47 @@ mod tests {
             assert_eq!(h.await.unwrap(), StatusCode::OK);
         }
         assert_eq!(net.stats().snapshot().0, 64);
+    }
+
+    #[tokio::test]
+    async fn per_status_counters_track_the_failure_taxonomy() {
+        // A miniature §3 mix: 3×404, 2×403, 1×502, 1×503, 1×410, plus two
+        // healthy 200s and a healthy 404 from a real endpoint.
+        let net = SimNet::new();
+        let plan = [
+            (FailureMode::NotFound, 3u64),
+            (FailureMode::Forbidden, 2),
+            (FailureMode::BadGateway, 1),
+            (FailureMode::Unavailable, 1),
+            (FailureMode::Gone, 1),
+        ];
+        for (k, (mode, hits)) in plan.iter().enumerate() {
+            let d = Domain::new(format!("fail{k}.example"));
+            net.set_failure(d.clone(), *mode);
+            for _ in 0..*hits {
+                let _ = net.get(&d, "/api/v1/instance").await;
+            }
+        }
+        let live = Domain::new("live.example");
+        net.register(live.clone(), hello_endpoint());
+        assert!(net.get(&live, "/hello").await.unwrap().is_success());
+        assert!(net.get(&live, "/hello").await.unwrap().is_success());
+        assert_eq!(
+            net.get(&live, "/nope").await.unwrap().status,
+            StatusCode::NOT_FOUND
+        );
+        // Injected and endpoint-served statuses both land in the counters.
+        assert_eq!(net.stats().failure_taxonomy(), (4, 2, 1, 1, 1));
+        assert_eq!(net.stats().status_count(StatusCode::OK), 2);
+        let counts = net.stats().status_counts();
+        assert_eq!(counts.values().sum::<u64>(), net.stats().snapshot().0);
+    }
+
+    #[tokio::test]
+    async fn net_errors_record_no_status() {
+        let net = SimNet::new();
+        let _ = net.get(&Domain::new("ghost.example"), "/x").await;
+        assert!(net.stats().status_counts().is_empty());
     }
 
     #[tokio::test]

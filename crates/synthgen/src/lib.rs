@@ -35,10 +35,12 @@ mod harm;
 mod moderation;
 mod names;
 mod population;
+mod scenario;
 mod world;
 
 pub use character::InstanceCharacter;
 pub use config::{Parallelism, WorldConfig};
 pub use content::ContentComposer;
 pub use harm::{HarmProfile, UserHarm};
+pub use scenario::{InstanceSeed, PostSeed, ScenarioSeeds, SeedKnobs};
 pub use world::{GeneratedInstance, GeneratedUser, World};

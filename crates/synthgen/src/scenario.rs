@@ -1,0 +1,276 @@
+//! Scenario seeding: the slice of a generated [`World`] that dynamic
+//! (time-evolving) experiments consume.
+//!
+//! The dynamics engine does not want the whole world — it wants, per
+//! instance, the *final* moderation profile (what a rollout converges
+//! to), the §3 failure mode (what churn replays), a few representative
+//! post templates (what storms deliver), and the federation links events
+//! propagate along. [`ScenarioSeeds::from_world`] extracts exactly that,
+//! deterministically, so `seed → world → seeds → trace` is one
+//! reproducible pipeline.
+
+use crate::world::World;
+use fediscope_core::config::InstanceModerationConfig;
+use fediscope_core::id::Domain;
+use fediscope_core::mrf::policies::SimpleAction;
+use fediscope_simnet::FailureMode;
+use std::collections::HashMap;
+
+/// Knobs for seed extraction.
+#[derive(Debug, Clone)]
+pub struct SeedKnobs {
+    /// Per-instance cap on post templates (the dynamics engine cycles
+    /// through them; a handful is enough to reproduce the harm mix).
+    pub max_templates: usize,
+    /// Whether non-Pleroma instances join the seed set. They carry no
+    /// posts or policies but are needed as resolvable reject targets.
+    pub include_non_pleroma: bool,
+}
+
+impl Default for SeedKnobs {
+    fn default() -> Self {
+        SeedKnobs {
+            max_templates: 32,
+            include_non_pleroma: true,
+        }
+    }
+}
+
+/// One reusable post: author (instance-local user id) and content.
+#[derive(Debug, Clone)]
+pub struct PostSeed {
+    /// The authoring user's id.
+    pub author: u64,
+    /// Post text (what the Perspective substrate scores).
+    pub content: String,
+}
+
+/// Everything a dynamics scenario needs to know about one instance.
+#[derive(Debug, Clone)]
+pub struct InstanceSeed {
+    /// The instance domain.
+    pub domain: Domain,
+    /// Whether the instance runs Pleroma.
+    pub pleroma: bool,
+    /// The §3 failure mode the world assigned (churn replays this).
+    pub failure: FailureMode,
+    /// The instance's *final* moderation configuration — the target a
+    /// staged rollout converges to.
+    pub moderation: InstanceModerationConfig,
+    /// Registered users.
+    pub users: u32,
+    /// Full-scale post volume (drives emission rates).
+    pub posts_full_scale: u64,
+    /// Ground truth: instances rejecting this one.
+    pub rejects_received: u32,
+    /// Representative posts (capped by [`SeedKnobs::max_templates`]).
+    pub templates: Vec<PostSeed>,
+}
+
+impl InstanceSeed {
+    /// Outgoing reject edges in the final moderation config.
+    pub fn outgoing_rejects(&self) -> usize {
+        self.moderation
+            .simple
+            .as_ref()
+            .map(|s| s.targets(SimpleAction::Reject).len())
+            .unwrap_or(0)
+    }
+}
+
+/// The dynamics-facing extract of a generated world.
+#[derive(Debug, Clone)]
+pub struct ScenarioSeeds {
+    /// The world seed (scenario RNG streams derive from it).
+    pub seed: u64,
+    /// Per-instance seeds; index order matches the world's instance order.
+    pub instances: Vec<InstanceSeed>,
+    /// Undirected federation links as `(i, j)` index pairs with `i < j`,
+    /// sorted — derived from the Peers API payloads.
+    pub links: Vec<(u32, u32)>,
+}
+
+impl ScenarioSeeds {
+    /// Extracts seeds with default knobs.
+    pub fn from_world(world: &World) -> ScenarioSeeds {
+        ScenarioSeeds::from_world_with(world, &SeedKnobs::default())
+    }
+
+    /// Extracts seeds with explicit knobs.
+    pub fn from_world_with(world: &World, knobs: &SeedKnobs) -> ScenarioSeeds {
+        let kept: Vec<usize> = world
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| knobs.include_non_pleroma || inst.profile.is_pleroma())
+            .map(|(i, _)| i)
+            .collect();
+        let index_of: HashMap<&str, u32> = kept
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (world.instances[old].profile.domain.as_str(), new as u32))
+            .collect();
+
+        let instances: Vec<InstanceSeed> = kept
+            .iter()
+            .map(|&old| {
+                let inst = &world.instances[old];
+                let mut templates = Vec::new();
+                'outer: for user in &inst.users {
+                    for post in &user.posts {
+                        if templates.len() >= knobs.max_templates {
+                            break 'outer;
+                        }
+                        if !post.content.is_empty() {
+                            templates.push(PostSeed {
+                                author: user.user.id.0,
+                                content: post.content.clone(),
+                            });
+                        }
+                    }
+                }
+                InstanceSeed {
+                    domain: inst.profile.domain.clone(),
+                    pleroma: inst.profile.is_pleroma(),
+                    failure: inst.failure,
+                    moderation: inst.moderation.clone(),
+                    users: inst.users.len() as u32,
+                    posts_full_scale: inst.posts_full_scale,
+                    rejects_received: inst.rejects_received,
+                    templates,
+                }
+            })
+            .collect();
+
+        let mut links: Vec<(u32, u32)> = Vec::new();
+        for (new, &old) in kept.iter().enumerate() {
+            let inst = &world.instances[old];
+            for peer in &inst.peers {
+                if let Some(&j) = index_of.get(peer.as_str()) {
+                    let i = new as u32;
+                    if i != j {
+                        links.push((i.min(j), i.max(j)));
+                    }
+                }
+            }
+        }
+        links.sort_unstable();
+        links.dedup();
+
+        ScenarioSeeds {
+            seed: world.config.seed,
+            instances,
+            links,
+        }
+    }
+
+    /// Indices of instances whose final config differs from a fresh
+    /// install (a `SimplePolicy` config or any non-default policy kind),
+    /// ordered by descending reject-list size (ties by index) — the
+    /// canonical adoption order for rollout waves: the heaviest
+    /// moderators move first, exactly how blocklist adoption spreads
+    /// from the big curated lists outward. The dynamics engine's
+    /// `NetworkState` carries this order verbatim so rollout scenarios
+    /// never re-derive it.
+    pub fn adoption_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.instances.len())
+            .filter(|&i| {
+                let m = &self.instances[i].moderation;
+                m.simple.is_some() || m.enabled.iter().any(|k| !k.default_enabled())
+            })
+            .collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.instances[i].outgoing_rejects()), i));
+        order
+    }
+
+    /// The §3 failure taxonomy over the seed set: `(mode, count)` for
+    /// every non-healthy mode present.
+    pub fn failure_taxonomy(&self) -> Vec<(FailureMode, u32)> {
+        FailureMode::PAPER_TAXONOMY
+            .iter()
+            .map(|&(mode, _)| {
+                let n = self.instances.iter().filter(|s| s.failure == mode).count() as u32;
+                (mode, n)
+            })
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// Looks up an instance index by domain.
+    pub fn index_of(&self, domain: &str) -> Option<usize> {
+        self.instances
+            .iter()
+            .position(|s| s.domain.as_str() == domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn seeds() -> ScenarioSeeds {
+        ScenarioSeeds::from_world(&World::generate(WorldConfig::test_small()))
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let a = seeds();
+        let b = seeds();
+        assert_eq!(a.instances.len(), b.instances.len());
+        assert_eq!(a.links, b.links);
+        for (x, y) in a.instances.iter().zip(&b.instances) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.templates.len(), y.templates.len());
+        }
+    }
+
+    #[test]
+    fn links_are_canonical_pairs() {
+        let s = seeds();
+        assert!(!s.links.is_empty());
+        for &(i, j) in &s.links {
+            assert!(i < j, "({i},{j}) must be ordered");
+            assert!((j as usize) < s.instances.len());
+        }
+        let mut sorted = s.links.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, s.links);
+    }
+
+    #[test]
+    fn adoption_order_is_heaviest_first() {
+        let s = seeds();
+        let order = s.adoption_order();
+        assert!(!order.is_empty());
+        for w in order.windows(2) {
+            assert!(s.instances[w[0]].outgoing_rejects() >= s.instances[w[1]].outgoing_rejects());
+        }
+    }
+
+    #[test]
+    fn failure_taxonomy_present_at_small_scale() {
+        let s = seeds();
+        let total: u32 = s.failure_taxonomy().iter().map(|&(_, n)| n).sum();
+        assert!(total > 0, "the scaled §3 failure set must survive");
+    }
+
+    #[test]
+    fn templates_respect_the_cap_and_carry_text() {
+        let s = ScenarioSeeds::from_world_with(
+            &World::generate(WorldConfig::test_small()),
+            &SeedKnobs {
+                max_templates: 5,
+                include_non_pleroma: false,
+            },
+        );
+        assert!(s.instances.iter().all(|i| i.pleroma));
+        for inst in &s.instances {
+            assert!(inst.templates.len() <= 5);
+            for t in &inst.templates {
+                assert!(!t.content.is_empty());
+            }
+        }
+    }
+}

@@ -10,6 +10,10 @@
 //! fediscope report dataset.json fig1                # policy prevalence
 //! fediscope report dataset.json curate              # §7 curated lists
 //! fediscope report dataset.json ablation            # §7 strategy ablation
+//! fediscope dynamics rollout --scale 0.1 --ticks 30 # staged MRF rollout
+//! fediscope dynamics cascade                        # defederation cascade
+//! fediscope dynamics churn                          # §3 failure churn
+//! fediscope dynamics storm                          # toxicity-storm burst
 //! ```
 
 use fediscope::harness;
@@ -22,6 +26,7 @@ fn usage() -> ExitCode {
     eprintln!("USAGE:");
     eprintln!("  fediscope crawl [--scale S] [--post-scale P] [--seed N] [--out FILE]");
     eprintln!("  fediscope report FILE <census|headline|table1|table2|fig1|fig2|fig3|curate|ablation|graph>");
+    eprintln!("  fediscope dynamics <rollout|cascade|churn|storm> [--scale S] [--seed N] [--ticks T] [--out FILE]");
     ExitCode::from(2)
 }
 
@@ -37,8 +42,87 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("crawl") => crawl(&args[1..]),
         Some("report") => report(&args[1..]),
+        Some("dynamics") => dynamics(&args[1..]),
         _ => usage(),
     }
+}
+
+fn dynamics(args: &[String]) -> ExitCode {
+    use fediscope::dynamics::scenarios::{
+        CascadeConfig, ChurnConfig, ChurnScenario, DefederationCascadeScenario,
+        PolicyRolloutScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
+    };
+    let Some(which) = args.first() else {
+        return usage();
+    };
+    let mut config = WorldConfig::paper();
+    // The full 10 K-instance population is overkill for a trace you read
+    // in a terminal; default to a tenth and let --scale override.
+    config.scale = 0.1;
+    if let Some(s) = parse_flag(args, "--scale").and_then(|v| v.parse().ok()) {
+        config.scale = s;
+    }
+    if let Some(n) = parse_flag(args, "--seed").and_then(|v| v.parse().ok()) {
+        config.seed = n;
+    }
+    let ticks: u64 = parse_flag(args, "--ticks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(36);
+    let mut scenario: Box<dyn fediscope::dynamics::Scenario> = match which.as_str() {
+        "rollout" => Box::new(PolicyRolloutScenario::new(RolloutConfig::default())),
+        "cascade" => Box::new(DefederationCascadeScenario::new(CascadeConfig::default())),
+        "churn" => Box::new(ChurnScenario::new(ChurnConfig::default())),
+        "storm" => Box::new(ToxicityStormScenario::new(StormConfig::default())),
+        _ => return usage(),
+    };
+    eprintln!(
+        "generating world (seed {}, scale {}) and seeding scenario ...",
+        config.seed, config.scale
+    );
+    let world = World::generate(config);
+    let seeds = ScenarioSeeds::from_world(&world);
+    let engine_config = fediscope::dynamics::DynamicsConfig {
+        seed: seeds.seed,
+        ticks,
+        ..Default::default()
+    };
+    let mut engine = fediscope::dynamics::DynamicsEngine::new(engine_config, &seeds);
+    eprintln!(
+        "running {} over {} instances / {} links for {ticks} ticks ...",
+        which,
+        seeds.instances.len(),
+        seeds.links.len()
+    );
+    let trace = engine.run(scenario.as_mut());
+    println!("{}", fediscope::analysis::dynamics::render_dynamics(&trace));
+    let summary = fediscope::analysis::dynamics::prevention_summary(&trace);
+    println!(
+        "links {} -> {}   deliveries {} ({} rejected, {} lost)   exposure {:.1}   prevented {:.1} ({:.1}%)",
+        summary.links.0,
+        summary.links.1,
+        summary.deliveries.0,
+        summary.deliveries.1,
+        summary.deliveries.2,
+        summary.exposure,
+        summary.prevented,
+        summary.prevented_share * 100.0
+    );
+    if let Some(out) = parse_flag(args, "--out") {
+        match serde_json::to_string_pretty(&trace) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(&out, body + "\n") {
+                    eprintln!("failed to write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("trace written to {out}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn crawl(args: &[String]) -> ExitCode {

@@ -20,8 +20,12 @@
 //!   substitute scoring toxicity / profanity / sexually-explicit content;
 //! * [`synthgen`](fediscope_synthgen) — the calibrated synthetic fediverse;
 //! * [`crawler`](fediscope_crawler) — the §3 measurement campaign;
+//! * [`dynamics`](fediscope_dynamics) — the deterministic discrete-event
+//!   engine for time-evolving scenarios (policy rollouts, defederation
+//!   cascades, instance churn, toxicity storms);
 //! * [`analysis`](fediscope_analysis) — every figure, table and headline
-//!   statistic of the paper, plus the §6/§7 extension studies.
+//!   statistic of the paper, plus the §6/§7 extension studies and the
+//!   dynamics time-series tables.
 //!
 //! The [`harness`] module materialises a generated world into running
 //! servers and drives a crawl — the one-call entry point used by the
@@ -48,6 +52,7 @@ pub use fediscope_activitypub as activitypub;
 pub use fediscope_analysis as analysis;
 pub use fediscope_core as core;
 pub use fediscope_crawler as crawler;
+pub use fediscope_dynamics as dynamics;
 pub use fediscope_perspective as perspective;
 pub use fediscope_server as server;
 pub use fediscope_simnet as simnet;
@@ -67,8 +72,9 @@ pub mod prelude {
     pub use fediscope_core::mrf::{MrfPipeline, MrfPolicy, PolicyContext, PolicyVerdict};
     pub use fediscope_core::time::{SimDuration, SimTime};
     pub use fediscope_crawler::{Crawler, CrawlerConfig, Dataset};
+    pub use fediscope_dynamics::{DynamicsConfig, DynamicsEngine, DynamicsTrace, Scenario};
     pub use fediscope_perspective::{Attribute, AttributeScores, Scorer};
     pub use fediscope_server::InstanceServer;
     pub use fediscope_simnet::{FailureMode, SimNet};
-    pub use fediscope_synthgen::{World, WorldConfig};
+    pub use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
 }
