@@ -280,6 +280,30 @@ mod tests {
     }
 
     #[test]
+    fn sever_unknown_link_is_a_noop() {
+        let mut g = FollowGraph::new();
+        let a1 = user(1, "a.example");
+        let c1 = user(20, "c.example");
+        g.follow(a1.clone(), c1.clone(), SimTime(0));
+        // Domains that never federated: nothing to remove, nothing
+        // created as a side effect.
+        assert_eq!(
+            g.sever(&Domain::new("a.example"), &Domain::new("ghost.example")),
+            0
+        );
+        assert_eq!(
+            g.sever(
+                &Domain::new("ghost.example"),
+                &Domain::new("phantom.example")
+            ),
+            0
+        );
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.follows(&a1, &c1));
+        assert!(g.peers_of(&Domain::new("ghost.example")).is_empty());
+    }
+
+    #[test]
     fn follower_domains_excludes_local() {
         let mut g = FollowGraph::new();
         let author = user(1, "home.example");

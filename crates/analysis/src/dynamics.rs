@@ -10,7 +10,7 @@
 //! crate only reads the crawler's dataset.
 
 use crate::report::render_table;
-use fediscope_dynamics::DynamicsTrace;
+use fediscope_dynamics::{CensusSnapshot, DynamicsTrace};
 
 /// One row of the per-tick time series.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +94,82 @@ pub fn prevention_summary(trace: &DynamicsTrace) -> PreventionSummary {
             trace.ticks.iter().map(|t| t.failed).sum(),
         ),
     }
+}
+
+/// One row of the census-over-time table: what the crawler observed of
+/// a churning network vs. what was actually true, per census tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CensusOverTimeRow {
+    /// Tick the census ran after.
+    pub tick: u64,
+    /// Campaign day of that tick.
+    pub day: u64,
+    /// Ground truth: Pleroma instances in the engine state.
+    pub true_total: u64,
+    /// Ground truth: Pleroma instances answering the network.
+    pub true_up: u64,
+    /// Pleroma instances the census successfully crawled.
+    pub observed: u64,
+    /// Live instances the census missed (`true_up - observed`).
+    pub undercount: i64,
+    /// Under-count as a share of the live fleet.
+    pub undercount_share: f64,
+    /// Probes answered by a failure status.
+    pub failed_probes: u64,
+    /// §3 status-code counts for this census: `[404, 403, 502, 503, 410]`.
+    pub taxonomy: [u64; 5],
+}
+
+/// The per-census series of a round-trip run — the under-count bias
+/// table: how far the §3 measurement methodology drifts from ground
+/// truth while the fleet decays underneath the crawler.
+pub fn census_timeseries(snapshots: &[CensusSnapshot]) -> Vec<CensusOverTimeRow> {
+    snapshots
+        .iter()
+        .map(|s| CensusOverTimeRow {
+            tick: s.tick,
+            day: s.at.campaign_day(),
+            true_total: s.true_total,
+            true_up: s.true_up,
+            observed: s.observed,
+            undercount: s.undercount(),
+            undercount_share: s.undercount_share(),
+            failed_probes: s.failed_probes,
+            taxonomy: s.taxonomy,
+        })
+        .collect()
+}
+
+/// Renders the census-over-time table: observed vs. true counts,
+/// under-count bias, and the per-census §3 failure taxonomy.
+pub fn render_census(snapshots: &[CensusSnapshot]) -> String {
+    let rows: Vec<Vec<String>> = census_timeseries(snapshots)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.tick.to_string(),
+                r.day.to_string(),
+                r.true_total.to_string(),
+                r.true_up.to_string(),
+                r.observed.to_string(),
+                r.undercount.to_string(),
+                format!("{:.1}%", r.undercount_share * 100.0),
+                r.taxonomy[0].to_string(),
+                r.taxonomy[1].to_string(),
+                r.taxonomy[2].to_string(),
+                r.taxonomy[3].to_string(),
+                r.taxonomy[4].to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "census under churn: observed vs. true",
+        &[
+            "tick", "day", "total", "up", "observed", "bias", "bias%", "404", "403", "502", "503",
+            "410",
+        ],
+        &rows,
+    )
 }
 
 /// The `k` instances with the highest accumulated toxic exposure, as
@@ -224,5 +300,43 @@ mod tests {
         assert!(rendered.contains("== dynamics: unit (seed 7) =="));
         // title + header + 3 rows
         assert_eq!(rendered.trim_end().lines().count(), 5);
+    }
+
+    fn snapshots() -> Vec<CensusSnapshot> {
+        let snap = |tick: u64, up: u64, observed: u64, taxonomy: [u64; 5]| CensusSnapshot {
+            tick,
+            at: SimTime(fediscope_core::time::CAMPAIGN_START.0 + tick * 14_400),
+            true_total: 120,
+            true_up: up,
+            observed,
+            failed_probes: 120 - observed,
+            unreachable: 0,
+            taxonomy,
+        };
+        vec![
+            snap(0, 120, 120, [0, 0, 0, 0, 0]),
+            snap(6, 100, 92, [11, 8, 3, 1, 1]),
+            snap(12, 84, 84, [22, 9, 3, 1, 1]),
+        ]
+    }
+
+    #[test]
+    fn census_rows_expose_undercount_bias() {
+        let rows = census_timeseries(&snapshots());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].undercount, 0);
+        assert_eq!(rows[1].undercount, 8);
+        assert!((rows[1].undercount_share - 0.08).abs() < 1e-12);
+        assert_eq!(rows[1].taxonomy, [11, 8, 3, 1, 1]);
+        assert_eq!(rows[2].day, 2, "tick 12 of 4h ticks is day 2");
+    }
+
+    #[test]
+    fn census_render_has_one_line_per_snapshot() {
+        let rendered = render_census(&snapshots());
+        assert!(rendered.contains("census under churn"));
+        // title + header + 3 rows
+        assert_eq!(rendered.trim_end().lines().count(), 5);
+        assert!(rendered.contains("404"));
     }
 }

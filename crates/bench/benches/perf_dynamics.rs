@@ -1,11 +1,16 @@
 //! Performance: the dynamics engine under its saturation workloads.
 //!
-//! Two measurements, both emitted to `BENCH_dynamics.json`:
+//! Three measurements, all emitted to `BENCH_dynamics.json`:
 //!
 //! * **posts filtered/sec** — a toxicity-storm run: every delivery goes
 //!   through the receiver's `MrfPipeline::filter_fast` *and* the
-//!   Perspective scorer. Acceptance gate: ≥ 1 M simulated
+//!   Perspective scorer, with a [`LiveNetBridge`] attached the whole
+//!   time (the acceptance gate covers the round-trip configuration,
+//!   not just the bare engine). Gate: ≥ 1 M simulated
 //!   post-deliveries/sec (asserted below, like `perf_scorer`'s 5×).
+//! * **composite posts/sec** — storm + churn + rollout multiplexed in
+//!   one timeline through the bridge: the composed-scenario workload
+//!   the round-trip census runs against.
 //! * **events/sec** — a churn flood with emissions capped to zero:
 //!   thousands of outage/recovery events through the binary-heap queue
 //!   with no measurement work, isolating control-phase throughput.
@@ -18,11 +23,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use fediscope_dynamics::scenarios::{
-    CascadeConfig, ChurnConfig, ChurnScenario, DefederationCascadeScenario, StormConfig,
-    ToxicityStormScenario,
+    CascadeConfig, ChurnConfig, ChurnScenario, Composite, DefederationCascadeScenario,
+    PolicyRolloutScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
 };
-use fediscope_dynamics::{DynamicsConfig, DynamicsEngine, DynamicsTrace};
+use fediscope_dynamics::{DynamicsConfig, DynamicsEngine, DynamicsTrace, LiveNetBridge};
+use fediscope_simnet::SimNet;
 use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The bench world: a fifth-scale population (≈ 2 K instances) with the
@@ -39,6 +46,15 @@ fn bench_seeds() -> ScenarioSeeds {
     ScenarioSeeds::from_world(&World::generate(config))
 }
 
+/// Attaches a live-net bridge (the round-trip configuration): every
+/// event the run applies is also mirrored onto a `SimNet`. No servers —
+/// failure injection alone is the hot bridge path a census exercises.
+fn bridge(engine: &mut DynamicsEngine) {
+    let net = Arc::new(SimNet::new());
+    let bridge = LiveNetBridge::new(net, engine.state());
+    engine.attach_sink(Box::new(bridge));
+}
+
 fn storm_engine(seeds: &ScenarioSeeds) -> (DynamicsEngine, ToxicityStormScenario) {
     let config = DynamicsConfig {
         seed: seeds.seed,
@@ -51,11 +67,36 @@ fn storm_engine(seeds: &ScenarioSeeds) -> (DynamicsEngine, ToxicityStormScenario
         duration: fediscope_core::time::SimDuration::days(30),
         multiplier: 12.0,
     });
-    (DynamicsEngine::new(config, seeds), scenario)
+    let mut engine = DynamicsEngine::new(config, seeds);
+    bridge(&mut engine);
+    (engine, scenario)
 }
 
 fn run_storm(seeds: &ScenarioSeeds) -> DynamicsTrace {
     let (mut engine, mut scenario) = storm_engine(seeds);
+    engine.run(&mut scenario)
+}
+
+/// The composed round-trip workload: the storm burst multiplexed with
+/// the §3 outage wave and a staged rollout, bridge attached.
+fn run_composite(seeds: &ScenarioSeeds) -> DynamicsTrace {
+    let config = DynamicsConfig {
+        seed: seeds.seed,
+        ticks: 10,
+        ..DynamicsConfig::default()
+    };
+    let mut engine = DynamicsEngine::new(config, seeds);
+    bridge(&mut engine);
+    let mut scenario = Composite::new()
+        .with(Box::new(ToxicityStormScenario::new(StormConfig {
+            start_offset: fediscope_core::time::SimDuration::hours(4),
+            duration: fediscope_core::time::SimDuration::days(30),
+            multiplier: 12.0,
+        })))
+        .with(Box::new(ChurnScenario::new(ChurnConfig::default())))
+        .with(Box::new(PolicyRolloutScenario::new(
+            RolloutConfig::default(),
+        )));
     engine.run(&mut scenario)
 }
 
@@ -103,11 +144,21 @@ fn best_rate<F: FnMut() -> u64>(n: usize, mut f: F) -> f64 {
     best
 }
 
-fn emit_json(posts_per_sec: f64, events_per_sec: f64, delivered: u64, events: u64) {
+fn emit_json(
+    posts_per_sec: f64,
+    events_per_sec: f64,
+    delivered: u64,
+    events: u64,
+    composite_delivered: u64,
+    composite_posts_per_sec: f64,
+) {
     let report = serde_json::json!({
         "bench": "perf_dynamics",
+        "bridge_attached": true,
         "storm_deliveries_per_run": delivered,
         "posts_filtered_per_sec": posts_per_sec,
+        "composite_deliveries_per_run": composite_delivered,
+        "composite_posts_per_sec": composite_posts_per_sec,
         "flood_events_per_run": events,
         "events_per_sec": events_per_sec,
         "threads": rayon::current_num_threads(),
@@ -151,6 +202,19 @@ fn bench_dynamics(c: &mut Criterion) {
         "storm must saturate ({delivered} posts)"
     );
 
+    // The composed round-trip workload must be deterministic too.
+    let composite_reference = run_composite(&seeds);
+    assert_eq!(
+        composite_reference.digest(),
+        run_composite(&seeds).digest(),
+        "composite runs must be reproducible"
+    );
+    let composite_delivered = composite_reference.total_delivered();
+    assert!(
+        composite_delivered > 100_000,
+        "composite must saturate ({composite_delivered} posts)"
+    );
+
     // Each workload delivers a different post count per run; declare the
     // matching throughput before each bench so elem/s is in that bench's
     // own units.
@@ -160,6 +224,10 @@ fn bench_dynamics(c: &mut Criterion) {
     group.bench_function("toxicity_storm", |b| {
         b.iter(|| black_box(run_storm(&seeds).total_delivered()))
     });
+    group.throughput(Throughput::Elements(composite_delivered));
+    group.bench_function("composite_storm_churn_rollout", |b| {
+        b.iter(|| black_box(run_composite(&seeds).total_delivered()))
+    });
     group.throughput(Throughput::Elements(cascade_delivered));
     group.bench_function("defederation_cascade", |b| {
         b.iter(|| black_box(run_cascade(&seeds).total_delivered()))
@@ -168,6 +236,7 @@ fn bench_dynamics(c: &mut Criterion) {
 
     // Acceptance measurement + machine-readable trajectory record.
     let posts_per_sec = best_rate(5, || run_storm(&seeds).total_delivered());
+    let composite_posts_per_sec = best_rate(3, || run_composite(&seeds).total_delivered());
     let flood = run_event_flood(&seeds);
     let flood_events: u64 = flood.ticks.iter().map(|t| t.events).sum();
     assert!(
@@ -179,14 +248,22 @@ fn bench_dynamics(c: &mut Criterion) {
         t.ticks.iter().map(|x| x.events).sum()
     });
     println!(
-        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec, {flood_events} flood events/run, {:.0} events/sec",
+        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec (bridged), {composite_delivered} composite deliveries/run, {:.2} M composite posts/sec, {flood_events} flood events/run, {:.0} events/sec",
         posts_per_sec / 1e6,
+        composite_posts_per_sec / 1e6,
         events_per_sec
     );
-    emit_json(posts_per_sec, events_per_sec, delivered, flood_events);
+    emit_json(
+        posts_per_sec,
+        events_per_sec,
+        delivered,
+        flood_events,
+        composite_delivered,
+        composite_posts_per_sec,
+    );
     assert!(
         posts_per_sec >= 1.0e6,
-        "dynamics acceptance: expected >= 1M simulated post-deliveries/sec through filter_fast, measured {posts_per_sec:.0}"
+        "dynamics acceptance: expected >= 1M simulated post-deliveries/sec through filter_fast with the bridge attached, measured {posts_per_sec:.0}"
     );
 }
 

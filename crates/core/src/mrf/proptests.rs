@@ -234,6 +234,86 @@ proptest! {
         }
     }
 
+    /// `filter_fast` agrees with `filter` on every *partially rolled
+    /// out* pipeline: a staged rollout grows an instance's config by
+    /// repeated `SimplePolicy::merge` (one wave at a time, exactly what
+    /// the dynamics engine's `AdoptWave` replays), and the compiled
+    /// pipeline after every wave must keep the two filter paths in
+    /// lockstep — identical verdict and identical surviving activity.
+    #[test]
+    fn filter_fast_agrees_with_filter_across_rollout_waves(
+        post in arb_post(),
+        reject_domains in proptest::collection::vec("[a-z]{2,6}\\.[a-z]{2,3}", 0..9),
+        nsfw_domains in proptest::collection::vec("[a-z]{2,6}\\.[a-z]{2,3}", 0..5),
+        target_origin in any::<bool>(),
+        extra_kinds_mask in any::<u64>(),
+        waves in 1_usize..6,
+    ) {
+        use crate::rollout::PolicyRollout;
+        use crate::time::SimDuration;
+
+        let (local, dir) = ctx_bits();
+        // The final config a rollout converges to: a SimplePolicy with
+        // arbitrary reject / media-NSFW lists (optionally including the
+        // post's own origin, so both verdicts get exercised) plus a
+        // random slice of the catalog.
+        let mut simple = SimplePolicy::new();
+        for d in &reject_domains {
+            simple.add_target(SimpleAction::Reject, Domain::new(d.clone()));
+        }
+        if target_origin {
+            simple.add_target(SimpleAction::Reject, post.author.domain.clone());
+        }
+        for d in &nsfw_domains {
+            simple.add_target(SimpleAction::MediaNsfw, Domain::new(d.clone()));
+        }
+        let mut target = crate::config::InstanceModerationConfig::pleroma_default();
+        for (i, entry) in crate::catalog::PolicyCatalog::global().entries().iter().enumerate() {
+            if extra_kinds_mask & (1 << (i % 64)) != 0 {
+                target.enable(entry.kind);
+            }
+        }
+        target.set_simple(simple);
+
+        // Replay the staged adoption: merge wave after wave, checking
+        // the two filter paths against each other at every stage.
+        let rollout = PolicyRollout::staged(&target, waves, SimDuration::hours(8));
+        prop_assert_eq!(rollout.waves.len(), waves);
+        let mut config = crate::config::InstanceModerationConfig::default();
+        for (w, wave) in rollout.waves.iter().enumerate() {
+            config.apply_wave(wave);
+            let pipeline = config.build_pipeline();
+            let act = Activity::create(ActivityId(1), post.clone());
+            let ctx1 = PolicyContext::new(&local, SimTime(0), &dir);
+            let traced = pipeline.filter(&ctx1, act.clone());
+            let ctx2 = PolicyContext::new(&local, SimTime(0), &dir);
+            let fast = pipeline.filter_fast(&ctx2, act);
+            match (&traced.verdict, &fast) {
+                (PolicyVerdict::Pass(a), PolicyVerdict::Pass(b)) => {
+                    prop_assert_eq!(format!("{a:?}"), format!("{b:?}"), "wave {}", w);
+                }
+                (PolicyVerdict::Reject(a), PolicyVerdict::Reject(b)) => {
+                    prop_assert_eq!(a, b, "wave {}", w);
+                }
+                _ => prop_assert!(
+                    false,
+                    "filter/filter_fast diverged after wave {}: {:?} vs {:?}",
+                    w,
+                    traced.verdict,
+                    fast
+                ),
+            }
+        }
+        // The fully merged config rejects the origin iff the target does
+        // (local activities are exempt from SimplePolicy, so skip the
+        // astronomically unlikely local-origin draw).
+        if target_origin && post.author.domain.as_str() != "home.example" {
+            let ctx = PolicyContext::new(&local, SimTime(0), &dir);
+            let act = Activity::create(ActivityId(1), post.clone());
+            prop_assert!(!config.build_pipeline().filter_fast(&ctx, act).is_pass());
+        }
+    }
+
     /// SimplePolicy events() always agrees with targets(): the number of
     /// events equals the sum of per-action list lengths, and removal
     /// shrinks it by exactly one.

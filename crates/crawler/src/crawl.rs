@@ -285,7 +285,7 @@ mod tests {
     use fediscope_core::model::{InstanceKind, InstanceProfile, Post, SoftwareVersion, User};
     use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
     use fediscope_server::InstanceServer;
-    use fediscope_simnet::FailureMode;
+    use fediscope_simnet::{Endpoint, FailureMode};
 
     fn make_server(domain: &str, id: u32, posts: u64) -> Arc<InstanceServer> {
         let profile = InstanceProfile {
@@ -459,6 +459,137 @@ mod tests {
         let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
         let dataset = crawler.run(&[Domain::new("a.example")]).await;
         assert!(dataset.by_domain("c.example").unwrap().crawled());
+    }
+
+    #[tokio::test]
+    async fn fully_down_network_census_is_empty_but_wellformed() {
+        // Every §3 failure mode, no endpoint behind any of them: the
+        // census dataset is empty of content but structurally sound.
+        let net = Arc::new(SimNet::new());
+        let modes = [
+            FailureMode::NotFound,
+            FailureMode::Forbidden,
+            FailureMode::BadGateway,
+            FailureMode::Unavailable,
+            FailureMode::Gone,
+        ];
+        let directory: Vec<Domain> = modes
+            .iter()
+            .enumerate()
+            .map(|(k, mode)| {
+                let d = Domain::new(format!("dead{k}.example"));
+                net.set_failure(d.clone(), *mode);
+                d
+            })
+            .collect();
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let dataset = crawler.run(&directory).await;
+        // One record per directory entry, each with its exact status.
+        assert_eq!(dataset.instances.len(), directory.len());
+        for (k, d) in directory.iter().enumerate() {
+            let inst = dataset.by_domain(d.as_str()).unwrap();
+            let want = modes[k].forced_status().unwrap().0;
+            assert_eq!(inst.outcome, CrawlOutcome::Failed { status: want });
+            assert!(inst.snapshots.is_empty());
+            assert!(inst.metadata.is_none());
+            assert!(inst.peers.is_empty());
+            assert!(matches!(inst.timeline, TimelineCrawl::NotAttempted));
+        }
+        // Aggregates degrade to empty, not to panics.
+        assert_eq!(dataset.pleroma_crawled().count(), 0);
+        assert_eq!(dataset.total_users(), 0);
+        assert_eq!(dataset.total_posts(), 0);
+        assert_eq!(dataset.collected_posts(), 0);
+        assert!(dataset.reject_counts().is_empty());
+        // The net saw exactly one probe per dead instance.
+        assert_eq!(net.stats().failure_taxonomy(), (1, 1, 1, 1, 1));
+    }
+
+    /// The mid-crawl transition contract, pinned: an instance's census
+    /// outcome is decided by its failure mode *at the moment of its own
+    /// first probe*. A `Recover` that lands before that probe includes
+    /// the instance; one that lands after its outcome was recorded is
+    /// invisible until a re-census. (The two tests below set up the
+    /// transition deterministically: the flapping instance is only
+    /// discoverable through a gateway instance whose first request
+    /// triggers the flip, so the flip always precedes the probe.)
+    #[tokio::test]
+    async fn mid_crawl_recover_before_first_probe_is_included() {
+        let net = Arc::new(SimNet::new());
+        let gateway = make_server("gateway.example", 1, 1);
+        gateway.note_peer(&Domain::new("lazarus.example"));
+        let lazarus = make_server("lazarus.example", 2, 3);
+        net.register(lazarus.domain().clone(), lazarus);
+        net.set_failure(Domain::new("lazarus.example"), FailureMode::BadGateway);
+        // The gateway's first served request heals lazarus — strictly
+        // before lazarus can be discovered (discovery needs the
+        // gateway's peers, i.e. a later request).
+        let healed = std::sync::atomic::AtomicBool::new(false);
+        let net2 = Arc::clone(&net);
+        net.register_fn(Domain::new("gateway.example"), move |req| {
+            if !healed.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                net2.set_failure(Domain::new("lazarus.example"), FailureMode::Healthy);
+            }
+            gateway.handle(req)
+        });
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let dataset = crawler.run(&[Domain::new("gateway.example")]).await;
+        let inst = dataset.by_domain("lazarus.example").unwrap();
+        assert!(inst.crawled(), "recovered before first probe ⇒ included");
+        assert_eq!(inst.timeline.posts().len(), 3);
+    }
+
+    #[tokio::test]
+    async fn mid_crawl_death_before_first_probe_is_excluded() {
+        let net = Arc::new(SimNet::new());
+        let gateway = make_server("gateway.example", 1, 1);
+        gateway.note_peer(&Domain::new("victim.example"));
+        let victim = make_server("victim.example", 2, 3);
+        net.register(victim.domain().clone(), victim);
+        // Healthy at campaign start; the gateway's first served request
+        // kills it — before it can be discovered.
+        let killed = std::sync::atomic::AtomicBool::new(false);
+        let net2 = Arc::clone(&net);
+        net.register_fn(Domain::new("gateway.example"), move |req| {
+            if !killed.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                net2.set_failure(Domain::new("victim.example"), FailureMode::NotFound);
+            }
+            gateway.handle(req)
+        });
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let dataset = crawler.run(&[Domain::new("gateway.example")]).await;
+        let inst = dataset.by_domain("victim.example").unwrap();
+        assert_eq!(
+            inst.outcome,
+            CrawlOutcome::Failed { status: 404 },
+            "died before first probe ⇒ excluded, with the §3 status"
+        );
+        assert!(inst.timeline.posts().is_empty());
+    }
+
+    #[tokio::test]
+    async fn recovery_after_the_campaign_needs_a_recensus() {
+        // Within one campaign a recorded outcome is never revisited:
+        // snapshot rounds only repoll successfully crawled instances.
+        // Recovery becomes visible exactly at the next census — the
+        // round-trip driver's cadence is built on this contract.
+        let net = Arc::new(SimNet::new());
+        let a = make_server("a.example", 1, 2);
+        register(&net, a);
+        net.set_failure(Domain::new("a.example"), FailureMode::Unavailable);
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let first = crawler.run(&[Domain::new("a.example")]).await;
+        let inst = first.by_domain("a.example").unwrap();
+        assert_eq!(inst.outcome, CrawlOutcome::Failed { status: 503 });
+        assert!(
+            inst.snapshots.is_empty(),
+            "failed instances are not repolled"
+        );
+        net.set_failure(Domain::new("a.example"), FailureMode::Healthy);
+        let second = crawler.run(&[Domain::new("a.example")]).await;
+        let inst = second.by_domain("a.example").unwrap();
+        assert!(inst.crawled(), "the re-census observes the recovery");
+        assert_eq!(inst.timeline.posts().len(), 2);
     }
 
     #[tokio::test]

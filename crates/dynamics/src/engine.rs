@@ -19,6 +19,7 @@
 
 use crate::event::{Event, EventQueue};
 use crate::scenario::Scenario;
+use crate::sink::EventSink;
 use crate::state::NetworkState;
 use crate::trace::{failure_mix_index, DynamicsTrace, TickTrace};
 use fediscope_core::mrf::{NullActorDirectory, PolicyContext, PolicyVerdict};
@@ -86,6 +87,9 @@ pub struct DynamicsEngine {
     state: NetworkState,
     queue: EventQueue,
     scorer: Scorer,
+    sink: Option<Box<dyn EventSink>>,
+    ctrl_rng: Option<SmallRng>,
+    next_tick: u64,
 }
 
 impl DynamicsEngine {
@@ -96,6 +100,9 @@ impl DynamicsEngine {
             state: NetworkState::from_seeds(seeds),
             queue: EventQueue::new(),
             scorer: Scorer::new(),
+            sink: None,
+            ctrl_rng: None,
+            next_tick: 0,
         }
     }
 
@@ -109,10 +116,24 @@ impl DynamicsEngine {
         &self.config
     }
 
+    /// Attaches an [`EventSink`] that mirrors every applied event (and
+    /// scenario-`init` state rewrites, via [`EventSink::sync`]) onto an
+    /// external system — a [`crate::LiveNetBridge`] keeping a live
+    /// `SimNet` in step with the engine. The sink never feeds back into
+    /// the engine, so the determinism contract is unaffected.
+    pub fn attach_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the sink, returning it (e.g. to read bridge counters).
+    pub fn detach_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
+    }
+
     /// Applies one event; returns whether it changed state (the
     /// propagation gate scenarios key their follow-up scheduling on).
     fn apply(&mut self, event: &Event) -> bool {
-        match event {
+        let applied = match event {
             Event::AdoptWave { instance, wave } => self.state.apply_wave(*instance, wave),
             Event::Defederate { instance, target } => self.state.defederate(*instance, *target),
             Event::GoDown { instance, mode } => self.state.set_failure(*instance, *mode),
@@ -120,12 +141,24 @@ impl DynamicsEngine {
                 .state
                 .set_failure(*instance, fediscope_simnet::FailureMode::Healthy),
             Event::SetRate { instance, rate } => self.state.set_rate(*instance, *rate),
+        };
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_event(event, applied, &self.state);
         }
+        applied
     }
 
-    /// Runs `scenario` for the configured number of ticks and returns
-    /// the trace.
-    pub fn run(&mut self, scenario: &mut dyn Scenario) -> DynamicsTrace {
+    /// Starts a run: resets the clock and queue, seeds the control RNG,
+    /// lets `scenario` prepare state and schedule its opening events, and
+    /// re-syncs any attached sink to the post-`init` state (scenarios
+    /// rewrite state directly in `init` — failure resets, moderation
+    /// strips — which never flows through [`Self::apply`]).
+    ///
+    /// [`Self::run`] calls this internally; call it directly only when
+    /// driving the tick loop by hand via [`Self::step`] — the
+    /// dynamics↔simnet round-trip does, to interleave census crawls
+    /// between ticks.
+    pub fn begin(&mut self, scenario: &mut dyn Scenario) {
         // One deterministic control stream for the whole run; only the
         // single-threaded control phase draws from it.
         let mut ctrl_rng = SmallRng::seed_from_u64(
@@ -134,44 +167,80 @@ impl DynamicsEngine {
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(0x5ced_1534),
         );
+        self.queue = EventQueue::new();
+        self.next_tick = 0;
         scenario.init(
             self.config.start,
             &mut self.state,
             &mut self.queue,
             &mut ctrl_rng,
         );
-
-        let mut ticks = Vec::with_capacity(self.config.ticks as usize);
-        for tick in 0..self.config.ticks {
-            let now = self.config.start + SimDuration(self.config.tick_len.0 * tick);
-            // ---- control phase: apply due events in total order ----
-            let mut events = 0u64;
-            while let Some(scheduled) = self.queue.pop_due(now) {
-                let applied = self.apply(&scheduled.event);
-                scenario.after_event(
-                    &scheduled,
-                    applied,
-                    &self.state,
-                    &mut self.queue,
-                    &mut ctrl_rng,
-                );
-                events += 1;
-            }
-            // ---- measurement phase: read-only per-instance fan-out ----
-            let state = &self.state;
-            let scorer = &self.scorer;
-            let config = &self.config;
-            let metrics: Vec<InstanceTick> = (0..state.len())
-                .into_par_iter()
-                .map(|r| measure_receiver(state, config, scorer, tick, now, r))
-                .collect();
-            ticks.push(self.aggregate(tick, now, events, &metrics));
+        self.ctrl_rng = Some(ctrl_rng);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.sync(&self.state);
         }
+    }
+
+    /// Runs one tick — control phase (events in total order), then the
+    /// parallel measurement phase — and returns its trace row. Returns
+    /// `None` once the configured tick budget is spent. Requires
+    /// [`Self::begin`] first.
+    pub fn step(&mut self, scenario: &mut dyn Scenario) -> Option<TickTrace> {
+        if self.next_tick >= self.config.ticks {
+            return None;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let now = self.config.start + SimDuration(self.config.tick_len.0 * tick);
+        // ---- control phase: apply due events in total order ----
+        let mut ctrl_rng = self
+            .ctrl_rng
+            .take()
+            .expect("begin() must run before step()");
+        let mut events = 0u64;
+        while let Some(scheduled) = self.queue.pop_due(now) {
+            let applied = self.apply(&scheduled.event);
+            scenario.after_event(
+                &scheduled,
+                applied,
+                &self.state,
+                &mut self.queue,
+                &mut ctrl_rng,
+            );
+            events += 1;
+        }
+        self.ctrl_rng = Some(ctrl_rng);
+        // ---- measurement phase: read-only per-instance fan-out ----
+        let state = &self.state;
+        let scorer = &self.scorer;
+        let config = &self.config;
+        let metrics: Vec<InstanceTick> = (0..state.len())
+            .into_par_iter()
+            .map(|r| measure_receiver(state, config, scorer, tick, now, r))
+            .collect();
+        Some(self.aggregate(tick, now, events, &metrics))
+    }
+
+    /// Assembles the run's trace from stepped-out tick rows — the one
+    /// definition of trace construction, shared by [`Self::run`] and
+    /// external step drivers (the census round-trip).
+    pub fn finish(&self, scenario: &dyn Scenario, ticks: Vec<TickTrace>) -> DynamicsTrace {
         DynamicsTrace {
             scenario: scenario.name().to_string(),
             seed: self.config.seed,
             ticks,
         }
+    }
+
+    /// Runs `scenario` for the configured number of ticks and returns
+    /// the trace.
+    pub fn run(&mut self, scenario: &mut dyn Scenario) -> DynamicsTrace {
+        self.begin(scenario);
+        let mut ticks = Vec::with_capacity(self.config.ticks as usize);
+        while let Some(tick) = self.step(scenario) {
+            ticks.push(tick);
+        }
+        self.finish(scenario, ticks)
     }
 
     /// Sequentially folds per-instance metrics into a [`TickTrace`] —

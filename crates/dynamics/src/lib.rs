@@ -27,7 +27,31 @@
 //!   paper's static figures;
 //! * the [`Scenario`] trait with four shipped scenarios
 //!   ([`scenarios`]): staged policy rollout, defederation cascade,
-//!   §3-taxonomy instance churn, and a toxicity-storm burst workload.
+//!   §3-taxonomy instance churn, and a toxicity-storm burst workload —
+//!   plus [`scenarios::Composite`], which multiplexes any of them over
+//!   one timeline (storm + churn + rollout in a single run) with
+//!   deterministic per-sub RNG stream splitting;
+//! * [`LiveNetBridge`] — the dynamics ↔ simnet round-trip: an
+//!   [`EventSink`] that mirrors `GoDown`/`Recover` onto a shared
+//!   [`fediscope_simnet::SimNet`] via `set_failure` and tears follow
+//!   edges down through `InstanceServer::defederate`, so the §3
+//!   crawler can census a *churning* network mid-scenario (the async
+//!   driver lives in the root crate's `fediscope::census`).
+//!
+//! # Time: ticks vs. wall clock
+//!
+//! The engine has no wall clock. One tick spans
+//! [`DynamicsConfig::tick_len`] of *logical* time — by default the
+//! paper's 4-hour snapshot cadence
+//! ([`fediscope_core::time::SNAPSHOT_INTERVAL`]), so 6 ticks ≈ one
+//! simulated day and the default 42-tick run ≈ one simulated week.
+//! Tick `t` carries the logical timestamp `start + tick_len × t`;
+//! nothing anywhere maps ticks to real seconds, which is why traces are
+//! reproducible on any machine at any load. Round-trip census runs are
+//! paced in the same units: [`CensusCadence::every_ticks`] (default 6,
+//! i.e. one census per simulated day; tick 0 and the final tick always
+//! census) decides after which ticks the crawler re-measures the
+//! bridged network.
 //!
 //! # Determinism
 //!
@@ -54,17 +78,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bridge;
 mod engine;
 mod event;
 mod scenario;
+mod sink;
 mod state;
 mod trace;
 
 pub mod scenarios;
 
+pub use bridge::{BridgeStats, CensusCadence, CensusSnapshot, LiveNetBridge};
 pub use engine::{DynamicsConfig, DynamicsEngine};
 pub use event::{Event, EventQueue, Scheduled};
 pub use scenario::Scenario;
+pub use sink::EventSink;
 pub use state::{InstanceState, NetworkState, PostTemplate};
 pub use trace::{failure_mix_index, DynamicsTrace, TickTrace};
 

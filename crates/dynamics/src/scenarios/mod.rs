@@ -1,11 +1,14 @@
-//! The shipped scenarios: rollout, cascade, churn, storm.
+//! The shipped scenarios: rollout, cascade, churn, storm — and the
+//! [`Composite`] multiplexer that runs any of them in one timeline.
 
 mod cascade;
 mod churn;
+mod composite;
 mod rollout;
 mod storm;
 
 pub use cascade::{CascadeConfig, DefederationCascadeScenario};
 pub use churn::{ChurnConfig, ChurnScenario};
+pub use composite::Composite;
 pub use rollout::{PolicyRolloutScenario, RolloutConfig};
 pub use storm::{StormConfig, ToxicityStormScenario};

@@ -688,4 +688,33 @@ mod tests {
             .unwrap()
             .matches(SimpleAction::Reject, &Domain::new("bad.example")));
     }
+
+    #[test]
+    fn defederate_twice_and_on_unknown_domains_is_idempotent() {
+        let s = make_server("home.example");
+        let local = UserRef::new(UserId(1), Domain::new("home.example"));
+        let fan = UserRef::new(UserId(1001), Domain::new("bad.example"));
+        s.follow(fan.clone(), local.clone());
+        assert_eq!(s.defederate(&Domain::new("bad.example")), 1);
+        // A repeated block finds no edges left and must not grow the
+        // reject list (a cascade replaying the same block, or a bridge
+        // mirroring a re-applied event, must stay a no-op).
+        assert_eq!(s.defederate(&Domain::new("bad.example")), 0);
+        let rejects = s
+            .moderation()
+            .simple
+            .as_ref()
+            .unwrap()
+            .targets(SimpleAction::Reject)
+            .len();
+        assert_eq!(rejects, 1, "reject list must not double-add");
+        // Defederating from a domain with no links: the block is
+        // recorded (an admin can pre-emptively blocklist), but zero
+        // edges fall and repeating it still adds nothing.
+        assert_eq!(s.defederate(&Domain::new("never-met.example")), 0);
+        assert_eq!(s.defederate(&Domain::new("never-met.example")), 0);
+        let m = s.moderation();
+        let targets = m.simple.as_ref().unwrap().targets(SimpleAction::Reject);
+        assert_eq!(targets.len(), 2);
+    }
 }

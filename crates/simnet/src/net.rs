@@ -397,6 +397,44 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn status_counters_never_double_count() {
+        // Every request lands in exactly one bucket — tracked status,
+        // other status, or net error — no matter how often the failure
+        // mode is (re-)set. A bridge re-applying `set_failure` with the
+        // same mode each tick must not inflate anything on its own:
+        // counters move on *requests*, never on configuration.
+        let net = SimNet::new();
+        let d = Domain::new("flappy.example");
+        net.register(d.clone(), hello_endpoint());
+        for _ in 0..5 {
+            net.set_failure(d.clone(), FailureMode::BadGateway);
+        }
+        assert_eq!(net.stats().snapshot().0, 0, "set_failure is not a request");
+        assert_eq!(net.stats().status_counts().values().sum::<u64>(), 0);
+        for _ in 0..3 {
+            let _ = net.get(&d, "/hello").await;
+        }
+        net.set_failure(d.clone(), FailureMode::Healthy);
+        net.set_failure(d.clone(), FailureMode::Healthy);
+        for _ in 0..2 {
+            let _ = net.get(&d, "/hello").await;
+        }
+        let _ = net.get(&Domain::new("ghost.example"), "/x").await;
+        let (requests, injected, net_errors) = net.stats().snapshot();
+        assert_eq!(requests, 6);
+        assert_eq!(injected, 3);
+        assert_eq!(net_errors, 1);
+        assert_eq!(net.stats().status_count(StatusCode::BAD_GATEWAY), 3);
+        assert_eq!(net.stats().status_count(StatusCode::OK), 2);
+        // The accounting identity: every request is counted exactly once.
+        let by_status: u64 = net.stats().status_counts().values().sum();
+        assert_eq!(
+            by_status + net.stats().status_other() + net_errors,
+            requests
+        );
+    }
+
+    #[tokio::test]
     async fn host_registry_queries() {
         let net = SimNet::new();
         assert_eq!(net.host_count(), 0);

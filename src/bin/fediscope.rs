@@ -14,6 +14,8 @@
 //! fediscope dynamics cascade                        # defederation cascade
 //! fediscope dynamics churn                          # §3 failure churn
 //! fediscope dynamics storm                          # toxicity-storm burst
+//! fediscope dynamics composite                      # storm+churn+rollout in one timeline
+//! fediscope dynamics census --census-every 6        # live census under churn (round-trip)
 //! ```
 
 use fediscope::harness;
@@ -26,7 +28,8 @@ fn usage() -> ExitCode {
     eprintln!("USAGE:");
     eprintln!("  fediscope crawl [--scale S] [--post-scale P] [--seed N] [--out FILE]");
     eprintln!("  fediscope report FILE <census|headline|table1|table2|fig1|fig2|fig3|curate|ablation|graph>");
-    eprintln!("  fediscope dynamics <rollout|cascade|churn|storm> [--scale S] [--seed N] [--ticks T] [--out FILE]");
+    eprintln!("  fediscope dynamics <rollout|cascade|churn|storm|composite> [--scale S] [--seed N] [--ticks T] [--out FILE]");
+    eprintln!("  fediscope dynamics census [--scale S] [--seed N] [--ticks T] [--census-every C] [--out FILE]");
     ExitCode::from(2)
 }
 
@@ -49,7 +52,7 @@ fn main() -> ExitCode {
 
 fn dynamics(args: &[String]) -> ExitCode {
     use fediscope::dynamics::scenarios::{
-        CascadeConfig, ChurnConfig, ChurnScenario, DefederationCascadeScenario,
+        CascadeConfig, ChurnConfig, ChurnScenario, Composite, DefederationCascadeScenario,
         PolicyRolloutScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
     };
     let Some(which) = args.first() else {
@@ -68,11 +71,28 @@ fn dynamics(args: &[String]) -> ExitCode {
     let ticks: u64 = parse_flag(args, "--ticks")
         .and_then(|v| v.parse().ok())
         .unwrap_or(36);
+    // The composed timeline the round-trip and `composite` both run:
+    // a toxicity storm erupting while the §3 outage wave unfolds and a
+    // staged MRF rollout races both.
+    let trio = || {
+        Box::new(
+            Composite::new()
+                .with(Box::new(ToxicityStormScenario::new(StormConfig::default())))
+                .with(Box::new(ChurnScenario::new(ChurnConfig::default())))
+                .with(Box::new(PolicyRolloutScenario::new(
+                    RolloutConfig::default(),
+                ))),
+        )
+    };
+    if which == "census" {
+        return census(args, config, ticks, trio());
+    }
     let mut scenario: Box<dyn fediscope::dynamics::Scenario> = match which.as_str() {
         "rollout" => Box::new(PolicyRolloutScenario::new(RolloutConfig::default())),
         "cascade" => Box::new(DefederationCascadeScenario::new(CascadeConfig::default())),
         "churn" => Box::new(ChurnScenario::new(ChurnConfig::default())),
         "storm" => Box::new(ToxicityStormScenario::new(StormConfig::default())),
+        "composite" => trio(),
         _ => return usage(),
     };
     eprintln!(
@@ -118,6 +138,87 @@ fn dynamics(args: &[String]) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("failed to serialize trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The dynamics ↔ simnet round-trip: run the composed scenario against
+/// a live network and re-census it mid-decay.
+fn census(
+    args: &[String],
+    config: WorldConfig,
+    ticks: u64,
+    mut scenario: Box<fediscope::dynamics::scenarios::Composite>,
+) -> ExitCode {
+    let every_ticks: u64 = parse_flag(args, "--census-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    eprintln!(
+        "generating world (seed {}, scale {}) and materialising the live net ...",
+        config.seed, config.scale
+    );
+    let world = World::generate(config);
+    let seeds = ScenarioSeeds::from_world(&world);
+    let round_trip_config = fediscope::census::RoundTripConfig {
+        engine: fediscope::dynamics::DynamicsConfig {
+            seed: seeds.seed,
+            ticks,
+            ..Default::default()
+        },
+        crawler: CrawlerConfig::default(),
+        cadence: fediscope::dynamics::CensusCadence { every_ticks },
+    };
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    let result = rt.block_on(async {
+        eprintln!(
+            "round-tripping {} over {} instances for {ticks} ticks (census every {every_ticks}) ...",
+            scenario.sub_names().join("+"),
+            seeds.instances.len(),
+        );
+        fediscope::census::run_round_trip_seeded(
+            &world,
+            &seeds,
+            scenario.as_mut(),
+            round_trip_config,
+        )
+        .await
+    });
+    println!(
+        "{}",
+        fediscope::analysis::dynamics::render_census(&result.census)
+    );
+    println!(
+        "{}",
+        fediscope::analysis::dynamics::render_dynamics(&result.trace)
+    );
+    let (n404, n403, n502, n503, n410) = result.net.stats().failure_taxonomy();
+    println!(
+        "bridge: {} deaths, {} recoveries, {} defederations mirrored   probe statuses: 404×{n404} 403×{n403} 502×{n502} 503×{n503} 410×{n410}",
+        result.bridge.failures_applied(),
+        result.bridge.recoveries_applied(),
+        result.bridge.defederations_applied(),
+    );
+    if let Some(out) = parse_flag(args, "--out") {
+        let body = serde_json::json!({
+            "trace": result.trace,
+            "census": result.census,
+        });
+        match serde_json::to_string_pretty(&body) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(&out, body + "\n") {
+                    eprintln!("failed to write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("round-trip written to {out}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize round-trip: {e}");
                 return ExitCode::FAILURE;
             }
         }

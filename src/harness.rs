@@ -44,18 +44,40 @@ impl Materialized {
 ///
 /// Requires a tokio runtime (endpoint registration spawns serving tasks).
 pub fn materialize(world: &World) -> Materialized {
+    materialize_inner(world, false)
+}
+
+/// Like [`materialize`], but builds and registers a server for *every*
+/// instance — including the §3 casualties, which still get their seed
+/// failure mode injected on top.
+///
+/// [`materialize`] leaves dead instances endpoint-less (nothing behind
+/// the injection), which is all a static campaign needs. A dynamics
+/// round-trip needs more: churn scenarios *recover* instances over
+/// time, and a `LiveNetBridge` clearing the injection must uncover a
+/// working endpoint, not an unknown host. Same server-building fan-out,
+/// same runtime requirement.
+pub fn materialize_full(world: &World) -> Materialized {
+    materialize_inner(world, true)
+}
+
+fn materialize_inner(world: &World, include_failed: bool) -> Materialized {
     let net = Arc::new(SimNet::new());
-    let mut healthy: Vec<&GeneratedInstance> = Vec::with_capacity(world.instances.len());
+    let mut served: Vec<&GeneratedInstance> = Vec::with_capacity(world.instances.len());
     for inst in &world.instances {
         if inst.failure != fediscope_simnet::FailureMode::Healthy {
-            // Dead instances answer with their failure status; no server
-            // needed behind the injection.
+            // Dead instances answer with their failure status; the
+            // endpoint behind the injection (if any) stays shielded
+            // until something heals the domain.
             net.set_failure(inst.profile.domain.clone(), inst.failure);
+            if include_failed {
+                served.push(inst);
+            }
         } else {
-            healthy.push(inst);
+            served.push(inst);
         }
     }
-    let built: Vec<(Domain, Arc<InstanceServer>)> = healthy
+    let built: Vec<(Domain, Arc<InstanceServer>)> = served
         .par_iter()
         .map(|inst| {
             let server = Arc::new(InstanceServer::new(
@@ -108,6 +130,39 @@ mod tests {
         let gen = world.by_domain("freespeechextremist.com").unwrap();
         assert_eq!(fse.user_count(), gen.users.len());
         assert_eq!(fse.post_count(), gen.post_count());
+    }
+
+    #[tokio::test]
+    async fn materialize_full_serves_the_casualties_too() {
+        let world = fediscope_synthgen::World::generate(WorldConfig::test_small());
+        let m = materialize_full(&world);
+        assert_eq!(m.servers.len(), world.instances.len());
+        assert_eq!(m.net.host_count(), world.instances.len());
+        // A §3 casualty still answers its failure status (injection
+        // shields the endpoint) ...
+        let dead = world
+            .instances
+            .iter()
+            .find(|i| i.failure != fediscope_simnet::FailureMode::Healthy)
+            .expect("the seed world has casualties");
+        assert_eq!(m.net.failure_of(&dead.profile.domain), dead.failure);
+        let resp = m
+            .net
+            .get(&dead.profile.domain, "/nodeinfo/2.0")
+            .await
+            .unwrap();
+        assert!(!resp.is_success());
+        // ... until something heals it, which uncovers a live server.
+        m.net.set_failure(
+            dead.profile.domain.clone(),
+            fediscope_simnet::FailureMode::Healthy,
+        );
+        let resp = m
+            .net
+            .get(&dead.profile.domain, "/nodeinfo/2.0")
+            .await
+            .unwrap();
+        assert!(resp.is_success(), "recovered casualty must serve");
     }
 
     #[tokio::test]

@@ -29,7 +29,12 @@
 //!
 //! The [`harness`] module materialises a generated world into running
 //! servers and drives a crawl — the one-call entry point used by the
-//! examples, the integration tests and the benchmark harness.
+//! examples, the integration tests and the benchmark harness. The
+//! [`census`] module couples the two layers: it drives a *live* network
+//! from the dynamics event stream (via
+//! [`fediscope_dynamics::LiveNetBridge`]) and re-runs the §3 census
+//! between ticks, measuring the crawler's under-count bias while the
+//! fleet churns underneath it.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +63,7 @@ pub use fediscope_server as server;
 pub use fediscope_simnet as simnet;
 pub use fediscope_synthgen as synthgen;
 
+pub mod census;
 pub mod harness;
 
 /// Commonly used items in one import.
