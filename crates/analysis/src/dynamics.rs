@@ -25,6 +25,10 @@ pub struct DynamicsRow {
     pub instances_up: u64,
     /// Instances that changed moderation since the run began.
     pub adopted: u64,
+    /// Control-phase events applied this tick (waves, blocks, churn) —
+    /// the control-plane load column: a cascade's burst ticks stand out
+    /// here while the delivery columns stay flat.
+    pub events: u64,
     /// Deliveries attempted this tick.
     pub delivered: u64,
     /// Share of deliveries rejected by MRF pipelines (0 when idle).
@@ -48,6 +52,7 @@ pub fn dynamics_timeseries(trace: &DynamicsTrace) -> Vec<DynamicsRow> {
             links: t.links,
             instances_up: t.instances_up,
             adopted: t.adopted,
+            events: t.events,
             delivered: t.delivered,
             rejected_share: if t.delivered > 0 {
                 t.rejected as f64 / t.delivered as f64
@@ -204,6 +209,7 @@ pub fn render_dynamics(trace: &DynamicsTrace) -> String {
                 r.links.to_string(),
                 r.instances_up.to_string(),
                 r.adopted.to_string(),
+                r.events.to_string(),
                 r.delivered.to_string(),
                 format!("{:.1}%", r.rejected_share * 100.0),
                 r.failed.to_string(),
@@ -220,6 +226,7 @@ pub fn render_dynamics(trace: &DynamicsTrace) -> String {
             "links",
             "up",
             "adopted",
+            "events",
             "delivered",
             "rej%",
             "failed",
@@ -243,7 +250,7 @@ mod tests {
             links,
             instances_up: 9,
             adopted: tick,
-            events: 0,
+            events: tick * 3,
             delivered,
             accepted: delivered - rejected,
             rejected,
@@ -271,6 +278,7 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].links, 30);
         assert!((rows[1].rejected_share - 0.25).abs() < 1e-12);
+        assert_eq!(rows[1].events, 3, "control-phase events flow through");
         assert_eq!(rows[2].day, 0, "tick 2 is 8h in — still campaign day 0");
     }
 

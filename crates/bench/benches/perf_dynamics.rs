@@ -12,8 +12,20 @@
 //!   one timeline through the bridge: the composed-scenario workload
 //!   the round-trip census runs against.
 //! * **events/sec** — a churn flood with emissions capped to zero:
-//!   thousands of outage/recovery events through the binary-heap queue
-//!   with no measurement work, isolating control-phase throughput.
+//!   tens of thousands of outage/recovery events through the calendar
+//!   queue with no measurement work, isolating control-phase throughput.
+//!   Gate: ≥ 2 M events/sec (the engine short-circuits the measurement
+//!   fan-out at `emission_cap: 0` and closes ticks from the state's O(1)
+//!   counters). The flood rate times `DynamicsEngine::run` — the control
+//!   phase proper — with `NetworkState` construction outside the clock.
+//! * **incremental events/sec** — a *policy* flood: every Pleroma
+//!   instance replays the §4.2 heavy-tailed blocklist import (the union
+//!   of the seed world's reject lists, in chunks), racing a
+//!   high-imitation defederation cascade and a staged rollout, emissions
+//!   capped to zero — so every event is an `AdoptWave`/`Defederate`
+//!   mutating a compiled `MrfPipeline` through the O(delta) API. Gate:
+//!   ≥ 2 M events/sec incremental (this is the path that recompiled
+//!   whole pipelines per event before PR 4, at ~0.57 M events/sec).
 //!
 //! A high-imitation defederation cascade rides along in the Criterion
 //! group as the mixed (events + deliveries) workload.
@@ -114,22 +126,155 @@ fn run_cascade(seeds: &ScenarioSeeds) -> DynamicsTrace {
     engine.run(&mut scenario)
 }
 
-/// A pure control-phase flood: every healthy instance suffers a
-/// transient outage + recovery (thousands of events through the heap),
-/// and `emission_cap: 0` silences the measurement phase entirely.
-fn run_event_flood(seeds: &ScenarioSeeds) -> DynamicsTrace {
-    let config = DynamicsConfig {
+/// The §4.2 heavy-tailed blocklist import replay: every Pleroma
+/// instance imports the union of the seed world's reject lists in
+/// fixed-size chunks — one `AdoptWave` event per chunk per importer,
+/// spread over `window` — tens of thousands of O(delta) pipeline
+/// mutations against lists that grow to the union's full size.
+struct BlocklistImportFlood {
+    chunk: usize,
+    window: fediscope_core::time::SimDuration,
+}
+
+impl fediscope_dynamics::Scenario for BlocklistImportFlood {
+    fn name(&self) -> &'static str {
+        "blocklist_import_flood"
+    }
+
+    fn init(
+        &mut self,
+        start: fediscope_core::time::SimTime,
+        state: &mut fediscope_dynamics::NetworkState,
+        queue: &mut fediscope_dynamics::EventQueue,
+        _rng: &mut rand::rngs::SmallRng,
+    ) {
+        use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
+        use fediscope_core::rollout::RolloutWave;
+        use fediscope_core::time::SimDuration;
+        // The circulating blocklist: union of every seed reject list,
+        // deduplicated in deterministic instance order.
+        let mut seen = std::collections::HashSet::new();
+        let mut union: Vec<fediscope_core::id::Domain> = Vec::new();
+        for inst in &state.instances {
+            if let Some(simple) = inst.moderation.simple.as_ref() {
+                for d in simple.targets(SimpleAction::Reject) {
+                    if seen.insert(d.as_str().to_string()) {
+                        union.push(d.clone());
+                    }
+                }
+            }
+        }
+        let importers: Vec<u32> = (0..state.len())
+            .filter(|&i| state.instances[i].pleroma)
+            .map(|i| i as u32)
+            .collect();
+        // One shared wave per chunk: scheduling to every importer is a
+        // refcount bump, exactly how a circulating blocklist is one
+        // artifact applied by many admins.
+        let waves: Vec<std::sync::Arc<RolloutWave>> = union
+            .chunks(self.chunk.max(1))
+            .map(|c| {
+                let mut s = SimplePolicy::new();
+                for d in c {
+                    s.add_target(SimpleAction::Reject, d.clone());
+                }
+                std::sync::Arc::new(RolloutWave {
+                    offset: SimDuration(0),
+                    enable: Vec::new(),
+                    simple: Some(s),
+                })
+            })
+            .collect();
+        let n = waves.len().max(1) as u64;
+        for (pos, wave) in waves.into_iter().enumerate() {
+            let at = start + SimDuration(self.window.0 * pos as u64 / n);
+            for &i in &importers {
+                queue.schedule(
+                    at,
+                    fediscope_dynamics::Event::AdoptWave {
+                        instance: i,
+                        wave: std::sync::Arc::clone(&wave),
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn flood_config(seeds: &ScenarioSeeds) -> DynamicsConfig {
+    DynamicsConfig {
         seed: seeds.seed,
         ticks: 40,
         emission_cap: 0,
         ..DynamicsConfig::default()
-    };
-    let mut engine = DynamicsEngine::new(config, seeds);
-    let mut scenario = ChurnScenario::new(ChurnConfig {
+    }
+}
+
+/// A pure control-phase flood: every healthy instance suffers repeated
+/// transient outages + recoveries (tens of thousands of events through
+/// the heap), and `emission_cap: 0` silences the measurement phase
+/// entirely.
+fn event_flood_scenario() -> Box<dyn fediscope_dynamics::Scenario> {
+    Box::new(ChurnScenario::new(ChurnConfig {
         transient_p: 0.95,
+        rounds: 8,
         ..ChurnConfig::default()
-    });
-    engine.run(&mut scenario)
+    }))
+}
+
+/// The incremental-compilation flood: every event is a policy mutation —
+/// blocklist-import chunks and rollout waves (merge deltas) plus cascade
+/// blocks (one-target deltas) — against compiled pipelines, with the
+/// measurement phase silenced. Before the delta API each of these
+/// events recompiled an entire `MrfPipeline`; now each is O(delta).
+fn policy_flood_scenario() -> Box<dyn fediscope_dynamics::Scenario> {
+    Box::new(
+        Composite::new()
+            .with(Box::new(BlocklistImportFlood {
+                chunk: 1,
+                window: fediscope_core::time::SimDuration::days(5),
+            }))
+            .with(Box::new(DefederationCascadeScenario::new(CascadeConfig {
+                imitation_p: 0.9,
+                ..CascadeConfig::default()
+            })))
+            .with(Box::new(PolicyRolloutScenario::new(
+                RolloutConfig::default(),
+            ))),
+    )
+}
+
+/// Runs a flood scenario on a fresh engine, returning its trace.
+fn run_flood(
+    seeds: &ScenarioSeeds,
+    make: impl Fn() -> Box<dyn fediscope_dynamics::Scenario>,
+) -> DynamicsTrace {
+    let mut engine = DynamicsEngine::new(flood_config(seeds), seeds);
+    let mut scenario = make();
+    engine.run(scenario.as_mut())
+}
+
+/// Best-of-`n` control-phase rate: each run builds a fresh engine
+/// *outside* the clock (state setup is not the control phase) and times
+/// `DynamicsEngine::run` — scenario init, the event queue, and every
+/// delta-API pipeline mutation.
+fn flood_rate(
+    n: usize,
+    seeds: &ScenarioSeeds,
+    make: impl Fn() -> Box<dyn fediscope_dynamics::Scenario>,
+) -> (u64, f64) {
+    let mut best = 0.0_f64;
+    let mut events_per_run = 0;
+    for _ in 0..n {
+        let mut engine = DynamicsEngine::new(flood_config(seeds), seeds);
+        let mut scenario = make();
+        let start = Instant::now();
+        let trace = engine.run(scenario.as_mut());
+        let secs = start.elapsed().as_secs_f64();
+        events_per_run = trace.ticks.iter().map(|t| t.events).sum();
+        best = best.max(events_per_run as f64 / secs);
+    }
+    (events_per_run, best)
 }
 
 /// Best-of-`n` wall-clock rate for `f`, where `f` reports units done.
@@ -144,6 +289,7 @@ fn best_rate<F: FnMut() -> u64>(n: usize, mut f: F) -> f64 {
     best
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_json(
     posts_per_sec: f64,
     events_per_sec: f64,
@@ -151,6 +297,8 @@ fn emit_json(
     events: u64,
     composite_delivered: u64,
     composite_posts_per_sec: f64,
+    policy_events: u64,
+    policy_events_per_sec: f64,
 ) {
     let report = serde_json::json!({
         "bench": "perf_dynamics",
@@ -161,9 +309,13 @@ fn emit_json(
         "composite_posts_per_sec": composite_posts_per_sec,
         "flood_events_per_run": events,
         "events_per_sec": events_per_sec,
+        "policy_flood_events_per_run": policy_events,
+        "policy_events_per_sec": policy_events_per_sec,
         "threads": rayon::current_num_threads(),
         "acceptance_min_posts_per_sec": 1.0e6,
         "acceptance_met": posts_per_sec >= 1.0e6,
+        "acceptance_min_events_per_sec": 2.0e6,
+        "events_acceptance_met": events_per_sec >= 2.0e6 && policy_events_per_sec >= 2.0e6,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamics.json");
     match serde_json::to_string_pretty(&report) {
@@ -219,6 +371,11 @@ fn bench_dynamics(c: &mut Criterion) {
     // matching throughput before each bench so elem/s is in that bench's
     // own units.
     let cascade_delivered = run_cascade(&seeds).total_delivered();
+    let policy_flood_events: u64 = run_flood(&seeds, policy_flood_scenario)
+        .ticks
+        .iter()
+        .map(|t| t.events)
+        .sum();
     let mut group = c.benchmark_group("dynamics_engine");
     group.throughput(Throughput::Elements(delivered));
     group.bench_function("toxicity_storm", |b| {
@@ -232,26 +389,50 @@ fn bench_dynamics(c: &mut Criterion) {
     group.bench_function("defederation_cascade", |b| {
         b.iter(|| black_box(run_cascade(&seeds).total_delivered()))
     });
+    group.throughput(Throughput::Elements(policy_flood_events));
+    group.bench_function("policy_flood_incremental", |b| {
+        b.iter(|| {
+            black_box(
+                run_flood(&seeds, policy_flood_scenario)
+                    .ticks
+                    .iter()
+                    .map(|t| t.events)
+                    .sum::<u64>(),
+            )
+        })
+    });
     group.finish();
 
     // Acceptance measurement + machine-readable trajectory record.
     let posts_per_sec = best_rate(5, || run_storm(&seeds).total_delivered());
     let composite_posts_per_sec = best_rate(3, || run_composite(&seeds).total_delivered());
-    let flood = run_event_flood(&seeds);
-    let flood_events: u64 = flood.ticks.iter().map(|t| t.events).sum();
+    // Flood reproducibility before timing anything.
+    assert_eq!(
+        run_flood(&seeds, policy_flood_scenario).digest(),
+        run_flood(&seeds, policy_flood_scenario).digest(),
+        "policy floods must be reproducible"
+    );
+    let (flood_events, events_per_sec) = flood_rate(5, &seeds, event_flood_scenario);
     assert!(
-        flood_events > 1_000,
+        flood_events > 10_000,
         "the flood must exercise the queue ({flood_events} events)"
     );
-    let events_per_sec = best_rate(3, || {
-        let t = run_event_flood(&seeds);
-        t.ticks.iter().map(|x| x.events).sum()
-    });
+    let policy_flood = run_flood(&seeds, policy_flood_scenario);
+    let (policy_events, policy_events_per_sec) = flood_rate(5, &seeds, policy_flood_scenario);
+    assert!(
+        policy_events > 10_000,
+        "the policy flood must exercise the delta API ({policy_events} events)"
+    );
+    assert!(
+        policy_flood.final_links() < policy_flood.initial_links(),
+        "the policy flood must actually sever federation links"
+    );
     println!(
-        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec (bridged), {composite_delivered} composite deliveries/run, {:.2} M composite posts/sec, {flood_events} flood events/run, {:.0} events/sec",
+        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec (bridged), {composite_delivered} composite deliveries/run, {:.2} M composite posts/sec, {flood_events} flood events/run, {:.2} M events/sec, {policy_events} policy events/run, {:.2} M incremental events/sec",
         posts_per_sec / 1e6,
         composite_posts_per_sec / 1e6,
-        events_per_sec
+        events_per_sec / 1e6,
+        policy_events_per_sec / 1e6
     );
     emit_json(
         posts_per_sec,
@@ -260,10 +441,20 @@ fn bench_dynamics(c: &mut Criterion) {
         flood_events,
         composite_delivered,
         composite_posts_per_sec,
+        policy_events,
+        policy_events_per_sec,
     );
     assert!(
         posts_per_sec >= 1.0e6,
         "dynamics acceptance: expected >= 1M simulated post-deliveries/sec through filter_fast with the bridge attached, measured {posts_per_sec:.0}"
+    );
+    assert!(
+        events_per_sec >= 2.0e6,
+        "control-phase acceptance: expected >= 2M churn-flood events/sec, measured {events_per_sec:.0}"
+    );
+    assert!(
+        policy_events_per_sec >= 2.0e6,
+        "incremental-compilation acceptance: expected >= 2M policy events/sec through the delta API, measured {policy_events_per_sec:.0}"
     );
 }
 

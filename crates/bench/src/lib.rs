@@ -131,6 +131,53 @@ pub async fn run_campaign() -> (World, Dataset, HarmAnnotations) {
     (world, dataset, annotations)
 }
 
+/// FNV-1a content digest of a generated world: everything the
+/// per-instance generation streams decide (users, harm-driven posts,
+/// media/hashtag/link habits) plus the network-level outputs
+/// (directory, peers, timeline flags, reject ground truth). The single
+/// definition shared by the `worldgen_identity` proptest and the
+/// `perf_worldgen` bench, so the two bit-identity checks can never
+/// drift apart in coverage.
+pub fn world_digest(world: &World) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for domain in &world.directory {
+        eat(domain.as_str().as_bytes());
+    }
+    for inst in &world.instances {
+        eat(inst.profile.domain.as_str().as_bytes());
+        eat(&[
+            inst.profile.public_timeline_open as u8,
+            inst.crawlable() as u8,
+        ]);
+        eat(&inst.rejects_received.to_le_bytes());
+        eat(&(inst.peers.len() as u64).to_le_bytes());
+        for user in &inst.users {
+            eat(&user.user.id.0.to_le_bytes());
+            eat(&user.user.created.0.to_le_bytes());
+            eat(&user.user.followers.to_le_bytes());
+            eat(&user.user.following.to_le_bytes());
+            eat(&[user.user.bot as u8]);
+            for post in &user.posts {
+                eat(&post.id.0.to_le_bytes());
+                eat(&post.created.0.to_le_bytes());
+                eat(post.content.as_bytes());
+                eat(&[
+                    post.media.len() as u8,
+                    post.hashtags.len() as u8,
+                    post.has_links as u8,
+                ]);
+            }
+        }
+    }
+    h
+}
+
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {
     println!();

@@ -78,6 +78,13 @@ impl Domain {
         &self.0
     }
 
+    /// The shared backing string — a refcount bump, no allocation. Used
+    /// by `SimplePolicy`'s membership index to key targets without
+    /// duplicating the name.
+    pub(crate) fn shared_str(&self) -> Arc<str> {
+        Arc::clone(&self.0)
+    }
+
     /// True if `self` equals `other` or is a subdomain of `other`
     /// (`media.example.com` matches `example.com`). This is the matching
     /// rule Pleroma's `SimplePolicy` uses for its target lists.

@@ -54,4 +54,19 @@ pub trait MrfPolicy: Send + Sync {
     fn describe(&self) -> String {
         self.kind().name().to_string()
     }
+
+    /// Downcast to the concrete [`policies::SimplePolicy`], if this *is*
+    /// one. The pipeline's delta API ([`MrfPipeline::apply_simple_delta`])
+    /// uses this to mutate the compiled `SimplePolicy` stage in place
+    /// instead of recompiling the whole chain; every other policy keeps
+    /// the `None` default.
+    fn as_simple(&self) -> Option<&policies::SimplePolicy> {
+        None
+    }
+
+    /// Mutable variant of [`as_simple`](Self::as_simple), reachable only
+    /// through a uniquely-owned stage (`Arc::get_mut`).
+    fn as_simple_mut(&mut self) -> Option<&mut policies::SimplePolicy> {
+        None
+    }
 }

@@ -1,9 +1,48 @@
 //! Ordered policy composition with short-circuit semantics.
+//!
+//! # Incremental recompilation (the delta API)
+//!
+//! A pipeline is normally compiled from an
+//! [`InstanceModerationConfig`](crate::config::InstanceModerationConfig)
+//! by `build_pipeline()` — the *reference path*, O(policies + targets).
+//! Dynamic workloads (rollout waves, cascade blocks, blocklist imports)
+//! mutate one instance's configuration thousands of times per run, so the
+//! pipeline also supports O(delta) in-place updates:
+//!
+//! * [`MrfPipeline::push`] appends a newly-enabled policy (matching how
+//!   `enable` appends to `InstanceModerationConfig::enabled`, so append
+//!   order stays equal to build order);
+//! * [`MrfPipeline::apply_simple_delta`] /
+//!   [`MrfPipeline::add_simple_target`] merge targets into the compiled
+//!   `SimplePolicy` stage in place;
+//! * [`MrfPipeline::replace_stage`] swaps one stage wholesale (the
+//!   knob-reconfiguration escape hatch).
+//!
+//! Invariants the delta API maintains — and that the differential
+//! proptests in [`super::proptests`] pin against the reference path:
+//!
+//! 1. **Verdict equivalence.** After any sequence of deltas, `filter`
+//!    and `filter_fast` return the same verdicts (surviving activity
+//!    included) as a pipeline freshly compiled from the equivalently
+//!    mutated configuration.
+//! 2. **Skip-mask consistency.** The precomputed anti-hellthread skip
+//!    set is recomputed on every chain-shape change (`push`,
+//!    `replace_stage`) and left untouched by target merges, which cannot
+//!    change any stage's [`PolicyKind`].
+//! 3. **Additive only.** Deltas merge; they never remove targets or
+//!    stages. Removal (e.g. a reset to the fresh-install default) goes
+//!    through the reference path.
+//! 4. **Copy-on-write under sharing.** Target merges mutate through
+//!    `Arc::get_mut` when the stage is uniquely owned — the O(delta) hot
+//!    path — and fall back to cloning the one `SimplePolicy` stage when
+//!    the `Arc` is shared, never touching the other stages.
 
 use super::context::PolicyContext;
+use super::policies::{SimpleAction, SimplePolicy};
 use super::verdict::{PolicyVerdict, RejectReason};
 use super::MrfPolicy;
 use crate::catalog::PolicyKind;
+use crate::id::Domain;
 use crate::model::Activity;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -109,6 +148,62 @@ impl MrfPipeline {
     /// Whether a policy of the given kind is in the chain.
     pub fn has(&self, kind: PolicyKind) -> bool {
         self.policies.iter().any(|p| p.kind() == kind)
+    }
+
+    /// Index of the first policy of the given kind.
+    pub fn position(&self, kind: PolicyKind) -> Option<usize> {
+        self.policies.iter().position(|p| p.kind() == kind)
+    }
+
+    /// Replaces the stage at `index` wholesale, recomputing the skip
+    /// mask (the new stage may change the chain's kind set). Panics if
+    /// `index` is out of bounds, like slice indexing.
+    pub fn replace_stage(&mut self, index: usize, policy: Arc<dyn MrfPolicy>) {
+        self.policies[index] = policy;
+        self.recompute_skips();
+    }
+
+    /// Merges `delta`'s `(action, domain)` targets into the compiled
+    /// `SimplePolicy` stage in place — O(delta), no recompilation.
+    ///
+    /// Returns `false` (leaving the pipeline untouched) when there is no
+    /// `SimplePolicy` stage to absorb the delta; the caller then falls
+    /// back to the reference path. The skip mask is untouched: a target
+    /// merge cannot change any stage's kind.
+    pub fn apply_simple_delta(&mut self, delta: &SimplePolicy) -> bool {
+        self.with_simple_stage(|simple| simple.merge(delta))
+    }
+
+    /// Adds a single `(action, domain)` target to the compiled
+    /// `SimplePolicy` stage in place — the one-block delta a
+    /// defederation event applies. Same contract as
+    /// [`apply_simple_delta`](Self::apply_simple_delta).
+    pub fn add_simple_target(&mut self, action: SimpleAction, domain: Domain) -> bool {
+        self.with_simple_stage(|simple| simple.add_target(action, domain))
+    }
+
+    /// Runs `mutate` on the `SimplePolicy` stage: through `Arc::get_mut`
+    /// when uniquely owned, else copy-on-write of that one stage.
+    fn with_simple_stage(&mut self, mutate: impl FnOnce(&mut SimplePolicy)) -> bool {
+        let Some(idx) = self.position(PolicyKind::Simple) else {
+            return false;
+        };
+        let slot = &mut self.policies[idx];
+        if let Some(stage) = Arc::get_mut(slot) {
+            let Some(simple) = stage.as_simple_mut() else {
+                return false;
+            };
+            mutate(simple);
+            return true;
+        }
+        // The Arc is shared (the pipeline was cloned): copy-on-write.
+        let Some(current) = slot.as_simple() else {
+            return false;
+        };
+        let mut copy = current.clone();
+        mutate(&mut copy);
+        *slot = Arc::new(copy);
+        true
     }
 
     /// Number of policies in the chain.
@@ -331,5 +426,69 @@ mod tests {
         assert_eq!(pipe.kinds(), vec![PolicyKind::Drop]);
         assert_eq!(pipe.len(), 1);
         assert!(!pipe.is_empty());
+        assert_eq!(pipe.position(PolicyKind::Drop), Some(0));
+        assert_eq!(pipe.position(PolicyKind::Simple), None);
+    }
+
+    fn blocked(pipe: &MrfPipeline, origin: &str) -> bool {
+        let (d, dir) = ctx_parts();
+        let ctx = PolicyContext::new(&d, SimTime(0), &dir);
+        let act = Activity::create(
+            ActivityId(9),
+            Post::stub(
+                PostId(9),
+                UserRef::new(UserId(9), Domain::new(origin)),
+                SimTime(0),
+                "x",
+            ),
+        );
+        !pipe.filter_fast(&ctx, act).is_pass()
+    }
+
+    #[test]
+    fn simple_delta_mutates_the_stage_in_place() {
+        let mut pipe = MrfPipeline::new().with(Arc::new(SimplePolicy::new()));
+        assert!(!blocked(&pipe, "bad.example"));
+        assert!(pipe.add_simple_target(SimpleAction::Reject, Domain::new("bad.example")));
+        assert!(blocked(&pipe, "bad.example"));
+        let delta = SimplePolicy::new()
+            .with_target(SimpleAction::Reject, Domain::new("worse.example"))
+            .with_target(SimpleAction::Reject, Domain::new("bad.example"));
+        assert!(pipe.apply_simple_delta(&delta));
+        assert!(blocked(&pipe, "worse.example"));
+        // Dedup: merging an existing target again keeps the list stable.
+        let simple = pipe.policies()[0].as_simple().unwrap();
+        assert_eq!(simple.targets(SimpleAction::Reject).len(), 2);
+    }
+
+    #[test]
+    fn simple_delta_without_a_simple_stage_is_refused() {
+        let mut pipe = MrfPipeline::new().with(Arc::new(Rejector));
+        assert!(!pipe.add_simple_target(SimpleAction::Reject, Domain::new("bad.example")));
+        assert!(!pipe.apply_simple_delta(&SimplePolicy::new()));
+        assert_eq!(pipe.len(), 1, "a refused delta must not grow the chain");
+    }
+
+    #[test]
+    fn simple_delta_copy_on_write_when_shared() {
+        let mut pipe = MrfPipeline::new().with(Arc::new(SimplePolicy::new()));
+        // Clone shares the stage Arc: the delta must not leak into the
+        // clone (copy-on-write of the one stage).
+        let frozen = pipe.clone();
+        assert!(pipe.add_simple_target(SimpleAction::Reject, Domain::new("bad.example")));
+        assert!(blocked(&pipe, "bad.example"));
+        assert!(!blocked(&frozen, "bad.example"));
+    }
+
+    #[test]
+    fn replace_stage_recomputes_the_skip_mask() {
+        use crate::mrf::policies::{AntiHellthreadPolicy, HellthreadPolicy};
+        let mut pipe = MrfPipeline::new()
+            .with(Arc::new(HellthreadPolicy::default()))
+            .with(Arc::new(AntiHellthreadPolicy));
+        assert_eq!(pipe.skip, vec![true, false]);
+        // Swapping the AntiHellthread stage for a NoOp re-arms Hellthread.
+        pipe.replace_stage(1, Arc::new(Tagger("n")));
+        assert_eq!(pipe.skip, vec![false, false]);
     }
 }

@@ -14,7 +14,36 @@ use crate::mrf::context::{PolicyContext, ProfileImage, SideEffect};
 use crate::mrf::verdict::{PolicyVerdict, RejectReason};
 use crate::mrf::MrfPolicy;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// FNV-1a — a tiny allocation-free hasher for the membership index.
+/// Domain names are short and not attacker-controlled in this system;
+/// std's SipHash would cost more than the rest of a one-target delta on
+/// the control path.
+pub(crate) struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
 
 /// The ten `SimplePolicy` actions, named exactly as the paper's Figures 2/3
 /// label them (Pleroma's `mrf_simple` keys).
@@ -98,13 +127,96 @@ impl SimpleAction {
     }
 }
 
+/// One action's target list: the ordered (insertion-order, serialized)
+/// domain list, plus a hash index over the names — the per-stage cache
+/// that makes membership, dedup on [`SimplePolicy::add_target`], and the
+/// subdomain-matching hot path O(1)-ish instead of O(list). Heavy-tailed
+/// blocklist imports (thousands of targets) stay cheap both to *apply*
+/// (the pipeline delta API merges one target at a time) and to *enforce*
+/// (each inbound activity walks its domain's parent labels instead of
+/// scanning the list).
+///
+/// Serialization delegates to the ordered `Vec<Domain>`, so the wire
+/// shape is exactly what it was before the index existed; the index is
+/// rebuilt on deserialize.
+#[derive(Debug, Clone, Default)]
+struct TargetList {
+    ordered: Vec<Domain>,
+    index: HashSet<Arc<str>, FnvBuild>,
+}
+
+impl TargetList {
+    /// Builds a list from a plain vector, deduplicating while keeping
+    /// first-occurrence order — `add_target` semantics for hand-built or
+    /// deserialized inputs.
+    fn from_vec(ordered: Vec<Domain>) -> Self {
+        let mut list = TargetList::default();
+        for domain in ordered {
+            list.add(domain);
+        }
+        list
+    }
+
+    /// Adds `domain` if absent; returns whether it was added.
+    fn add(&mut self, domain: Domain) -> bool {
+        if self.index.insert(domain.shared_str()) {
+            self.ordered.push(domain);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `domain`; returns whether it was present.
+    fn remove(&mut self, domain: &Domain) -> bool {
+        if self.index.remove(domain.as_str()) {
+            self.ordered.retain(|d| d != domain);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `domain` (or any of its parent domains) is targeted —
+    /// Pleroma's subdomain matching rule, answered by walking the
+    /// candidate's `.`-separated suffixes through the index.
+    fn matches(&self, domain: &Domain) -> bool {
+        let name = domain.as_str();
+        if self.index.contains(name) {
+            return true;
+        }
+        let mut rest = name;
+        while let Some(dot) = rest.find('.') {
+            rest = &rest[dot + 1..];
+            if self.index.contains(rest) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Serialize for TargetList {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.ordered.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for TargetList {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(TargetList::from_vec(Vec::<Domain>::deserialize(
+            deserializer,
+        )?))
+    }
+}
+
 /// Per-instance `SimplePolicy` configuration: which domains each action
 /// targets. This is both an executable MRF filter and the *data* the
 /// instance publishes through its metadata API — which is precisely what
 /// the paper's crawler collected.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimplePolicy {
-    targets: BTreeMap<SimpleAction, Vec<Domain>>,
+    targets: BTreeMap<SimpleAction, TargetList>,
 }
 
 impl SimplePolicy {
@@ -113,12 +225,11 @@ impl SimplePolicy {
         SimplePolicy::default()
     }
 
-    /// Adds `domain` to `action`'s target list (deduplicated).
+    /// Adds `domain` to `action`'s target list (deduplicated through the
+    /// membership index — O(1) amortized, which is what keeps heavy
+    /// blocklist imports O(delta) end to end).
     pub fn add_target(&mut self, action: SimpleAction, domain: Domain) {
-        let list = self.targets.entry(action).or_default();
-        if !list.contains(&domain) {
-            list.push(domain);
-        }
+        self.targets.entry(action).or_default().add(domain);
     }
 
     /// Builder-style [`add_target`](Self::add_target).
@@ -130,17 +241,18 @@ impl SimplePolicy {
     /// Removes `domain` from `action`'s target list; returns whether it
     /// was present.
     pub fn remove_target(&mut self, action: SimpleAction, domain: &Domain) -> bool {
-        if let Some(list) = self.targets.get_mut(&action) {
-            let before = list.len();
-            list.retain(|d| d != domain);
-            return list.len() < before;
-        }
-        false
+        self.targets
+            .get_mut(&action)
+            .map(|list| list.remove(domain))
+            .unwrap_or(false)
     }
 
-    /// Target list for one action.
+    /// Target list for one action, in insertion order.
     pub fn targets(&self, action: SimpleAction) -> &[Domain] {
-        self.targets.get(&action).map(Vec::as_slice).unwrap_or(&[])
+        self.targets
+            .get(&action)
+            .map(|l| l.ordered.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Merges every `(action, domain)` pair of `other` into this config
@@ -158,21 +270,26 @@ impl SimplePolicy {
     pub fn events(&self) -> impl Iterator<Item = (SimpleAction, &Domain)> {
         self.targets
             .iter()
-            .flat_map(|(a, list)| list.iter().map(move |d| (*a, d)))
+            .flat_map(|(a, list)| list.ordered.iter().map(move |d| (*a, d)))
     }
 
     /// Actions with at least one target.
     pub fn active_actions(&self) -> Vec<SimpleAction> {
         self.targets
             .iter()
-            .filter(|(_, list)| !list.is_empty())
+            .filter(|(_, list)| !list.ordered.is_empty())
             .map(|(a, _)| *a)
             .collect()
     }
 
-    /// Whether `domain` is targeted by `action` (subdomains match).
+    /// Whether `domain` is targeted by `action` (subdomains match):
+    /// answered through the membership index by walking the candidate's
+    /// parent labels — O(labels), never O(targets).
     pub fn matches(&self, action: SimpleAction, domain: &Domain) -> bool {
-        self.targets(action).iter().any(|t| domain.matches(t))
+        self.targets
+            .get(&action)
+            .map(|list| list.matches(domain))
+            .unwrap_or(false)
     }
 
     fn reject(&self, code: &'static str, detail: String) -> PolicyVerdict {
@@ -183,6 +300,14 @@ impl SimplePolicy {
 impl MrfPolicy for SimplePolicy {
     fn kind(&self) -> PolicyKind {
         PolicyKind::Simple
+    }
+
+    fn as_simple(&self) -> Option<&SimplePolicy> {
+        Some(self)
+    }
+
+    fn as_simple_mut(&mut self) -> Option<&mut SimplePolicy> {
+        Some(self)
     }
 
     fn filter(&self, ctx: &PolicyContext<'_>, mut activity: Activity) -> PolicyVerdict {
@@ -248,8 +373,8 @@ impl MrfPolicy for SimplePolicy {
         let parts: Vec<String> = self
             .targets
             .iter()
-            .filter(|(_, l)| !l.is_empty())
-            .map(|(a, l)| format!("{}:{}", a.label(), l.len()))
+            .filter(|(_, l)| !l.ordered.is_empty())
+            .map(|(a, l)| format!("{}:{}", a.label(), l.ordered.len()))
             .collect();
         format!("SimplePolicy({})", parts.join(","))
     }
@@ -441,6 +566,40 @@ mod tests {
             assert_eq!(SimpleAction::parse(a.config_key()), Some(a));
         }
         assert_eq!(SimpleAction::parse("bogus"), None);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_the_membership_index() {
+        let p = SimplePolicy::new()
+            .with_target(SimpleAction::Reject, Domain::new("bad.example"))
+            .with_target(SimpleAction::Reject, Domain::new("worse.example"))
+            .with_target(SimpleAction::MediaNsfw, Domain::new("lewd.example"));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SimplePolicy = serde_json::from_str(&json).unwrap();
+        // Ordered lists survive byte for byte (the wire shape is the
+        // plain vector; the index never serializes)...
+        assert_eq!(
+            back.targets(SimpleAction::Reject),
+            p.targets(SimpleAction::Reject)
+        );
+        assert_eq!(
+            back.targets(SimpleAction::MediaNsfw),
+            p.targets(SimpleAction::MediaNsfw)
+        );
+        // ...and the rebuilt index answers subdomain matching.
+        assert!(back.matches(SimpleAction::Reject, &Domain::new("media.bad.example")));
+        assert!(!back.matches(SimpleAction::Reject, &Domain::new("good.example")));
+    }
+
+    #[test]
+    fn index_matching_respects_label_boundaries() {
+        // "notbad.example" must not match the "bad.example" target even
+        // though it is a string suffix — the index walks `.` boundaries.
+        let p = SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("bad.example"));
+        assert!(!p.matches(SimpleAction::Reject, &Domain::new("notbad.example")));
+        assert!(p.matches(SimpleAction::Reject, &Domain::new("a.b.bad.example")));
+        // A target that is itself a subdomain never matches its parent.
+        assert!(!p.matches(SimpleAction::Reject, &Domain::new("example")));
     }
 
     #[test]

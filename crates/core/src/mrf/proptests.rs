@@ -50,6 +50,17 @@ fn arb_post() -> impl Strategy<Value = Post> {
         )
 }
 
+/// One control-phase event of the delta-API differential test: a
+/// rollout-wave merge, a single cascade block, or a policy enable —
+/// exactly the event mix the dynamics engine routes through the
+/// incremental compilation path.
+#[derive(Debug, Clone)]
+enum DeltaOp {
+    Merge(Vec<(usize, String)>),
+    Block(String),
+    Enable(usize),
+}
+
 proptest! {
     /// NoOp is the identity: the activity comes out exactly as it went in.
     #[test]
@@ -312,6 +323,121 @@ proptest! {
             let act = Activity::create(ActivityId(1), post.clone());
             prop_assert!(!config.build_pipeline().filter_fast(&ctx, act).is_pass());
         }
+    }
+
+    /// Differential check of the incremental (delta) compilation path:
+    /// a random sequence of control-phase events — rollout-wave merges,
+    /// single cascade blocks, policy enables — applied to a *live*
+    /// pipeline via `apply_wave_compiled` / `enable_compiled` /
+    /// `add_simple_target` must yield a pipeline whose `filter` *and*
+    /// `filter_fast` verdicts on arbitrary posts are identical to a
+    /// pipeline freshly `build_pipeline()`d from the equivalently
+    /// mutated config — at every step, including after the pipeline has
+    /// been cloned (the copy-on-write branch of the delta API).
+    #[test]
+    fn delta_api_matches_reference_compilation(
+        post in arb_post(),
+        ops in proptest::collection::vec(
+            prop_oneof![
+                // A rollout-wave merge: up to 4 (action, domain) targets.
+                proptest::collection::vec(
+                    (0usize..SimpleAction::ALL.len(), "[a-e]{2,4}\\.[a-z]{2,3}"),
+                    1..5
+                ).prop_map(DeltaOp::Merge),
+                // A cascade imitation block: one reject edge.
+                "[a-e]{2,4}\\.[a-z]{2,3}".prop_map(DeltaOp::Block),
+                // An admin enabling one more catalog policy.
+                (0usize..64).prop_map(DeltaOp::Enable),
+            ],
+            1..16,
+        ),
+        target_origin_at in proptest::option::of(0usize..16),
+        clone_at in proptest::option::of(0usize..16),
+    ) {
+        use crate::rollout::RolloutWave;
+
+        let (local, dir) = ctx_bits();
+        let catalog = crate::catalog::PolicyCatalog::global();
+        let mut live = crate::config::InstanceModerationConfig::pleroma_default();
+        let mut pipeline = live.build_pipeline();
+        let mut reference = live.clone();
+        // Clones held across deltas force the copy-on-write branch.
+        let mut held_clone = None;
+
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                DeltaOp::Merge(targets) => {
+                    let mut addition = SimplePolicy::new();
+                    for (a, d) in &targets {
+                        addition.add_target(SimpleAction::ALL[*a], Domain::new(d.clone()));
+                    }
+                    if target_origin_at == Some(step) {
+                        addition.add_target(
+                            SimpleAction::Reject,
+                            post.author.domain.clone(),
+                        );
+                    }
+                    let wave = RolloutWave {
+                        offset: crate::time::SimDuration(0),
+                        enable: Vec::new(),
+                        simple: Some(addition),
+                    };
+                    live.apply_wave_compiled(&wave, &mut pipeline);
+                    reference.apply_wave(&wave);
+                }
+                DeltaOp::Block(domain) => {
+                    // Mirrors the dynamics defederate site: enable the
+                    // Simple stage if needed, then one-target delta.
+                    live.enable_compiled(PolicyKind::Simple, &mut pipeline);
+                    live.simple
+                        .get_or_insert_with(SimplePolicy::new)
+                        .add_target(SimpleAction::Reject, Domain::new(domain.clone()));
+                    prop_assert!(pipeline.add_simple_target(
+                        SimpleAction::Reject,
+                        Domain::new(domain.clone()),
+                    ));
+                    reference.enable(PolicyKind::Simple);
+                    reference
+                        .simple
+                        .get_or_insert_with(SimplePolicy::new)
+                        .add_target(SimpleAction::Reject, Domain::new(domain));
+                }
+                DeltaOp::Enable(i) => {
+                    let kind = catalog.entries()[i % catalog.entries().len()].kind;
+                    live.enable_compiled(kind, &mut pipeline);
+                    reference.enable(kind);
+                }
+            }
+            if clone_at == Some(step) {
+                held_clone = Some(pipeline.clone());
+            }
+            // The delta-maintained pipeline must match a fresh reference
+            // compile on both filter paths, every step of the way.
+            let fresh = reference.build_pipeline();
+            prop_assert_eq!(pipeline.kinds(), fresh.kinds(), "step {}", step);
+            let act = Activity::create(ActivityId(1), post.clone());
+            let ctx1 = PolicyContext::new(&local, SimTime(0), &dir);
+            let ctx2 = PolicyContext::new(&local, SimTime(0), &dir);
+            let slow = pipeline.filter(&ctx1, act.clone());
+            let fresh_slow = fresh.filter(&ctx2, act.clone());
+            prop_assert_eq!(
+                format!("{:?}", slow.verdict),
+                format!("{:?}", fresh_slow.verdict),
+                "filter diverged at step {}",
+                step
+            );
+            let ctx3 = PolicyContext::new(&local, SimTime(0), &dir);
+            let ctx4 = PolicyContext::new(&local, SimTime(0), &dir);
+            let fast = pipeline.filter_fast(&ctx3, act.clone());
+            let fresh_fast = fresh.filter_fast(&ctx4, act);
+            prop_assert_eq!(
+                format!("{fast:?}"),
+                format!("{fresh_fast:?}"),
+                "filter_fast diverged at step {}",
+                step
+            );
+        }
+        drop(held_clone);
     }
 
     /// SimplePolicy events() always agrees with targets(): the number of

@@ -21,7 +21,7 @@ use crate::event::{Event, EventQueue};
 use crate::scenario::Scenario;
 use crate::sink::EventSink;
 use crate::state::NetworkState;
-use crate::trace::{failure_mix_index, DynamicsTrace, TickTrace};
+use crate::trace::{DynamicsTrace, TickTrace};
 use fediscope_core::mrf::{NullActorDirectory, PolicyContext, PolicyVerdict};
 use fediscope_core::time::{SimDuration, SimTime, CAMPAIGN_START, SNAPSHOT_INTERVAL};
 use fediscope_perspective::Scorer;
@@ -214,6 +214,15 @@ impl DynamicsEngine {
         let state = &self.state;
         let scorer = &self.scorer;
         let config = &self.config;
+        // Control-phase isolation: a zero emission cap means no sender
+        // can emit, so every per-instance metric is exactly zero — skip
+        // the fan-out (and its per-receiver context/allocation work)
+        // instead of computing 0 the long way. Bit-identical by
+        // construction, and what lets an event flood measure the control
+        // phase alone.
+        if config.emission_cap == 0 {
+            return Some(self.aggregate(tick, now, events, &[]));
+        }
         let metrics: Vec<InstanceTick> = (0..state.len())
             .into_par_iter()
             .map(|r| measure_receiver(state, config, scorer, tick, now, r))
@@ -245,6 +254,13 @@ impl DynamicsEngine {
 
     /// Sequentially folds per-instance metrics into a [`TickTrace`] —
     /// fixed order, so float sums never depend on the thread count.
+    ///
+    /// An empty `metrics` slice is the idle (zero-emission) tick: all
+    /// delivery metrics are zero and the per-instance exposure row is
+    /// all zeros, exactly what folding `state.len()` default metrics
+    /// would produce. The up/adopted/failure-mix columns come from the
+    /// state's O(1) counters either way — the tick close never sweeps
+    /// the instance vector.
     fn aggregate(
         &self,
         tick: u64,
@@ -256,8 +272,8 @@ impl DynamicsEngine {
             tick,
             at: now,
             links: self.state.link_count(),
-            instances_up: 0,
-            adopted: 0,
+            instances_up: self.state.up_count(),
+            adopted: self.state.adopted_count(),
             events,
             delivered: 0,
             accepted: 0,
@@ -266,9 +282,13 @@ impl DynamicsEngine {
             rejected_authors: 0,
             toxic_exposure: 0.0,
             exposure_prevented: 0.0,
-            failure_mix: vec![0; 5],
-            per_instance_exposure: Vec::with_capacity(metrics.len()),
+            failure_mix: self.state.failure_mix().to_vec(),
+            per_instance_exposure: Vec::with_capacity(self.state.len()),
         };
+        if metrics.is_empty() {
+            t.per_instance_exposure = vec![0.0; self.state.len()];
+            return t;
+        }
         for m in metrics {
             t.delivered += m.delivered;
             t.accepted += m.accepted;
@@ -278,16 +298,6 @@ impl DynamicsEngine {
             t.toxic_exposure += m.exposure;
             t.exposure_prevented += m.prevented;
             t.per_instance_exposure.push(m.exposure);
-        }
-        for inst in &self.state.instances {
-            if inst.up() {
-                t.instances_up += 1;
-            } else if let Some(idx) = failure_mix_index(inst.failure) {
-                t.failure_mix[idx] += 1;
-            }
-            if inst.adopted {
-                t.adopted += 1;
-            }
         }
         t
     }

@@ -1,4 +1,4 @@
-//! The event queue: a binary heap over logical time.
+//! The event queue: a time-bucketed calendar over logical time.
 //!
 //! Events are ordered by `(time, sequence)` — the sequence number is
 //! assigned at scheduling time, so two events scheduled for the same tick
@@ -6,18 +6,30 @@
 //! replayable: the control phase (event application) is single-threaded
 //! and consumes events in exactly this order, regardless of how the
 //! measurement phase fans out.
+//!
+//! The queue was a binary heap through PR 3; 100 K-event floods spend
+//! real time sifting 40-byte elements through log-depth levels, so it is
+//! now a calendar: a `BTreeMap` from fire time to the bucket of events
+//! scheduled for that instant. Appends within a bucket arrive in
+//! ascending sequence order by construction (the counter is monotone),
+//! so a bucket is popped front to back — O(1) per event — and the map
+//! keeps buckets time-ordered. Scheduling into an *earlier* due bucket
+//! mid-drain (a zero-delay follow-up) stays correct because every pop
+//! re-reads the first bucket.
 
 use fediscope_core::rollout::RolloutWave;
 use fediscope_core::time::SimTime;
 use fediscope_simnet::FailureMode;
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// A state transition the engine knows how to apply.
 ///
 /// Instances are addressed by their seed index (dense `u32`), not by
 /// domain: event application is the hot control path of cascade runs and
-/// never needs a hash lookup.
+/// never needs a hash lookup. Wave payloads ride behind an `Arc` so a
+/// shared blocklist import (one wave, thousands of adopters) schedules
+/// by refcount bump instead of deep-cloning target lists per instance.
 #[derive(Debug, Clone)]
 pub enum Event {
     /// A staged-rollout wave lands on an instance: enable the wave's
@@ -25,8 +37,9 @@ pub enum Event {
     AdoptWave {
         /// Adopting instance.
         instance: u32,
-        /// The wave to apply.
-        wave: RolloutWave,
+        /// The wave to apply (shared — imports schedule one wave to
+        /// many instances).
+        wave: Arc<RolloutWave>,
     },
     /// `instance` defederates from `target`: reject-lists the target's
     /// domain and tears the federation link down.
@@ -68,31 +81,15 @@ pub struct Scheduled {
     pub event: Event,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// A deterministic future-event list.
+/// A deterministic future-event list: a calendar of per-instant buckets,
+/// consumed in exact `(time, sequence)` order.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    /// Fire time → events at that instant, each bucket in ascending
+    /// `seq` order (appends only; the counter is monotone).
+    buckets: BTreeMap<SimTime, VecDeque<(u64, Event)>>,
     next_seq: u64,
+    pending: usize,
 }
 
 impl EventQueue {
@@ -105,31 +102,40 @@ impl EventQueue {
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
+        self.pending += 1;
+        self.buckets.entry(at).or_default().push_back((seq, event));
     }
 
-    /// Pops the earliest event due at or before `now`, if any.
+    /// Pops the earliest event due at or before `now`, if any — O(1)
+    /// per event plus amortised bucket bookkeeping.
     pub fn pop_due(&mut self, now: SimTime) -> Option<Scheduled> {
-        if self.heap.peek().is_some_and(|Reverse(s)| s.at <= now) {
-            self.heap.pop().map(|Reverse(s)| s)
-        } else {
-            None
+        let mut entry = self.buckets.first_entry()?;
+        let at = *entry.key();
+        if at > now {
+            return None;
         }
+        let bucket = entry.get_mut();
+        let (seq, event) = bucket.pop_front().expect("buckets are never left empty");
+        if bucket.is_empty() {
+            entry.remove();
+        }
+        self.pending -= 1;
+        Some(Scheduled { at, seq, event })
     }
 
     /// When the next event fires, if any are pending.
     pub fn next_at(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.at)
+        self.buckets.keys().next().copied()
     }
 
     /// Pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.pending
     }
 
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.pending == 0
     }
 
     /// Total events ever scheduled on this queue.
@@ -161,6 +167,26 @@ mod tests {
         assert_eq!(order, vec![(10, 1), (10, 2), (20, 0)]);
         assert_eq!(q.len(), 1);
         assert_eq!(q.next_at(), Some(SimTime(30)));
+    }
+
+    #[test]
+    fn mid_drain_scheduling_into_an_earlier_instant_pops_first() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(20), rate(1, 1.0));
+        q.schedule(SimTime(10), rate(2, 1.0));
+        let first = q.pop_due(SimTime(25)).unwrap();
+        assert_eq!((first.at.0, first.seq), (10, 1));
+        // A zero-delay follow-up lands between already-queued instants
+        // (earlier bucket, later seq) and still pops in time order; a
+        // same-instant follow-up pops after the bucket's earlier seqs.
+        q.schedule(SimTime(15), rate(3, 1.0));
+        q.schedule(SimTime(20), rate(4, 1.0));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop_due(SimTime(25)))
+            .map(|s| (s.at.0, s.seq))
+            .collect();
+        assert_eq!(order, vec![(15, 2), (20, 0), (20, 3)]);
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 4);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! fragments the network, how much toxic exposure a rollout actually
 //! prevents — are dynamic. This crate adds the missing layer:
 //!
-//! * [`EventQueue`] — a binary-heap future-event list over logical
-//!   [`fediscope_core::time::SimTime`] ticks (no wall clock anywhere);
+//! * [`EventQueue`] — a time-bucketed calendar future-event list over
+//!   logical [`fediscope_core::time::SimTime`] ticks (no wall clock
+//!   anywhere; O(1) pops in exact `(time, seq)` order);
 //! * [`NetworkState`] — the mutable network (per-instance moderation
 //!   configs with compiled [`fediscope_core::mrf::MrfPipeline`]s,
 //!   federation links, §3 failure modes, post templates), built from

@@ -4,10 +4,12 @@
 //! instance whose final config reject-lists a linked peer defederates
 //! from it early in the run. Each applied block then propagates along
 //! federation links — a neighbor that still federates with both the
-//! blocker and the target imitates the block with configurable
-//! probability after a delay, exactly the shared-blocklist dynamic of
-//! the follow-up literature (admins copy the lists of instances they
-//! trust). The trace's falling link count is the fragmentation curve.
+//! blocker and the target imitates the block after a delay, with a
+//! probability weighted by the blocker's follower mass
+//! ([`follower_weight`]): admins copy the lists of instances they
+//! trust, and trust follows size — exactly the shared-blocklist dynamic
+//! of the follow-up literature. The trace's falling link count is the
+//! fragmentation curve.
 
 use crate::event::{Event, EventQueue, Scheduled};
 use crate::scenario::Scenario;
@@ -20,13 +22,36 @@ use rand::Rng;
 /// Cascade shape.
 #[derive(Debug, Clone)]
 pub struct CascadeConfig {
-    /// Probability that a neighbor of a blocker imitates an applied
-    /// block (per neighbor, per applied block).
+    /// Base probability that a neighbor of a blocker imitates an applied
+    /// block (per neighbor, per applied block), at the reference blocker
+    /// size — scaled by [`follower_weight`] of the blocker's user count.
     pub imitation_p: f64,
     /// Delay before an imitated block fires.
     pub imitation_delay: SimDuration,
     /// Window over which the seed blocks are spread.
     pub seed_window: SimDuration,
+}
+
+/// Blocker size at which [`follower_weight`] is exactly 1.0, i.e.
+/// [`CascadeConfig::imitation_p`] applies unscaled.
+pub const REFERENCE_FOLLOWERS: u32 = 100;
+
+/// Multiplier on the imitation probability from the *blocker's* user
+/// count (the follower proxy): admins copy the blocklists of instances
+/// people actually follow, so a block applied by a large curated-list
+/// instance propagates harder than the same block from a single-user
+/// server. Log-scaled — `ln(1 + users) / ln(1 + REFERENCE_FOLLOWERS)` —
+/// and clamped to `[0.05, 2.5]`, so tiny blockers still occasionally
+/// propagate and giants cannot push the probability past certainty.
+pub fn follower_weight(users: u32) -> f64 {
+    let reference = (1.0 + REFERENCE_FOLLOWERS as f64).ln();
+    ((1.0 + users as f64).ln() / reference).clamp(0.05, 2.5)
+}
+
+/// The per-neighbor imitation probability for a block applied by an
+/// instance with `users` registered users.
+pub fn imitation_probability(base_p: f64, users: u32) -> f64 {
+    (base_p * follower_weight(users)).clamp(0.0, 1.0)
 }
 
 impl Default for CascadeConfig {
@@ -140,9 +165,15 @@ impl Scenario for DefederationCascadeScenario {
             return; // the link was already gone — nothing new to imitate
         }
         // Neighbors that still federate with both the blocker and the
-        // target hear about the block and may copy it.
+        // target hear about the block and may copy it — with probability
+        // weighted by how followed the *blocker* is (big curated-list
+        // instances get copied more, §4.2's shared-blocklist dynamic).
+        let p = imitation_probability(
+            self.config.imitation_p,
+            state.instances[*instance as usize].users,
+        );
         for &b in state.neighbors(*instance as usize) {
-            if b != *target && state.linked(b, *target) && rng.gen_bool(self.config.imitation_p) {
+            if b != *target && state.linked(b, *target) && rng.gen_bool(p) {
                 self.imitations += 1;
                 queue.schedule(
                     event.at + self.config.imitation_delay,
@@ -206,6 +237,34 @@ mod tests {
             scenario.seed_blocks(),
             "without imitation exactly the seed edges fall"
         );
+    }
+
+    #[test]
+    fn follower_weighting_is_pinned() {
+        // Exactly 1.0 at the reference size: `imitation_p` is the
+        // probability a 100-user blocker's block is copied.
+        assert!((follower_weight(REFERENCE_FOLLOWERS) - 1.0).abs() < 1e-12);
+        // The formula itself is pinned: ln(1+u)/ln(101).
+        let expect = |u: u32| ((1.0 + u as f64).ln() / 101_f64.ln()).clamp(0.05, 2.5);
+        for users in [0, 1, 10, 100, 1_800, 17_900, 1_000_000] {
+            assert!(
+                (follower_weight(users) - expect(users)).abs() < 1e-12,
+                "weight({users})"
+            );
+        }
+        // Monotone in the blocker's size, and clamped at both ends.
+        assert!(follower_weight(1) < follower_weight(10));
+        assert!(follower_weight(10) < follower_weight(1_000));
+        assert_eq!(follower_weight(0), 0.05);
+        assert_eq!(follower_weight(u32::MAX), 2.5);
+        // The effective probability scales with the weight and stays a
+        // probability.
+        assert!(
+            imitation_probability(0.3, 17_900) > imitation_probability(0.3, 1),
+            "big blockers must be copied more"
+        );
+        assert_eq!(imitation_probability(0.0, u32::MAX), 0.0);
+        assert_eq!(imitation_probability(1.0, u32::MAX), 1.0);
     }
 
     #[test]

@@ -22,10 +22,19 @@ use rand::Rng;
 pub struct ChurnConfig {
     /// Window over which the seeded (permanent) deaths are spread.
     pub ramp: SimDuration,
-    /// Probability that a healthy instance suffers one transient outage.
+    /// Probability that a healthy instance suffers transient outages.
     pub transient_p: f64,
     /// Length of a transient outage.
     pub outage: SimDuration,
+    /// Transient outage+recovery episodes each affected instance
+    /// suffers (default 1 — the historical behaviour; event-flood
+    /// benches crank it to stress the control phase). Episode start
+    /// times are drawn independently across the ramp window, so
+    /// episodes of one instance may overlap; a `Recover` always re-arms
+    /// the instance, so overlapping windows coalesce (an earlier
+    /// episode's recovery ends a later episode's outage early) — total
+    /// downtime does *not* scale linearly with `rounds`.
+    pub rounds: u32,
 }
 
 impl Default for ChurnConfig {
@@ -34,6 +43,7 @@ impl Default for ChurnConfig {
             ramp: SimDuration::days(4),
             transient_p: 0.05,
             outage: SimDuration::hours(12),
+            rounds: 1,
         }
     }
 }
@@ -104,25 +114,27 @@ impl Scenario for ChurnScenario {
             if !rng.gen_bool(self.config.transient_p) {
                 continue;
             }
-            self.transients += 1;
-            let mode = if rng.gen_bool(0.7) {
-                FailureMode::BadGateway
-            } else {
-                FailureMode::Unavailable
-            };
-            let offset = SimDuration(rng.gen_range(0..self.config.ramp.0.max(1)));
-            let down_at = start + offset;
-            queue.schedule(
-                down_at,
-                Event::GoDown {
-                    instance: i as u32,
-                    mode,
-                },
-            );
-            queue.schedule(
-                down_at + self.config.outage,
-                Event::Recover { instance: i as u32 },
-            );
+            for _ in 0..self.config.rounds.max(1) {
+                self.transients += 1;
+                let mode = if rng.gen_bool(0.7) {
+                    FailureMode::BadGateway
+                } else {
+                    FailureMode::Unavailable
+                };
+                let offset = SimDuration(rng.gen_range(0..self.config.ramp.0.max(1)));
+                let down_at = start + offset;
+                queue.schedule(
+                    down_at,
+                    Event::GoDown {
+                        instance: i as u32,
+                        mode,
+                    },
+                );
+                queue.schedule(
+                    down_at + self.config.outage,
+                    Event::Recover { instance: i as u32 },
+                );
+            }
         }
     }
 }

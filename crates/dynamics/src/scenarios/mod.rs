@@ -7,7 +7,10 @@ mod composite;
 mod rollout;
 mod storm;
 
-pub use cascade::{CascadeConfig, DefederationCascadeScenario};
+pub use cascade::{
+    follower_weight, imitation_probability, CascadeConfig, DefederationCascadeScenario,
+    REFERENCE_FOLLOWERS,
+};
 pub use churn::{ChurnConfig, ChurnScenario};
 pub use composite::Composite;
 pub use rollout::{PolicyRolloutScenario, RolloutConfig};

@@ -94,7 +94,13 @@ impl Scenario for PolicyRolloutScenario {
             );
             for wave in rollout.waves {
                 let at = cohort_start + wave.offset;
-                queue.schedule(at, Event::AdoptWave { instance: i, wave });
+                queue.schedule(
+                    at,
+                    Event::AdoptWave {
+                        instance: i,
+                        wave: std::sync::Arc::new(wave),
+                    },
+                );
             }
         }
     }

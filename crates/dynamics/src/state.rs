@@ -6,6 +6,8 @@
 //! per-tick fan-out safe *and* bit-reproducible: no worker ever observes
 //! a state another worker is changing.
 
+use crate::trace::failure_mix_index;
+use fediscope_core::catalog::PolicyKind;
 use fediscope_core::config::InstanceModerationConfig;
 use fediscope_core::id::{Domain, PostId, UserId, UserRef};
 use fediscope_core::model::{Activity, Post};
@@ -49,7 +51,9 @@ pub struct InstanceState {
     pub adopted: bool,
     /// Currently active moderation configuration.
     pub moderation: InstanceModerationConfig,
-    /// Compiled pipeline of `moderation` (rebuilt on every change).
+    /// Compiled pipeline of `moderation`, kept in step incrementally:
+    /// waves and blocks merge into it through the MRF delta API
+    /// (O(delta)); only a full reset recompiles it from scratch.
     pub pipeline: MrfPipeline,
     /// The final configuration the seeds prescribe (rollout target).
     pub target: InstanceModerationConfig,
@@ -79,13 +83,25 @@ impl InstanceState {
 /// The whole simulated network.
 #[derive(Debug)]
 pub struct NetworkState {
-    /// Per-instance state, indexed like the seeds.
+    /// Per-instance state, indexed like the seeds. Mutate `failure`,
+    /// `adopted` and moderation only through the state methods
+    /// ([`set_failure`](Self::set_failure),
+    /// [`apply_wave`](Self::apply_wave), …): they keep the O(1)
+    /// aggregate counters below in step, which is what lets the engine
+    /// close a tick without an O(instances) sweep.
     pub instances: Vec<InstanceState>,
     /// Sorted neighbor lists (undirected federation links).
     neighbors: Vec<Vec<u32>>,
     link_count: u64,
     by_domain: HashMap<String, u32>,
     adoption_order: Vec<u32>,
+    /// Instances currently answering the network.
+    up_count: u64,
+    /// Instances whose moderation changed since the run began.
+    adopted_count: u64,
+    /// Down instances by §3 failure-taxonomy slot
+    /// ([`failure_mix_index`]): `[404, 403, 502, 503, 410]`.
+    failure_mix: [u64; 5],
 }
 
 impl NetworkState {
@@ -158,13 +174,44 @@ impl NetworkState {
             .enumerate()
             .map(|(i, inst)| (inst.domain.as_str().to_string(), i as u32))
             .collect();
+        let mut up_count = 0;
+        let mut failure_mix = [0u64; 5];
+        for inst in &instances {
+            if inst.up() {
+                up_count += 1;
+            } else if let Some(idx) = failure_mix_index(inst.failure) {
+                failure_mix[idx] += 1;
+            }
+        }
         NetworkState {
             instances,
             neighbors,
             link_count: seeds.links.len() as u64,
             by_domain,
             adoption_order: seeds.adoption_order().iter().map(|&i| i as u32).collect(),
+            up_count,
+            adopted_count: 0,
+            failure_mix,
         }
+    }
+
+    /// Instances currently answering the network — maintained
+    /// incrementally, O(1).
+    pub fn up_count(&self) -> u64 {
+        self.up_count
+    }
+
+    /// Instances whose moderation changed since the run began —
+    /// maintained incrementally, O(1).
+    pub fn adopted_count(&self) -> u64 {
+        self.adopted_count
+    }
+
+    /// Down instances by §3 failure-taxonomy slot (`[404, 403, 502,
+    /// 503, 410]`, the [`failure_mix_index`] order) — maintained
+    /// incrementally, O(1).
+    pub fn failure_mix(&self) -> [u64; 5] {
+        self.failure_mix
     }
 
     /// The canonical rollout adoption order, carried verbatim from
@@ -217,24 +264,34 @@ impl NetworkState {
         true
     }
 
-    /// Applies a rollout wave to instance `i` and recompiles its
-    /// pipeline. Returns whether the wave changed anything.
+    /// Applies a rollout wave to instance `i`, updating its compiled
+    /// pipeline in place through the delta API — O(wave), never
+    /// O(policy). Returns whether the wave changed anything.
     pub fn apply_wave(&mut self, i: u32, wave: &RolloutWave) -> bool {
         if wave.is_empty() {
             return false;
         }
         let inst = &mut self.instances[i as usize];
-        inst.moderation.apply_wave(wave);
-        inst.pipeline = inst.moderation.build_pipeline();
-        inst.adopted = true;
+        inst.moderation
+            .apply_wave_compiled(wave, &mut inst.pipeline);
+        self.mark_adopted(i as usize);
         true
     }
 
-    /// Instance `a` defederates from `t`: reject-lists `t`'s domain,
-    /// recompiles `a`'s pipeline, and tears the link down. Returns
-    /// whether a live link was actually severed (the cascade
-    /// propagation gate — re-blocking an already-severed pair is a
-    /// no-op and must not re-trigger imitation).
+    /// Flags instance `i` as having changed moderation, keeping the
+    /// adopted counter in step.
+    fn mark_adopted(&mut self, i: usize) {
+        if !self.instances[i].adopted {
+            self.instances[i].adopted = true;
+            self.adopted_count += 1;
+        }
+    }
+
+    /// Instance `a` defederates from `t`: reject-lists `t`'s domain as a
+    /// one-target delta on the compiled pipeline, and tears the link
+    /// down. Returns whether a live link was actually severed (the
+    /// cascade propagation gate — re-blocking an already-severed pair is
+    /// a no-op and must not re-trigger imitation).
     pub fn defederate(&mut self, a: u32, t: u32) -> bool {
         let target_domain = self.instances[t as usize].domain.clone();
         let inst = &mut self.instances[a as usize];
@@ -245,21 +302,42 @@ impl NetworkState {
             .map(|s| s.matches(SimpleAction::Reject, &target_domain))
             .unwrap_or(false);
         if !already {
-            let mut simple = inst.moderation.simple.take().unwrap_or_default();
-            simple.add_target(SimpleAction::Reject, target_domain);
-            inst.moderation.set_simple(simple);
-            inst.pipeline = inst.moderation.build_pipeline();
-            inst.adopted = true;
+            inst.moderation
+                .enable_compiled(PolicyKind::Simple, &mut inst.pipeline);
+            inst.moderation
+                .simple
+                .get_or_insert_with(Default::default)
+                .add_target(SimpleAction::Reject, target_domain.clone());
+            if !inst
+                .pipeline
+                .add_simple_target(SimpleAction::Reject, target_domain)
+            {
+                // Out-of-step pipeline (cannot happen through this API):
+                // reference path.
+                inst.pipeline = inst.moderation.build_pipeline();
+            }
+            self.mark_adopted(a as usize);
         }
         self.unlink(a, t)
     }
 
-    /// Forces a failure mode; returns whether it changed.
+    /// Forces a failure mode; returns whether it changed. Keeps the
+    /// up/failure-mix counters in step (O(1)).
     pub fn set_failure(&mut self, i: u32, mode: FailureMode) -> bool {
-        let inst = &mut self.instances[i as usize];
-        let changed = inst.failure != mode;
-        inst.failure = mode;
-        changed
+        let old = self.instances[i as usize].failure;
+        if old == mode {
+            return false;
+        }
+        match failure_mix_index(old) {
+            None => self.up_count -= 1,
+            Some(idx) => self.failure_mix[idx] -= 1,
+        }
+        match failure_mix_index(mode) {
+            None => self.up_count += 1,
+            Some(idx) => self.failure_mix[idx] += 1,
+        }
+        self.instances[i as usize].failure = mode;
+        true
     }
 
     /// Sets the emission multiplier; returns whether it changed.
@@ -272,6 +350,11 @@ impl NetworkState {
 
     /// Resets instance `i` to the fresh-install moderation default
     /// (rollout scenarios start everyone here and replay adoption).
+    ///
+    /// Removal is the one mutation the additive delta API cannot
+    /// express, so this is the reference-path site: the default config
+    /// is compiled from scratch — O(2) stages, and it runs in scenario
+    /// `init`, never in the per-event control phase.
     pub fn reset_moderation_default(&mut self, i: usize) {
         let inst = &mut self.instances[i];
         inst.moderation = if inst.pleroma {
@@ -280,7 +363,10 @@ impl NetworkState {
             InstanceModerationConfig::default()
         };
         inst.pipeline = inst.moderation.build_pipeline();
-        inst.adopted = false;
+        if inst.adopted {
+            inst.adopted = false;
+            self.adopted_count -= 1;
+        }
     }
 }
 
@@ -339,6 +425,58 @@ mod tests {
         assert!(state.instances[rejector].moderation.simple.is_none());
         // The target config is untouched — rollouts replay it.
         assert!(state.instances[rejector].target.simple.as_ref().is_some());
+    }
+
+    #[test]
+    fn aggregate_counters_stay_in_step_with_the_instances() {
+        let s = seeds();
+        let mut state = NetworkState::from_seeds(s);
+        let recount = |state: &NetworkState| {
+            let mut up = 0u64;
+            let mut adopted = 0u64;
+            let mut mix = [0u64; 5];
+            for inst in &state.instances {
+                if inst.up() {
+                    up += 1;
+                } else if let Some(idx) = failure_mix_index(inst.failure) {
+                    mix[idx] += 1;
+                }
+                if inst.adopted {
+                    adopted += 1;
+                }
+            }
+            (up, adopted, mix)
+        };
+        let check = |state: &NetworkState, what: &str| {
+            let (up, adopted, mix) = recount(state);
+            assert_eq!(state.up_count(), up, "up after {what}");
+            assert_eq!(state.adopted_count(), adopted, "adopted after {what}");
+            assert_eq!(state.failure_mix(), mix, "mix after {what}");
+        };
+        check(&state, "from_seeds");
+        state.set_failure(0, FailureMode::Gone);
+        state.set_failure(0, FailureMode::Gone); // no-op repeat
+        state.set_failure(1, FailureMode::BadGateway);
+        check(&state, "failures");
+        state.set_failure(0, FailureMode::Healthy);
+        check(&state, "recovery");
+        let &(a, b) = s.links.first().unwrap();
+        state.defederate(a, b);
+        state.defederate(a, b); // idempotent re-block
+        check(&state, "defederate");
+        state.reset_moderation_default(a as usize);
+        state.reset_moderation_default(a as usize);
+        check(&state, "reset");
+        let wave = fediscope_core::rollout::PolicyRollout::staged(
+            &state.instances[a as usize].target.clone(),
+            1,
+            fediscope_core::time::SimDuration::hours(1),
+        )
+        .waves
+        .remove(0);
+        state.apply_wave(a, &wave);
+        state.apply_wave(a, &wave);
+        check(&state, "wave");
     }
 
     #[test]

@@ -48,9 +48,13 @@ pub struct WorldConfig {
     /// Whether to generate post text (content composition is the most
     /// expensive step; analyses that only need metadata can skip it).
     pub generate_text: bool,
-    /// Worker threads for the parallel campaign phases. Generation itself
-    /// stays sequential (one RNG stream ⇒ bit-reproducible worlds);
-    /// annotation and materialisation fan out to this many workers.
+    /// Worker threads for the parallel campaign phases. Generation's
+    /// per-instance stage, annotation and materialisation all fan out on
+    /// the rayon pool this knob sizes (via
+    /// `rayon::ThreadPoolBuilder::build_global` in the harness); every
+    /// stage is bit-identical at any worker count — generation draws
+    /// from one private RNG stream per instance, so chunking never
+    /// moves a draw.
     pub parallelism: Parallelism,
 }
 

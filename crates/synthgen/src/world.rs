@@ -14,6 +14,7 @@ use fediscope_core::time::{CAMPAIGN_END, CAMPAIGN_START};
 use fediscope_simnet::FailureMode;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use std::collections::HashSet;
 
 /// A generated user with their ground-truth harm profile and posts.
@@ -87,6 +88,17 @@ pub struct World {
 
 impl World {
     /// Generates a world. Deterministic in `config.seed`.
+    ///
+    /// The network-level stages (population, moderation plan, characters,
+    /// timelines, directory, peers) run sequentially on the master RNG
+    /// stream; the expensive per-instance stage (users, harm profiles,
+    /// content-composed posts) shards across the rayon pool with a
+    /// private RNG stream per skeleton ([`instance_stream_seed`] — the
+    /// same seed-splitting scheme as the dynamics engine's delivery
+    /// streams). Chunking decides which worker generates an instance,
+    /// never a single draw, so the world is bit-identical at any
+    /// `FEDISCOPE_THREADS` — pinned by the `worldgen_identity` proptest
+    /// in `fediscope-bench`.
     pub fn generate(config: WorldConfig) -> World {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let skeletons = population::generate_population(&config, &mut rng);
@@ -98,42 +110,47 @@ impl World {
 
         let harm_profile = HarmProfile::new();
         let composer = ContentComposer::new();
-        let mut instances = Vec::with_capacity(skeletons.len());
-        for (i, skel) in skeletons.iter().enumerate() {
-            let mut profile = skel.profile.clone();
-            profile.public_timeline_open = timeline_open[i];
-            let rejected = plan.reject_counts.contains_key(&i);
-            let users = if skel.profile.is_pleroma() && skel.crawlable() {
-                generate_users(
-                    &config,
-                    skel,
-                    characters[i],
-                    rejected,
-                    &harm_profile,
-                    &composer,
-                    &mut rng,
-                )
-            } else {
-                Vec::new()
-            };
-            let mut moderation_config = InstanceModerationConfig::default();
-            for &kind in &plan.enabled[i] {
-                moderation_config.enable(kind);
-            }
-            if let Some(simple) = &plan.simple[i] {
-                moderation_config.set_simple(simple.clone());
-            }
-            instances.push(GeneratedInstance {
-                profile,
-                failure: skel.failure,
-                moderation: moderation_config,
-                character: characters[i],
-                users,
-                peers: peers[i].clone(),
-                posts_full_scale: skel.posts_full_scale,
-                rejects_received: plan.reject_counts.get(&i).copied().unwrap_or(0),
-            });
-        }
+        let seed = config.seed;
+        let instances: Vec<GeneratedInstance> = (0..skeletons.len())
+            .into_par_iter()
+            .map(|i| {
+                let skel = &skeletons[i];
+                let mut rng = SmallRng::seed_from_u64(instance_stream_seed(seed, i as u64));
+                let mut profile = skel.profile.clone();
+                profile.public_timeline_open = timeline_open[i];
+                let rejected = plan.reject_counts.contains_key(&i);
+                let users = if skel.profile.is_pleroma() && skel.crawlable() {
+                    generate_users(
+                        &config,
+                        skel,
+                        characters[i],
+                        rejected,
+                        &harm_profile,
+                        &composer,
+                        &mut rng,
+                    )
+                } else {
+                    Vec::new()
+                };
+                let mut moderation_config = InstanceModerationConfig::default();
+                for &kind in &plan.enabled[i] {
+                    moderation_config.enable(kind);
+                }
+                if let Some(simple) = &plan.simple[i] {
+                    moderation_config.set_simple(simple.clone());
+                }
+                GeneratedInstance {
+                    profile,
+                    failure: skel.failure,
+                    moderation: moderation_config,
+                    character: characters[i],
+                    users,
+                    peers: peers[i].clone(),
+                    posts_full_scale: skel.posts_full_scale,
+                    rejects_received: plan.reject_counts.get(&i).copied().unwrap_or(0),
+                }
+            })
+            .collect();
         World {
             config,
             instances,
@@ -420,6 +437,17 @@ fn generate_users<R: Rng>(
         users[ui].posts[pi].id = post_id(instance_id, order as u64);
     }
     users
+}
+
+/// Mixes the world seed and a skeleton index into that instance's
+/// private generation stream — the same splitting scheme as the dynamics
+/// engine's per-`(seed, tick, sender)` delivery streams. Independent of
+/// thread count and of every other instance's stream, which is what
+/// makes sharded generation bit-identical to a sequential pass.
+fn instance_stream_seed(seed: u64, instance: u64) -> u64 {
+    seed ^ instance
+        .wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
 }
 
 /// Fisher–Yates shuffle.

@@ -28,8 +28,8 @@ fn usage() -> ExitCode {
     eprintln!("USAGE:");
     eprintln!("  fediscope crawl [--scale S] [--post-scale P] [--seed N] [--out FILE]");
     eprintln!("  fediscope report FILE <census|headline|table1|table2|fig1|fig2|fig3|curate|ablation|graph>");
-    eprintln!("  fediscope dynamics <rollout|cascade|churn|storm|composite> [--scale S] [--seed N] [--ticks T] [--out FILE]");
-    eprintln!("  fediscope dynamics census [--scale S] [--seed N] [--ticks T] [--census-every C] [--out FILE]");
+    eprintln!("  fediscope dynamics <rollout|cascade|churn|storm|composite> [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE]");
+    eprintln!("  fediscope dynamics census [--scale S] [--seed N] [--ticks T] [--census-every C] [--threads W] [--out FILE]");
     ExitCode::from(2)
 }
 
@@ -67,6 +67,17 @@ fn dynamics(args: &[String]) -> ExitCode {
     }
     if let Some(n) = parse_flag(args, "--seed").and_then(|v| v.parse().ok()) {
         config.seed = n;
+    }
+    // One pool sizes every parallel stage — sharded world generation and
+    // the engine's measurement fan-out (both bit-identical at any W).
+    if let Some(w) = parse_flag(args, "--threads").and_then(|v| v.parse::<usize>().ok()) {
+        config.parallelism = fediscope::synthgen::Parallelism(w);
+        if let Err(e) = rayon::ThreadPoolBuilder::new()
+            .num_threads(w)
+            .build_global()
+        {
+            eprintln!("warning: --threads not applied — {e}");
+        }
     }
     let ticks: u64 = parse_flag(args, "--ticks")
         .and_then(|v| v.parse().ok())
