@@ -10,7 +10,7 @@
 //! crate only reads the crawler's dataset.
 
 use crate::report::render_table;
-use fediscope_dynamics::{CensusSnapshot, DynamicsTrace};
+use fediscope_dynamics::{CensusSnapshot, DynamicsTrace, ExperimentResult, TraceDelta};
 
 /// One row of the per-tick time series.
 #[derive(Debug, Clone, PartialEq)]
@@ -237,11 +237,163 @@ pub fn render_dynamics(trace: &DynamicsTrace) -> String {
     )
 }
 
+/// One row of the prevention-attribution table: what an arm changed
+/// relative to the experiment's baseline arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRow {
+    /// Arm name.
+    pub arm: String,
+    /// Whether this is the baseline arm (deltas are all zero).
+    pub baseline: bool,
+    /// Deliveries the arm's pipelines rejected over the run.
+    pub blocked: u64,
+    /// Toxic mass the arm's users were exposed to.
+    pub exposure: f64,
+    /// Extra deliveries blocked relative to the baseline.
+    pub blocked_vs_baseline: i64,
+    /// Toxic mass kept out relative to the baseline (positive = the
+    /// arm's users saw less) — the headline counterfactual number.
+    pub prevented_vs_baseline: f64,
+    /// Share of the baseline's exposure the arm prevented.
+    pub prevented_share: f64,
+    /// Final-tick federation-link difference vs. the baseline
+    /// (negative = the arm severed more links: the fragmentation cost).
+    pub links_vs_baseline: i64,
+}
+
+/// The per-arm attribution rows of an experiment, baseline first, then
+/// non-baseline arms in registration order.
+pub fn experiment_attribution(result: &ExperimentResult) -> Vec<AttributionRow> {
+    let baseline = result.baseline();
+    let baseline_exposure = baseline.trace.total_exposure();
+    let mut rows = vec![AttributionRow {
+        arm: baseline.name.clone(),
+        baseline: true,
+        blocked: baseline.trace.total_rejected(),
+        exposure: baseline_exposure,
+        blocked_vs_baseline: 0,
+        prevented_vs_baseline: 0.0,
+        prevented_share: 0.0,
+        links_vs_baseline: 0,
+    }];
+    for delta in result.deltas() {
+        let arm = result.arm(&delta.arm).expect("delta arms exist");
+        let prevented = delta.prevented_exposure();
+        rows.push(AttributionRow {
+            arm: delta.arm.clone(),
+            baseline: false,
+            blocked: arm.trace.total_rejected(),
+            exposure: arm.trace.total_exposure(),
+            blocked_vs_baseline: delta.blocked_deliveries(),
+            prevented_vs_baseline: prevented,
+            prevented_share: if baseline_exposure > 0.0 {
+                prevented / baseline_exposure
+            } else {
+                0.0
+            },
+            links_vs_baseline: delta.final_links(),
+        });
+    }
+    rows
+}
+
+/// Renders one paired delta as a per-tick table: every column is
+/// arm − baseline, plus the running cumulative prevented-exposure curve
+/// (how prevention accrues as waves land).
+pub fn render_delta(delta: &TraceDelta) -> String {
+    let cumulative = delta.cumulative_prevented();
+    let rows: Vec<Vec<String>> = delta
+        .ticks
+        .iter()
+        .zip(&cumulative)
+        .map(|(t, &cum)| {
+            vec![
+                t.tick.to_string(),
+                t.at.campaign_day().to_string(),
+                format!("{:+}", t.links),
+                format!("{:+}", t.delivered),
+                format!("{:+}", t.blocked),
+                format!("{:+}", t.failed),
+                format!("{:+}", t.adopted),
+                format!("{:+.1}", t.toxic_exposure),
+                format!("{:.1}", -t.toxic_exposure),
+                format!("{:.1}", cum),
+            ]
+        })
+        .collect();
+    render_table(
+        &format!(
+            "paired delta: {} − {} (seed {})",
+            delta.arm, delta.baseline, delta.seed
+        ),
+        &[
+            "tick",
+            "day",
+            "Δlinks",
+            "Δdeliv",
+            "Δblocked",
+            "Δfailed",
+            "Δadopted",
+            "Δexposure",
+            "prevented",
+            "cum.prev",
+        ],
+        &rows,
+    )
+}
+
+/// Renders a whole experiment: the prevention-attribution summary (one
+/// row per arm, baseline first) followed by one per-tick paired-delta
+/// table per non-baseline arm.
+pub fn render_experiment(result: &ExperimentResult) -> String {
+    let rows: Vec<Vec<String>> = experiment_attribution(result)
+        .into_iter()
+        .map(|r| {
+            vec![
+                if r.baseline {
+                    format!("{} (baseline)", r.arm)
+                } else {
+                    r.arm
+                },
+                r.blocked.to_string(),
+                format!("{:.1}", r.exposure),
+                format!("{:+}", r.blocked_vs_baseline),
+                format!("{:.1}", r.prevented_vs_baseline),
+                format!("{:.1}%", r.prevented_share * 100.0),
+                format!("{:+}", r.links_vs_baseline),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        &format!(
+            "experiment: {} arms vs {} (seed {})",
+            result.arms.len(),
+            result.baseline().name,
+            result.seed
+        ),
+        &[
+            "arm",
+            "blocked",
+            "exposure",
+            "Δblocked",
+            "prevented",
+            "prev%",
+            "Δlinks",
+        ],
+        &rows,
+    );
+    for delta in result.deltas() {
+        out.push('\n');
+        out.push_str(&render_delta(&delta));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fediscope_core::time::SimTime;
-    use fediscope_dynamics::TickTrace;
+    use fediscope_dynamics::{ArmRun, TickTrace};
 
     fn trace() -> DynamicsTrace {
         let tick = |tick: u64, links: u64, delivered: u64, rejected: u64| TickTrace {
@@ -337,6 +489,84 @@ mod tests {
         assert!((rows[1].undercount_share - 0.08).abs() < 1e-12);
         assert_eq!(rows[1].taxonomy, [11, 8, 3, 1, 1]);
         assert_eq!(rows[2].day, 2, "tick 12 of 4h ticks is day 2");
+    }
+
+    fn experiment() -> ExperimentResult {
+        let arm_trace = |scenario: &str, exposure_scale: f64, rejected: u64| {
+            let tick = |tick: u64| TickTrace {
+                tick,
+                at: SimTime(fediscope_core::time::CAMPAIGN_START.0 + tick * 14_400),
+                links: 30,
+                instances_up: 9,
+                adopted: if rejected > 0 { tick } else { 0 },
+                events: 0,
+                delivered: 100,
+                accepted: 100 - rejected,
+                rejected,
+                failed: 0,
+                rejected_authors: rejected.min(2),
+                toxic_exposure: exposure_scale * (tick + 1) as f64,
+                exposure_prevented: rejected as f64 * 0.1,
+                failure_mix: vec![0; 5],
+                per_instance_exposure: vec![exposure_scale],
+            };
+            DynamicsTrace {
+                scenario: scenario.into(),
+                seed: 7,
+                ticks: (0..3).map(tick).collect(),
+            }
+        };
+        ExperimentResult {
+            seed: 7,
+            baseline: 0,
+            arms: vec![
+                ArmRun {
+                    name: "inaction".into(),
+                    trace: arm_trace("inaction", 4.0, 0),
+                },
+                ArmRun {
+                    name: "rollout".into(),
+                    trace: arm_trace("rollout", 1.0, 20),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn attribution_credits_the_treatment_arm() {
+        let rows = experiment_attribution(&experiment());
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].baseline);
+        assert_eq!(rows[0].arm, "inaction");
+        assert_eq!(rows[0].blocked_vs_baseline, 0);
+        let rollout = &rows[1];
+        assert!(!rollout.baseline);
+        // Baseline exposure 4+8+12 = 24, arm 1+2+3 = 6: prevented 18.
+        assert!((rollout.prevented_vs_baseline - 18.0).abs() < 1e-12);
+        assert!((rollout.prevented_share - 0.75).abs() < 1e-12);
+        assert_eq!(rollout.blocked_vs_baseline, 60);
+        assert_eq!(rollout.links_vs_baseline, 0);
+    }
+
+    #[test]
+    fn experiment_render_contains_summary_and_delta_tables() {
+        let rendered = render_experiment(&experiment());
+        assert!(rendered.contains("experiment: 2 arms vs inaction (seed 7)"));
+        assert!(rendered.contains("inaction (baseline)"));
+        assert!(rendered.contains("paired delta: rollout − inaction (seed 7)"));
+        // Summary (title + header + 2 rows) and delta (title + header +
+        // 3 ticks) tables, separated by a blank line.
+        assert_eq!(rendered.trim_end().lines().count(), 4 + 1 + 5);
+    }
+
+    #[test]
+    fn delta_render_has_one_line_per_tick() {
+        let result = experiment();
+        let delta = result.delta("rollout").unwrap();
+        let rendered = render_delta(&delta);
+        assert_eq!(rendered.trim_end().lines().count(), 5);
+        // The cumulative column ends at the total prevented exposure.
+        assert!(rendered.contains("18.0"));
     }
 
     #[test]

@@ -19,13 +19,23 @@
 //!   counters). The flood rate times `DynamicsEngine::run` — the control
 //!   phase proper — with `NetworkState` construction outside the clock.
 //! * **incremental events/sec** — a *policy* flood: every Pleroma
-//!   instance replays the §4.2 heavy-tailed blocklist import (the union
-//!   of the seed world's reject lists, in chunks), racing a
-//!   high-imitation defederation cascade and a staged rollout, emissions
-//!   capped to zero — so every event is an `AdoptWave`/`Defederate`
-//!   mutating a compiled `MrfPipeline` through the O(delta) API. Gate:
-//!   ≥ 2 M events/sec incremental (this is the path that recompiled
-//!   whole pipelines per event before PR 4, at ~0.57 M events/sec).
+//!   instance replays the circulating blocklist import **twice over** —
+//!   once as a full-union import (shared `Arc` waves) and once through
+//!   the §4.2 heavy-tailed *subsampled* path (per-adopter subset waves
+//!   via `RolloutWave::subset_simple`) — racing a high-imitation
+//!   defederation cascade and a staged rollout, emissions capped to
+//!   zero. Every event is an `AdoptWave`/`Defederate` mutating a
+//!   compiled `MrfPipeline` through the O(delta) API, so the ≥ 2 M
+//!   events/sec gate covers both import shapes (this is the path that
+//!   recompiled whole pipelines per event before PR 4, at ~0.57 M
+//!   events/sec).
+//! * **experiment posts/sec** — the paired-arm counterfactual harness:
+//!   two bridged arms (a storm over an inaction baseline vs. the same
+//!   storm racing a staged rollout) run from one `EngineBuilder` over
+//!   shared `Arc` seeds. Gate: ≥ 1 M aggregate post-deliveries/sec
+//!   across both arms, with each arm's trace asserted bit-identical to
+//!   its standalone run (the harness's zero-drift contract) and the
+//!   paired delta asserted to actually attribute prevention.
 //!
 //! A high-imitation defederation cascade rides along in the Criterion
 //! group as the mixed (events + deliveries) workload.
@@ -35,10 +45,14 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use fediscope_dynamics::scenarios::{
-    CascadeConfig, ChurnConfig, ChurnScenario, Composite, DefederationCascadeScenario,
-    PolicyRolloutScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
+    AdoptionModel, BlocklistImportScenario, CascadeConfig, ChurnConfig, ChurnScenario, Composite,
+    DefederationCascadeScenario, ImportConfig, InactionScenario, PolicyRolloutScenario,
+    RolloutConfig, StormConfig, ToxicityStormScenario,
 };
-use fediscope_dynamics::{DynamicsConfig, DynamicsEngine, DynamicsTrace, LiveNetBridge};
+use fediscope_dynamics::{
+    Arm, DynamicsConfig, DynamicsEngine, DynamicsTrace, EngineBuilder, Experiment,
+    ExperimentResult, LiveNetBridge, NetworkState,
+};
 use fediscope_simnet::SimNet;
 use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
 use std::sync::Arc;
@@ -126,81 +140,6 @@ fn run_cascade(seeds: &ScenarioSeeds) -> DynamicsTrace {
     engine.run(&mut scenario)
 }
 
-/// The §4.2 heavy-tailed blocklist import replay: every Pleroma
-/// instance imports the union of the seed world's reject lists in
-/// fixed-size chunks — one `AdoptWave` event per chunk per importer,
-/// spread over `window` — tens of thousands of O(delta) pipeline
-/// mutations against lists that grow to the union's full size.
-struct BlocklistImportFlood {
-    chunk: usize,
-    window: fediscope_core::time::SimDuration,
-}
-
-impl fediscope_dynamics::Scenario for BlocklistImportFlood {
-    fn name(&self) -> &'static str {
-        "blocklist_import_flood"
-    }
-
-    fn init(
-        &mut self,
-        start: fediscope_core::time::SimTime,
-        state: &mut fediscope_dynamics::NetworkState,
-        queue: &mut fediscope_dynamics::EventQueue,
-        _rng: &mut rand::rngs::SmallRng,
-    ) {
-        use fediscope_core::mrf::policies::{SimpleAction, SimplePolicy};
-        use fediscope_core::rollout::RolloutWave;
-        use fediscope_core::time::SimDuration;
-        // The circulating blocklist: union of every seed reject list,
-        // deduplicated in deterministic instance order.
-        let mut seen = std::collections::HashSet::new();
-        let mut union: Vec<fediscope_core::id::Domain> = Vec::new();
-        for inst in &state.instances {
-            if let Some(simple) = inst.moderation.simple.as_ref() {
-                for d in simple.targets(SimpleAction::Reject) {
-                    if seen.insert(d.as_str().to_string()) {
-                        union.push(d.clone());
-                    }
-                }
-            }
-        }
-        let importers: Vec<u32> = (0..state.len())
-            .filter(|&i| state.instances[i].pleroma)
-            .map(|i| i as u32)
-            .collect();
-        // One shared wave per chunk: scheduling to every importer is a
-        // refcount bump, exactly how a circulating blocklist is one
-        // artifact applied by many admins.
-        let waves: Vec<std::sync::Arc<RolloutWave>> = union
-            .chunks(self.chunk.max(1))
-            .map(|c| {
-                let mut s = SimplePolicy::new();
-                for d in c {
-                    s.add_target(SimpleAction::Reject, d.clone());
-                }
-                std::sync::Arc::new(RolloutWave {
-                    offset: SimDuration(0),
-                    enable: Vec::new(),
-                    simple: Some(s),
-                })
-            })
-            .collect();
-        let n = waves.len().max(1) as u64;
-        for (pos, wave) in waves.into_iter().enumerate() {
-            let at = start + SimDuration(self.window.0 * pos as u64 / n);
-            for &i in &importers {
-                queue.schedule(
-                    at,
-                    fediscope_dynamics::Event::AdoptWave {
-                        instance: i,
-                        wave: std::sync::Arc::clone(&wave),
-                    },
-                );
-            }
-        }
-    }
-}
-
 fn flood_config(seeds: &ScenarioSeeds) -> DynamicsConfig {
     DynamicsConfig {
         seed: seeds.seed,
@@ -223,17 +162,27 @@ fn event_flood_scenario() -> Box<dyn fediscope_dynamics::Scenario> {
 }
 
 /// The incremental-compilation flood: every event is a policy mutation —
-/// blocklist-import chunks and rollout waves (merge deltas) plus cascade
-/// blocks (one-target deltas) — against compiled pipelines, with the
-/// measurement phase silenced. Before the delta API each of these
-/// events recompiled an entire `MrfPipeline`; now each is O(delta).
+/// blocklist-import chunks (the full-union *and* the §4.2 subsampled
+/// path, so the gate covers both import shapes) and rollout waves
+/// (merge deltas) plus cascade blocks (one-target deltas) — against
+/// compiled pipelines, with the measurement phase silenced. Before the
+/// delta API each of these events recompiled an entire `MrfPipeline`;
+/// now each is O(delta).
 fn policy_flood_scenario() -> Box<dyn fediscope_dynamics::Scenario> {
+    let import = |adoption: AdoptionModel| ImportConfig {
+        chunk: 1,
+        window: fediscope_core::time::SimDuration::days(5),
+        adoption,
+        reset_to_default: false,
+    };
     Box::new(
         Composite::new()
-            .with(Box::new(BlocklistImportFlood {
-                chunk: 1,
-                window: fediscope_core::time::SimDuration::days(5),
-            }))
+            .with(Box::new(BlocklistImportScenario::new(import(
+                AdoptionModel::Full,
+            ))))
+            .with(Box::new(BlocklistImportScenario::new(import(
+                AdoptionModel::HeavyTail { alpha: 3.0 },
+            ))))
             .with(Box::new(DefederationCascadeScenario::new(CascadeConfig {
                 imitation_p: 0.9,
                 ..CascadeConfig::default()
@@ -242,6 +191,55 @@ fn policy_flood_scenario() -> Box<dyn fediscope_dynamics::Scenario> {
                 RolloutConfig::default(),
             ))),
     )
+}
+
+/// The one definition of the experiment workload's arm scenarios,
+/// shared by [`experiment_setup`] and the bench's zero-drift check so
+/// the standalone comparison can never silently diverge from what the
+/// arms actually run: the saturation storm over an inaction baseline
+/// ("no_rollout") vs. the same storm racing a staged rollout.
+fn experiment_arm_scenario(name: &str) -> Box<dyn fediscope_dynamics::Scenario> {
+    let storm = Box::new(ToxicityStormScenario::new(StormConfig {
+        start_offset: fediscope_core::time::SimDuration::hours(4),
+        duration: fediscope_core::time::SimDuration::days(30),
+        multiplier: 12.0,
+    }));
+    match name {
+        "no_rollout" => Box::new(
+            Composite::new()
+                .with(storm)
+                .with(Box::new(InactionScenario)),
+        ),
+        "rollout" => Box::new(Composite::new().with(storm).with(Box::new(
+            PolicyRolloutScenario::new(RolloutConfig::default()),
+        ))),
+        other => panic!("unknown experiment arm {other}"),
+    }
+}
+
+/// The paired-arm counterfactual workload: one `EngineBuilder` over the
+/// shared seeds stamps two bridged arms — the storm over an inaction
+/// baseline, and the same storm racing a staged rollout. Aggregate
+/// deliveries across both arms are the unit the experiment gate is
+/// stated in.
+fn experiment_setup(seeds: &Arc<ScenarioSeeds>) -> Experiment {
+    let config = DynamicsConfig {
+        seed: seeds.seed,
+        ticks: 10,
+        ..DynamicsConfig::default()
+    };
+    let sink = |state: &NetworkState| -> Box<dyn fediscope_dynamics::EventSink> {
+        Box::new(LiveNetBridge::new(Arc::new(SimNet::new()), state))
+    };
+    Experiment::new(EngineBuilder::new(config, Arc::clone(seeds)))
+        .with_arm(Arm::new("no_rollout", || experiment_arm_scenario("no_rollout")).with_sink(sink))
+        .with_arm(Arm::new("rollout", || experiment_arm_scenario("rollout")).with_sink(sink))
+        .with_baseline("no_rollout")
+}
+
+/// Aggregate post-deliveries across every arm of an experiment run.
+fn experiment_delivered(result: &ExperimentResult) -> u64 {
+    result.arms.iter().map(|a| a.trace.total_delivered()).sum()
 }
 
 /// Runs a flood scenario on a fresh engine, returning its trace.
@@ -299,6 +297,9 @@ fn emit_json(
     composite_posts_per_sec: f64,
     policy_events: u64,
     policy_events_per_sec: f64,
+    experiment_arms: usize,
+    experiment_delivered: u64,
+    experiment_posts_per_sec: f64,
 ) {
     let report = serde_json::json!({
         "bench": "perf_dynamics",
@@ -311,11 +312,16 @@ fn emit_json(
         "events_per_sec": events_per_sec,
         "policy_flood_events_per_run": policy_events,
         "policy_events_per_sec": policy_events_per_sec,
+        "experiment_arms": experiment_arms,
+        "experiment_deliveries_per_run": experiment_delivered,
+        "experiment_posts_per_sec": experiment_posts_per_sec,
         "threads": rayon::current_num_threads(),
         "acceptance_min_posts_per_sec": 1.0e6,
         "acceptance_met": posts_per_sec >= 1.0e6,
         "acceptance_min_events_per_sec": 2.0e6,
         "events_acceptance_met": events_per_sec >= 2.0e6 && policy_events_per_sec >= 2.0e6,
+        "experiment_acceptance_min_posts_per_sec": 1.0e6,
+        "experiment_acceptance_met": experiment_posts_per_sec >= 1.0e6,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamics.json");
     match serde_json::to_string_pretty(&report) {
@@ -339,6 +345,7 @@ fn bench_dynamics(c: &mut Criterion) {
         }
     }
     let seeds = bench_seeds();
+    let seeds_arc = Arc::new(seeds.clone());
 
     // Determinism sanity inside the bench itself, mirroring perf_scorer:
     // two storm runs must be bit-identical before we time anything.
@@ -401,11 +408,57 @@ fn bench_dynamics(c: &mut Criterion) {
             )
         })
     });
+    let group_experiment = experiment_setup(&seeds_arc);
+    let group_experiment_delivered = experiment_delivered(&group_experiment.run());
+    group.throughput(Throughput::Elements(group_experiment_delivered));
+    group.bench_function("paired_arm_experiment", |b| {
+        b.iter(|| black_box(experiment_delivered(&group_experiment.run())))
+    });
     group.finish();
+
+    // The paired-arm harness: zero drift (each bridged arm bit-identical
+    // to its standalone bridged run) and real attribution (the rollout
+    // arm prevents exposure the no-rollout arm delivered) — asserted
+    // before the experiment throughput is timed.
+    let experiment = experiment_setup(&seeds_arc);
+    let experiment_reference = experiment.run();
+    assert_eq!(
+        experiment_delivered(&experiment_reference),
+        experiment_delivered(&experiment.run()),
+        "experiment runs must be reproducible"
+    );
+    for arm_run in &experiment_reference.arms {
+        let config = DynamicsConfig {
+            seed: seeds.seed,
+            ticks: 10,
+            ..DynamicsConfig::default()
+        };
+        let mut engine = DynamicsEngine::new(config, &seeds);
+        bridge(&mut engine);
+        let mut scenario = experiment_arm_scenario(&arm_run.name);
+        let standalone = engine.run(scenario.as_mut());
+        assert_eq!(
+            arm_run.trace.digest(),
+            standalone.digest(),
+            "arm {} must be bit-identical to its standalone run (zero-drift contract)",
+            arm_run.name
+        );
+    }
+    let experiment_delta = experiment_reference.delta("rollout").expect("rollout arm");
+    assert!(
+        experiment_delta.prevented_exposure() > 0.0 && experiment_delta.blocked_deliveries() > 0,
+        "the paired delta must attribute prevention to the rollout arm"
+    );
+    let experiment_deliveries = experiment_delivered(&experiment_reference);
+    assert!(
+        experiment_deliveries > 200_000,
+        "two storm arms must saturate ({experiment_deliveries} posts)"
+    );
 
     // Acceptance measurement + machine-readable trajectory record.
     let posts_per_sec = best_rate(5, || run_storm(&seeds).total_delivered());
     let composite_posts_per_sec = best_rate(3, || run_composite(&seeds).total_delivered());
+    let experiment_posts_per_sec = best_rate(3, || experiment_delivered(&experiment.run()));
     // Flood reproducibility before timing anything.
     assert_eq!(
         run_flood(&seeds, policy_flood_scenario).digest(),
@@ -428,11 +481,12 @@ fn bench_dynamics(c: &mut Criterion) {
         "the policy flood must actually sever federation links"
     );
     println!(
-        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec (bridged), {composite_delivered} composite deliveries/run, {:.2} M composite posts/sec, {flood_events} flood events/run, {:.2} M events/sec, {policy_events} policy events/run, {:.2} M incremental events/sec",
+        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec (bridged), {composite_delivered} composite deliveries/run, {:.2} M composite posts/sec, {flood_events} flood events/run, {:.2} M events/sec, {policy_events} policy events/run, {:.2} M incremental events/sec, {experiment_deliveries} experiment deliveries/run (2 bridged arms), {:.2} M experiment posts/sec",
         posts_per_sec / 1e6,
         composite_posts_per_sec / 1e6,
         events_per_sec / 1e6,
-        policy_events_per_sec / 1e6
+        policy_events_per_sec / 1e6,
+        experiment_posts_per_sec / 1e6
     );
     emit_json(
         posts_per_sec,
@@ -443,6 +497,9 @@ fn bench_dynamics(c: &mut Criterion) {
         composite_posts_per_sec,
         policy_events,
         policy_events_per_sec,
+        experiment_reference.arms.len(),
+        experiment_deliveries,
+        experiment_posts_per_sec,
     );
     assert!(
         posts_per_sec >= 1.0e6,
@@ -455,6 +512,10 @@ fn bench_dynamics(c: &mut Criterion) {
     assert!(
         policy_events_per_sec >= 2.0e6,
         "incremental-compilation acceptance: expected >= 2M policy events/sec through the delta API, measured {policy_events_per_sec:.0}"
+    );
+    assert!(
+        experiment_posts_per_sec >= 1.0e6,
+        "experiment acceptance: expected >= 1M aggregate post-deliveries/sec across two bridged paired arms, measured {experiment_posts_per_sec:.0}"
     );
 }
 

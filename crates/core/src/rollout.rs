@@ -43,6 +43,36 @@ impl RolloutWave {
                 .map(|s| s.events().count() == 0)
                 .unwrap_or(true)
     }
+
+    /// Clones the wave keeping only the `SimplePolicy` events `keep`
+    /// accepts — the per-adopter subsampling primitive behind partial
+    /// blocklist imports (§4.2: most admins adopt a *subset* of a
+    /// circulating list, not its union). The predicate sees each
+    /// `(action, domain)` pair in the wave's deterministic event order;
+    /// `offset` and `enable` carry over verbatim, and a wave with no
+    /// simple targets clones unchanged. When every event is dropped the
+    /// clone's `simple` is `None`, so [`Self::is_empty`] answers
+    /// correctly for enable-free waves and schedulers can skip them.
+    pub fn subset_simple(
+        &self,
+        mut keep: impl FnMut(crate::mrf::policies::SimpleAction, &crate::id::Domain) -> bool,
+    ) -> RolloutWave {
+        let simple = self.simple.as_ref().and_then(|policy| {
+            let mut sub: Option<SimplePolicy> = None;
+            for (action, domain) in policy.events() {
+                if keep(action, domain) {
+                    sub.get_or_insert_with(SimplePolicy::new)
+                        .add_target(action, domain.clone());
+                }
+            }
+            sub
+        });
+        RolloutWave {
+            offset: self.offset,
+            enable: self.enable.clone(),
+            simple,
+        }
+    }
 }
 
 /// A full staged rollout: waves in chronological order.
@@ -240,6 +270,41 @@ mod tests {
             .with_target(SimpleAction::Reject, Domain::new("y.example"));
         a.merge(&b);
         assert_eq!(a.targets(SimpleAction::Reject).len(), 2);
+    }
+
+    #[test]
+    fn subset_keeps_exactly_the_accepted_events() {
+        let target = sample_config();
+        let wave = PolicyRollout::staged(&target, 1, SimDuration::hours(4))
+            .waves
+            .remove(0);
+        // Keep every other simple event; enables carry over verbatim.
+        let mut flip = false;
+        let sub = wave.subset_simple(|_, _| {
+            flip = !flip;
+            flip
+        });
+        assert_eq!(sub.enable, wave.enable);
+        assert_eq!(sub.offset, wave.offset);
+        let total = wave.simple.as_ref().unwrap().events().count();
+        let kept = sub.simple.as_ref().unwrap().events().count();
+        assert_eq!(kept, total.div_ceil(2));
+        // Every kept event exists in the original.
+        for (action, domain) in sub.simple.as_ref().unwrap().events() {
+            assert!(wave.simple.as_ref().unwrap().matches(action, domain));
+        }
+        // Keep-all is a faithful clone; drop-all leaves no simple stage.
+        let all = wave.subset_simple(|_, _| true);
+        assert_eq!(all.simple.as_ref().unwrap().events().count(), total);
+        let none = wave.subset_simple(|_, _| false);
+        assert!(none.simple.is_none());
+        // An enable-free wave whose events are all dropped is empty.
+        let import_wave = RolloutWave {
+            offset: SimDuration(0),
+            enable: Vec::new(),
+            simple: wave.simple.clone(),
+        };
+        assert!(import_wave.subset_simple(|_, _| false).is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Engine knobs.
 #[derive(Debug, Clone)]
@@ -81,6 +82,51 @@ struct InstanceTick {
     prevented: f64,
 }
 
+/// A reusable engine factory over one shared seed extract.
+///
+/// [`DynamicsEngine::new`] fuses seed consumption, state construction
+/// and sink wiring into a single non-reusable path — fine for one run,
+/// wasteful for a counterfactual experiment that needs N engines over
+/// the *same* world. The builder holds the [`ScenarioSeeds`] behind an
+/// [`Arc`] and stamps out fresh engines from it: each [`build`]
+/// constructs a new mutable [`NetworkState`] (arms must not share
+/// mutable state), while the seed extract — domains, templates, links,
+/// target configs — is read through the shared allocation.
+///
+/// Every engine a builder produces is configured identically (same
+/// [`DynamicsConfig`]: seed, tick budget, emission cap), which is
+/// exactly the pairing contract of [`crate::Experiment`]: arm traces
+/// differ only because their scenarios differ.
+///
+/// [`build`]: Self::build
+#[derive(Clone)]
+pub struct EngineBuilder {
+    config: DynamicsConfig,
+    seeds: Arc<ScenarioSeeds>,
+}
+
+impl EngineBuilder {
+    /// A builder producing engines with `config` over the shared seeds.
+    pub fn new(config: DynamicsConfig, seeds: Arc<ScenarioSeeds>) -> Self {
+        EngineBuilder { config, seeds }
+    }
+
+    /// The configuration every built engine runs.
+    pub fn config(&self) -> &DynamicsConfig {
+        &self.config
+    }
+
+    /// The shared seed extract.
+    pub fn seeds(&self) -> &Arc<ScenarioSeeds> {
+        &self.seeds
+    }
+
+    /// Stamps out a fresh engine: new state, no sink, tick 0.
+    pub fn build(&self) -> DynamicsEngine {
+        DynamicsEngine::assemble(self.config.clone(), NetworkState::from_seeds(&self.seeds))
+    }
+}
+
 /// The engine: state + queue + clock.
 pub struct DynamicsEngine {
     config: DynamicsConfig,
@@ -95,9 +141,16 @@ pub struct DynamicsEngine {
 impl DynamicsEngine {
     /// Builds an engine over the seeded network.
     pub fn new(config: DynamicsConfig, seeds: &ScenarioSeeds) -> Self {
+        DynamicsEngine::assemble(config, NetworkState::from_seeds(seeds))
+    }
+
+    /// The one assembly path every constructor funnels through
+    /// ([`Self::new`] and [`EngineBuilder::build`]): wires a built state
+    /// to a fresh queue, scorer and clock.
+    fn assemble(config: DynamicsConfig, state: NetworkState) -> Self {
         DynamicsEngine {
             config,
-            state: NetworkState::from_seeds(seeds),
+            state,
             queue: EventQueue::new(),
             scorer: Scorer::new(),
             sink: None,

@@ -37,7 +37,27 @@
 //!   [`fediscope_simnet::SimNet`] via `set_failure` and tears follow
 //!   edges down through `InstanceServer::defederate`, so the §3
 //!   crawler can census a *churning* network mid-scenario (the async
-//!   driver lives in the root crate's `fediscope::census`).
+//!   driver lives in the root crate's `fediscope::census`);
+//! * the **experiment layer** — [`EngineBuilder`] stamps engines from
+//!   one shared `Arc<ScenarioSeeds>`, [`Experiment`]/[`Arm`] run N
+//!   named scenario arms (identical seed, tick budget and world) across
+//!   the rayon pool, and [`TraceDelta`] pairs a treatment arm against a
+//!   designated baseline arm tick by tick — the A/B harness that turns
+//!   "how much toxic exposure did this rollout prevent?" from an
+//!   eyeballed two-run comparison into an exact per-tick counterfactual.
+//!
+//! # Experiment determinism
+//!
+//! The experiment harness adds **zero behavioural drift**: an arm's
+//! trace is bit-identical to a standalone [`DynamicsEngine::run`] of
+//! the same scenario over the same seeds and config, at any
+//! `FEDISCOPE_THREADS` and under any arm registration order — arms
+//! share only immutable seeds, every arm builds its own state, and the
+//! pool decides when an arm runs, never what it computes
+//! (`tests/experiment_identity.rs` proptests this at 1/2/8 workers
+//! under arm-order permutation). Paired deltas are therefore exact:
+//! identical senders draw identical posts in every arm, so any
+//! difference is attributable to the arms' diverging moderation state.
 //!
 //! # Time: ticks vs. wall clock
 //!
@@ -80,8 +100,10 @@
 #![forbid(unsafe_code)]
 
 mod bridge;
+mod delta;
 mod engine;
 mod event;
+mod experiment;
 mod scenario;
 mod sink;
 mod state;
@@ -90,8 +112,10 @@ mod trace;
 pub mod scenarios;
 
 pub use bridge::{BridgeStats, CensusCadence, CensusSnapshot, LiveNetBridge};
-pub use engine::{DynamicsConfig, DynamicsEngine};
+pub use delta::{TickDelta, TraceDelta};
+pub use engine::{DynamicsConfig, DynamicsEngine, EngineBuilder};
 pub use event::{Event, EventQueue, Scheduled};
+pub use experiment::{Arm, ArmRun, Experiment, ExperimentResult};
 pub use scenario::Scenario;
 pub use sink::EventSink;
 pub use state::{InstanceState, NetworkState, PostTemplate};
@@ -100,12 +124,19 @@ pub use trace::{failure_mix_index, DynamicsTrace, TickTrace};
 #[cfg(test)]
 pub(crate) mod testutil {
     use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
-    use std::sync::OnceLock;
+    use std::sync::{Arc, OnceLock};
 
     /// One shared small-world seed set per test binary (world generation
     /// dominates test time; every test reads the same immutable extract).
     pub fn seeds() -> &'static ScenarioSeeds {
         static SEEDS: OnceLock<ScenarioSeeds> = OnceLock::new();
         SEEDS.get_or_init(|| ScenarioSeeds::from_world(&World::generate(WorldConfig::test_small())))
+    }
+
+    /// The same extract behind an [`Arc`], the shape [`crate::EngineBuilder`]
+    /// shares across experiment arms.
+    pub fn seeds_arc() -> Arc<ScenarioSeeds> {
+        static ARC: OnceLock<Arc<ScenarioSeeds>> = OnceLock::new();
+        Arc::clone(ARC.get_or_init(|| Arc::new(seeds().clone())))
     }
 }

@@ -1,9 +1,11 @@
-//! The shipped scenarios: rollout, cascade, churn, storm — and the
+//! The shipped scenarios: rollout (and its inaction null arm), cascade,
+//! churn, storm, blocklist imports (full or §4.2-partial) — and the
 //! [`Composite`] multiplexer that runs any of them in one timeline.
 
 mod cascade;
 mod churn;
 mod composite;
+mod import;
 mod rollout;
 mod storm;
 
@@ -13,5 +15,9 @@ pub use cascade::{
 };
 pub use churn::{ChurnConfig, ChurnScenario};
 pub use composite::Composite;
-pub use rollout::{PolicyRolloutScenario, RolloutConfig};
+pub use import::{
+    heavy_tail_fraction, AdoptionModel, BlocklistImportScenario, ImportConfig,
+    MIN_ADOPTION_FRACTION,
+};
+pub use rollout::{InactionScenario, PolicyRolloutScenario, RolloutConfig};
 pub use storm::{StormConfig, ToxicityStormScenario};

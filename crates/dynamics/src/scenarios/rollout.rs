@@ -106,11 +106,55 @@ impl Scenario for PolicyRolloutScenario {
     }
 }
 
+/// The counterfactual null arm: every instance is stripped to the
+/// fresh-install default — exactly the state a [`PolicyRolloutScenario`]
+/// starts from — and *nothing is ever adopted*. The "admins do nothing"
+/// world of the *Will Admins Cope?* comparison: pairing this against a
+/// rollout arm in a [`crate::Experiment`] isolates what adoption itself
+/// prevents, because both arms share identical initial moderation and
+/// identical traffic.
+#[derive(Debug, Default)]
+pub struct InactionScenario;
+
+impl Scenario for InactionScenario {
+    fn name(&self) -> &'static str {
+        "inaction"
+    }
+
+    fn init(
+        &mut self,
+        _start: SimTime,
+        state: &mut NetworkState,
+        _queue: &mut EventQueue,
+        _rng: &mut SmallRng,
+    ) {
+        // The same strip a rollout performs — and then silence.
+        for i in 0..state.len() {
+            state.reset_moderation_default(i);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{DynamicsConfig, DynamicsEngine};
     use crate::testutil::seeds;
+
+    #[test]
+    fn inaction_never_adopts() {
+        let config = DynamicsConfig {
+            ticks: 8,
+            ..DynamicsConfig::default()
+        };
+        let mut engine = DynamicsEngine::new(config, seeds());
+        let trace = engine.run(&mut InactionScenario);
+        assert_eq!(trace.ticks.iter().map(|t| t.events).sum::<u64>(), 0);
+        assert!(trace.ticks.iter().all(|t| t.adopted == 0));
+        // Stripped pipelines still run the fresh-install defaults, which
+        // reject nothing by domain: exposure flows freely.
+        assert!(trace.total_exposure() > 0.0);
+    }
 
     #[test]
     fn rollout_ramps_rejections_up() {

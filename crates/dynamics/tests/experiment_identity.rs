@@ -1,0 +1,149 @@
+//! The experiment harness's zero-drift contract: a paired arm's trace is
+//! **bit-identical** to a standalone [`DynamicsEngine`] run of the same
+//! scenario over the same seeds and config — at `FEDISCOPE_THREADS`
+//! 1/2/8 and under any arm registration order.
+//!
+//! This is what makes [`TraceDelta`]s exact counterfactuals instead of
+//! harness artifacts: if wrapping a scenario in an [`Experiment`] could
+//! shift a single RNG draw or float reduction, every per-tick delta
+//! would carry that noise. The test is adversarial the same way
+//! `determinism.rs` is — random engine seeds, whole-trace `==`, a
+//! thread-count sweep inside one test body (the shim rayon allows
+//! re-sizing the global pool; real rayon would degrade the sweep to
+//! repeated same-size runs, still a valid repeat check).
+
+use fediscope_core::time::SimDuration;
+use fediscope_dynamics::scenarios::{
+    AdoptionModel, BlocklistImportScenario, ImportConfig, InactionScenario, PolicyRolloutScenario,
+    RolloutConfig,
+};
+use fediscope_dynamics::{
+    Arm, DynamicsConfig, DynamicsEngine, EngineBuilder, Experiment, Scenario,
+};
+use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn seeds_arc() -> Arc<ScenarioSeeds> {
+    static SEEDS: OnceLock<Arc<ScenarioSeeds>> = OnceLock::new();
+    Arc::clone(SEEDS.get_or_init(|| {
+        Arc::new(ScenarioSeeds::from_world(&World::generate(
+            WorldConfig::test_small(),
+        )))
+    }))
+}
+
+/// The three arms under permutation: inaction baseline, staged rollout,
+/// §4.2-partial blocklist import — exactly the trio the counterfactual
+/// example compares.
+const ARM_IDS: [usize; 3] = [0, 1, 2];
+
+fn scenario_for(id: usize) -> Box<dyn Scenario> {
+    match id {
+        0 => Box::new(InactionScenario),
+        1 => Box::new(PolicyRolloutScenario::new(RolloutConfig::default())),
+        _ => Box::new(BlocklistImportScenario::new(ImportConfig {
+            chunk: 8,
+            window: SimDuration::days(2),
+            adoption: AdoptionModel::HeavyTail { alpha: 3.0 },
+            reset_to_default: true,
+        })),
+    }
+}
+
+fn arm_for(id: usize) -> Arm {
+    let name = ["inaction", "rollout", "import-partial"][id];
+    Arm::new(name, move || scenario_for(id))
+}
+
+fn config(engine_seed: u64) -> DynamicsConfig {
+    DynamicsConfig {
+        seed: engine_seed,
+        ticks: 6,
+        ..DynamicsConfig::default()
+    }
+}
+
+proptest! {
+    /// For every arm-order permutation and thread count: each arm's
+    /// trace equals the standalone run of the same scenario, bitwise.
+    /// (The standalone references are computed at 1 worker; per-run
+    /// thread-independence is determinism.rs's own contract, so any
+    /// mismatch here is drift introduced by the harness itself.)
+    #[test]
+    fn paired_arms_match_standalone_runs(
+        perm in 0_usize..6,
+        engine_seed in 0_u64..1_000_000,
+        threads in prop_oneof![Just(1_usize), Just(2), Just(8)],
+    ) {
+        const PERMS: [[usize; 3]; 6] = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        // Standalone references, single-threaded.
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(1).build_global();
+        let standalone: Vec<_> = ARM_IDS
+            .iter()
+            .map(|&id| {
+                let mut engine = DynamicsEngine::new(config(engine_seed), &seeds_arc());
+                let mut scenario = scenario_for(id);
+                engine.run(scenario.as_mut())
+            })
+            .collect();
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global();
+        let mut experiment = Experiment::new(EngineBuilder::new(config(engine_seed), seeds_arc()));
+        for &id in &PERMS[perm] {
+            experiment.push(arm_for(id));
+        }
+        let result = experiment.run();
+        prop_assert_eq!(result.arms.len(), 3);
+        for &id in &ARM_IDS {
+            let name = ["inaction", "rollout", "import-partial"][id];
+            let arm = result.arm(name).expect("every arm ran");
+            prop_assert_eq!(
+                arm.trace.digest(),
+                standalone[id].digest(),
+                "arm {} drifted from its standalone run ({} threads, order {:?})",
+                name,
+                threads,
+                PERMS[perm]
+            );
+            prop_assert!(
+                arm.trace == standalone[id],
+                "arm {} trace differs bitwise ({} threads, order {:?})",
+                name,
+                threads,
+                PERMS[perm]
+            );
+        }
+        // And the paired deltas are order-invariant by construction:
+        // the baseline designation follows the *name*, not the slot.
+        let baseline_name = ["inaction", "rollout", "import-partial"][PERMS[perm][0]];
+        prop_assert_eq!(result.baseline().name.as_str(), baseline_name);
+    }
+}
+
+/// Deterministic spot check (no proptest shrink noise): the same
+/// experiment run twice is bit-identical, arms and deltas alike.
+#[test]
+fn experiment_repeats_are_bit_identical() {
+    let build = || {
+        Experiment::new(EngineBuilder::new(config(1534), seeds_arc()))
+            .with_arm(arm_for(0))
+            .with_arm(arm_for(1))
+            .with_arm(arm_for(2))
+            .with_baseline("inaction")
+    };
+    let a = build().run();
+    let b = build().run();
+    assert_eq!(a, b);
+    let da = a.deltas();
+    let db = b.deltas();
+    assert_eq!(da, db);
+    assert_eq!(da.len(), 2);
+    // The rollout arm prevents exposure relative to inaction.
+    let rollout = a.delta("rollout").unwrap();
+    assert!(rollout.prevented_exposure() > 0.0);
+    assert!(rollout.blocked_deliveries() > 0);
+}

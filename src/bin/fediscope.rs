@@ -16,6 +16,8 @@
 //! fediscope dynamics storm                          # toxicity-storm burst
 //! fediscope dynamics composite                      # storm+churn+rollout in one timeline
 //! fediscope dynamics census --census-every 6        # live census under churn (round-trip)
+//! fediscope experiment --arms inaction,rollout,import-partial --baseline inaction
+//!                                                   # paired-arm counterfactual with per-tick deltas
 //! ```
 
 use fediscope::harness;
@@ -30,6 +32,8 @@ fn usage() -> ExitCode {
     eprintln!("  fediscope report FILE <census|headline|table1|table2|fig1|fig2|fig3|curate|ablation|graph>");
     eprintln!("  fediscope dynamics <rollout|cascade|churn|storm|composite> [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE]");
     eprintln!("  fediscope dynamics census [--scale S] [--seed N] [--ticks T] [--census-every C] [--threads W] [--out FILE]");
+    eprintln!("  fediscope experiment [--arms A,B,..] [--baseline NAME] [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE]");
+    eprintln!("      arms: inaction | rollout | import-full | import-partial");
     ExitCode::from(2)
 }
 
@@ -40,27 +44,15 @@ fn parse_flag(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("crawl") => crawl(&args[1..]),
-        Some("report") => report(&args[1..]),
-        Some("dynamics") => dynamics(&args[1..]),
-        _ => usage(),
-    }
-}
-
-fn dynamics(args: &[String]) -> ExitCode {
-    use fediscope::dynamics::scenarios::{
-        CascadeConfig, ChurnConfig, ChurnScenario, Composite, DefederationCascadeScenario,
-        PolicyRolloutScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
-    };
-    let Some(which) = args.first() else {
-        return usage();
-    };
+/// Shared `--scale/--seed/--threads/--ticks` handling for the
+/// dynamics-layer subcommands (`dynamics` and `experiment`). The full
+/// 10 K-instance population is overkill for a trace you read in a
+/// terminal; default to a tenth and let `--scale` override. One pool
+/// sizes every parallel stage — sharded world generation, the engine's
+/// measurement fan-out, and experiment arms (all bit-identical at any
+/// worker count).
+fn world_flags(args: &[String]) -> (WorldConfig, u64) {
     let mut config = WorldConfig::paper();
-    // The full 10 K-instance population is overkill for a trace you read
-    // in a terminal; default to a tenth and let --scale override.
     config.scale = 0.1;
     if let Some(s) = parse_flag(args, "--scale").and_then(|v| v.parse().ok()) {
         config.scale = s;
@@ -68,8 +60,6 @@ fn dynamics(args: &[String]) -> ExitCode {
     if let Some(n) = parse_flag(args, "--seed").and_then(|v| v.parse().ok()) {
         config.seed = n;
     }
-    // One pool sizes every parallel stage — sharded world generation and
-    // the engine's measurement fan-out (both bit-identical at any W).
     if let Some(w) = parse_flag(args, "--threads").and_then(|v| v.parse::<usize>().ok()) {
         config.parallelism = fediscope::synthgen::Parallelism(w);
         if let Err(e) = rayon::ThreadPoolBuilder::new()
@@ -82,6 +72,160 @@ fn dynamics(args: &[String]) -> ExitCode {
     let ticks: u64 = parse_flag(args, "--ticks")
         .and_then(|v| v.parse().ok())
         .unwrap_or(36);
+    (config, ticks)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("crawl") => crawl(&args[1..]),
+        Some("report") => report(&args[1..]),
+        Some("dynamics") => dynamics(&args[1..]),
+        Some("experiment") => experiment(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// The counterfactual harness: N paired arms over one shared world,
+/// reported as per-tick prevented-exposure deltas against a designated
+/// baseline arm.
+fn experiment(args: &[String]) -> ExitCode {
+    use fediscope::dynamics::scenarios::{
+        AdoptionModel, BlocklistImportScenario, ImportConfig, InactionScenario,
+        PolicyRolloutScenario, RolloutConfig,
+    };
+    use fediscope::dynamics::{Arm, EngineBuilder, Experiment, Scenario};
+    use std::sync::Arc;
+
+    let (config, ticks) = world_flags(args);
+    let arm_names: Vec<String> = parse_flag(args, "--arms")
+        .unwrap_or_else(|| "inaction,rollout,import-partial".to_string())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let baseline = parse_flag(args, "--baseline")
+        .unwrap_or_else(|| arm_names.first().cloned().unwrap_or_default());
+    // Every arm strips moderation back to the fresh install in `init`,
+    // so all counterfactuals share the same null starting state.
+    let arm_for = |name: &str| -> Option<Arm> {
+        let import = |adoption: AdoptionModel| ImportConfig {
+            adoption,
+            reset_to_default: true,
+            ..ImportConfig::default()
+        };
+        let factory: Box<dyn Fn() -> Box<dyn Scenario> + Send + Sync> = match name {
+            "inaction" => Box::new(|| Box::new(InactionScenario)),
+            "rollout" => {
+                Box::new(|| Box::new(PolicyRolloutScenario::new(RolloutConfig::default())))
+            }
+            "import-full" => Box::new(move || {
+                Box::new(BlocklistImportScenario::new(import(AdoptionModel::Full)))
+            }),
+            "import-partial" => Box::new(move || {
+                Box::new(BlocklistImportScenario::new(import(
+                    AdoptionModel::HeavyTail { alpha: 3.0 },
+                )))
+            }),
+            _ => return None,
+        };
+        Some(Arm::new(name, move || factory()))
+    };
+    // Validate the whole arm list before paying for world generation:
+    // unknown names, duplicates (Experiment::push would panic on them)
+    // and the baseline designation all fail fast with usage.
+    let mut arms = Vec::new();
+    for (i, name) in arm_names.iter().enumerate() {
+        if arm_names[..i].contains(name) {
+            eprintln!("duplicate arm: {name}");
+            return usage();
+        }
+        match arm_for(name) {
+            Some(arm) => arms.push(arm),
+            None => {
+                eprintln!("unknown arm: {name}");
+                return usage();
+            }
+        }
+    }
+    if !arm_names.iter().any(|a| a == &baseline) {
+        eprintln!(
+            "--baseline {baseline} is not among --arms {}",
+            arm_names.join(",")
+        );
+        return usage();
+    }
+    eprintln!(
+        "generating world (seed {}, scale {}) and seeding {} arms ...",
+        config.seed,
+        config.scale,
+        arm_names.len()
+    );
+    let world = World::generate(config);
+    let seeds = Arc::new(ScenarioSeeds::from_world(&world));
+    let engine_config = fediscope::dynamics::DynamicsConfig {
+        seed: seeds.seed,
+        ticks,
+        ..Default::default()
+    };
+    let mut experiment = Experiment::new(EngineBuilder::new(engine_config, Arc::clone(&seeds)))
+        .with_baseline(baseline.clone());
+    for arm in arms {
+        experiment.push(arm);
+    }
+    eprintln!(
+        "running {} paired arms ({} baseline) over {} instances / {} links for {ticks} ticks ...",
+        arm_names.len(),
+        baseline,
+        seeds.instances.len(),
+        seeds.links.len()
+    );
+    let result = experiment.run();
+    println!(
+        "{}",
+        fediscope::analysis::dynamics::render_experiment(&result)
+    );
+    for delta in result.deltas() {
+        println!(
+            "{} vs {}: prevented exposure {:.1} ({} extra blocked deliveries, {:+} links at the final tick)",
+            delta.arm,
+            delta.baseline,
+            delta.prevented_exposure(),
+            delta.blocked_deliveries(),
+            delta.final_links(),
+        );
+    }
+    if let Some(out) = parse_flag(args, "--out") {
+        let body = serde_json::json!({
+            "result": result,
+            "deltas": result.deltas(),
+        });
+        match serde_json::to_string_pretty(&body) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(&out, body + "\n") {
+                    eprintln!("failed to write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("experiment written to {out}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize experiment: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn dynamics(args: &[String]) -> ExitCode {
+    use fediscope::dynamics::scenarios::{
+        CascadeConfig, ChurnConfig, ChurnScenario, Composite, DefederationCascadeScenario,
+        PolicyRolloutScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
+    };
+    let Some(which) = args.first() else {
+        return usage();
+    };
+    let (config, ticks) = world_flags(args);
     // The composed timeline the round-trip and `composite` both run:
     // a toxicity storm erupting while the §3 outage wave unfolds and a
     // staged MRF rollout races both.

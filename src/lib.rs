@@ -22,7 +22,9 @@
 //! * [`crawler`](fediscope_crawler) — the §3 measurement campaign;
 //! * [`dynamics`](fediscope_dynamics) — the deterministic discrete-event
 //!   engine for time-evolving scenarios (policy rollouts, defederation
-//!   cascades, instance churn, toxicity storms);
+//!   cascades, instance churn, toxicity storms, blocklist imports), plus
+//!   the counterfactual experiment layer: paired arms over one shared
+//!   world with exact per-tick trace deltas against a baseline arm;
 //! * [`analysis`](fediscope_analysis) — every figure, table and headline
 //!   statistic of the paper, plus the §6/§7 extension studies and the
 //!   dynamics time-series tables.
