@@ -237,6 +237,97 @@ pub fn render_dynamics(trace: &DynamicsTrace) -> String {
     )
 }
 
+/// One row of the delivery-reliability table: what the retry layer did
+/// this tick, with running totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityRow {
+    /// Tick index.
+    pub tick: u64,
+    /// Campaign day the tick falls on.
+    pub day: u64,
+    /// Retry attempts that fired and rescheduled this tick.
+    pub retried: u64,
+    /// Delivery batches redelivered to a recovered receiver this tick.
+    pub recovered: u64,
+    /// Delivery batches given up on this tick.
+    pub dead_lettered: u64,
+    /// Running total of recovered batches through this tick.
+    pub cumulative_recovered: u64,
+    /// Running total of dead-lettered batches through this tick.
+    pub cumulative_dead_lettered: u64,
+    /// `recovered / (recovered + dead_lettered)` over the run so far —
+    /// the share of settled chains the retry layer actually saved.
+    pub recovery_share: f64,
+}
+
+/// The per-tick reliability series of a trace. All-zero rows (ticks
+/// where the retry layer was idle or disabled) are kept, so the table
+/// always pairs 1:1 with [`dynamics_timeseries`].
+pub fn reliability_timeseries(trace: &DynamicsTrace) -> Vec<ReliabilityRow> {
+    let mut recovered_acc = 0_u64;
+    let mut dead_acc = 0_u64;
+    trace
+        .ticks
+        .iter()
+        .map(|t| {
+            recovered_acc += t.recovered;
+            dead_acc += t.dead_lettered;
+            let settled = recovered_acc + dead_acc;
+            ReliabilityRow {
+                tick: t.tick,
+                day: t.at.campaign_day(),
+                retried: t.retried,
+                recovered: t.recovered,
+                dead_lettered: t.dead_lettered,
+                cumulative_recovered: recovered_acc,
+                cumulative_dead_lettered: dead_acc,
+                recovery_share: if settled > 0 {
+                    recovered_acc as f64 / settled as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders the recovered-delivery / dead-letter table: what churn cost
+/// the network and what the retry layer clawed back, tick by tick.
+pub fn render_reliability(trace: &DynamicsTrace) -> String {
+    let rows: Vec<Vec<String>> = reliability_timeseries(trace)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.tick.to_string(),
+                r.day.to_string(),
+                r.retried.to_string(),
+                r.recovered.to_string(),
+                r.dead_lettered.to_string(),
+                r.cumulative_recovered.to_string(),
+                r.cumulative_dead_lettered.to_string(),
+                format!("{:.1}%", r.recovery_share * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        &format!(
+            "delivery reliability: {} (seed {})",
+            trace.scenario, trace.seed
+        ),
+        &[
+            "tick",
+            "day",
+            "retried",
+            "recovered",
+            "dead",
+            "cum.recov",
+            "cum.dead",
+            "recov%",
+        ],
+        &rows,
+    )
+}
+
 /// One row of the prevention-attribution table: what an arm changed
 /// relative to the experiment's baseline arm.
 #[derive(Debug, Clone, PartialEq)]
@@ -318,6 +409,8 @@ pub fn render_delta(delta: &TraceDelta) -> String {
                 format!("{:+.1}", t.toxic_exposure),
                 format!("{:.1}", -t.toxic_exposure),
                 format!("{:.1}", cum),
+                format!("{:+}", t.recovered),
+                format!("{:+}", t.dead_lettered),
             ]
         })
         .collect();
@@ -337,6 +430,8 @@ pub fn render_delta(delta: &TraceDelta) -> String {
             "Δexposure",
             "prevented",
             "cum.prev",
+            "Δrecov",
+            "Δdead",
         ],
         &rows,
     )
@@ -410,6 +505,9 @@ mod tests {
             rejected_authors: rejected.min(2),
             toxic_exposure: 2.0 * tick as f64,
             exposure_prevented: 1.0 * tick as f64,
+            retried: tick * 4,
+            recovered: tick * 2,
+            dead_lettered: tick,
             failure_mix: vec![0; 5],
             per_instance_exposure: vec![0.5, 1.5 * tick as f64],
         };
@@ -452,6 +550,32 @@ mod tests {
         assert_eq!(top[0].0, 1);
         assert!((top[0].1 - 4.5).abs() < 1e-12);
         assert_eq!(top[1].0, 0);
+    }
+
+    #[test]
+    fn reliability_rows_accumulate_and_share() {
+        let rows = reliability_timeseries(&trace());
+        assert_eq!(rows.len(), 3);
+        // Tick 0 is idle: no settled chains yet, share reads 0.
+        assert_eq!(rows[0].retried, 0);
+        assert_eq!(rows[0].recovery_share, 0.0);
+        // Tick 2: 8 retried, 4 recovered, 2 dead-lettered this tick;
+        // cumulative 6 recovered vs 3 dead ⇒ 2/3 recovery share.
+        assert_eq!(rows[2].retried, 8);
+        assert_eq!(rows[2].recovered, 4);
+        assert_eq!(rows[2].dead_lettered, 2);
+        assert_eq!(rows[2].cumulative_recovered, 6);
+        assert_eq!(rows[2].cumulative_dead_lettered, 3);
+        assert!((rows[2].recovery_share - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_render_has_one_line_per_tick() {
+        let rendered = render_reliability(&trace());
+        assert!(rendered.contains("== delivery reliability: unit (seed 7) =="));
+        // title + header + 3 rows
+        assert_eq!(rendered.trim_end().lines().count(), 5);
+        assert!(rendered.contains("recov%"));
     }
 
     #[test]
@@ -507,6 +631,9 @@ mod tests {
                 rejected_authors: rejected.min(2),
                 toxic_exposure: exposure_scale * (tick + 1) as f64,
                 exposure_prevented: rejected as f64 * 0.1,
+                retried: rejected / 4,
+                recovered: rejected / 10,
+                dead_lettered: rejected / 20,
                 failure_mix: vec![0; 5],
                 per_instance_exposure: vec![exposure_scale],
             };

@@ -29,6 +29,13 @@
 //!   events/sec gate covers both import shapes (this is the path that
 //!   recompiled whole pipelines per event before PR 4, at ~0.57 M
 //!   events/sec).
+//! * **retry events/sec** — the events flood with the delivery-
+//!   reliability layer armed: the same 0.95-transient churn storm, but
+//!   every outage additionally opens per-sender retry chains whose
+//!   backoff + jitter redeliveries ride the calendar queue. Gate: ≥ 2 M
+//!   events/sec with retries on (`retry_acceptance_met`), with the run
+//!   asserted reproducible and to actually recover and dead-letter
+//!   batches.
 //! * **experiment posts/sec** — the paired-arm counterfactual harness:
 //!   two bridged arms (a storm over an inaction baseline vs. the same
 //!   storm racing a staged rollout) run from one `EngineBuilder` over
@@ -47,7 +54,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use fediscope_dynamics::scenarios::{
     AdoptionModel, BlocklistImportScenario, CascadeConfig, ChurnConfig, ChurnScenario, Composite,
     DefederationCascadeScenario, ImportConfig, InactionScenario, PolicyRolloutScenario,
-    RolloutConfig, StormConfig, ToxicityStormScenario,
+    ReliabilityScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
 };
 use fediscope_dynamics::{
     Arm, DynamicsConfig, DynamicsEngine, DynamicsTrace, EngineBuilder, Experiment,
@@ -159,6 +166,24 @@ fn event_flood_scenario() -> Box<dyn fediscope_dynamics::Scenario> {
         rounds: 8,
         ..ChurnConfig::default()
     }))
+}
+
+/// The retry storm: the event flood's churn with the delivery-
+/// reliability layer armed. Every transient outage now also opens one
+/// retry chain per live inbound edge, so the calendar queue carries the
+/// outage/recovery wave *plus* the backoff-scheduled redeliveries; at
+/// `emission_cap: 0` the batches are empty and the measurement is pure
+/// control-phase throughput.
+fn retry_flood_scenario() -> Box<dyn fediscope_dynamics::Scenario> {
+    Box::new(
+        Composite::new()
+            .with(Box::new(ReliabilityScenario::default()))
+            .with(Box::new(ChurnScenario::new(ChurnConfig {
+                transient_p: 0.95,
+                rounds: 8,
+                ..ChurnConfig::default()
+            }))),
+    )
 }
 
 /// The incremental-compilation flood: every event is a policy mutation —
@@ -297,6 +322,8 @@ fn emit_json(
     composite_posts_per_sec: f64,
     policy_events: u64,
     policy_events_per_sec: f64,
+    retry_events: u64,
+    retry_events_per_sec: f64,
     experiment_arms: usize,
     experiment_delivered: u64,
     experiment_posts_per_sec: f64,
@@ -312,6 +339,8 @@ fn emit_json(
         "events_per_sec": events_per_sec,
         "policy_flood_events_per_run": policy_events,
         "policy_events_per_sec": policy_events_per_sec,
+        "retry_flood_events_per_run": retry_events,
+        "retry_events_per_sec": retry_events_per_sec,
         "experiment_arms": experiment_arms,
         "experiment_deliveries_per_run": experiment_delivered,
         "experiment_posts_per_sec": experiment_posts_per_sec,
@@ -320,6 +349,8 @@ fn emit_json(
         "acceptance_met": posts_per_sec >= 1.0e6,
         "acceptance_min_events_per_sec": 2.0e6,
         "events_acceptance_met": events_per_sec >= 2.0e6 && policy_events_per_sec >= 2.0e6,
+        "retry_acceptance_min_events_per_sec": 2.0e6,
+        "retry_acceptance_met": retry_events_per_sec >= 2.0e6,
         "experiment_acceptance_min_posts_per_sec": 1.0e6,
         "experiment_acceptance_met": experiment_posts_per_sec >= 1.0e6,
     });
@@ -408,6 +439,23 @@ fn bench_dynamics(c: &mut Criterion) {
             )
         })
     });
+    let retry_flood_events: u64 = run_flood(&seeds, retry_flood_scenario)
+        .ticks
+        .iter()
+        .map(|t| t.events)
+        .sum();
+    group.throughput(Throughput::Elements(retry_flood_events));
+    group.bench_function("retry_storm", |b| {
+        b.iter(|| {
+            black_box(
+                run_flood(&seeds, retry_flood_scenario)
+                    .ticks
+                    .iter()
+                    .map(|t| t.events)
+                    .sum::<u64>(),
+            )
+        })
+    });
     let group_experiment = experiment_setup(&seeds_arc);
     let group_experiment_delivered = experiment_delivered(&group_experiment.run());
     group.throughput(Throughput::Elements(group_experiment_delivered));
@@ -480,12 +528,35 @@ fn bench_dynamics(c: &mut Criterion) {
         policy_flood.final_links() < policy_flood.initial_links(),
         "the policy flood must actually sever federation links"
     );
+    // The retry storm: reproducible, and the reliability layer must
+    // genuinely fire — recoveries (outages healed within the backoff
+    // window) and dead letters (permanent seed deaths) both observed.
+    let retry_flood = run_flood(&seeds, retry_flood_scenario);
+    assert_eq!(
+        retry_flood.digest(),
+        run_flood(&seeds, retry_flood_scenario).digest(),
+        "retry storms must be reproducible"
+    );
+    assert!(
+        retry_flood.total_recovered() > 0,
+        "the retry storm must recover batches"
+    );
+    assert!(
+        retry_flood.total_dead_lettered() > 0,
+        "the retry storm must dead-letter batches"
+    );
+    let (retry_events, retry_events_per_sec) = flood_rate(5, &seeds, retry_flood_scenario);
+    assert!(
+        retry_events > 10_000,
+        "the retry storm must exercise the queue ({retry_events} events)"
+    );
     println!(
-        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec (bridged), {composite_delivered} composite deliveries/run, {:.2} M composite posts/sec, {flood_events} flood events/run, {:.2} M events/sec, {policy_events} policy events/run, {:.2} M incremental events/sec, {experiment_deliveries} experiment deliveries/run (2 bridged arms), {:.2} M experiment posts/sec",
+        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec (bridged), {composite_delivered} composite deliveries/run, {:.2} M composite posts/sec, {flood_events} flood events/run, {:.2} M events/sec, {policy_events} policy events/run, {:.2} M incremental events/sec, {retry_events} retry-storm events/run, {:.2} M retry events/sec, {experiment_deliveries} experiment deliveries/run (2 bridged arms), {:.2} M experiment posts/sec",
         posts_per_sec / 1e6,
         composite_posts_per_sec / 1e6,
         events_per_sec / 1e6,
         policy_events_per_sec / 1e6,
+        retry_events_per_sec / 1e6,
         experiment_posts_per_sec / 1e6
     );
     emit_json(
@@ -497,6 +568,8 @@ fn bench_dynamics(c: &mut Criterion) {
         composite_posts_per_sec,
         policy_events,
         policy_events_per_sec,
+        retry_events,
+        retry_events_per_sec,
         experiment_reference.arms.len(),
         experiment_deliveries,
         experiment_posts_per_sec,
@@ -512,6 +585,10 @@ fn bench_dynamics(c: &mut Criterion) {
     assert!(
         policy_events_per_sec >= 2.0e6,
         "incremental-compilation acceptance: expected >= 2M policy events/sec through the delta API, measured {policy_events_per_sec:.0}"
+    );
+    assert!(
+        retry_events_per_sec >= 2.0e6,
+        "delivery-reliability acceptance: expected >= 2M events/sec through the retry-enabled churn storm, measured {retry_events_per_sec:.0}"
     );
     assert!(
         experiment_posts_per_sec >= 1.0e6,

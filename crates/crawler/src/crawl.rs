@@ -7,7 +7,7 @@ use crate::dataset::{
 use fediscope_core::config::InstanceModerationConfig;
 use fediscope_core::id::Domain;
 use fediscope_core::time::{SimTime, CAMPAIGN_START, SNAPSHOT_INTERVAL};
-use fediscope_simnet::{HttpResponse, SimNet, StatusCode};
+use fediscope_simnet::{FailureClass, HttpResponse, NetError, SimNet, StatusCode};
 use std::collections::HashSet;
 use std::sync::Arc;
 use tokio::sync::Semaphore;
@@ -26,6 +26,13 @@ pub struct CrawlerConfig {
     /// (the paper re-polled every 4 hours for ~5 months; benchmarks use a
     /// handful of rounds).
     pub snapshot_rounds: usize,
+    /// Extra attempts granted to an outcome-deciding census probe that
+    /// hits a *transient* §3 failure (502/503, refused connections).
+    /// Permanent answers (404/403/410, unknown hosts) are always taken
+    /// at face value on the first probe. The default single retry
+    /// shrinks the census under-count from gateway flaps without
+    /// resurrecting genuinely dead instances.
+    pub transient_retries: usize,
 }
 
 impl Default for CrawlerConfig {
@@ -35,6 +42,7 @@ impl Default for CrawlerConfig {
             page_limit: 40,
             max_pages_per_instance: 100_000,
             snapshot_rounds: 3,
+            transient_retries: 1,
         }
     }
 }
@@ -133,6 +141,30 @@ impl Crawler {
     }
 }
 
+/// One outcome-deciding census probe with a bounded transient-retry
+/// budget: a response in the transient §3 class (5xx) or a transient
+/// network error is re-probed up to [`CrawlerConfig::transient_retries`]
+/// extra times; anything permanent returns immediately.
+async fn probe(
+    net: &SimNet,
+    config: &CrawlerConfig,
+    domain: &Domain,
+    path: &str,
+) -> Result<HttpResponse, NetError> {
+    let mut attempt = 0;
+    loop {
+        let outcome = net.get(domain, path).await;
+        let transient = match &outcome {
+            Ok(resp) => FailureClass::of_status(resp.status) == Some(FailureClass::Transient),
+            Err(e) => e.class() == FailureClass::Transient,
+        };
+        if !transient || attempt >= config.transient_retries {
+            return outcome;
+        }
+        attempt += 1;
+    }
+}
+
 /// Crawls one domain end to end.
 async fn crawl_one(
     net: &SimNet,
@@ -152,7 +184,7 @@ async fn crawl_one(
     };
 
     // 1. Classify via nodeinfo.
-    match net.get(&domain, "/nodeinfo/2.0").await {
+    match probe(net, config, &domain, "/nodeinfo/2.0").await {
         Err(_) => {
             out.outcome = CrawlOutcome::Unreachable;
             return out;
@@ -175,7 +207,7 @@ async fn crawl_one(
     }
 
     // 2. Instance metadata (incl. exposed policies).
-    match net.get(&domain, "/api/v1/instance").await {
+    match probe(net, config, &domain, "/api/v1/instance").await {
         Ok(resp) if resp.is_success() => {
             if let Ok(body) = resp.json_body() {
                 out.metadata = Some(parse_metadata(&body));
@@ -501,8 +533,72 @@ mod tests {
         assert_eq!(dataset.total_posts(), 0);
         assert_eq!(dataset.collected_posts(), 0);
         assert!(dataset.reject_counts().is_empty());
-        // The net saw exactly one probe per dead instance.
-        assert_eq!(net.stats().failure_taxonomy(), (1, 1, 1, 1, 1));
+        // The net saw one probe per permanently dead instance and two
+        // (the probe + its single transient retry) per 502/503.
+        let taxonomy = net.stats().failure_taxonomy();
+        assert_eq!(taxonomy.as_array(), [1, 1, 2, 2, 1]);
+        assert_eq!(taxonomy.permanent(), 3);
+        assert_eq!(taxonomy.transient(), 4);
+    }
+
+    #[tokio::test]
+    async fn transient_retry_shrinks_the_undercount_but_dead_stays_dead() {
+        // A gateway flap: the first nodeinfo probe answers 502, every
+        // later request is served normally. Without the retry budget the
+        // census writes the instance off as Failed{502}; with the
+        // default single retry it lands in the dataset — while a
+        // genuinely Gone instance is still taken at face value on its
+        // first (and only) probe.
+        let net = Arc::new(SimNet::new());
+        let flappy = make_server("flappy.example", 1, 4);
+        let flapped = std::sync::atomic::AtomicBool::new(false);
+        net.register_fn(Domain::new("flappy.example"), move |req| {
+            if !flapped.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                return HttpResponse::status(StatusCode::BAD_GATEWAY);
+            }
+            flappy.handle(req)
+        });
+        let gone = Domain::new("gone.example");
+        net.set_failure(gone.clone(), FailureMode::Gone);
+
+        let without_retry = {
+            let config = CrawlerConfig {
+                transient_retries: 0,
+                ..CrawlerConfig::default()
+            };
+            // A separate flap on a fresh net so both runs see attempt 1
+            // fail. Reuse of `net` below gets the already-flapped server.
+            let net = Arc::new(SimNet::new());
+            let flappy = make_server("flappy.example", 1, 4);
+            let flapped = std::sync::atomic::AtomicBool::new(false);
+            net.register_fn(Domain::new("flappy.example"), move |req| {
+                if !flapped.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                    return HttpResponse::status(StatusCode::BAD_GATEWAY);
+                }
+                flappy.handle(req)
+            });
+            let crawler = Crawler::new(Arc::clone(&net), config);
+            crawler.run(&[Domain::new("flappy.example")]).await
+        };
+        assert_eq!(
+            without_retry.by_domain("flappy.example").unwrap().outcome,
+            CrawlOutcome::Failed { status: 502 },
+            "no retry budget ⇒ the flap under-counts the live fleet"
+        );
+
+        let crawler = Crawler::new(Arc::clone(&net), CrawlerConfig::default());
+        let dataset = crawler
+            .run(&[Domain::new("flappy.example"), gone.clone()])
+            .await;
+        let inst = dataset.by_domain("flappy.example").unwrap();
+        assert!(inst.crawled(), "the retry absorbs the flap");
+        assert_eq!(inst.timeline.posts().len(), 4);
+        // The permanent death was not retried: exactly one 410 probe.
+        assert_eq!(
+            dataset.by_domain("gone.example").unwrap().outcome,
+            CrawlOutcome::Failed { status: 410 }
+        );
+        assert_eq!(net.stats().failure_taxonomy()[FailureMode::Gone], 1);
     }
 
     /// The mid-crawl transition contract, pinned: an instance's census

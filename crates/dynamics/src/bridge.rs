@@ -156,7 +156,10 @@ impl EventSink for LiveNetBridge {
                     }
                 }
             }
-            Event::AdoptWave { .. } | Event::SetRate { .. } => {}
+            // Retry redeliveries are an engine-internal reliability
+            // mechanism: they change counters, not network reachability,
+            // so there is nothing to mirror onto the live net.
+            Event::AdoptWave { .. } | Event::SetRate { .. } | Event::RetryDelivery { .. } => {}
         }
     }
 }

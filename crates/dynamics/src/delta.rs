@@ -53,6 +53,13 @@ pub struct TickDelta {
     pub toxic_exposure: f64,
     /// Δ rejected toxic mass.
     pub exposure_prevented: f64,
+    /// Δ retry attempts that rescheduled (zero unless an arm enables
+    /// the reliability layer).
+    pub retried: i64,
+    /// Δ delivery batches redelivered after recovery.
+    pub recovered: i64,
+    /// Δ delivery batches dead-lettered.
+    pub dead_lettered: i64,
     /// Δ down instances per §3 failure slot (`[404, 403, 502, 503,
     /// 410]`).
     pub failure_mix: Vec<i64>,
@@ -129,6 +136,9 @@ impl TraceDelta {
             failed: d(a.failed, b.failed),
             toxic_exposure: a.toxic_exposure - b.toxic_exposure,
             exposure_prevented: a.exposure_prevented - b.exposure_prevented,
+            retried: d(a.retried, b.retried),
+            recovered: d(a.recovered, b.recovered),
+            dead_lettered: d(a.dead_lettered, b.dead_lettered),
             failure_mix: a
                 .failure_mix
                 .iter()
@@ -154,6 +164,19 @@ impl TraceDelta {
     /// cost the arm paid (negative = the arm severed more links).
     pub fn final_links(&self) -> i64 {
         self.ticks.last().map(|t| t.links).unwrap_or(0)
+    }
+
+    /// Total extra delivery batches the arm redelivered after receiver
+    /// recovery, relative to the baseline — the reliability layer's
+    /// headline gain under churn.
+    pub fn recovered_deliveries(&self) -> i64 {
+        self.ticks.iter().map(|t| t.recovered).sum()
+    }
+
+    /// Total extra delivery batches the arm dead-lettered relative to
+    /// the baseline — what even retries could not save.
+    pub fn dead_lettered_deliveries(&self) -> i64 {
+        self.ticks.iter().map(|t| t.dead_lettered).sum()
     }
 
     /// Running per-tick cumulative prevented exposure
@@ -195,6 +218,9 @@ mod tests {
                 rejected_authors: rej.min(3),
                 toxic_exposure: exposure,
                 exposure_prevented: rej as f64 * 0.5,
+                retried: rej / 2,
+                recovered: rej / 5,
+                dead_lettered: rej / 10,
                 failure_mix: vec![i as u64, 0, 0, 0, 0],
                 per_instance_exposure: vec![exposure],
             })
@@ -228,6 +254,14 @@ mod tests {
         assert!((cumulative[0] - 0.0).abs() < 1e-12);
         assert!((cumulative[1] - 3.0).abs() < 1e-12);
         assert!((cumulative[2] - 10.0).abs() < 1e-12);
+        // The reliability columns diff like everything else: the arm's
+        // per-tick retried/recovered/dead-lettered minus the baseline's
+        // (all zero here), with run totals on the accessors.
+        assert_eq!(delta.ticks[2].retried, 12);
+        assert_eq!(delta.ticks[2].recovered, 5);
+        assert_eq!(delta.ticks[2].dead_lettered, 2);
+        assert_eq!(delta.recovered_deliveries(), 7);
+        assert_eq!(delta.dead_lettered_deliveries(), 3);
         // Same link trajectory in both runs: flat link delta.
         assert_eq!(delta.final_links(), 0);
         // Arm − baseline of identical failure ramps is zero per slot.

@@ -20,7 +20,9 @@
 use crate::event::{Event, EventQueue};
 use crate::scenario::Scenario;
 use crate::sink::EventSink;
-use crate::state::NetworkState;
+use crate::state::{NetworkState, RetryPolicy};
+use fediscope_simnet::FailureClass;
+
 use crate::trace::{DynamicsTrace, TickTrace};
 use fediscope_core::mrf::{NullActorDirectory, PolicyContext, PolicyVerdict};
 use fediscope_core::time::{SimDuration, SimTime, CAMPAIGN_START, SNAPSHOT_INTERVAL};
@@ -136,6 +138,13 @@ pub struct DynamicsEngine {
     sink: Option<Box<dyn EventSink>>,
     ctrl_rng: Option<SmallRng>,
     next_tick: u64,
+    /// Tick-local reliability counters (batches): retry attempts that
+    /// rescheduled, redeliveries that landed, batches given up on.
+    /// Reset at the top of every [`Self::step`]; folded into the tick's
+    /// trace row by [`Self::aggregate`].
+    tick_retried: u64,
+    tick_recovered: u64,
+    tick_dead_lettered: u64,
 }
 
 impl DynamicsEngine {
@@ -156,6 +165,9 @@ impl DynamicsEngine {
             sink: None,
             ctrl_rng: None,
             next_tick: 0,
+            tick_retried: 0,
+            tick_recovered: 0,
+            tick_dead_lettered: 0,
         }
     }
 
@@ -185,20 +197,141 @@ impl DynamicsEngine {
 
     /// Applies one event; returns whether it changed state (the
     /// propagation gate scenarios key their follow-up scheduling on).
-    fn apply(&mut self, event: &Event) -> bool {
+    /// `now` is the event's fire time — the origin every follow-up the
+    /// reliability layer schedules (backoff retries) is offset from.
+    fn apply(&mut self, event: &Event, now: SimTime) -> bool {
         let applied = match event {
             Event::AdoptWave { instance, wave } => self.state.apply_wave(*instance, wave),
             Event::Defederate { instance, target } => self.state.defederate(*instance, *target),
-            Event::GoDown { instance, mode } => self.state.set_failure(*instance, *mode),
+            Event::GoDown { instance, mode } => {
+                let was_up = self.state.instances[*instance as usize].up();
+                let applied = self.state.set_failure(*instance, *mode);
+                // Retry chains open on the up→down edge only: a mode
+                // change while already down is covered by the chains
+                // opened at the original outage (their next attempt
+                // re-reads the current class).
+                if applied && was_up {
+                    self.on_receiver_down(*instance, now);
+                }
+                applied
+            }
             Event::Recover { instance } => self
                 .state
                 .set_failure(*instance, fediscope_simnet::FailureMode::Healthy),
             Event::SetRate { instance, rate } => self.state.set_rate(*instance, *rate),
+            Event::RetryDelivery {
+                sender,
+                receiver,
+                attempt,
+                posts,
+            } => self.apply_retry(*sender, *receiver, *attempt, *posts, now),
         };
         if let Some(sink) = self.sink.as_mut() {
             sink.on_event(event, applied, &self.state);
         }
         applied
+    }
+
+    /// Reliability hook for an instance that just dropped off the
+    /// network (single-threaded control phase — the measurement fan-out
+    /// never schedules). No-op unless the run opted in via
+    /// [`NetworkState::enable_retries`].
+    ///
+    /// One delivery batch per inbound edge: a transient outage opens a
+    /// retry chain per sender (attempt 1 scheduled at `now + backoff`),
+    /// a permanent death short-circuits every batch straight to the
+    /// senders' dead-letter queues — there is nothing to wait for.
+    fn on_receiver_down(&mut self, receiver: u32, now: SimTime) {
+        let Some(policy) = self.state.retry_policy() else {
+            return;
+        };
+        let Some(class) = self.state.failure_class_of(receiver) else {
+            return;
+        };
+        let cap = self.config.emission_cap;
+        let senders: Vec<u32> = self.state.neighbors(receiver as usize).to_vec();
+        for s in senders {
+            let posts = self.state.instances[s as usize].emissions(cap);
+            match class {
+                FailureClass::Permanent => {
+                    self.state.settle_dead_letter(s, receiver, posts);
+                    self.tick_dead_lettered += 1;
+                }
+                FailureClass::Transient => {
+                    if self.state.open_retry_chain(s, receiver) {
+                        let delay = backoff_delay(&policy, self.config.seed, s, 1);
+                        self.queue.schedule(
+                            now + delay,
+                            Event::RetryDelivery {
+                                sender: s,
+                                receiver,
+                                attempt: 1,
+                                posts,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// One redelivery attempt fires. Resolution order: a severed link
+    /// dead-letters (defederation is permanent by definition); a
+    /// recovered receiver takes the batch; a permanently-dead receiver
+    /// dead-letters; a still-transient outage reschedules until the
+    /// attempt budget is spent, then dead-letters.
+    fn apply_retry(
+        &mut self,
+        sender: u32,
+        receiver: u32,
+        attempt: u32,
+        posts: u64,
+        now: SimTime,
+    ) -> bool {
+        let Some(policy) = self.state.retry_policy() else {
+            return false;
+        };
+        // Stale event (chain already settled): scenarios scheduling raw
+        // `RetryDelivery` events by hand cannot double-settle a batch.
+        if !self.state.retry_pending(sender, receiver) {
+            return false;
+        }
+        if !self.state.linked(sender, receiver) {
+            self.state.settle_dead_letter(sender, receiver, posts);
+            self.tick_dead_lettered += 1;
+            return true;
+        }
+        match self.state.failure_class_of(receiver) {
+            None => {
+                self.state.settle_recovered(sender, receiver, posts);
+                self.tick_recovered += 1;
+            }
+            Some(FailureClass::Permanent) => {
+                self.state.settle_dead_letter(sender, receiver, posts);
+                self.tick_dead_lettered += 1;
+            }
+            Some(FailureClass::Transient) => {
+                if attempt >= policy.max_attempts {
+                    self.state.settle_dead_letter(sender, receiver, posts);
+                    self.tick_dead_lettered += 1;
+                } else {
+                    let next = attempt + 1;
+                    self.state.bump_retry_attempt(sender, receiver, next);
+                    self.tick_retried += 1;
+                    let delay = backoff_delay(&policy, self.config.seed, sender, next);
+                    self.queue.schedule(
+                        now + delay,
+                        Event::RetryDelivery {
+                            sender,
+                            receiver,
+                            attempt: next,
+                            posts,
+                        },
+                    );
+                }
+            }
+        }
+        true
     }
 
     /// Starts a run: resets the clock and queue, seeds the control RNG,
@@ -222,6 +355,13 @@ impl DynamicsEngine {
         );
         self.queue = EventQueue::new();
         self.next_tick = 0;
+        self.tick_retried = 0;
+        self.tick_recovered = 0;
+        self.tick_dead_lettered = 0;
+        // Reliability is opt-in per run: clear any policy, open chains
+        // and counters a previous run left behind, then let the scenario
+        // re-enable in `init` if it wants retries.
+        self.state.reset_reliability();
         scenario.init(
             self.config.start,
             &mut self.state,
@@ -251,8 +391,11 @@ impl DynamicsEngine {
             .take()
             .expect("begin() must run before step()");
         let mut events = 0u64;
+        self.tick_retried = 0;
+        self.tick_recovered = 0;
+        self.tick_dead_lettered = 0;
         while let Some(scheduled) = self.queue.pop_due(now) {
-            let applied = self.apply(&scheduled.event);
+            let applied = self.apply(&scheduled.event, scheduled.at);
             scenario.after_event(
                 &scheduled,
                 applied,
@@ -335,6 +478,9 @@ impl DynamicsEngine {
             rejected_authors: 0,
             toxic_exposure: 0.0,
             exposure_prevented: 0.0,
+            retried: self.tick_retried,
+            recovered: self.tick_recovered,
+            dead_lettered: self.tick_dead_lettered,
             failure_mix: self.state.failure_mix().to_vec(),
             per_instance_exposure: Vec::with_capacity(self.state.len()),
         };
@@ -362,6 +508,29 @@ impl DynamicsEngine {
 /// stream ever depends on thread scheduling.
 fn delivery_seed(seed: u64, tick: u64, sender: u64) -> u64 {
     seed ^ tick.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ sender.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+}
+
+/// Mixes the engine seed, sender, and attempt number into the jitter
+/// stream seed — the same construction as [`delivery_seed`], keyed on
+/// the attempt instead of the tick, so every chain's whole schedule is a
+/// pure function of `(seed, sender, attempt)` and never of thread
+/// scheduling or of *when* the chain happened to open.
+fn retry_seed(seed: u64, sender: u64, attempt: u64) -> u64 {
+    seed ^ sender.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempt.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+}
+
+/// The jittered backoff delay before `attempt` of `sender`'s chain:
+/// `base · 2^(attempt-1)` plus a uniform draw from `[0, base)` off the
+/// [`retry_seed`] stream (full jitter keeps simultaneous outages from
+/// retrying in lockstep).
+fn backoff_delay(policy: &RetryPolicy, seed: u64, sender: u32, attempt: u32) -> SimDuration {
+    let jitter = if policy.base_backoff.0 == 0 {
+        0
+    } else {
+        let mut rng = SmallRng::seed_from_u64(retry_seed(seed, sender as u64, attempt as u64));
+        rng.gen_range(0..policy.base_backoff.0)
+    };
+    policy.backoff(attempt, jitter)
 }
 
 /// One receiver's tick: pull every live neighbor's emissions through the

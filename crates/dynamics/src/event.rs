@@ -68,6 +68,24 @@ pub enum Event {
         /// New multiplier (1.0 = baseline).
         rate: f64,
     },
+    /// A scheduled redelivery attempt for a batch that failed
+    /// transiently: `sender` retries its pending deliveries to
+    /// `receiver`. Scheduled by the engine itself when a retry-enabled
+    /// run sees an instance go down in a transient §3 mode; fires on the
+    /// same calendar as every other event, so the backoff schedule is
+    /// part of the deterministic total order.
+    RetryDelivery {
+        /// The instance retrying its outbound batch.
+        sender: u32,
+        /// The instance the batch is addressed to.
+        receiver: u32,
+        /// Which attempt this is (1-based; bounded by the retry budget).
+        attempt: u32,
+        /// Posts riding in the batch (what was lost when the receiver
+        /// went down; 0 under `emission_cap: 0` flood configs — the
+        /// batch itself is still tracked).
+        posts: u64,
+    },
 }
 
 /// An event with its scheduled time and tie-breaking sequence number.

@@ -83,6 +83,45 @@
 //! are reduced in fixed instance order. The crate's proptests run every
 //! scenario at 1, 2 and 8 workers and compare whole traces with `==`.
 //!
+//! # Delivery-reliability contract
+//!
+//! Real Pleroma redrives failed inbox deliveries from a retry queue;
+//! the engine models that as a first-class layer, off by default and
+//! enabled per run by [`scenarios::ReliabilityScenario`] installing a
+//! [`RetryPolicy`] on the [`NetworkState`]. The contract:
+//!
+//! * **Chain opening.** When a `GoDown` applies on an up→down edge in
+//!   the control phase, every live federation neighbor's pending batch
+//!   to that receiver opens a retry chain — at most one chain per
+//!   directed `(sender, receiver)` edge, so overlapping outages never
+//!   double-schedule. Receivers that go down with a *permanent* §3 mode
+//!   (404/403/410) skip the queue and dead-letter immediately.
+//! * **Backoff derivation.** Attempt `n` fires `base·2^(n−1) + jitter`
+//!   after the previous one (doublings capped at 2^20, saturating
+//!   arithmetic throughout). `jitter` is drawn uniformly from
+//!   `[0, base)` by a throwaway `SmallRng` seeded with
+//!   `seed ⊕ sender·0x9e3779b97f4a7c15 ⊕ attempt·0xc2b2ae3d27d4eb4f` —
+//!   the same per-entity stream-splitting scheme the measurement phase
+//!   uses, keyed on `(seed, sender, attempt)` instead of a shared
+//!   stream. With the default policy (5 attempts, 1 h base) a chain
+//!   reaches ≈ 31–36 h, deliberately straddling the churn scenario's
+//!   12 h transient outages.
+//! * **Determinism guarantee.** Retry events ride the same calendar
+//!   [`EventQueue`] and are applied in the same single-threaded
+//!   `(time, seq)` total order as every other event; jitter never
+//!   touches the control RNG. Enabling retries therefore perturbs *no*
+//!   other scenario's stream, and traces stay bit-identical at any
+//!   `FEDISCOPE_THREADS` (proptested at 1/2/8 workers).
+//! * **Dead-letter semantics.** A chain settles exactly once: as
+//!   `recovered` (an attempt found the receiver up — credited to the
+//!   receiver) or as `dead_lettered` (budget exhausted, permanent
+//!   failure class at fire time, or the link was severed mid-window —
+//!   credited to the sender). [`TickTrace`] carries per-tick
+//!   `retried`/`recovered`/`dead_lettered` columns, digested and
+//!   diffed by [`TraceDelta`] like every other metric, so a retry-on
+//!   vs retry-off experiment pair attributes every redelivery to its
+//!   exact tick.
+//!
 //! ```
 //! use fediscope_dynamics::{DynamicsConfig, DynamicsEngine};
 //! use fediscope_dynamics::scenarios::{CascadeConfig, DefederationCascadeScenario};
@@ -118,7 +157,7 @@ pub use event::{Event, EventQueue, Scheduled};
 pub use experiment::{Arm, ArmRun, Experiment, ExperimentResult};
 pub use scenario::Scenario;
 pub use sink::EventSink;
-pub use state::{InstanceState, NetworkState, PostTemplate};
+pub use state::{InstanceState, NetworkState, PostTemplate, RetryPolicy};
 pub use trace::{failure_mix_index, DynamicsTrace, TickTrace};
 
 #[cfg(test)]

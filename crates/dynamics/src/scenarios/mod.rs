@@ -1,11 +1,13 @@
 //! The shipped scenarios: rollout (and its inaction null arm), cascade,
-//! churn, storm, blocklist imports (full or §4.2-partial) — and the
-//! [`Composite`] multiplexer that runs any of them in one timeline.
+//! churn, storm, blocklist imports (full or §4.2-partial), the
+//! delivery-reliability enabler — and the [`Composite`] multiplexer
+//! that runs any of them in one timeline.
 
 mod cascade;
 mod churn;
 mod composite;
 mod import;
+mod reliability;
 mod rollout;
 mod storm;
 
@@ -19,5 +21,6 @@ pub use import::{
     heavy_tail_fraction, AdoptionModel, BlocklistImportScenario, ImportConfig,
     MIN_ADOPTION_FRACTION,
 };
+pub use reliability::ReliabilityScenario;
 pub use rollout::{InactionScenario, PolicyRolloutScenario, RolloutConfig};
 pub use storm::{StormConfig, ToxicityStormScenario};

@@ -14,10 +14,52 @@ use fediscope_core::model::{Activity, Post};
 use fediscope_core::mrf::policies::SimpleAction;
 use fediscope_core::mrf::MrfPipeline;
 use fediscope_core::rollout::RolloutWave;
-use fediscope_core::time::CAMPAIGN_START;
-use fediscope_simnet::FailureMode;
+use fediscope_core::time::{SimDuration, CAMPAIGN_START};
+use fediscope_simnet::{FailureClass, FailureMode};
 use fediscope_synthgen::ScenarioSeeds;
 use std::collections::HashMap;
+
+/// Configuration of the delivery-reliability layer: how a retry-enabled
+/// run redelivers batches lost to transient failures.
+///
+/// Attempt `n` (1-based) fires `base_backoff · 2^(n-1)` plus a jitter in
+/// `[0, base_backoff)` after the previous failure — the classic
+/// exponential-backoff-with-full-jitter schedule Pleroma's federator
+/// publisher uses, with the jitter drawn from a per-`(seed, sender,
+/// attempt)` stream so the schedule is a pure function of the run seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Redelivery attempts per batch before it dead-letters.
+    pub max_attempts: u32,
+    /// Base backoff delay (doubles each attempt).
+    pub base_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// Five attempts on a 1-hour base: cumulative reach ≈ 1+2+4+8+16 =
+    /// 31–36 h, enough to straddle the churn scenario's 12 h outages.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: SimDuration::hours(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before attempt `attempt` (1-based). `jitter` must already
+    /// be reduced to `[0, base_backoff)` by the caller's deterministic
+    /// stream. The exponential term saturates instead of overflowing.
+    pub fn backoff(&self, attempt: u32, jitter_secs: u64) -> SimDuration {
+        let doublings = attempt.saturating_sub(1).min(20);
+        SimDuration(
+            self.base_backoff
+                .0
+                .saturating_mul(1u64 << doublings)
+                .saturating_add(jitter_secs),
+        )
+    }
+}
 
 /// A reusable inbound post: the pre-built `Create` activity plus the raw
 /// text the scorer reads (kept separate so scoring never has to reach
@@ -63,6 +105,16 @@ pub struct InstanceState {
     pub users: u32,
     /// Ground truth: instances rejecting this one.
     pub rejects_received: u32,
+    /// Delivery batches redelivered to this instance after it recovered
+    /// from a transient outage (retry-enabled runs only).
+    pub recovered_batches: u64,
+    /// Posts riding in those recovered batches.
+    pub recovered_posts: u64,
+    /// Outbound batches this instance gave up on (budget exhausted,
+    /// permanent receiver death, or mid-retry defederation).
+    pub dead_letter_batches: u64,
+    /// Posts riding in those dead-lettered batches.
+    pub dead_letter_posts: u64,
 }
 
 impl InstanceState {
@@ -102,6 +154,23 @@ pub struct NetworkState {
     /// Down instances by §3 failure-taxonomy slot
     /// ([`failure_mix_index`]): `[404, 403, 502, 503, 410]`.
     failure_mix: [u64; 5],
+    /// Reliability layer: `None` (the default) means failed deliveries
+    /// are terminal, exactly the pre-retry engine behaviour. A scenario
+    /// opts in via [`enable_retries`](Self::enable_retries) — enablement
+    /// lives on the state, not the engine config, so paired experiment
+    /// arms can differ on it while sharing one `DynamicsConfig`
+    /// (zero-drift contract).
+    retry: Option<RetryPolicy>,
+    /// Open retry chains: `(sender, receiver) → last scheduled attempt`.
+    /// At most one chain per directed edge; re-failures while a chain is
+    /// open fold into it instead of double-scheduling.
+    pending_retries: HashMap<(u32, u32), u32>,
+    /// Batches recovered across all instances — maintained
+    /// incrementally, O(1).
+    recovered_total: u64,
+    /// Batches dead-lettered across all instances — maintained
+    /// incrementally, O(1).
+    dead_letter_total: u64,
 }
 
 impl NetworkState {
@@ -158,6 +227,10 @@ impl NetworkState {
                     templates,
                     users: seed.users,
                     rejects_received: seed.rejects_received,
+                    recovered_batches: 0,
+                    recovered_posts: 0,
+                    dead_letter_batches: 0,
+                    dead_letter_posts: 0,
                 }
             })
             .collect();
@@ -192,7 +265,105 @@ impl NetworkState {
             up_count,
             adopted_count: 0,
             failure_mix,
+            retry: None,
+            pending_retries: HashMap::new(),
+            recovered_total: 0,
+            dead_letter_total: 0,
         }
+    }
+
+    /// Turns the delivery-reliability layer on. Called from a scenario's
+    /// `init`; the engine consults the policy when instances go down.
+    pub fn enable_retries(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// The active retry policy, if the run opted in.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry
+    }
+
+    /// Clears every trace of the reliability layer: policy, open chains
+    /// and all counters. The engine calls this at `begin()` so a reused
+    /// engine never leaks retry state (or enablement) across runs.
+    pub fn reset_reliability(&mut self) {
+        self.retry = None;
+        self.pending_retries.clear();
+        self.recovered_total = 0;
+        self.dead_letter_total = 0;
+        for inst in &mut self.instances {
+            inst.recovered_batches = 0;
+            inst.recovered_posts = 0;
+            inst.dead_letter_batches = 0;
+            inst.dead_letter_posts = 0;
+        }
+    }
+
+    /// Opens a retry chain for the directed edge `sender → receiver`,
+    /// recording attempt 1 as scheduled. Returns `false` (and changes
+    /// nothing) if a chain is already open — the existing schedule
+    /// absorbs the new failure.
+    pub fn open_retry_chain(&mut self, sender: u32, receiver: u32) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.pending_retries.entry((sender, receiver)) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(1);
+                true
+            }
+        }
+    }
+
+    /// Records that the chain's next attempt is scheduled.
+    pub fn bump_retry_attempt(&mut self, sender: u32, receiver: u32, attempt: u32) {
+        self.pending_retries.insert((sender, receiver), attempt);
+    }
+
+    /// Closes the chain with a successful redelivery, crediting the
+    /// recovered batch to the receiver.
+    pub fn settle_recovered(&mut self, sender: u32, receiver: u32, posts: u64) {
+        self.pending_retries.remove(&(sender, receiver));
+        let inst = &mut self.instances[receiver as usize];
+        inst.recovered_batches += 1;
+        inst.recovered_posts += posts;
+        self.recovered_total += 1;
+    }
+
+    /// Closes the chain by giving up, parking the batch in the sender's
+    /// dead-letter queue.
+    pub fn settle_dead_letter(&mut self, sender: u32, receiver: u32, posts: u64) {
+        self.pending_retries.remove(&(sender, receiver));
+        let inst = &mut self.instances[sender as usize];
+        inst.dead_letter_batches += 1;
+        inst.dead_letter_posts += posts;
+        self.dead_letter_total += 1;
+    }
+
+    /// Whether a chain is open for the directed edge `sender → receiver`.
+    pub fn retry_pending(&self, sender: u32, receiver: u32) -> bool {
+        self.pending_retries.contains_key(&(sender, receiver))
+    }
+
+    /// Open retry chains right now.
+    pub fn pending_retry_count(&self) -> usize {
+        self.pending_retries.len()
+    }
+
+    /// Batches recovered across all instances — O(1).
+    pub fn recovered_total(&self) -> u64 {
+        self.recovered_total
+    }
+
+    /// Batches dead-lettered across all instances — O(1).
+    pub fn dead_letter_total(&self) -> u64 {
+        self.dead_letter_total
+    }
+
+    /// The retry class of instance `i`'s current condition: `None` while
+    /// it answers, otherwise whether its §3 failure mode is worth
+    /// retrying.
+    pub fn failure_class_of(&self, i: u32) -> Option<FailureClass> {
+        self.instances[i as usize].failure.class()
     }
 
     /// Instances currently answering the network — maintained
@@ -477,6 +648,67 @@ mod tests {
         state.apply_wave(a, &wave);
         state.apply_wave(a, &wave);
         check(&state, "wave");
+    }
+
+    #[test]
+    fn reliability_counters_stay_in_step() {
+        let s = seeds();
+        let mut state = NetworkState::from_seeds(s);
+        assert!(state.retry_policy().is_none(), "retries default off");
+        state.enable_retries(RetryPolicy::default());
+        assert!(state.retry_policy().is_some());
+        assert!(state.open_retry_chain(0, 1));
+        assert!(!state.open_retry_chain(0, 1), "one chain per directed edge");
+        assert!(state.open_retry_chain(2, 1));
+        state.bump_retry_attempt(0, 1, 2);
+        assert_eq!(state.pending_retry_count(), 2);
+        state.settle_recovered(0, 1, 7);
+        state.settle_dead_letter(2, 1, 3);
+        assert_eq!(state.pending_retry_count(), 0);
+        assert_eq!(state.recovered_total(), 1);
+        assert_eq!(state.dead_letter_total(), 1);
+        // Recovered batches land on the receiver, dead letters on the
+        // sender — and the O(1) totals agree with a recount.
+        assert_eq!(state.instances[1].recovered_batches, 1);
+        assert_eq!(state.instances[1].recovered_posts, 7);
+        assert_eq!(state.instances[2].dead_letter_batches, 1);
+        assert_eq!(state.instances[2].dead_letter_posts, 3);
+        let recovered: u64 = state.instances.iter().map(|i| i.recovered_batches).sum();
+        let dead: u64 = state.instances.iter().map(|i| i.dead_letter_batches).sum();
+        assert_eq!(recovered, state.recovered_total());
+        assert_eq!(dead, state.dead_letter_total());
+        state.reset_reliability();
+        assert!(state.retry_policy().is_none());
+        assert_eq!(state.recovered_total() + state.dead_letter_total(), 0);
+        assert_eq!(state.instances[1].recovered_batches, 0);
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_never_overflows() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::hours(1),
+        };
+        assert_eq!(p.backoff(1, 0), SimDuration(3600));
+        assert_eq!(p.backoff(2, 10), SimDuration(7210));
+        assert_eq!(p.backoff(3, 0), SimDuration(14_400));
+        let huge = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: SimDuration(u64::MAX / 2),
+        };
+        assert!(huge.backoff(u32::MAX, u64::MAX) >= huge.backoff(1, 0));
+    }
+
+    #[test]
+    fn failure_class_tracks_the_taxonomy() {
+        let s = seeds();
+        let mut state = NetworkState::from_seeds(s);
+        state.set_failure(0, FailureMode::Healthy);
+        assert_eq!(state.failure_class_of(0), None);
+        state.set_failure(0, FailureMode::BadGateway);
+        assert_eq!(state.failure_class_of(0), Some(FailureClass::Transient));
+        state.set_failure(0, FailureMode::Gone);
+        assert_eq!(state.failure_class_of(0), Some(FailureClass::Permanent));
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub struct TickTrace {
     pub toxic_exposure: f64,
     /// Toxic mass the pipelines kept out (rejected deliveries).
     pub exposure_prevented: f64,
+    /// Retry attempts that fired and rescheduled (receiver still in a
+    /// transient outage, budget left). Zero unless the run enabled the
+    /// reliability layer.
+    pub retried: u64,
+    /// Delivery batches redelivered to a recovered receiver.
+    pub recovered: u64,
+    /// Delivery batches given up on: retry budget exhausted, permanent
+    /// receiver death, or mid-retry defederation.
+    pub dead_lettered: u64,
     /// Down instances by §3 failure mode: `[404, 403, 502, 503, 410]`.
     pub failure_mix: Vec<u64>,
     /// Accepted toxic mass per receiving instance (seed index order).
@@ -98,6 +107,9 @@ impl DynamicsTrace {
                 t.rejected_authors,
                 t.toxic_exposure.to_bits(),
                 t.exposure_prevented.to_bits(),
+                t.retried,
+                t.recovered,
+                t.dead_lettered,
             ] {
                 word(v);
             }
@@ -140,6 +152,21 @@ impl DynamicsTrace {
     pub fn final_links(&self) -> u64 {
         self.ticks.last().map(|t| t.links).unwrap_or(0)
     }
+
+    /// Total retry attempts that rescheduled across the run.
+    pub fn total_retried(&self) -> u64 {
+        self.ticks.iter().map(|t| t.retried).sum()
+    }
+
+    /// Total delivery batches recovered across the run.
+    pub fn total_recovered(&self) -> u64 {
+        self.ticks.iter().map(|t| t.recovered).sum()
+    }
+
+    /// Total delivery batches dead-lettered across the run.
+    pub fn total_dead_lettered(&self) -> u64 {
+        self.ticks.iter().map(|t| t.dead_lettered).sum()
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +188,9 @@ mod tests {
             rejected_authors: 1,
             toxic_exposure: exposure,
             exposure_prevented: 0.5,
+            retried: 3,
+            recovered: 2,
+            dead_lettered: 1,
             failure_mix: vec![0; 5],
             per_instance_exposure: vec![exposure],
         }
@@ -179,6 +209,10 @@ mod tests {
         b.ticks[1].toxic_exposure += 1e-9;
         assert_ne!(a.digest(), b.digest());
         assert_ne!(a, b);
+        // The reliability columns are digested too.
+        let mut c = a.clone();
+        c.ticks[0].recovered += 1;
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]
@@ -190,6 +224,9 @@ mod tests {
         };
         assert_eq!(t.total_delivered(), 40);
         assert_eq!(t.total_rejected(), 4);
+        assert_eq!(t.total_retried(), 6);
+        assert_eq!(t.total_recovered(), 4);
+        assert_eq!(t.total_dead_lettered(), 2);
         assert!((t.total_exposure() - 3.0).abs() < 1e-12);
         assert!((t.total_prevented() - 1.0).abs() < 1e-12);
         assert_eq!(t.initial_links(), 10);

@@ -12,7 +12,7 @@
 
 use fediscope_dynamics::scenarios::{
     CascadeConfig, ChurnConfig, ChurnScenario, Composite, DefederationCascadeScenario,
-    PolicyRolloutScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
+    PolicyRolloutScenario, ReliabilityScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
 };
 use fediscope_dynamics::{DynamicsConfig, DynamicsEngine, DynamicsTrace, Scenario};
 use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
@@ -38,7 +38,7 @@ fn trio_in_order(order: [usize; 3]) -> Composite {
 }
 
 fn scenario_by_id(id: usize) -> Box<dyn Scenario> {
-    match id % 6 {
+    match id % 7 {
         0 => Box::new(PolicyRolloutScenario::new(RolloutConfig::default())),
         1 => Box::new(DefederationCascadeScenario::new(CascadeConfig::default())),
         2 => Box::new(ChurnScenario::new(ChurnConfig::default())),
@@ -46,12 +46,23 @@ fn scenario_by_id(id: usize) -> Box<dyn Scenario> {
         // Composites are scenarios too: the full trio, and a reactive
         // composition that includes the imitation cascade.
         4 => Box::new(trio_in_order([0, 1, 2])),
-        _ => Box::new(
+        5 => Box::new(
             Composite::new()
                 .with(Box::new(DefederationCascadeScenario::new(
                     CascadeConfig::default(),
                 )))
                 .with(Box::new(ChurnScenario::new(ChurnConfig::default()))),
+        ),
+        // Churn with the delivery-reliability layer armed: retry events
+        // (backoff + per-(seed, sender, attempt) jitter) must obey the
+        // same bit-identical contract as every other event.
+        _ => Box::new(
+            Composite::new()
+                .with(Box::new(ReliabilityScenario::default()))
+                .with(Box::new(ChurnScenario::new(ChurnConfig {
+                    transient_p: 0.5,
+                    ..ChurnConfig::default()
+                }))),
         ),
     }
 }
@@ -82,7 +93,7 @@ proptest! {
     /// composed scenarios (the trio, and a reactive cascade+churn mix).
     #[test]
     fn trace_is_bit_identical_across_thread_counts(
-        scenario_id in 0_usize..6,
+        scenario_id in 0_usize..7,
         engine_seed in 0_u64..1_000_000,
     ) {
         let reference = run_with_threads(scenario_id, engine_seed, 1);

@@ -3,9 +3,47 @@
 use crate::server::InstanceServer;
 use fediscope_activitypub::Mailman;
 use fediscope_core::model::{Activity, Post};
-use fediscope_simnet::{HttpRequest, SimNet};
+use fediscope_simnet::{FailureClass, HttpRequest, SimNet};
 use std::sync::Arc;
 use tokio::sync::Semaphore;
+
+/// Per-class outcome of one delivery fan-out: how many inbox POSTs
+/// succeeded, how many failed in a way a retry could clear (5xx,
+/// connection refused), and how many failed permanently (4xx, dead DNS).
+///
+/// Real Pleroma's federator publisher makes exactly this distinction —
+/// transient failures go back on the retry queue, permanent ones are
+/// dropped — so a bare failure count is not enough for any caller that
+/// wants to model redelivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeliveryReport {
+    /// Targets that answered 2xx.
+    pub ok: usize,
+    /// Targets that failed transiently — a retry may succeed.
+    pub transient: usize,
+    /// Targets that failed permanently — a retry cannot succeed.
+    pub permanent: usize,
+}
+
+impl DeliveryReport {
+    /// All failed targets, regardless of class.
+    pub fn failed(&self) -> usize {
+        self.transient + self.permanent
+    }
+
+    /// All targets the fan-out attempted.
+    pub fn attempted(&self) -> usize {
+        self.ok + self.failed()
+    }
+
+    fn record(&mut self, class: Option<FailureClass>) {
+        match class {
+            None => self.ok += 1,
+            Some(FailureClass::Transient) => self.transient += 1,
+            Some(FailureClass::Permanent) => self.permanent += 1,
+        }
+    }
+}
 
 /// Upper bound on concurrently in-flight inbox POSTs per delivery fan-out.
 /// Pleroma's own federator publisher works the same way: a bounded worker
@@ -32,21 +70,22 @@ impl Federator {
         &self.server
     }
 
-    /// Publishes a local post and fans it out. Returns the number of
-    /// successful deliveries. Delivery failures (dead instances) are
-    /// counted, not retried here — federation is best-effort, and a dead
-    /// peer simply misses the post (as in the real fediverse).
+    /// Publishes a local post and fans it out, returning the per-class
+    /// [`DeliveryReport`]. Failures are classified, not retried here —
+    /// redelivery policy belongs to the caller (the dynamics engine's
+    /// reliability layer schedules backoff retries off the transient
+    /// count; a bare caller may ignore it, as best-effort federation).
     pub async fn publish_and_deliver(
         &self,
         post: Post,
-    ) -> Result<(Activity, usize, usize), crate::server::PublishError> {
+    ) -> Result<(Activity, DeliveryReport), crate::server::PublishError> {
         let activity = self.server.publish(post)?;
-        let (ok, failed) = self.deliver(&activity).await;
-        Ok((activity, ok, failed))
+        let report = self.deliver(&activity).await;
+        Ok((activity, report))
     }
 
-    /// Delivers an already-published activity; returns
-    /// `(succeeded, failed)` target counts.
+    /// Delivers an already-published activity; returns the per-class
+    /// [`DeliveryReport`].
     ///
     /// The inbox POSTs go out concurrently, bounded to [`MAX_IN_FLIGHT`]
     /// in-flight requests at a time, so one slow peer no longer stalls the
@@ -55,7 +94,7 @@ impl Federator {
     /// and `SimNet` serves every instance through a single ordered queue,
     /// so per-target delivery order across successive `deliver` calls is
     /// the call order, exactly as with the old sequential loop.
-    pub async fn deliver(&self, activity: &Activity) -> (usize, usize) {
+    pub async fn deliver(&self, activity: &Activity) -> DeliveryReport {
         let targets = self
             .server
             .with_graph(|g| Mailman.delivery_targets(g, activity));
@@ -74,17 +113,19 @@ impl Federator {
             handles.push(tokio::spawn(async move {
                 let _permit = gate.acquire_owned().await;
                 let req = HttpRequest::post_bytes("/inbox", body);
-                matches!(net.request(&target, req).await, Ok(resp) if resp.is_success())
+                match net.request(&target, req).await {
+                    Ok(resp) => FailureClass::of_status(resp.status),
+                    Err(e) => Some(e.class()),
+                }
             }));
         }
-        let (mut ok, mut failed) = (0, 0);
+        let mut report = DeliveryReport::default();
         for handle in handles {
-            match handle.await {
-                Ok(true) => ok += 1,
-                _ => failed += 1,
-            }
+            // A panicked delivery task never answered — count it as a
+            // transient failure, like a dropped connection.
+            report.record(handle.await.unwrap_or(Some(FailureClass::Transient)));
         }
-        (ok, failed)
+        report
     }
 }
 
@@ -154,8 +195,8 @@ mod tests {
             fediscope_core::time::CAMPAIGN_START,
             "federated hello",
         );
-        let (_, ok, failed) = fed.publish_and_deliver(post).await.unwrap();
-        assert_eq!((ok, failed), (1, 0));
+        let (_, report) = fed.publish_and_deliver(post).await.unwrap();
+        assert_eq!((report.ok, report.failed()), (1, 0));
         // The post arrived on friend's whole-known-network timeline.
         assert_eq!(friend.post_count(), 1);
         friend.with_timelines(|t| {
@@ -187,7 +228,7 @@ mod tests {
         home.follow(fan, author.clone());
 
         let fed = Federator::new(Arc::clone(&net), Arc::clone(&home));
-        let (_, ok, failed) = fed
+        let (_, report) = fed
             .publish_and_deliver(Post::stub(
                 PostId(1),
                 author,
@@ -197,7 +238,7 @@ mod tests {
             .await
             .unwrap();
         // Delivery "succeeds" at the HTTP level (MRF rejection is silent)…
-        assert_eq!((ok, failed), (1, 0));
+        assert_eq!((report.ok, report.failed()), (1, 0));
         // …but the content never lands: this is the reject collateral
         // damage mechanism — ALL home.example users are cut off.
         assert_eq!(blocker.post_count(), 0);
@@ -242,7 +283,7 @@ mod tests {
             home.follow(fan, author.clone());
         }
         let fed = Federator::new(Arc::clone(&net), Arc::clone(&home));
-        let (_, ok, failed) = fed
+        let (_, report) = fed
             .publish_and_deliver(Post::stub(
                 PostId(1),
                 author,
@@ -251,7 +292,13 @@ mod tests {
             ))
             .await
             .unwrap();
-        assert_eq!((ok, failed), (40, 20));
+        // 40 delivered; the 15 BadGateway targets are retryable, the 5
+        // unknown hosts are not.
+        assert_eq!(report.ok, 40);
+        assert_eq!(report.transient, 15);
+        assert_eq!(report.permanent, 5);
+        assert_eq!(report.failed(), 20);
+        assert_eq!(report.attempted(), 60);
         // Exactly one POST per target reached the network.
         assert_eq!(net.stats().snapshot().0, 60);
     }
@@ -272,7 +319,7 @@ mod tests {
         home.follow(fan, author.clone());
 
         let fed = Federator::new(Arc::clone(&net), Arc::clone(&home));
-        let (_, ok, failed) = fed
+        let (_, report) = fed
             .publish_and_deliver(Post::stub(
                 PostId(1),
                 author,
@@ -281,6 +328,7 @@ mod tests {
             ))
             .await
             .unwrap();
-        assert_eq!((ok, failed), (0, 1));
+        assert_eq!((report.ok, report.failed()), (0, 1));
+        assert_eq!(report.transient, 1, "a 502 peer may come back");
     }
 }

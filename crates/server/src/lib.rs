@@ -28,5 +28,5 @@ mod federate;
 mod server;
 
 pub use api::{register_on, status_json, DEFAULT_PAGE, MAX_PAGE};
-pub use federate::Federator;
+pub use federate::{DeliveryReport, Federator};
 pub use server::{InstanceServer, PublishError, ServerStats};

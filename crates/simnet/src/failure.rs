@@ -25,6 +25,34 @@ pub enum FailureMode {
     Gone,
 }
 
+/// Whether a failed request is worth retrying.
+///
+/// The split follows Pleroma's federation publisher: 5xx gateway errors
+/// (502/503) signal an instance that is down *right now* but may come
+/// back — its queue retries them on a backoff schedule — while 4xx
+/// answers (404 vanished, 403 auth-walled, 410 intentionally gone) and
+/// DNS failures signal an instance that will never answer differently,
+/// so the delivery dead-letters immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// Retrying may succeed: the §3 502/503 outages and churn downtime.
+    Transient,
+    /// Retrying cannot succeed: 404/403/410 and dead DNS.
+    Permanent,
+}
+
+impl FailureClass {
+    /// Classifies a non-success HTTP status. Returns `None` for 2xx/3xx
+    /// (the request succeeded; there is nothing to retry).
+    pub fn of_status(status: StatusCode) -> Option<FailureClass> {
+        match status.0 {
+            200..=399 => None,
+            500..=599 => Some(FailureClass::Transient),
+            _ => Some(FailureClass::Permanent),
+        }
+    }
+}
+
 impl FailureMode {
     /// The status code this failure mode forces, if any.
     pub fn forced_status(self) -> Option<StatusCode> {
@@ -36,6 +64,12 @@ impl FailureMode {
             FailureMode::Unavailable => Some(StatusCode::SERVICE_UNAVAILABLE),
             FailureMode::Gone => Some(StatusCode::GONE),
         }
+    }
+
+    /// Whether this failure mode is worth retrying, if it is a failure
+    /// at all (`None` for [`FailureMode::Healthy`]).
+    pub fn class(self) -> Option<FailureClass> {
+        self.forced_status().and_then(FailureClass::of_status)
     }
 
     /// The §3 failure modes with their paper-reported instance counts
@@ -83,5 +117,38 @@ mod tests {
     fn taxonomy_totals_236() {
         let total: u32 = FailureMode::PAPER_TAXONOMY.iter().map(|(_, n)| n).sum();
         assert_eq!(total, 236);
+    }
+
+    #[test]
+    fn gateway_errors_are_transient_the_rest_permanent() {
+        assert_eq!(FailureMode::Healthy.class(), None);
+        assert_eq!(
+            FailureMode::BadGateway.class(),
+            Some(FailureClass::Transient)
+        );
+        assert_eq!(
+            FailureMode::Unavailable.class(),
+            Some(FailureClass::Transient)
+        );
+        assert_eq!(FailureMode::NotFound.class(), Some(FailureClass::Permanent));
+        assert_eq!(
+            FailureMode::Forbidden.class(),
+            Some(FailureClass::Permanent)
+        );
+        assert_eq!(FailureMode::Gone.class(), Some(FailureClass::Permanent));
+    }
+
+    #[test]
+    fn status_classification_ignores_success() {
+        assert_eq!(FailureClass::of_status(StatusCode::OK), None);
+        assert_eq!(FailureClass::of_status(StatusCode::ACCEPTED), None);
+        assert_eq!(
+            FailureClass::of_status(StatusCode::BAD_REQUEST),
+            Some(FailureClass::Permanent)
+        );
+        assert_eq!(
+            FailureClass::of_status(StatusCode(500)),
+            Some(FailureClass::Transient)
+        );
     }
 }

@@ -18,6 +18,6 @@ mod failure;
 mod http;
 mod net;
 
-pub use failure::FailureMode;
+pub use failure::{FailureClass, FailureMode};
 pub use http::{HttpRequest, HttpResponse, Method, StatusCode};
-pub use net::{Endpoint, FnEndpoint, NetError, NetStats, SimNet};
+pub use net::{Endpoint, FailureTaxonomy, FnEndpoint, NetError, NetStats, SimNet};

@@ -1,6 +1,6 @@
 //! The network fabric: registration, dispatch, failure injection, stats.
 
-use crate::failure::FailureMode;
+use crate::failure::{FailureClass, FailureMode};
 use crate::http::{HttpRequest, HttpResponse, StatusCode};
 use fediscope_core::id::Domain;
 use parking_lot::RwLock;
@@ -43,6 +43,19 @@ impl fmt::Display for NetError {
         match self {
             NetError::UnknownHost(d) => write!(f, "unknown host: {d}"),
             NetError::ConnectionRefused(d) => write!(f, "connection refused: {d}"),
+        }
+    }
+}
+
+impl NetError {
+    /// Retry classification: a dead serving task ([`NetError::ConnectionRefused`])
+    /// may restart, so it is transient; a missing DNS entry
+    /// ([`NetError::UnknownHost`]) never resolves differently, so it is
+    /// permanent.
+    pub fn class(&self) -> FailureClass {
+        match self {
+            NetError::UnknownHost(_) => FailureClass::Permanent,
+            NetError::ConnectionRefused(_) => FailureClass::Transient,
         }
     }
 }
@@ -128,16 +141,91 @@ impl NetStats {
             .collect()
     }
 
-    /// The §3 error-taxonomy counters, in the paper's reporting order:
-    /// `(404, 403, 502, 503, 410)`.
-    pub fn failure_taxonomy(&self) -> (u64, u64, u64, u64, u64) {
-        (
-            self.status_count(StatusCode::NOT_FOUND),
-            self.status_count(StatusCode::FORBIDDEN),
-            self.status_count(StatusCode::BAD_GATEWAY),
-            self.status_count(StatusCode::SERVICE_UNAVAILABLE),
-            self.status_count(StatusCode::GONE),
-        )
+    /// A typed snapshot of the §3 error-taxonomy counters, indexable by
+    /// [`FailureMode`] instead of positional tuple order.
+    pub fn failure_taxonomy(&self) -> FailureTaxonomy {
+        FailureTaxonomy {
+            counts: [
+                self.status_count(StatusCode::NOT_FOUND),
+                self.status_count(StatusCode::FORBIDDEN),
+                self.status_count(StatusCode::BAD_GATEWAY),
+                self.status_count(StatusCode::SERVICE_UNAVAILABLE),
+                self.status_count(StatusCode::GONE),
+            ],
+        }
+    }
+}
+
+/// A point-in-time snapshot of the §3 error-taxonomy counters, indexed by
+/// [`FailureMode`] rather than by positional status-code order (callers
+/// used to decode a `(404, 403, 502, 503, 410)` tuple by memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailureTaxonomy {
+    /// Counts in the paper's reporting order (404, 403, 502, 503, 410),
+    /// i.e. [`FailureTaxonomy::MODES`] order.
+    counts: [u64; 5],
+}
+
+impl FailureTaxonomy {
+    /// The failure modes this taxonomy tracks, in the paper's §3
+    /// reporting order.
+    pub const MODES: [FailureMode; 5] = [
+        FailureMode::NotFound,
+        FailureMode::Forbidden,
+        FailureMode::BadGateway,
+        FailureMode::Unavailable,
+        FailureMode::Gone,
+    ];
+
+    /// Responses observed with this failure mode's status. Zero for
+    /// [`FailureMode::Healthy`].
+    pub fn count(&self, mode: FailureMode) -> u64 {
+        Self::MODES
+            .iter()
+            .position(|&m| m == mode)
+            .map(|idx| self.counts[idx])
+            .unwrap_or(0)
+    }
+
+    /// The counts in the paper's reporting order `[404, 403, 502, 503, 410]`.
+    pub fn as_array(&self) -> [u64; 5] {
+        self.counts
+    }
+
+    /// All failures across the taxonomy.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Failures a retry could plausibly clear (502 + 503).
+    pub fn transient(&self) -> u64 {
+        self.by_class(FailureClass::Transient)
+    }
+
+    /// Failures no retry will ever clear (404 + 403 + 410).
+    pub fn permanent(&self) -> u64 {
+        self.by_class(FailureClass::Permanent)
+    }
+
+    /// Failures of a given retry class.
+    pub fn by_class(&self, class: FailureClass) -> u64 {
+        Self::MODES
+            .iter()
+            .zip(self.counts)
+            .filter(|(m, _)| m.class() == Some(class))
+            .map(|(_, n)| n)
+            .sum()
+    }
+}
+
+impl std::ops::Index<FailureMode> for FailureTaxonomy {
+    type Output = u64;
+
+    fn index(&self, mode: FailureMode) -> &u64 {
+        match Self::MODES.iter().position(|&m| m == mode) {
+            Some(idx) => &self.counts[idx],
+            None => &0,
+        }
     }
 }
 
@@ -383,7 +471,14 @@ mod tests {
             StatusCode::NOT_FOUND
         );
         // Injected and endpoint-served statuses both land in the counters.
-        assert_eq!(net.stats().failure_taxonomy(), (4, 2, 1, 1, 1));
+        let taxonomy = net.stats().failure_taxonomy();
+        assert_eq!(taxonomy.as_array(), [4, 2, 1, 1, 1]);
+        assert_eq!(taxonomy[FailureMode::NotFound], 4);
+        assert_eq!(taxonomy.count(FailureMode::Forbidden), 2);
+        assert_eq!(taxonomy.count(FailureMode::Healthy), 0);
+        assert_eq!(taxonomy.transient(), 2);
+        assert_eq!(taxonomy.permanent(), 7);
+        assert_eq!(taxonomy.total(), 9);
         assert_eq!(net.stats().status_count(StatusCode::OK), 2);
         let counts = net.stats().status_counts();
         assert_eq!(counts.values().sum::<u64>(), net.stats().snapshot().0);

@@ -67,7 +67,7 @@ fn main() {
     );
 
     // What the bridge mirrored while the crawler worked.
-    let (n404, n403, n502, n503, n410) = result.net.stats().failure_taxonomy();
+    let [n404, n403, n502, n503, n410] = result.net.stats().failure_taxonomy().as_array();
     println!(
         "bridge: {} deaths and {} recoveries mirrored onto the live net",
         result.bridge.failures_applied(),

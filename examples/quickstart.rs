@@ -89,8 +89,11 @@ async fn main() {
         fediscope_core::time::CAMPAIGN_START,
         "you grukk vrelk subhuman scum",
     );
-    let (_, ok, _) = troll_fed.publish_and_deliver(hate).await.unwrap();
-    println!("troll.example delivered to {ok} instance(s) — but was it ingested?");
+    let (_, report) = troll_fed.publish_and_deliver(hate).await.unwrap();
+    println!(
+        "troll.example delivered to {} instance(s) — but was it ingested?",
+        report.ok
+    );
 
     let mut art = Post::stub(
         PostId(2),

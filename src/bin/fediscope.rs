@@ -352,7 +352,7 @@ fn census(
         "{}",
         fediscope::analysis::dynamics::render_dynamics(&result.trace)
     );
-    let (n404, n403, n502, n503, n410) = result.net.stats().failure_taxonomy();
+    let [n404, n403, n502, n503, n410] = result.net.stats().failure_taxonomy().as_array();
     println!(
         "bridge: {} deaths, {} recoveries, {} defederations mirrored   probe statuses: 404×{n404} 403×{n403} 502×{n502} 503×{n503} 410×{n410}",
         result.bridge.failures_applied(),

@@ -249,20 +249,25 @@ mod tests {
         }
         assert_eq!(last.taxonomy, seed_mix, "§3 mix must reproduce");
         assert!(last.taxonomy[0] > 0, "the 404 class dominates §3");
-        // The request-level counters agree: every per-census 404 / 502 /
-        // 503 / 410 probe landed in `NetStats::failure_taxonomy()`
+        // The request-level counters agree: every per-census permanent
+        // 404 / 410 probe landed in `NetStats::failure_taxonomy()`
         // exactly once (those statuses only ever come from failure
-        // injection). 403 is a superset at the request level — healthy
-        // closed-timeline instances answer real 403s too.
-        let (n404, n403, n502, n503, n410) = rt.net.stats().failure_taxonomy();
+        // injection and are never retried), while transient 502 / 503
+        // probes land exactly twice — the probe plus its single
+        // `CrawlerConfig::transient_retries` re-probe against a failure
+        // injection that holds for the whole (quiescent) census. 403 is
+        // a superset at the request level — healthy closed-timeline
+        // instances answer real 403s too.
+        let taxonomy = rt.net.stats().failure_taxonomy();
         let sums: Vec<u64> = (0..5)
             .map(|k| rt.census.iter().map(|c| c.taxonomy[k]).sum())
             .collect();
-        assert_eq!(n404, sums[0]);
-        assert!(n403 >= sums[1]);
-        assert_eq!(n502, sums[2]);
-        assert_eq!(n503, sums[3]);
-        assert_eq!(n410, sums[4]);
+        use fediscope_simnet::FailureMode;
+        assert_eq!(taxonomy[FailureMode::NotFound], sums[0]);
+        assert!(taxonomy[FailureMode::Forbidden] >= sums[1]);
+        assert_eq!(taxonomy[FailureMode::BadGateway], 2 * sums[2]);
+        assert_eq!(taxonomy[FailureMode::Unavailable], 2 * sums[3]);
+        assert_eq!(taxonomy[FailureMode::Gone], sums[4]);
         // The bridge mirrored every death the scenario replayed.
         assert_eq!(
             rt.bridge.failures_applied(),

@@ -133,6 +133,147 @@ async fn dead_peers_do_not_poison_discovery() {
     assert_eq!(unreachable, 20);
 }
 
+mod delivery_reliability {
+    //! Failure injection at the dynamics layer: the §3 taxonomy split
+    //! drives the retry queue — transient outages are survivable within
+    //! the backoff window, permanent deaths short-circuit to the
+    //! dead-letter queue. Both cases are swept at 1/2/8 worker threads
+    //! in one test body (this binary's only rayon-pool user, so the
+    //! in-process sweep is race-free) and must stay bit-identical.
+
+    use fediscope::core::time::SimDuration;
+    use fediscope::dynamics::{
+        DynamicsConfig, DynamicsEngine, DynamicsTrace, Event, EventQueue, NetworkState,
+        RetryPolicy, Scenario,
+    };
+    use fediscope::simnet::FailureMode;
+    use fediscope::synthgen::{ScenarioSeeds, World, WorldConfig};
+    use fediscope_core::time::SimTime;
+    use rand::rngs::SmallRng;
+    use std::sync::OnceLock;
+
+    fn seeds() -> &'static ScenarioSeeds {
+        static SEEDS: OnceLock<ScenarioSeeds> = OnceLock::new();
+        SEEDS.get_or_init(|| ScenarioSeeds::from_world(&World::generate(WorldConfig::test_small())))
+    }
+
+    /// One linked instance goes down in the given §3 mode 1 h in; a
+    /// transient outage recovers 2 h later — inside the retry window:
+    /// attempt 1 fires 1–2 h after the outage starts (still down ⇒
+    /// rescheduled), attempt 2 fires 3–5 h after (recovered ⇒
+    /// redelivered). A permanent mode schedules no recovery.
+    struct OneOutage {
+        mode: FailureMode,
+        target: u32,
+    }
+
+    impl OneOutage {
+        fn new(mode: FailureMode) -> Self {
+            OneOutage { mode, target: 0 }
+        }
+    }
+
+    impl Scenario for OneOutage {
+        fn name(&self) -> &'static str {
+            "one_outage"
+        }
+
+        fn init(
+            &mut self,
+            start: SimTime,
+            state: &mut NetworkState,
+            queue: &mut EventQueue,
+            _rng: &mut SmallRng,
+        ) {
+            state.enable_retries(RetryPolicy::default());
+            self.target = (0..state.len())
+                .find(|&i| !state.neighbors(i).is_empty())
+                .expect("the test world has linked instances") as u32;
+            let down_at = start + SimDuration::hours(1);
+            queue.schedule(
+                down_at,
+                Event::GoDown {
+                    instance: self.target,
+                    mode: self.mode,
+                },
+            );
+            if self.mode.class() == Some(fediscope::simnet::FailureClass::Transient) {
+                queue.schedule(
+                    down_at + SimDuration::hours(2),
+                    Event::Recover {
+                        instance: self.target,
+                    },
+                );
+            }
+        }
+    }
+
+    fn run_at(threads: usize, mode: FailureMode) -> (DynamicsTrace, Vec<u64>, u64) {
+        // The shim rayon allows re-sizing the global pool; real rayon
+        // would degrade the sweep to same-size repeats (see the note in
+        // crates/dynamics/tests/determinism.rs).
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global();
+        let config = DynamicsConfig {
+            ticks: 6,
+            ..DynamicsConfig::default()
+        };
+        let mut engine = DynamicsEngine::new(config, seeds());
+        let mut scenario = OneOutage::new(mode);
+        let trace = engine.run(&mut scenario);
+        let per_instance_dead: Vec<u64> = engine
+            .state()
+            .instances
+            .iter()
+            .map(|i| i.dead_letter_batches)
+            .collect();
+        let pending = engine.state().pending_retry_count() as u64;
+        (trace, per_instance_dead, pending)
+    }
+
+    #[test]
+    fn retry_window_recovery_and_permanent_death_at_1_2_8_threads() {
+        let (transient_ref, _, _) = run_at(1, FailureMode::BadGateway);
+        let (permanent_ref, _, _) = run_at(1, FailureMode::Gone);
+        for threads in [1_usize, 2, 8] {
+            // Mid-retry-window recovery: every opened chain reschedules
+            // exactly once and then redelivers on attempt 2.
+            let (trace, dead, pending) = run_at(threads, FailureMode::BadGateway);
+            assert!(trace.total_recovered() > 0, "chains recover at {threads}t");
+            assert_eq!(
+                trace.total_retried(),
+                trace.total_recovered(),
+                "recovery lands on attempt 2: one reschedule per chain"
+            );
+            assert_eq!(trace.total_dead_lettered(), 0);
+            assert_eq!(dead.iter().sum::<u64>(), 0);
+            assert_eq!(pending, 0, "no chain is left open");
+            assert_eq!(
+                trace, transient_ref,
+                "transient trace diverged at {threads} threads"
+            );
+
+            // Permanent death: no retry events at all — the batches
+            // short-circuit to the senders' dead-letter queues.
+            let (trace, dead, pending) = run_at(threads, FailureMode::Gone);
+            assert!(trace.total_dead_lettered() > 0);
+            assert_eq!(trace.total_retried(), 0, "permanent failures never retry");
+            assert_eq!(trace.total_recovered(), 0);
+            assert_eq!(
+                dead.iter().sum::<u64>(),
+                trace.total_dead_lettered(),
+                "per-sender dead-letter counters add up to the trace total"
+            );
+            assert_eq!(pending, 0);
+            assert_eq!(
+                trace, permanent_ref,
+                "permanent trace diverged at {threads} threads"
+            );
+        }
+    }
+}
+
 #[tokio::test]
 async fn recovering_instance_serves_again() {
     let net = Arc::new(SimNet::new());
