@@ -31,6 +31,9 @@ pub mod report;
 pub mod scores;
 pub mod stats;
 pub mod tables;
+pub mod telemetry;
 pub mod timeseries;
+
+pub use telemetry::render_telemetry;
 
 pub use scores::{HarmAnnotations, InstanceScore, UserScore};

@@ -1,0 +1,179 @@
+//! Human tables over a [`RunReport`] — the terminal companion to the
+//! `--telemetry-out` JSON.
+//!
+//! Consumes only the serialized snapshot (never the live registry), so
+//! the renderer works identically on a report captured in-process and
+//! one read back from disk.
+
+use crate::report::render_table;
+use fediscope_telemetry::RunReport;
+
+/// Formats nanoseconds with a readable unit (ns / µs / ms / s).
+fn fmt_nanos(nanos: u64) -> String {
+    match nanos {
+        0..=9_999 => format!("{nanos}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", nanos as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", nanos as f64 / 1e6),
+        _ => format!("{:.2}s", nanos as f64 / 1e9),
+    }
+}
+
+/// Renders the full report: phase spans, hot counters, gauges, probe
+/// latency, and the per-instance top-K volume table. Empty sections
+/// (zero-count phases, all-zero counters) are dropped — a disarmed or
+/// idle registry renders to a short note instead of walls of zeros.
+pub fn render_telemetry(report: &RunReport) -> String {
+    let mut out = String::new();
+
+    if !report.armed {
+        out.push_str(&format!(
+            "== telemetry: {} ==\n(registry disarmed — no readings)\n",
+            report.label
+        ));
+        return out;
+    }
+
+    let phase_rows: Vec<Vec<String>> = report
+        .phases
+        .iter()
+        .filter(|p| p.count > 0)
+        .map(|p| {
+            vec![
+                p.phase.clone(),
+                p.count.to_string(),
+                fmt_nanos(p.total_nanos),
+                fmt_nanos(p.mean_nanos),
+                fmt_nanos(p.histogram.p50_upper_nanos),
+                fmt_nanos(p.histogram.p99_upper_nanos),
+            ]
+        })
+        .collect();
+    if !phase_rows.is_empty() {
+        out.push_str(&render_table(
+            &format!("phase spans: {}", report.label),
+            &["phase", "spans", "total", "mean", "p50≤", "p99≤"],
+            &phase_rows,
+        ));
+    }
+
+    let counter_rows: Vec<Vec<String>> = report
+        .counters
+        .iter()
+        .filter(|c| c.value > 0)
+        .map(|c| vec![c.name.clone(), c.value.to_string()])
+        .collect();
+    if !counter_rows.is_empty() {
+        out.push_str(&render_table(
+            "hot counters",
+            &["counter", "value"],
+            &counter_rows,
+        ));
+    }
+
+    let gauge_rows: Vec<Vec<String>> = report
+        .gauges
+        .iter()
+        .map(|g| vec![g.name.clone(), g.value.to_string()])
+        .collect();
+    out.push_str(&render_table(
+        "gauges (final tick)",
+        &["gauge", "value"],
+        &gauge_rows,
+    ));
+
+    let probe_rows: Vec<Vec<String>> = report
+        .probe_latency
+        .iter()
+        .filter(|p| p.count > 0)
+        .map(|p| {
+            vec![
+                p.class.clone(),
+                p.count.to_string(),
+                fmt_nanos(p.mean_nanos),
+                fmt_nanos(p.histogram.p50_upper_nanos),
+                fmt_nanos(p.histogram.p99_upper_nanos),
+            ]
+        })
+        .collect();
+    if !probe_rows.is_empty() {
+        out.push_str(&render_table(
+            "census probe latency (simulated, §3 classes)",
+            &["class", "probes", "mean", "p50≤", "p99≤"],
+            &probe_rows,
+        ));
+    }
+
+    let instance_rows: Vec<Vec<String>> = report
+        .top_instances
+        .iter()
+        .map(|r| {
+            vec![
+                r.index.to_string(),
+                if r.domain.is_empty() {
+                    "?".to_string()
+                } else {
+                    r.domain.clone()
+                },
+                r.delivered.to_string(),
+                r.blocked.to_string(),
+            ]
+        })
+        .collect();
+    if !instance_rows.is_empty() {
+        out.push_str(&render_table(
+            "top instances by delivered volume",
+            &["idx", "domain", "delivered", "blocked"],
+            &instance_rows,
+        ));
+    }
+
+    if phase_rows.is_empty() && counter_rows.is_empty() && probe_rows.is_empty() {
+        out.push_str("(armed, but nothing recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_telemetry::{GaugeId, HotCounter, Phase, ProbeClass, Telemetry};
+
+    #[test]
+    fn disarmed_report_renders_a_note() {
+        let t = Telemetry::new();
+        let text = render_telemetry(&t.report("idle"));
+        assert!(text.contains("disarmed"));
+        assert!(!text.contains("phase spans"));
+    }
+
+    #[test]
+    fn armed_report_renders_every_populated_section() {
+        let t = Telemetry::new();
+        t.arm();
+        t.record_phase(Phase::Control, 1_500_000);
+        t.add(HotCounter::EngineDeliveries, 4242);
+        t.set_gauge(GaugeId::Links, 99);
+        t.record_probe(ProbeClass::Success, 85_000_000);
+        t.set_instance_labels(["busy.example"]);
+        t.add_instance_volume(0, 4242, 17);
+        let text = render_telemetry(&t.report("unit"));
+        assert!(text.contains("phase spans: unit"));
+        assert!(text.contains("control"));
+        assert!(text.contains("engine_deliveries"));
+        assert!(text.contains("4242"));
+        assert!(text.contains("links"));
+        assert!(text.contains("success"));
+        assert!(text.contains("busy.example"));
+        // Empty phases/classes are dropped, not rendered as zeros.
+        assert!(!text.contains("retry_drain"));
+        assert!(!text.contains("net_error"));
+    }
+
+    #[test]
+    fn nanos_format_picks_units() {
+        assert_eq!(fmt_nanos(999), "999ns");
+        assert_eq!(fmt_nanos(150_000), "150.0µs");
+        assert_eq!(fmt_nanos(25_000_000), "25.0ms");
+        assert_eq!(fmt_nanos(12_000_000_000), "12.00s");
+    }
+}

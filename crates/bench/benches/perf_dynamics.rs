@@ -36,6 +36,11 @@
 //!   events/sec with retries on (`retry_acceptance_met`), with the run
 //!   asserted reproducible and to actually recover and dead-letter
 //!   batches.
+//! * **telemetry-armed events/sec** — the churn flood re-run with the
+//!   global telemetry registry armed: the observability layer's ≤ 5%
+//!   overhead gate (`telemetry_acceptance_met`), taken back-to-back
+//!   with the disarmed baseline, after asserting the armed trace is
+//!   bit-identical to the disarmed one ("observe, never perturb").
 //! * **experiment posts/sec** — the paired-arm counterfactual harness:
 //!   two bridged arms (a storm over an inaction baseline vs. the same
 //!   storm racing a staged rollout) run from one `EngineBuilder` over
@@ -327,6 +332,7 @@ fn emit_json(
     experiment_arms: usize,
     experiment_delivered: u64,
     experiment_posts_per_sec: f64,
+    telemetry_armed_events_per_sec: f64,
 ) {
     let report = serde_json::json!({
         "bench": "perf_dynamics",
@@ -353,6 +359,10 @@ fn emit_json(
         "retry_acceptance_met": retry_events_per_sec >= 2.0e6,
         "experiment_acceptance_min_posts_per_sec": 1.0e6,
         "experiment_acceptance_met": experiment_posts_per_sec >= 1.0e6,
+        "telemetry_armed_events_per_sec": telemetry_armed_events_per_sec,
+        "telemetry_max_overhead": 0.05,
+        "telemetry_acceptance_met": telemetry_armed_events_per_sec >= 0.95 * events_per_sec,
+        "bench_meta": fediscope_bench::bench_meta(0.2, 0.004, 1534),
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamics.json");
     match serde_json::to_string_pretty(&report) {
@@ -518,6 +528,28 @@ fn bench_dynamics(c: &mut Criterion) {
         flood_events > 10_000,
         "the flood must exercise the queue ({flood_events} events)"
     );
+    // Telemetry overhead gate: arm the global registry and re-run the
+    // same churn flood. Zero drift is asserted in-bench (the armed trace
+    // bit-identical to the disarmed one) before the armed rate is taken,
+    // and the armed rate must stay within 5% of the disarmed baseline
+    // measured just above — back-to-back so nothing else warms or cools
+    // the machine between the two measurements.
+    let disarmed_flood_digest = run_flood(&seeds, event_flood_scenario).digest();
+    let telemetry = fediscope_telemetry::Telemetry::global();
+    telemetry.reset();
+    telemetry.arm();
+    assert_eq!(
+        run_flood(&seeds, event_flood_scenario).digest(),
+        disarmed_flood_digest,
+        "arming telemetry must not perturb the flood trace (observe, never perturb)"
+    );
+    assert!(
+        telemetry.counter(fediscope_telemetry::HotCounter::EventsApplied) > 0,
+        "the armed flood must actually record readings"
+    );
+    let (_, telemetry_armed_events_per_sec) = flood_rate(5, &seeds, event_flood_scenario);
+    telemetry.disarm();
+    telemetry.reset();
     let policy_flood = run_flood(&seeds, policy_flood_scenario);
     let (policy_events, policy_events_per_sec) = flood_rate(5, &seeds, policy_flood_scenario);
     assert!(
@@ -551,13 +583,14 @@ fn bench_dynamics(c: &mut Criterion) {
         "the retry storm must exercise the queue ({retry_events} events)"
     );
     println!(
-        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec (bridged), {composite_delivered} composite deliveries/run, {:.2} M composite posts/sec, {flood_events} flood events/run, {:.2} M events/sec, {policy_events} policy events/run, {:.2} M incremental events/sec, {retry_events} retry-storm events/run, {:.2} M retry events/sec, {experiment_deliveries} experiment deliveries/run (2 bridged arms), {:.2} M experiment posts/sec",
+        "[perf_dynamics] {delivered} storm deliveries/run, {:.2} M posts filtered/sec (bridged), {composite_delivered} composite deliveries/run, {:.2} M composite posts/sec, {flood_events} flood events/run, {:.2} M events/sec, {policy_events} policy events/run, {:.2} M incremental events/sec, {retry_events} retry-storm events/run, {:.2} M retry events/sec, {experiment_deliveries} experiment deliveries/run (2 bridged arms), {:.2} M experiment posts/sec, {:.2} M telemetry-armed events/sec",
         posts_per_sec / 1e6,
         composite_posts_per_sec / 1e6,
         events_per_sec / 1e6,
         policy_events_per_sec / 1e6,
         retry_events_per_sec / 1e6,
-        experiment_posts_per_sec / 1e6
+        experiment_posts_per_sec / 1e6,
+        telemetry_armed_events_per_sec / 1e6
     );
     emit_json(
         posts_per_sec,
@@ -573,6 +606,7 @@ fn bench_dynamics(c: &mut Criterion) {
         experiment_reference.arms.len(),
         experiment_deliveries,
         experiment_posts_per_sec,
+        telemetry_armed_events_per_sec,
     );
     assert!(
         posts_per_sec >= 1.0e6,
@@ -593,6 +627,10 @@ fn bench_dynamics(c: &mut Criterion) {
     assert!(
         experiment_posts_per_sec >= 1.0e6,
         "experiment acceptance: expected >= 1M aggregate post-deliveries/sec across two bridged paired arms, measured {experiment_posts_per_sec:.0}"
+    );
+    assert!(
+        telemetry_armed_events_per_sec >= 0.95 * events_per_sec,
+        "telemetry acceptance: the armed churn flood must stay within 5% of the disarmed baseline (armed {telemetry_armed_events_per_sec:.0}, disarmed {events_per_sec:.0})"
     );
 }
 

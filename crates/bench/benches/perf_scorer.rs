@@ -107,6 +107,9 @@ fn emit_json(corpus_len: usize, naive_ns: f64, optimized_ns: f64, speedup: f64) 
         "speedup": speedup,
         "acceptance_min_speedup": 5.0,
         "acceptance_met": speedup >= 5.0,
+        // The scorer corpus is synthetic (no world): scale knobs are
+        // identity, the seed is the corpus PRNG's.
+        "bench_meta": fediscope_bench::bench_meta(1.0, 1.0, 0x5EED_CAFE_F00D_D00D),
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scorer.json");
     match serde_json::to_string_pretty(&report) {

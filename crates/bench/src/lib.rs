@@ -178,6 +178,26 @@ pub fn world_digest(world: &World) -> u64 {
     h
 }
 
+/// Bump when a bench JSON's gate set changes shape or thresholds —
+/// CI greps key off this to know which acceptance keys to expect.
+pub const GATE_VERSION: u32 = 2;
+
+/// The shared provenance block both bench JSON emitters
+/// (`BENCH_scorer.json`, `BENCH_dynamics.json`) embed as `bench_meta`:
+/// which world the numbers were measured on (scale, post scale, seed),
+/// with how many workers, and under which gate-set version. Tolerated
+/// by the CI greps (they match individual `*_acceptance_met` keys, not
+/// the whole document).
+pub fn bench_meta(scale: f64, post_scale: f64, seed: u64) -> serde_json::Value {
+    serde_json::json!({
+        "scale": scale,
+        "post_scale": post_scale,
+        "seed": seed,
+        "threads": rayon::current_num_threads(),
+        "gate_version": GATE_VERSION,
+    })
+}
+
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {
     println!();
@@ -233,6 +253,16 @@ mod tests {
         let c = bench_world_config_from(&source);
         assert_eq!(c.scale, 1.0);
         assert_eq!(c.parallelism, Parallelism::AUTO);
+    }
+
+    #[test]
+    fn bench_meta_carries_provenance() {
+        let meta = bench_meta(0.2, 0.004, 1534);
+        assert_eq!(meta["scale"].as_f64(), Some(0.2));
+        assert_eq!(meta["post_scale"].as_f64(), Some(0.004));
+        assert_eq!(meta["seed"].as_u64(), Some(1534));
+        assert_eq!(meta["gate_version"].as_u64(), Some(GATE_VERSION as u64));
+        assert!(meta["threads"].as_u64().unwrap_or(0) >= 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use fediscope_core::config::InstanceModerationConfig;
 use fediscope_core::id::Domain;
 use fediscope_core::time::{SimTime, CAMPAIGN_START, SNAPSHOT_INTERVAL};
 use fediscope_simnet::{FailureClass, HttpResponse, NetError, SimNet, StatusCode};
+use fediscope_telemetry::{ProbeClass, Telemetry};
 use std::collections::HashSet;
 use std::sync::Arc;
 use tokio::sync::Semaphore;
@@ -145,6 +146,11 @@ impl Crawler {
 /// budget: a response in the transient §3 class (5xx) or a transient
 /// network error is re-probed up to [`CrawlerConfig::transient_retries`]
 /// extra times; anything permanent returns immediately.
+///
+/// Every attempt is observed through the telemetry registry: a
+/// per-§3-class probe counter plus a [simulated-latency](probe_latency)
+/// histogram, so a census under-count can be correlated with probe
+/// slowness by status class.
 async fn probe(
     net: &SimNet,
     config: &CrawlerConfig,
@@ -154,15 +160,54 @@ async fn probe(
     let mut attempt = 0;
     loop {
         let outcome = net.get(domain, path).await;
-        let transient = match &outcome {
-            Ok(resp) => FailureClass::of_status(resp.status) == Some(FailureClass::Transient),
-            Err(e) => e.class() == FailureClass::Transient,
-        };
-        if !transient || attempt >= config.transient_retries {
+        let class = probe_class(&outcome);
+        Telemetry::global().record_probe(class, probe_latency(domain, class, attempt));
+        if class != ProbeClass::Transient || attempt >= config.transient_retries {
             return outcome;
         }
         attempt += 1;
     }
+}
+
+/// Classifies one probe outcome into its §3 status class.
+fn probe_class(outcome: &Result<HttpResponse, NetError>) -> ProbeClass {
+    match outcome {
+        Ok(resp) => match FailureClass::of_status(resp.status) {
+            None => ProbeClass::Success,
+            Some(FailureClass::Transient) => ProbeClass::Transient,
+            Some(FailureClass::Permanent) => ProbeClass::Permanent,
+        },
+        Err(e) => match e.class() {
+            // A refused connection is a live-but-flapping box; an
+            // unknown host never produced an HTTP conversation at all.
+            FailureClass::Transient => ProbeClass::Transient,
+            FailureClass::Permanent => ProbeClass::NetError,
+        },
+    }
+}
+
+/// Simulated probe latency in nanoseconds. `SimNet` resolves requests
+/// instantly (it has no latency model), so the histograms carry a
+/// deterministic pseudo-latency instead: a per-class base — fast
+/// permanent rejections, slow gateway flaps, slower-still dead-host
+/// timeouts — plus an FNV-1a jitter keyed on `(domain, class, attempt)`.
+/// Pure function of its inputs: identical campaigns produce identical
+/// histograms regardless of crawl concurrency or task interleaving.
+fn probe_latency(domain: &Domain, class: ProbeClass, attempt: usize) -> u64 {
+    const MILLI: u64 = 1_000_000;
+    let (base, spread) = match class {
+        ProbeClass::Success => (80 * MILLI, 40 * MILLI),
+        ProbeClass::Permanent => (60 * MILLI, 30 * MILLI),
+        ProbeClass::Transient => (1_200 * MILLI, 800 * MILLI),
+        ProbeClass::NetError => (5_000 * MILLI, 5_000 * MILLI),
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in domain.as_str().as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h = (h ^ class as u64).wrapping_mul(0x1000_0000_01b3);
+    h = (h ^ attempt as u64).wrapping_mul(0x1000_0000_01b3);
+    base + h % spread
 }
 
 /// Crawls one domain end to end.
@@ -686,6 +731,26 @@ mod tests {
         let inst = second.by_domain("a.example").unwrap();
         assert!(inst.crawled(), "the re-census observes the recovery");
         assert_eq!(inst.timeline.posts().len(), 2);
+    }
+
+    #[test]
+    fn probe_latency_is_deterministic_and_class_banded() {
+        let d = Domain::new("a.example");
+        for class in ProbeClass::ALL {
+            let (a, b) = (probe_latency(&d, class, 0), probe_latency(&d, class, 0));
+            assert_eq!(a, b, "pure function of (domain, class, attempt)");
+            assert_ne!(
+                probe_latency(&d, class, 0),
+                probe_latency(&d, class, 1),
+                "attempts jitter independently"
+            );
+        }
+        // Class bands are ordered: permanent rejections come back fast,
+        // transient flaps are slow, dead hosts are timeout-slow.
+        let fast = probe_latency(&d, ProbeClass::Permanent, 0);
+        let flap = probe_latency(&d, ProbeClass::Transient, 0);
+        let dead = probe_latency(&d, ProbeClass::NetError, 0);
+        assert!(fast < flap && flap < dead);
     }
 
     #[tokio::test]

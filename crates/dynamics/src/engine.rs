@@ -28,6 +28,7 @@ use fediscope_core::mrf::{NullActorDirectory, PolicyContext, PolicyVerdict};
 use fediscope_core::time::{SimDuration, SimTime, CAMPAIGN_START, SNAPSHOT_INTERVAL};
 use fediscope_perspective::Scorer;
 use fediscope_synthgen::ScenarioSeeds;
+use fediscope_telemetry::{GaugeId, HotCounter, Phase, PhaseTimer, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -345,6 +346,11 @@ impl DynamicsEngine {
     /// dynamics↔simnet round-trip does, to interleave census crawls
     /// between ticks.
     pub fn begin(&mut self, scenario: &mut dyn Scenario) {
+        let telemetry = Telemetry::global();
+        let _span = PhaseTimer::start_on(telemetry, Phase::Begin);
+        if telemetry.armed() {
+            telemetry.set_instance_labels(self.state.instances.iter().map(|i| i.domain.as_str()));
+        }
         // One deterministic control stream for the whole run; only the
         // single-threaded control phase draws from it.
         let mut ctrl_rng = SmallRng::seed_from_u64(
@@ -390,20 +396,29 @@ impl DynamicsEngine {
             .ctrl_rng
             .take()
             .expect("begin() must run before step()");
+        let telemetry = Telemetry::global();
         let mut events = 0u64;
         self.tick_retried = 0;
         self.tick_recovered = 0;
         self.tick_dead_lettered = 0;
-        while let Some(scheduled) = self.queue.pop_due(now) {
-            let applied = self.apply(&scheduled.event, scheduled.at);
-            scenario.after_event(
-                &scheduled,
-                applied,
-                &self.state,
-                &mut self.queue,
-                &mut ctrl_rng,
-            );
-            events += 1;
+        {
+            let _control = PhaseTimer::start_on(telemetry, Phase::Control);
+            while let Some(scheduled) = self.queue.pop_due(now) {
+                // Retry-chain events get their own sub-span: the drain is
+                // the reliability layer's share of the control phase.
+                let _retry = matches!(scheduled.event, Event::RetryDelivery { .. })
+                    .then(|| PhaseTimer::start_on(telemetry, Phase::RetryDrain));
+                let applied = self.apply(&scheduled.event, scheduled.at);
+                drop(_retry);
+                scenario.after_event(
+                    &scheduled,
+                    applied,
+                    &self.state,
+                    &mut self.queue,
+                    &mut ctrl_rng,
+                );
+                events += 1;
+            }
         }
         self.ctrl_rng = Some(ctrl_rng);
         // ---- measurement phase: read-only per-instance fan-out ----
@@ -417,12 +432,17 @@ impl DynamicsEngine {
         // construction, and what lets an event flood measure the control
         // phase alone.
         if config.emission_cap == 0 {
+            let _close = PhaseTimer::start_on(telemetry, Phase::TickClose);
             return Some(self.aggregate(tick, now, events, &[]));
         }
-        let metrics: Vec<InstanceTick> = (0..state.len())
-            .into_par_iter()
-            .map(|r| measure_receiver(state, config, scorer, tick, now, r))
-            .collect();
+        let metrics: Vec<InstanceTick> = {
+            let _measure = PhaseTimer::start_on(telemetry, Phase::Measurement);
+            (0..state.len())
+                .into_par_iter()
+                .map(|r| measure_receiver(state, config, scorer, tick, now, r))
+                .collect()
+        };
+        let _close = PhaseTimer::start_on(telemetry, Phase::TickClose);
         Some(self.aggregate(tick, now, events, &metrics))
     }
 
@@ -486,6 +506,7 @@ impl DynamicsEngine {
         };
         if metrics.is_empty() {
             t.per_instance_exposure = vec![0.0; self.state.len()];
+            self.observe_tick(&t, metrics);
             return t;
         }
         for m in metrics {
@@ -498,7 +519,32 @@ impl DynamicsEngine {
             t.exposure_prevented += m.prevented;
             t.per_instance_exposure.push(m.exposure);
         }
+        self.observe_tick(&t, metrics);
         t
+    }
+
+    /// Publishes the tick's telemetry — gauges, control/reliability
+    /// counters, per-instance volumes. Write-only into the registry
+    /// (nothing here is ever read back by simulation code), and a no-op
+    /// beyond one relaxed load while disarmed.
+    fn observe_tick(&self, t: &TickTrace, metrics: &[InstanceTick]) {
+        let telemetry = Telemetry::global();
+        if !telemetry.armed() {
+            return;
+        }
+        telemetry.add(HotCounter::EventsApplied, t.events);
+        telemetry.add(HotCounter::RetryEvents, t.retried);
+        telemetry.add(HotCounter::RecoveredBatches, t.recovered);
+        telemetry.add(HotCounter::DeadLetteredBatches, t.dead_lettered);
+        telemetry.set_gauge(GaugeId::Links, t.links);
+        telemetry.set_gauge(GaugeId::InstancesUp, t.instances_up);
+        telemetry.set_gauge(GaugeId::Adopted, t.adopted);
+        telemetry.add_instance_volumes(
+            metrics
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (i, m.delivered, m.rejected)),
+        );
     }
 }
 
@@ -551,6 +597,7 @@ fn measure_receiver(
         for &s in state.neighbors(r) {
             m.failed += state.instances[s as usize].emissions(config.emission_cap);
         }
+        observe_receiver(&m);
         return m;
     }
     let actors = NullActorDirectory;
@@ -590,7 +637,23 @@ fn measure_receiver(
     // Side effects (emoji steals, prefetch warms) are intentionally
     // dropped with the context: the trace measures moderation outcomes.
     drop(ctx);
+    observe_receiver(&m);
     m
+}
+
+/// Batch-publishes one receiver's tick counters: the counts were already
+/// accumulated locally, so the parallel fan-out pays at most four
+/// sharded adds per receiver per tick, never one per post.
+#[inline]
+fn observe_receiver(m: &InstanceTick) {
+    let telemetry = Telemetry::global();
+    if !telemetry.armed() {
+        return;
+    }
+    telemetry.add(HotCounter::EngineDeliveries, m.delivered);
+    telemetry.add(HotCounter::FilterFastHits, m.accepted);
+    telemetry.add(HotCounter::FilterFastRejects, m.rejected);
+    telemetry.add(HotCounter::FailedDeliveries, m.failed);
 }
 
 #[cfg(test)]

@@ -1,0 +1,136 @@
+//! The observability zero-drift contract ("observe, never perturb"):
+//! arming the global telemetry registry must not change a single bit of
+//! any [`DynamicsTrace`], at any thread count.
+//!
+//! Tested adversarially, like `determinism.rs`: random engine seeds, a
+//! scenario pool that includes the retry-enabled composite (backoff +
+//! jitter redeliveries are the events most tempting to instrument
+//! intrusively), and whole-trace `==` — not just digests — between a
+//! disarmed baseline and armed runs at 1, 2 and 8 worker threads.
+//!
+//! The second property covers the registry's other invariant: sharded
+//! counter merges are order-stable — the merged value depends only on
+//! the multiset of additions, never on which worker landed on which
+//! shard or in what order the threads ran.
+//!
+//! The armed/disarmed sweep is the only test in this binary that touches
+//! the process-global registry, so concurrently-running tests here can
+//! never observe a half-armed state.
+
+use fediscope_dynamics::scenarios::{
+    CascadeConfig, ChurnConfig, ChurnScenario, Composite, DefederationCascadeScenario,
+    PolicyRolloutScenario, ReliabilityScenario, RolloutConfig, StormConfig, ToxicityStormScenario,
+};
+use fediscope_dynamics::{DynamicsConfig, DynamicsEngine, DynamicsTrace, Scenario};
+use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
+use fediscope_telemetry::{HotCounter, ShardedCounter, Telemetry};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn seeds() -> &'static ScenarioSeeds {
+    static SEEDS: OnceLock<ScenarioSeeds> = OnceLock::new();
+    SEEDS.get_or_init(|| ScenarioSeeds::from_world(&World::generate(WorldConfig::test_small())))
+}
+
+/// The same scenario pool `determinism.rs` sweeps, ending with the
+/// retry-enabled churn composite — every shipped event source that
+/// telemetry observes.
+fn scenario_by_id(id: usize) -> Box<dyn Scenario> {
+    match id % 5 {
+        0 => Box::new(ToxicityStormScenario::new(StormConfig::default())),
+        1 => Box::new(ChurnScenario::new(ChurnConfig::default())),
+        2 => Box::new(PolicyRolloutScenario::new(RolloutConfig::default())),
+        3 => Box::new(DefederationCascadeScenario::new(CascadeConfig::default())),
+        _ => Box::new(
+            Composite::new()
+                .with(Box::new(ReliabilityScenario::default()))
+                .with(Box::new(ChurnScenario::new(ChurnConfig {
+                    transient_p: 0.5,
+                    ..ChurnConfig::default()
+                }))),
+        ),
+    }
+}
+
+fn run_with_threads(scenario_id: usize, engine_seed: u64, threads: usize) -> DynamicsTrace {
+    // The shim rayon re-sizes the global pool freely; real rayon would
+    // Err after the first call and the sweep degrades to same-size
+    // repeats (still a valid armed-vs-disarmed check).
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global();
+    let config = DynamicsConfig {
+        seed: engine_seed,
+        ticks: 6,
+        ..DynamicsConfig::default()
+    };
+    let mut engine = DynamicsEngine::new(config, seeds());
+    let mut scenario = scenario_by_id(scenario_id);
+    engine.run(scenario.as_mut())
+}
+
+proptest! {
+    /// Disarmed baseline vs armed runs at 1, 2 and 8 threads: every
+    /// trace bit-identical, and the armed runs must have genuinely
+    /// recorded readings (an accidentally-dead registry would make this
+    /// test vacuous).
+    #[test]
+    fn armed_trace_is_bit_identical_to_disarmed(
+        scenario_id in 0_usize..5,
+        engine_seed in 0_u64..1_000_000,
+    ) {
+        let telemetry = Telemetry::global();
+        telemetry.disarm();
+        let disarmed = run_with_threads(scenario_id, engine_seed, 1);
+
+        telemetry.reset();
+        telemetry.arm();
+        for threads in [1_usize, 2, 8] {
+            let armed = run_with_threads(scenario_id, engine_seed, threads);
+            prop_assert_eq!(
+                disarmed.digest(),
+                armed.digest(),
+                "digest drifted with telemetry armed at {} threads (scenario {})",
+                threads,
+                scenario_id
+            );
+            prop_assert!(
+                disarmed == armed,
+                "trace drifted with telemetry armed at {} threads (scenario {})",
+                threads,
+                scenario_id
+            );
+        }
+        let events = telemetry.counter(HotCounter::EventsApplied);
+        let deliveries = telemetry.counter(HotCounter::EngineDeliveries);
+        telemetry.disarm();
+        telemetry.reset();
+        prop_assert!(
+            events > 0 || deliveries > 0,
+            "armed runs must actually record readings (scenario {})",
+            scenario_id
+        );
+    }
+
+    /// Counter merges are order-stable: feed the same additions through
+    /// any permutation of spawn order (so threads land on different home
+    /// shards), the merged value is always the plain sum.
+    #[test]
+    fn counter_merge_is_order_stable(
+        amounts in proptest::collection::vec(1_u64..10_000, 2..12),
+        rotate in 0_usize..12,
+    ) {
+        let expected: u64 = amounts.iter().sum();
+        let mut rotated = amounts.clone();
+        rotated.rotate_left(rotate % amounts.len());
+        for work in [amounts, rotated] {
+            let counter = ShardedCounter::new();
+            std::thread::scope(|scope| {
+                for n in &work {
+                    scope.spawn(|| counter.add(*n));
+                }
+            });
+            prop_assert_eq!(counter.get(), expected);
+        }
+    }
+}

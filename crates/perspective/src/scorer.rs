@@ -173,6 +173,7 @@ impl Scorer {
     /// `optimized_matches_reference` proptest enforces.
     #[inline]
     pub fn analyze(&self, text: &str) -> AttributeScores {
+        fediscope_telemetry::Telemetry::global().inc(fediscope_telemetry::HotCounter::ScorerCalls);
         let (totals, token_count) = UnifiedLexicon::global().accumulate(text);
         if token_count == 0 {
             return AttributeScores::default();

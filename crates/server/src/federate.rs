@@ -98,6 +98,12 @@ impl Federator {
         let targets = self
             .server
             .with_graph(|g| Mailman.delivery_targets(g, activity));
+        // One POST per target leaves this fan-out — counted up front, in
+        // one batched add (the task bodies race; the target set doesn't).
+        fediscope_telemetry::Telemetry::global().add(
+            fediscope_telemetry::HotCounter::DeliveryPosts,
+            targets.len() as u64,
+        );
         let semaphore = Arc::new(Semaphore::new(MAX_IN_FLIGHT));
         // Serialize once; every target's request shares the buffer (a
         // `Bytes` clone is a refcount), and the request itself is built

@@ -1,0 +1,147 @@
+//! Prometheus-style text exposition over the telemetry registry.
+//!
+//! [`prometheus_text`] renders a [`Telemetry`] registry in the
+//! Prometheus text format (`# HELP` / `# TYPE` / sample lines) — the
+//! shape a `GET /metrics` endpoint serves — so the future resident
+//! service gets scraping for free: wire this formatter to an HTTP route
+//! and the whole observability layer is exported without touching any
+//! instrumented crate.
+//!
+//! Exposition layout, all under the `fediscope_` namespace:
+//!
+//! * hot counters → `fediscope_<name>_total` counters;
+//! * gauges → `fediscope_<name>` gauges;
+//! * phase spans → one `fediscope_phase_seconds` summary-ish family:
+//!   `_count` / `_sum` per `phase` label, plus coarse `quantile="0.5"` /
+//!   `"0.99"` samples from the log2 buckets;
+//! * probe latency → `fediscope_probe_seconds` with a `class` label,
+//!   same shape.
+//!
+//! The output is deterministic: every family and label is emitted in
+//! the registry's fixed reporting order.
+
+use fediscope_telemetry::{GaugeId, HotCounter, Log2Histogram, Phase, ProbeClass, Telemetry};
+use std::fmt::Write;
+
+fn seconds(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+fn write_histogram(out: &mut String, family: &str, label: &str, value: &str, h: &Log2Histogram) {
+    let _ = writeln!(out, "{family}_count{{{label}=\"{value}\"}} {}", h.count());
+    let _ = writeln!(
+        out,
+        "{family}_sum{{{label}=\"{value}\"}} {}",
+        seconds(h.sum_nanos())
+    );
+    for q in ["0.5", "0.99"] {
+        let bound = h.quantile_upper_bound(q.parse().expect("static quantile"));
+        let _ = writeln!(
+            out,
+            "{family}{{{label}=\"{value}\",quantile=\"{q}\"}} {}",
+            seconds(bound)
+        );
+    }
+}
+
+/// Renders `telemetry` as Prometheus text exposition (the body a
+/// `/metrics` endpoint would serve).
+pub fn prometheus_text(telemetry: &Telemetry) -> String {
+    let mut out = String::with_capacity(4096);
+
+    out.push_str("# HELP fediscope_telemetry_armed Whether the registry is recording.\n");
+    out.push_str("# TYPE fediscope_telemetry_armed gauge\n");
+    let _ = writeln!(
+        out,
+        "fediscope_telemetry_armed {}",
+        u8::from(telemetry.armed())
+    );
+
+    for c in HotCounter::ALL {
+        let name = c.name();
+        let _ = writeln!(out, "# HELP fediscope_{name}_total Hot-path counter.");
+        let _ = writeln!(out, "# TYPE fediscope_{name}_total counter");
+        let _ = writeln!(out, "fediscope_{name}_total {}", telemetry.counter(c));
+    }
+
+    for g in GaugeId::ALL {
+        let name = g.name();
+        let _ = writeln!(out, "# HELP fediscope_{name} Point-in-time gauge.");
+        let _ = writeln!(out, "# TYPE fediscope_{name} gauge");
+        let _ = writeln!(out, "fediscope_{name} {}", telemetry.gauge(g));
+    }
+
+    out.push_str("# HELP fediscope_phase_seconds Wall-clock per engine/census phase span.\n");
+    out.push_str("# TYPE fediscope_phase_seconds summary\n");
+    for p in Phase::ALL {
+        write_histogram(
+            &mut out,
+            "fediscope_phase_seconds",
+            "phase",
+            p.name(),
+            telemetry.phase_histogram(p),
+        );
+    }
+
+    out.push_str(
+        "# HELP fediscope_probe_seconds Simulated census probe latency by \u{a7}3 status class.\n",
+    );
+    out.push_str("# TYPE fediscope_probe_seconds summary\n");
+    for k in ProbeClass::ALL {
+        write_histogram(
+            &mut out,
+            "fediscope_probe_seconds",
+            "class",
+            k.name(),
+            telemetry.probe_histogram(k),
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_covers_every_family() {
+        let t = Telemetry::new();
+        t.arm();
+        t.add(HotCounter::DeliveryPosts, 12);
+        t.set_gauge(GaugeId::Links, 5);
+        t.record_phase(Phase::Measurement, 2_000_000);
+        t.record_probe(ProbeClass::Transient, 1_500_000_000);
+        let text = prometheus_text(&t);
+        assert!(text.contains("fediscope_telemetry_armed 1"));
+        assert!(text.contains("fediscope_delivery_posts_total 12"));
+        assert!(text.contains("fediscope_links 5"));
+        assert!(text.contains("fediscope_phase_seconds_count{phase=\"measurement\"} 1"));
+        assert!(text.contains("fediscope_probe_seconds_count{class=\"transient\"} 1"));
+        assert!(text.contains("quantile=\"0.99\""));
+        // Every counter family appears even at zero.
+        for c in HotCounter::ALL {
+            assert!(text.contains(&format!("fediscope_{}_total", c.name())));
+        }
+    }
+
+    #[test]
+    fn exposition_is_deterministic() {
+        let build = || {
+            let t = Telemetry::new();
+            t.arm();
+            t.add(HotCounter::ScorerCalls, 3);
+            t.record_phase(Phase::Control, 1024);
+            prometheus_text(&t)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn type_lines_precede_samples() {
+        let text = prometheus_text(&Telemetry::new());
+        let type_at = text.find("# TYPE fediscope_scorer_calls_total").unwrap();
+        let sample_at = text.find("\nfediscope_scorer_calls_total ").unwrap();
+        assert!(type_at < sample_at);
+    }
+}

@@ -1,0 +1,161 @@
+//! Fixed-bucket log2 histograms for wall-clock durations.
+//!
+//! Durations land in bucket `floor(log2(nanos))`, clamped to
+//! [`HISTOGRAM_BUCKETS`] buckets — bucket 0 covers `[0, 2)` ns, bucket
+//! `i` covers `[2^i, 2^(i+1))` ns, and the last bucket absorbs
+//! everything from ~17.6 minutes up. Recording is three relaxed
+//! `fetch_add`s (bucket, count, sum); there is no lock and no float
+//! math, so a histogram is safe to touch from a phase-span drop on the
+//! engine's hottest path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: `2^39` ns ≈ 9.2 minutes in the second-to-last bucket;
+/// the final bucket is the overflow sink.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A lock-free log2 histogram over nanosecond durations with total
+/// count and sum (for mean latency without bucket interpolation).
+pub struct Log2Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a duration.
+    #[inline]
+    pub fn bucket_of(nanos: u64) -> usize {
+        if nanos < 2 {
+            0
+        } else {
+            ((63 - nanos.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total recordings.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations, in nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum_nanos().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Bucket counts in bucket order.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Upper bound (exclusive) of bucket `i` in nanoseconds; the last
+    /// bucket reports `u64::MAX`.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            u64::MAX
+        } else {
+            1u64 << (i + 1)
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the bucket holding the
+    /// `q`-th recording (`q` in `[0, 1]`). Coarse by design — log2
+    /// buckets trade precision for a lock-free hot path.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 0);
+        assert_eq!(Log2Histogram::bucket_of(2), 1);
+        assert_eq!(Log2Histogram::bucket_of(3), 1);
+        assert_eq!(Log2Histogram::bucket_of(4), 2);
+        assert_eq!(Log2Histogram::bucket_of(1023), 9);
+        assert_eq!(Log2Histogram::bucket_of(1024), 10);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_mean() {
+        let h = Log2Histogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_nanos(), 400);
+        assert_eq!(h.mean_nanos(), 200);
+        let buckets = h.buckets();
+        assert_eq!(buckets[6], 1, "100ns lands in [64,128)");
+        assert_eq!(buckets[8], 1, "300ns lands in [256,512)");
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 6, upper bound 128
+        }
+        h.record(1_000_000); // bucket 19, upper bound 2^20
+        assert_eq!(h.quantile_upper_bound(0.5), 128);
+        assert_eq!(h.quantile_upper_bound(1.0), 1 << 20);
+        assert_eq!(Log2Histogram::new().quantile_upper_bound(0.99), 0);
+    }
+}

@@ -30,10 +30,12 @@ fn usage() -> ExitCode {
     eprintln!("USAGE:");
     eprintln!("  fediscope crawl [--scale S] [--post-scale P] [--seed N] [--out FILE]");
     eprintln!("  fediscope report FILE <census|headline|table1|table2|fig1|fig2|fig3|curate|ablation|graph>");
-    eprintln!("  fediscope dynamics <rollout|cascade|churn|storm|composite> [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE]");
-    eprintln!("  fediscope dynamics census [--scale S] [--seed N] [--ticks T] [--census-every C] [--threads W] [--out FILE]");
-    eprintln!("  fediscope experiment [--arms A,B,..] [--baseline NAME] [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE]");
+    eprintln!("  fediscope dynamics <rollout|cascade|churn|storm|composite> [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE] [--telemetry-out FILE]");
+    eprintln!("  fediscope dynamics census [--scale S] [--seed N] [--ticks T] [--census-every C] [--threads W] [--out FILE] [--telemetry-out FILE]");
+    eprintln!("  fediscope experiment [--arms A,B,..] [--baseline NAME] [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE] [--telemetry-out FILE]");
     eprintln!("      arms: inaction | rollout | import-full | import-partial");
+    eprintln!("      --telemetry-out arms the observability registry (phase spans, hot");
+    eprintln!("      counters, latency histograms) and writes the RunReport JSON there");
     ExitCode::from(2)
 }
 
@@ -42,6 +44,34 @@ fn parse_flag(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// `--telemetry-out FILE`: arms the process-global telemetry registry
+/// for the run (disarmed it costs nothing and records nothing) and
+/// returns the path the `RunReport` JSON goes to afterwards.
+fn arm_telemetry(args: &[String]) -> Option<String> {
+    let out = parse_flag(args, "--telemetry-out")?;
+    let telemetry = fediscope_telemetry::Telemetry::global();
+    telemetry.reset();
+    telemetry.arm();
+    Some(out)
+}
+
+/// Snapshots the registry into a [`fediscope_telemetry::RunReport`],
+/// prints the human tables, and writes the JSON to `out`.
+fn write_telemetry(out: &str, label: &str) -> bool {
+    let report = fediscope_telemetry::Telemetry::global().report(label);
+    println!("{}", fediscope::analysis::render_telemetry(&report));
+    match std::fs::write(out, report.to_json() + "\n") {
+        Ok(()) => {
+            eprintln!("telemetry written to {out}");
+            true
+        }
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            false
+        }
+    }
 }
 
 /// Shared `--scale/--seed/--threads/--ticks` handling for the
@@ -155,6 +185,7 @@ fn experiment(args: &[String]) -> ExitCode {
         );
         return usage();
     }
+    let telemetry_out = arm_telemetry(args);
     eprintln!(
         "generating world (seed {}, scale {}) and seeding {} arms ...",
         config.seed,
@@ -194,6 +225,11 @@ fn experiment(args: &[String]) -> ExitCode {
             delta.blocked_deliveries(),
             delta.final_links(),
         );
+    }
+    if let Some(path) = &telemetry_out {
+        if !write_telemetry(path, &format!("experiment {}", arm_names.join(","))) {
+            return ExitCode::FAILURE;
+        }
     }
     if let Some(out) = parse_flag(args, "--out") {
         let body = serde_json::json!({
@@ -250,6 +286,7 @@ fn dynamics(args: &[String]) -> ExitCode {
         "composite" => trio(),
         _ => return usage(),
     };
+    let telemetry_out = arm_telemetry(args);
     eprintln!(
         "generating world (seed {}, scale {}) and seeding scenario ...",
         config.seed, config.scale
@@ -282,6 +319,11 @@ fn dynamics(args: &[String]) -> ExitCode {
         summary.prevented,
         summary.prevented_share * 100.0
     );
+    if let Some(path) = &telemetry_out {
+        if !write_telemetry(path, &format!("dynamics {which}")) {
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(out) = parse_flag(args, "--out") {
         match serde_json::to_string_pretty(&trace) {
             Ok(body) => {
@@ -311,6 +353,7 @@ fn census(
     let every_ticks: u64 = parse_flag(args, "--census-every")
         .and_then(|v| v.parse().ok())
         .unwrap_or(6);
+    let telemetry_out = arm_telemetry(args);
     eprintln!(
         "generating world (seed {}, scale {}) and materialising the live net ...",
         config.seed, config.scale
@@ -359,6 +402,11 @@ fn census(
         result.bridge.recoveries_applied(),
         result.bridge.defederations_applied(),
     );
+    if let Some(path) = &telemetry_out {
+        if !write_telemetry(path, "dynamics census") {
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(out) = parse_flag(args, "--out") {
         let body = serde_json::json!({
             "trace": result.trace,

@@ -114,9 +114,16 @@ pub async fn run_round_trip_seeded(
     let mut census: Vec<CensusSnapshot> = Vec::new();
     while let Some(tick) = engine.step(scenario) {
         if config.cadence.due(tick.tick, total_ticks) {
+            // Each census pass gets its own telemetry span + round
+            // counter; the crawl happens between ticks, so the span
+            // never overlaps an engine phase.
+            let span = fediscope_telemetry::PhaseTimer::start(fediscope_telemetry::Phase::Census);
             census.push(
                 census_once(&materialized, &crawler_config, engine.state(), &tick, world).await,
             );
+            drop(span);
+            fediscope_telemetry::Telemetry::global()
+                .inc(fediscope_telemetry::HotCounter::CensusRounds);
         }
         ticks.push(tick);
     }
