@@ -6,7 +6,9 @@
 //!
 //! Everything consumes the crawler's [`fediscope_crawler::Dataset`] — the
 //! analysis never peeks at generator ground truth, exactly as the authors
-//! could only work from what their crawler collected. Post scoring uses
+//! could only work from what their crawler collected. (The one deliberate
+//! exception is [`calibration`], whose whole job is to lay a census
+//! against ground truth and quantify the §3 under-count bias.) Post scoring uses
 //! the Perspective substrate ([`fediscope_perspective::Scorer`]) the same
 //! way the paper used Google's API: score all posts of instances that have
 //! at least one `reject` targeted against them.
@@ -23,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod calibration;
 pub mod curation;
 pub mod dynamics;
 pub mod figures;

@@ -1,4 +1,5 @@
-//! Performance: sharded world generation — wall-clock and bit-identity.
+//! Performance: sharded world generation — wall-clock, bit-identity,
+//! and the memory story of the streamed seed path.
 //!
 //! `World::generate`'s per-instance stage (users, harm profiles,
 //! content-composed posts) shards across the rayon pool with one RNG
@@ -10,6 +11,19 @@
 //! next to the control-phase numbers — run it *after* `perf_dynamics`
 //! so the record carries both.
 //!
+//! It also pins the memory contract of the full-scale refactor: a
+//! counting `#[global_allocator]` (bench binary only — the library
+//! crates stay `forbid(unsafe_code)`) measures the live-heap high-water
+//! mark of the streamed seed extraction
+//! (`ScenarioSeeds::from_config_streamed`, which never materialises the
+//! corpus and moves `Arc`-shared peer lists / post bodies instead of
+//! cloning) against the materialise-then-extract path. The streamed
+//! path must peak measurably lower.
+//!
+//! With `FEDISCOPE_FULLSCALE=1` a 1.0-scale case runs too: the streamed
+//! extraction at the paper's full population, gated on the documented
+//! memory budget (live-heap peak < 256 MiB — measured ≈ 70 MiB).
+//!
 //! The speedup assertion (sharded measurably faster at ≥ 2 workers)
 //! only arms when the machine actually has ≥ 2 cores *and* the rayon
 //! pool is resizable in-process: on a 1-vCPU CI container both
@@ -20,9 +34,60 @@
 //! `worldgen_identity.rs`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use fediscope_bench::world_digest;
-use fediscope_synthgen::{World, WorldConfig};
+use fediscope_bench::{peak_rss_bytes, world_digest};
+use fediscope_synthgen::{ScenarioSeeds, SeedKnobs, World, WorldConfig};
 use std::time::Instant;
+
+/// Byte-counting allocator: a live-heap high-water mark, resettable
+/// between measured sections. Live peak — not cumulative volume — is
+/// the meaningful metric here: the streamed and materialised seed paths
+/// allocate nearly the same total (both generate the same corpus
+/// transiently); what differs is how much of it is resident at once.
+mod alloc_meter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static PEAK: AtomicU64 = AtomicU64::new(0);
+
+    /// Counts through to [`System`].
+    pub struct Meter;
+
+    unsafe impl GlobalAlloc for Meter {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                let size = layout.size() as u64;
+                let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            }
+            p
+        }
+        unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+            System.dealloc(p, layout);
+            LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Resets the live-heap high-water mark to the current live size.
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Live-heap high-water mark since the last [`reset_peak`].
+    pub fn peak_bytes() -> u64 {
+        PEAK.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static METER: alloc_meter::Meter = alloc_meter::Meter;
+
+/// Full-scale streamed seed extraction must peak below this much live
+/// heap (measured ≈ 70 MiB on the paper population; 256 MiB leaves
+/// room for the 4.0-scale stretch without masking a regression to
+/// corpus materialisation, which peaks well past it).
+const FULLSCALE_HEAP_BUDGET: u64 = 256 << 20;
 
 /// The same fifth-scale world `perf_dynamics` benches against.
 fn bench_config() -> WorldConfig {
@@ -62,20 +127,13 @@ fn best_secs(n: usize, threads: usize) -> (f64, u64, bool) {
 
 /// Merges the worldgen record into `BENCH_dynamics.json`, preserving the
 /// control-phase numbers `perf_dynamics` wrote there.
-fn emit_json(sequential_secs: f64, sharded_secs: f64, workers: usize, identical: bool) {
+fn emit_json(record: serde_json::Value) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamics.json");
     let mut report: serde_json::Value = std::fs::read_to_string(path)
         .ok()
         .and_then(|body| serde_json::from_str(&body).ok())
         .unwrap_or_else(|| serde_json::json!({ "bench": "perf_dynamics" }));
-    report["worldgen"] = serde_json::json!({
-        "scale": 0.2,
-        "sequential_secs": sequential_secs,
-        "sharded_secs": sharded_secs,
-        "sharded_workers": workers,
-        "speedup": sequential_secs / sharded_secs,
-        "bit_identical": identical,
-    });
+    report["worldgen"] = record;
     match serde_json::to_string_pretty(&report) {
         Ok(body) => {
             if let Err(e) = std::fs::write(path, body + "\n") {
@@ -86,6 +144,66 @@ fn emit_json(sequential_secs: f64, sharded_secs: f64, workers: usize, identical:
         }
         Err(e) => eprintln!("[perf_worldgen] could not serialize report: {e}"),
     }
+}
+
+/// Live-heap high-water mark of the two seed-extraction paths at the
+/// paper's full scale: `(materialised_peak, streamed_peak)`. Cumulative
+/// allocation volume is near-identical by construction — both paths
+/// generate the same corpus, the streamed one just drops it chunk by
+/// chunk — so the memory story lives in the *peak*:
+/// materialise-then-extract holds the whole corpus at once, streaming
+/// holds one `WORLDGEN_CHUNK` plus the columns. (Full scale rather than
+/// the fifth-scale bench world: at fifth scale both peaks drown in the
+/// process baseline.)
+fn seed_peak_bytes() -> (u64, u64) {
+    let config = WorldConfig::paper();
+    alloc_meter::reset_peak();
+    let domains = {
+        let via_world = ScenarioSeeds::from_world(&World::generate(config.clone()));
+        via_world.domains.clone()
+    };
+    let materialized = alloc_meter::peak_bytes();
+
+    // The materialised world and its extract are gone; only the domains
+    // column survives for the agreement check.
+    alloc_meter::reset_peak();
+    let streamed = ScenarioSeeds::from_config_streamed(&config, &SeedKnobs::default());
+    let streamed_peak = alloc_meter::peak_bytes();
+
+    assert_eq!(domains, streamed.domains, "paths must agree");
+    (materialized, streamed_peak)
+}
+
+/// The `FEDISCOPE_FULLSCALE=1` case: streamed extraction of the paper's
+/// full population under the live-heap budget. Returns the JSON record.
+fn fullscale_case() -> serde_json::Value {
+    let config = WorldConfig::paper();
+    alloc_meter::reset_peak();
+    let start = Instant::now();
+    let seeds = ScenarioSeeds::from_config_streamed(&config, &SeedKnobs::default());
+    let secs = start.elapsed().as_secs_f64();
+    let heap_peak = alloc_meter::peak_bytes();
+    println!(
+        "[perf_worldgen] full-scale streamed seeds: {} instances / {} links in {secs:.2}s, live-heap peak {} MiB (budget {} MiB), VmHWM {} MiB",
+        seeds.len(),
+        seeds.links.len(),
+        heap_peak >> 20,
+        FULLSCALE_HEAP_BUDGET >> 20,
+        peak_rss_bytes().unwrap_or(0) >> 20,
+    );
+    assert!(
+        heap_peak < FULLSCALE_HEAP_BUDGET,
+        "full-scale streamed extraction peaked at {heap_peak} bytes — over the {FULLSCALE_HEAP_BUDGET}-byte budget; did the corpus get materialised?"
+    );
+    serde_json::json!({
+        "scale": 1.0,
+        "instances": seeds.len(),
+        "links": seeds.links.len(),
+        "streamed_secs": secs,
+        "heap_peak_bytes": heap_peak,
+        "heap_budget_bytes": FULLSCALE_HEAP_BUDGET,
+        "within_budget": heap_peak < FULLSCALE_HEAP_BUDGET,
+    })
 }
 
 fn bench_worldgen(c: &mut Criterion) {
@@ -100,6 +218,24 @@ fn bench_worldgen(c: &mut Criterion) {
     };
 
     let (sequential_secs, sequential_digest, seq_applied) = best_secs(5, 1);
+
+    // Memory contract, measured at 1 worker (set by the sweep above):
+    // the streamed path — no resident corpus, moved moderation configs,
+    // shared peer lists and post bodies — must peak measurably lower
+    // than materialise-then-extract. 0.7 is a loose ceiling; measured
+    // ratio ≈ 0.3.
+    let (materialized_peak, streamed_peak) = seed_peak_bytes();
+    println!(
+        "[perf_worldgen] full-scale seed extraction live-heap peak: materialised {} MiB, streamed {} MiB ({:.2}x)",
+        materialized_peak >> 20,
+        streamed_peak >> 20,
+        streamed_peak as f64 / materialized_peak as f64
+    );
+    assert!(
+        (streamed_peak as f64) < 0.7 * materialized_peak as f64,
+        "streamed seed extraction must peak measurably lower than the materialised path: {streamed_peak} vs {materialized_peak} bytes"
+    );
+
     let (sharded_secs, sharded_digest, sharded_applied) = best_secs(5, workers);
     let identical = sequential_digest == sharded_digest;
     assert!(
@@ -120,7 +256,21 @@ fn bench_worldgen(c: &mut Criterion) {
         workers,
         sequential_secs / sharded_secs
     );
-    emit_json(sequential_secs, sharded_secs, workers, identical);
+
+    let mut record = serde_json::json!({
+        "scale": 0.2,
+        "sequential_secs": sequential_secs,
+        "sharded_secs": sharded_secs,
+        "sharded_workers": workers,
+        "speedup": sequential_secs / sharded_secs,
+        "bit_identical": identical,
+        "seed_peak_bytes_materialized": materialized_peak,
+        "seed_peak_bytes_streamed": streamed_peak,
+    });
+    if std::env::var("FEDISCOPE_FULLSCALE").as_deref() == Ok("1") {
+        record["fullscale"] = fullscale_case();
+    }
+    emit_json(record);
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())

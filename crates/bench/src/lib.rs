@@ -195,7 +195,23 @@ pub fn bench_meta(scale: f64, post_scale: f64, seed: u64) -> serde_json::Value {
         "seed": seed,
         "threads": rayon::current_num_threads(),
         "gate_version": GATE_VERSION,
+        "peak_rss_bytes": peak_rss_bytes().unwrap_or(0),
     })
+}
+
+/// Peak resident-set size (`VmHWM`) of this process in bytes — the
+/// memory-budget reading the full-scale gates compare against. Linux
+/// only (`/proc`); `None` elsewhere, and gates that consume it stand
+/// down rather than fail.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
 }
 
 /// Prints an experiment banner.
@@ -269,5 +285,40 @@ mod tests {
     fn extrapolation_formatting() {
         assert_eq!(extrapolated(100, 1.0), "100");
         assert!(extrapolated(245_000, 100.0).contains("24.5M"));
+    }
+
+    /// Pins the full-scale extrapolation factor end to end for both
+    /// regimes. The factor must undo *both* samplings: `post_scale`
+    /// thins posts per user AND `scale` thins the instances (and with
+    /// them their users' posts), so the correct factor is
+    /// `1 / (scale × post_scale)` — multiplying by `1 / post_scale`
+    /// alone under-reports whenever the two differ.
+    #[test]
+    fn full_scale_extrapolation_combines_both_samplings() {
+        // Paper regime: scale == 1.0, only post thinning. 245 K
+        // collected × 100 ⇒ the paper's 24.5 M.
+        let paper = World {
+            config: WorldConfig::paper(),
+            instances: Vec::new(),
+            directory: Vec::new(),
+        };
+        assert!((paper.post_extrapolation() - 100.0).abs() < 1e-9);
+        assert!(extrapolated(245_000, paper.post_extrapolation()).contains("24.5M"));
+
+        // Bench regime: scale 0.2 × post_scale 0.004 differ; the factor
+        // must be 1/(0.2·0.004) = 1250, not 1/0.004 = 250.
+        let fifth = World {
+            config: WorldConfig {
+                seed: 1534,
+                scale: 0.2,
+                post_scale: 0.004,
+                generate_text: false,
+                parallelism: Parallelism::AUTO,
+            },
+            instances: Vec::new(),
+            directory: Vec::new(),
+        };
+        assert!((fifth.post_extrapolation() - 1250.0).abs() < 1e-9);
+        assert!(extrapolated(19_600, fifth.post_extrapolation()).contains("24.5M"));
     }
 }

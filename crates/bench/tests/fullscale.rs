@@ -1,0 +1,171 @@
+//! The 1.0-scale acceptance smoke test — `#[ignore]` by default.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo test -p fediscope-bench --release --test fullscale -- --ignored --nocapture
+//! ```
+//!
+//! One pass over everything `FEDISCOPE_SCALE=1.0` promises:
+//!
+//! 1. **Memory budget** — the streamed seed path
+//!    (`ScenarioSeeds::from_config_streamed`) extracts the full paper
+//!    population without materialising the corpus; peak RSS at that
+//!    point must sit under the documented budget (measured ≈ 65 MiB,
+//!    gated at 512 MiB), and the whole test — census worlds, live
+//!    servers and all — under 2 GiB.
+//! 2. **§3 under-count** — a directory-thinned census
+//!    (`peer_list_cap: 16`, modelling the real crawl's partial
+//!    discovery) against the live full-scale network must *miss* live
+//!    Pleroma instances: the bias the paper can only bound is nonzero
+//!    and measurable here.
+//! 3. **Calibration** — the correction factor measured on the seed-1534
+//!    world transfers: applied to a different world (seed 99) under the
+//!    same crawl regime, the corrected estimate lands within 2.5% of
+//!    that world's ground truth (measured error ≈ 0.9%).
+//!
+//! On success the `fullscale` record — including the
+//! `fullscale_acceptance_met` gate the nightly CI job greps — is merged
+//! into `BENCH_dynamics.json`.
+
+use fediscope_analysis::calibration::{render_calibration, CalibrationRow, UndercountCalibration};
+use fediscope_bench::peak_rss_bytes;
+use fediscope_crawler::{Crawler, CrawlerConfig};
+use fediscope_synthgen::{ScenarioSeeds, SeedKnobs, World, WorldConfig};
+use std::sync::Arc;
+
+/// Peak-RSS budget for the streamed seed extraction alone.
+const STREAMED_RSS_BUDGET: u64 = 512 << 20;
+/// Peak-RSS budget for the whole smoke test (two materialised worlds).
+const TOTAL_RSS_BUDGET: u64 = 2 << 30;
+/// The thinned crawl regime: first-16 peer-list truncation.
+const PEER_CAP: usize = 16;
+/// Transfer tolerance for the calibrated estimate.
+const TOLERANCE: f64 = 0.025;
+
+/// One thinned census of a freshly generated full-scale world:
+/// `(true_up, observed)`.
+async fn thinned_census(seed: u64) -> UndercountCalibration {
+    let mut config = WorldConfig::paper();
+    config.seed = seed;
+    let world = World::generate(config);
+    let materialized = fediscope::harness::materialize_full(&world);
+    let crawler = Crawler::new(
+        Arc::clone(&materialized.net),
+        CrawlerConfig {
+            peer_list_cap: Some(PEER_CAP),
+            snapshot_rounds: 0,
+            ..CrawlerConfig::default()
+        },
+    );
+    let dataset = crawler.run(&world.directory).await;
+    UndercountCalibration::new(
+        world.crawled_pleroma().count() as u64,
+        dataset.pleroma_crawled().count() as u64,
+    )
+}
+
+/// Merges the acceptance record into `BENCH_dynamics.json`.
+fn emit_gate(record: serde_json::Value) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamics.json");
+    let mut report: serde_json::Value = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|body| serde_json::from_str(&body).ok())
+        .unwrap_or_else(|| serde_json::json!({ "bench": "perf_dynamics" }));
+    report["fullscale"] = record;
+    match serde_json::to_string_pretty(&report) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(path, body + "\n") {
+                eprintln!("[fullscale] could not write {path}: {e}");
+            } else {
+                println!("[fullscale] wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("[fullscale] could not serialize record: {e}"),
+    }
+}
+
+#[tokio::test(flavor = "multi_thread")]
+#[ignore = "full-scale: generates two 1.0-scale worlds and crawls them (~20 s release); run with --ignored"]
+async fn fullscale_census_undercount_calibrates() {
+    // 1. Memory budget: the streamed path extracts the full population
+    // without the corpus ever existing in RAM.
+    let config = WorldConfig::paper();
+    let seeds = ScenarioSeeds::from_config_streamed(&config, &SeedKnobs::default());
+    assert!(seeds.len() > 9_000, "full population expected");
+    let streamed_rss = peak_rss_bytes();
+    println!(
+        "[fullscale] streamed seeds: {} instances / {} links, VmHWM {} MiB",
+        seeds.len(),
+        seeds.links.len(),
+        streamed_rss.unwrap_or(0) >> 20
+    );
+    if let Some(rss) = streamed_rss {
+        assert!(
+            rss < STREAMED_RSS_BUDGET,
+            "streamed full-scale extraction used {rss} bytes peak — over the {STREAMED_RSS_BUDGET}-byte budget"
+        );
+    }
+
+    // 2. The §3 under-count, reproduced: a thinned census of the live
+    // full-scale network misses real, healthy instances.
+    let cal = thinned_census(config.seed).await;
+    println!(
+        "{}",
+        render_calibration(&[CalibrationRow {
+            peer_list_cap: Some(PEER_CAP),
+            calibration: cal,
+        }])
+    );
+    assert!(
+        cal.undercount() > 0,
+        "the thinned census must under-count at full scale (observed {} of {})",
+        cal.observed,
+        cal.true_up
+    );
+    assert!(cal.bias() > 0.01, "the bias must be measurable, not noise");
+
+    // 3. The correction factor transfers to a world the calibration
+    // never saw.
+    let other = thinned_census(99).await;
+    let estimate = cal.corrected(other.observed);
+    println!(
+        "[fullscale] transfer: seed-99 observed {} × correction {:.4} = {:.0} vs true {}",
+        other.observed,
+        cal.correction(),
+        estimate,
+        other.true_up
+    );
+    assert!(
+        UndercountCalibration::within_tolerance(estimate, other.true_up, TOLERANCE),
+        "calibrated estimate {estimate:.0} outside {TOLERANCE} of ground truth {}",
+        other.true_up
+    );
+
+    let total_rss = peak_rss_bytes();
+    if let Some(rss) = total_rss {
+        assert!(
+            rss < TOTAL_RSS_BUDGET,
+            "smoke test used {rss} bytes peak — over the {TOTAL_RSS_BUDGET}-byte budget"
+        );
+    }
+
+    // Every assert held — emit the gate the nightly CI job greps.
+    emit_gate(serde_json::json!({
+        "scale": 1.0,
+        "peer_list_cap": PEER_CAP,
+        "streamed_instances": seeds.len(),
+        "streamed_rss_bytes": streamed_rss.unwrap_or(0),
+        "streamed_rss_budget_bytes": STREAMED_RSS_BUDGET,
+        "true_up": cal.true_up,
+        "observed": cal.observed,
+        "undercount": cal.undercount(),
+        "bias": cal.bias(),
+        "correction": cal.correction(),
+        "transfer_true_up": other.true_up,
+        "transfer_estimate": estimate,
+        "transfer_tolerance": TOLERANCE,
+        "total_rss_bytes": total_rss.unwrap_or(0),
+        "fullscale_acceptance_met": true,
+    }));
+}

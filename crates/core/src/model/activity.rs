@@ -199,7 +199,7 @@ mod tests {
         let act = Activity::create(ActivityId(100), post);
         assert_eq!(act.kind, ActivityKind::Create);
         assert_eq!(act.published, SimTime(77));
-        assert_eq!(act.note().unwrap().content, "hi");
+        assert_eq!(&*act.note().unwrap().content, "hi");
         assert_eq!(act.origin().as_str(), "gab.com");
     }
 
@@ -220,7 +220,7 @@ mod tests {
         let post = Post::stub(PostId(1), author(), SimTime(0), "original");
         let mut act = Activity::create(ActivityId(1), post);
         act.note_mut().unwrap().content = "rewritten".into();
-        assert_eq!(act.note().unwrap().content, "rewritten");
+        assert_eq!(&*act.note().unwrap().content, "rewritten");
     }
 
     #[test]

@@ -71,8 +71,13 @@ pub struct Post {
     pub author: UserRef,
     /// When the post was created on its origin instance.
     pub created: SimTime,
-    /// Body text (plain text after markup normalisation).
-    pub content: String,
+    /// Body text (plain text after markup normalisation), behind a shared
+    /// allocation: the same body is carried by the generated world, the
+    /// scenario seed templates, and every experiment arm's pre-built
+    /// activities, so cloning a post must never copy the text. MRF
+    /// rewrites (`content_replace`, tag stripping) copy-on-write by
+    /// assigning a fresh value.
+    pub content: std::sync::Arc<str>,
     /// Optional subject / content-warning line ("summary" in AP terms).
     pub subject: Option<String>,
     /// Visibility scope.
@@ -132,7 +137,12 @@ impl Post {
     }
 
     /// A minimal valid post for tests and examples.
-    pub fn stub(id: PostId, author: UserRef, created: SimTime, content: impl Into<String>) -> Self {
+    pub fn stub(
+        id: PostId,
+        author: UserRef,
+        created: SimTime,
+        content: impl Into<std::sync::Arc<str>>,
+    ) -> Self {
         Post {
             id,
             author,
@@ -184,7 +194,7 @@ mod tests {
         assert!(p.has_media());
         p.strip_media();
         assert!(!p.has_media());
-        assert_eq!(p.content, "hello fedi", "text must survive media removal");
+        assert_eq!(&*p.content, "hello fedi", "text must survive media removal");
     }
 
     #[test]

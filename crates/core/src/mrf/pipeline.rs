@@ -300,7 +300,7 @@ mod tests {
         }
         fn filter(&self, _ctx: &PolicyContext<'_>, mut a: Activity) -> PolicyVerdict {
             if let Some(p) = a.note_mut() {
-                p.content.push_str(self.0);
+                p.content = format!("{}{}", p.content, self.0).into();
             }
             PolicyVerdict::Pass(a)
         }
@@ -351,7 +351,7 @@ mod tests {
             .with(Arc::new(Tagger("b")));
         let out = pipe.filter(&ctx, act());
         let post = out.verdict.expect_pass();
-        assert_eq!(post.note().unwrap().content, "ab");
+        assert_eq!(&*post.note().unwrap().content, "ab");
     }
 
     #[test]

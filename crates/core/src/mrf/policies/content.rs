@@ -91,7 +91,7 @@ impl MrfPolicy for KeywordPolicy {
                     }
                 }
                 KeywordAction::Replace(with) => {
-                    post.content = replace_ci(&post.content, &rule.pattern, with);
+                    post.content = replace_ci(&post.content, &rule.pattern, with).into();
                     if let Some(s) = &post.subject {
                         post.subject = Some(replace_ci(s, &rule.pattern, with));
                     }
@@ -184,7 +184,7 @@ impl MrfPolicy for NormalizeMarkupPolicy {
     fn filter(&self, _ctx: &PolicyContext<'_>, mut activity: Activity) -> PolicyVerdict {
         if let Some(post) = activity.note_mut() {
             if post.content.contains('<') {
-                post.content = strip_tags(&post.content);
+                post.content = strip_tags(&post.content).into();
             }
         }
         PolicyVerdict::Pass(activity)
@@ -231,7 +231,7 @@ impl MrfPolicy for NoPlaceholderTextPolicy {
         if let Some(post) = activity.note_mut() {
             let trimmed = post.content.trim();
             if post.has_media() && (trimmed == "." || trimmed == "..") {
-                post.content.clear();
+                post.content = "".into();
             }
         }
         PolicyVerdict::Pass(activity)
@@ -332,7 +332,7 @@ mod tests {
         )]);
         let v = run(&p, note("elixir is great, ELIXIR forever", "a.example"));
         assert_eq!(
-            v.expect_pass().note().unwrap().content,
+            &*v.expect_pass().note().unwrap().content,
             "Rust is great, Rust forever"
         );
     }
@@ -385,7 +385,7 @@ mod tests {
             &NormalizeMarkupPolicy,
             note("<p>hello <b>world</b></p>", "a.example"),
         );
-        assert_eq!(v.expect_pass().note().unwrap().content, "hello world");
+        assert_eq!(&*v.expect_pass().note().unwrap().content, "hello world");
     }
 
     #[test]
@@ -424,10 +424,10 @@ mod tests {
             &NoPlaceholderTextPolicy,
             Activity::create(ActivityId(1), post),
         );
-        assert_eq!(v.expect_pass().note().unwrap().content, "");
+        assert_eq!(&*v.expect_pass().note().unwrap().content, "");
         // Without media the dot is kept.
         let v = run(&NoPlaceholderTextPolicy, note(".", "a.example"));
-        assert_eq!(v.expect_pass().note().unwrap().content, ".");
+        assert_eq!(&*v.expect_pass().note().unwrap().content, ".");
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl MrfPolicy for KanayaBlogProcessPolicy {
         if activity.origin().matches(&self.blog_domain) {
             if let Some(post) = activity.note_mut() {
                 if !post.content.starts_with("[blog] ") {
-                    post.content = format!("[blog] {}", post.content);
+                    post.content = format!("[blog] {}", post.content).into();
                 }
             }
         }
@@ -202,7 +202,7 @@ impl MrfPolicy for RewritePolicy {
         if let Some(post) = activity.note_mut() {
             for (from, to) in &self.rules {
                 if !from.is_empty() {
-                    post.content = post.content.replace(from, to);
+                    post.content = post.content.replace(from, to).into();
                 }
             }
         }
@@ -500,10 +500,13 @@ mod tests {
         };
         let (v, _) = run(&p, note("blog.example", "post body"));
         let a = v.expect_pass();
-        assert_eq!(a.note().unwrap().content, "[blog] post body");
+        assert_eq!(&*a.note().unwrap().content, "[blog] post body");
         // Re-filtering must not double the prefix.
         let (v, _) = run(&p, a);
-        assert_eq!(v.expect_pass().note().unwrap().content, "[blog] post body");
+        assert_eq!(
+            &*v.expect_pass().note().unwrap().content,
+            "[blog] post body"
+        );
     }
 
     #[test]
@@ -590,7 +593,7 @@ mod tests {
             ],
         };
         let (v, _) = run(&p, note("a.example", "my cat"));
-        assert_eq!(v.expect_pass().note().unwrap().content, "my ferret");
+        assert_eq!(&*v.expect_pass().note().unwrap().content, "my ferret");
     }
 
     #[test]

@@ -456,7 +456,7 @@ mod tests {
         let a = v.expect_pass();
         let post = a.note().unwrap();
         assert!(!post.has_media());
-        assert_eq!(post.content, "content");
+        assert_eq!(&*post.content, "content");
     }
 
     #[test]

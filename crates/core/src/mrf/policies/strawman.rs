@@ -384,7 +384,7 @@ mod tests {
         let v = run(&p, media_note("lewd.example", 1));
         let a = v.expect_pass();
         assert!(!a.note().unwrap().has_media());
-        assert_eq!(a.note().unwrap().content, "text");
+        assert_eq!(&*a.note().unwrap().content, "text");
     }
 
     #[test]

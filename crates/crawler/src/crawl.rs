@@ -34,6 +34,19 @@ pub struct CrawlerConfig {
     /// shrinks the census under-count from gateway flaps without
     /// resurrecting genuinely dead instances.
     pub transient_retries: usize,
+    /// Directory-thinned crawl mode (§3 methodology): cap on how many
+    /// entries are taken from each instance's Peers API response during
+    /// discovery. `None` (the default) keeps the full lists — at small
+    /// scales every instance is named by many peers, so discovery is
+    /// redundant and the census misses only genuinely dead hosts. A cap
+    /// models the real crawl's thinned view (rate limits, partial
+    /// directories): instances not in the seed directory whose every
+    /// surviving mention falls beyond the cap are never discovered,
+    /// which is exactly the §3 under-count bias the full-scale analysis
+    /// calibrates. Truncation keeps the first `cap` entries of the
+    /// server-sorted list, so a thinned campaign is as deterministic as
+    /// a full one.
+    pub peer_list_cap: Option<usize>,
 }
 
 impl Default for CrawlerConfig {
@@ -44,6 +57,7 @@ impl Default for CrawlerConfig {
             max_pages_per_instance: 100_000,
             snapshot_rounds: 3,
             transient_retries: 1,
+            peer_list_cap: None,
         }
     }
 }
@@ -275,9 +289,11 @@ async fn crawl_one(
         if resp.is_success() {
             if let Ok(body) = resp.json_body() {
                 if let Some(list) = body.as_array() {
+                    let cap = config.peer_list_cap.unwrap_or(usize::MAX);
                     out.peers = list
                         .iter()
                         .filter_map(|v| v.as_str())
+                        .take(cap)
                         .map(Domain::new)
                         .collect();
                 }
@@ -751,6 +767,56 @@ mod tests {
         let flap = probe_latency(&d, ProbeClass::Transient, 0);
         let dead = probe_latency(&d, ProbeClass::NetError, 0);
         assert!(fast < flap && flap < dead);
+    }
+
+    #[tokio::test]
+    async fn peer_list_cap_thins_discovery_deterministically() {
+        // Directory-thinned mode: `hub` peers with b, c, d (served
+        // sorted); a cap of 2 keeps {b, c} and drops d, so d — absent
+        // from the seed directory — is never discovered. That is the §3
+        // under-count mechanism in miniature: a live instance missing
+        // from the census purely because discovery was thinned.
+        let build = || {
+            let net = Arc::new(SimNet::new());
+            let hub = make_server("hub.example", 1, 1);
+            for peer in ["b.example", "c.example", "d.example"] {
+                hub.note_peer(&Domain::new(peer));
+            }
+            register(&net, hub);
+            register(&net, make_server("b.example", 2, 1));
+            register(&net, make_server("c.example", 3, 1));
+            register(&net, make_server("d.example", 4, 1));
+            net
+        };
+
+        let thinned_config = CrawlerConfig {
+            peer_list_cap: Some(2),
+            ..CrawlerConfig::default()
+        };
+        let thinned = Crawler::new(build(), thinned_config.clone())
+            .run(&[Domain::new("hub.example")])
+            .await;
+        assert_eq!(thinned.instances.len(), 3, "d.example was never found");
+        assert!(thinned.by_domain("d.example").is_none());
+        assert!(thinned.by_domain("c.example").unwrap().crawled());
+
+        // The full crawl finds everyone — the gap IS the thinning.
+        let full = Crawler::new(build(), CrawlerConfig::default())
+            .run(&[Domain::new("hub.example")])
+            .await;
+        assert_eq!(full.instances.len(), 4);
+        assert!(full.by_domain("d.example").unwrap().crawled());
+
+        // Determinism: a re-run of the thinned campaign sees the same
+        // census, same truncated peer lists.
+        let again = Crawler::new(build(), thinned_config)
+            .run(&[Domain::new("hub.example")])
+            .await;
+        assert_eq!(again.instances.len(), thinned.instances.len());
+        assert_eq!(
+            again.by_domain("hub.example").unwrap().peers,
+            thinned.by_domain("hub.example").unwrap().peers
+        );
     }
 
     #[tokio::test]

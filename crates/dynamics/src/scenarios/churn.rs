@@ -168,8 +168,8 @@ mod tests {
         let want: Vec<u64> = {
             let s = seeds();
             let mut mix = vec![0u64; 5];
-            for inst in &s.instances {
-                if let Some(idx) = crate::trace::failure_mix_index(inst.failure) {
+            for &failure in &s.failures {
+                if let Some(idx) = crate::trace::failure_mix_index(failure) {
                     mix[idx] += 1;
                 }
             }

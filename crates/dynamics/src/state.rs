@@ -68,8 +68,9 @@ impl RetryPolicy {
 pub struct PostTemplate {
     /// Authoring user id.
     pub author: u64,
-    /// Post text.
-    pub content: String,
+    /// Post text — the seed template's shared allocation, refcounted,
+    /// never copied.
+    pub content: std::sync::Arc<str>,
     /// The deliverable activity.
     pub activity: Activity,
 }
@@ -178,17 +179,17 @@ impl NetworkState {
     /// seed moderation, links come from the Peers API extract, and
     /// everyone starts in their seed failure mode.
     pub fn from_seeds(seeds: &ScenarioSeeds) -> NetworkState {
-        let instances: Vec<InstanceState> = seeds
-            .instances
-            .iter()
-            .enumerate()
-            .map(|(i, seed)| {
-                let templates: Vec<PostTemplate> = seed
-                    .templates
+        let instances: Vec<InstanceState> = (0..seeds.len())
+            .map(|i| {
+                let domain = &seeds.domains[i];
+                let templates: Vec<PostTemplate> = seeds.templates[i]
                     .iter()
                     .enumerate()
                     .map(|(k, t)| {
-                        let author = UserRef::new(UserId(t.author), seed.domain.clone());
+                        let author = UserRef::new(UserId(t.author), domain.clone());
+                        // The template body is the seed's shared
+                        // allocation — the engine never copies post text,
+                        // only refcounts.
                         let post = Post::stub(
                             PostId(((i as u64) << 24) | k as u64),
                             author,
@@ -211,22 +212,23 @@ impl NetworkState {
                 let base_emission = if templates.is_empty() {
                     0
                 } else {
-                    1 + (seed.posts_full_scale / 25_000).min(7) as u32
+                    1 + (seeds.posts_full_scale[i] / 25_000).min(7) as u32
                 };
+                let moderation = seeds.moderation[i].clone();
                 InstanceState {
-                    domain: seed.domain.clone(),
-                    pleroma: seed.pleroma,
-                    failure: seed.failure,
-                    seed_failure: seed.failure,
+                    domain: domain.clone(),
+                    pleroma: seeds.pleroma[i],
+                    failure: seeds.failures[i],
+                    seed_failure: seeds.failures[i],
                     rate: 1.0,
                     base_emission,
                     adopted: false,
-                    moderation: seed.moderation.clone(),
-                    pipeline: seed.moderation.build_pipeline(),
-                    target: seed.moderation.clone(),
+                    pipeline: moderation.build_pipeline(),
+                    target: moderation.clone(),
+                    moderation,
                     templates,
-                    users: seed.users,
-                    rejects_received: seed.rejects_received,
+                    users: seeds.users[i],
+                    rejects_received: seeds.rejects_received[i],
                     recovered_batches: 0,
                     recovered_posts: 0,
                     dead_letter_batches: 0,
@@ -550,7 +552,7 @@ mod tests {
     fn state_mirrors_seed_topology() {
         let s = seeds();
         let state = NetworkState::from_seeds(s);
-        assert_eq!(state.len(), s.instances.len());
+        assert_eq!(state.len(), s.len());
         assert_eq!(state.link_count(), s.links.len() as u64);
         let &(a, b) = s.links.first().unwrap();
         assert!(state.linked(a, b));

@@ -42,5 +42,5 @@ pub use character::InstanceCharacter;
 pub use config::{Parallelism, WorldConfig};
 pub use content::ContentComposer;
 pub use harm::{HarmProfile, UserHarm};
-pub use scenario::{InstanceSeed, PostSeed, ScenarioSeeds, SeedKnobs};
-pub use world::{GeneratedInstance, GeneratedUser, World};
+pub use scenario::{PostSeed, ScenarioSeeds, SeedKnobs};
+pub use world::{GeneratedInstance, GeneratedUser, ShardWriter, World, WorldSink, WORLDGEN_CHUNK};

@@ -8,13 +8,26 @@
 //! propagate along. [`ScenarioSeeds::from_world`] extracts exactly that,
 //! deterministically, so `seed → world → seeds → trace` is one
 //! reproducible pipeline.
+//!
+//! The extract is stored struct-of-arrays with a memory budget: one
+//! column per field (so scans over a single attribute touch only that
+//! attribute's cache lines), post bodies behind shared `Arc<str>`
+//! allocations (one body is referenced by the world, the seed template
+//! and every experiment arm's pre-built activity), and template sets
+//! behind `Arc<[PostSeed]>`. [`ScenarioSeeds::from_config_streamed`]
+//! builds the same extract without ever materialising the corpus: it
+//! sits as a [`WorldSink`] under [`World::generate_streamed`] and keeps
+//! only the columns, which is what makes 1.0-scale (millions of users)
+//! scenario runs fit in an ordinary container.
 
-use crate::world::World;
+use crate::config::WorldConfig;
+use crate::world::{GeneratedInstance, GeneratedUser, World, WorldSink};
 use fediscope_core::config::InstanceModerationConfig;
 use fediscope_core::id::Domain;
 use fediscope_core::mrf::policies::SimpleAction;
 use fediscope_simnet::FailureMode;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Knobs for seed extraction.
 #[derive(Debug, Clone)]
@@ -36,116 +49,138 @@ impl Default for SeedKnobs {
     }
 }
 
-/// One reusable post: author (instance-local user id) and content.
+/// One reusable post: author (instance-local user id) and content. The
+/// body is a shared allocation — cloning a seed (or building an
+/// engine-side template from it) bumps a refcount instead of copying
+/// text.
 #[derive(Debug, Clone)]
 pub struct PostSeed {
     /// The authoring user's id.
     pub author: u64,
     /// Post text (what the Perspective substrate scores).
-    pub content: String,
+    pub content: Arc<str>,
 }
 
-/// Everything a dynamics scenario needs to know about one instance.
-#[derive(Debug, Clone)]
-pub struct InstanceSeed {
-    /// The instance domain.
-    pub domain: Domain,
-    /// Whether the instance runs Pleroma.
-    pub pleroma: bool,
-    /// The §3 failure mode the world assigned (churn replays this).
-    pub failure: FailureMode,
-    /// The instance's *final* moderation configuration — the target a
-    /// staged rollout converges to.
-    pub moderation: InstanceModerationConfig,
-    /// Registered users.
-    pub users: u32,
-    /// Full-scale post volume (drives emission rates).
-    pub posts_full_scale: u64,
-    /// Ground truth: instances rejecting this one.
-    pub rejects_received: u32,
-    /// Representative posts (capped by [`SeedKnobs::max_templates`]).
-    pub templates: Vec<PostSeed>,
-}
-
-impl InstanceSeed {
-    /// Outgoing reject edges in the final moderation config.
-    pub fn outgoing_rejects(&self) -> usize {
-        self.moderation
-            .simple
-            .as_ref()
-            .map(|s| s.targets(SimpleAction::Reject).len())
-            .unwrap_or(0)
-    }
-}
-
-/// The dynamics-facing extract of a generated world.
+/// The dynamics-facing extract of a generated world, struct-of-arrays:
+/// every `Vec` below is one column indexed by instance (index order
+/// matches the world's instance order, filtered by
+/// [`SeedKnobs::include_non_pleroma`]).
 #[derive(Debug, Clone)]
 pub struct ScenarioSeeds {
     /// The world seed (scenario RNG streams derive from it).
     pub seed: u64,
-    /// Per-instance seeds; index order matches the world's instance order.
-    pub instances: Vec<InstanceSeed>,
+    /// Instance domains.
+    pub domains: Vec<Domain>,
+    /// Whether each instance runs Pleroma.
+    pub pleroma: Vec<bool>,
+    /// The §3 failure mode the world assigned (churn replays this).
+    pub failures: Vec<FailureMode>,
+    /// Each instance's *final* moderation configuration — the target a
+    /// staged rollout converges to.
+    pub moderation: Vec<InstanceModerationConfig>,
+    /// Registered users.
+    pub users: Vec<u32>,
+    /// Full-scale post volume (drives emission rates).
+    pub posts_full_scale: Vec<u64>,
+    /// Ground truth: instances rejecting each one.
+    pub rejects_received: Vec<u32>,
+    /// Representative posts (capped by [`SeedKnobs::max_templates`]),
+    /// shared — experiment arms built over the same seeds alias one
+    /// template set per instance.
+    pub templates: Vec<Arc<[PostSeed]>>,
     /// Undirected federation links as `(i, j)` index pairs with `i < j`,
     /// sorted — derived from the Peers API payloads.
     pub links: Vec<(u32, u32)>,
 }
 
-impl ScenarioSeeds {
-    /// Extracts seeds with default knobs.
-    pub fn from_world(world: &World) -> ScenarioSeeds {
-        ScenarioSeeds::from_world_with(world, &SeedKnobs::default())
+/// The [`WorldSink`] behind both extraction paths: keeps the seed
+/// columns, holds each instance's (shared) peer list for link resolution
+/// at the end, and drops everything else — under
+/// [`World::generate_streamed`] the full users/posts of an instance die
+/// with its chunk.
+struct SeedExtractor {
+    knobs: SeedKnobs,
+    seeds: ScenarioSeeds,
+    peers: Vec<Arc<[Domain]>>,
+}
+
+impl SeedExtractor {
+    fn new(knobs: &SeedKnobs, seed: u64) -> SeedExtractor {
+        SeedExtractor {
+            knobs: knobs.clone(),
+            seeds: ScenarioSeeds {
+                seed,
+                domains: Vec::new(),
+                pleroma: Vec::new(),
+                failures: Vec::new(),
+                moderation: Vec::new(),
+                users: Vec::new(),
+                posts_full_scale: Vec::new(),
+                rejects_received: Vec::new(),
+                templates: Vec::new(),
+                links: Vec::new(),
+            },
+            peers: Vec::new(),
+        }
     }
 
-    /// Extracts seeds with explicit knobs.
-    pub fn from_world_with(world: &World, knobs: &SeedKnobs) -> ScenarioSeeds {
-        let kept: Vec<usize> = world
-            .instances
+    /// Template extraction shared by the owned and borrowed paths: first
+    /// `max_templates` non-empty bodies, refcounted out of the posts.
+    fn templates_of(&self, users: &[GeneratedUser]) -> Arc<[PostSeed]> {
+        let mut templates = Vec::new();
+        'outer: for user in users {
+            for post in &user.posts {
+                if templates.len() >= self.knobs.max_templates {
+                    break 'outer;
+                }
+                if !post.content.is_empty() {
+                    templates.push(PostSeed {
+                        author: user.user.id.0,
+                        content: Arc::clone(&post.content),
+                    });
+                }
+            }
+        }
+        Arc::from(templates)
+    }
+
+    fn keeps(&self, inst: &GeneratedInstance) -> bool {
+        self.knobs.include_non_pleroma || inst.profile.is_pleroma()
+    }
+
+    /// Column push for a borrowed instance (the `from_world` path; the
+    /// moderation config is cloned because the world keeps its copy).
+    fn push(&mut self, inst: &GeneratedInstance) {
+        if !self.keeps(inst) {
+            return;
+        }
+        let templates = self.templates_of(&inst.users);
+        self.seeds.domains.push(inst.profile.domain.clone());
+        self.seeds.pleroma.push(inst.profile.is_pleroma());
+        self.seeds.failures.push(inst.failure);
+        self.seeds.moderation.push(inst.moderation.clone());
+        self.seeds.users.push(inst.users.len() as u32);
+        self.seeds.posts_full_scale.push(inst.posts_full_scale);
+        self.seeds.rejects_received.push(inst.rejects_received);
+        self.seeds.templates.push(templates);
+        self.peers.push(Arc::clone(&inst.peers));
+    }
+
+    /// Resolves peer domains into canonical `(i, j)` link pairs and
+    /// returns the finished extract. Runs after the last instance so the
+    /// domain → index map is complete (peer lists legitimately reference
+    /// instances generated later).
+    fn finish(mut self) -> ScenarioSeeds {
+        let index_of: HashMap<&str, u32> = self
+            .seeds
+            .domains
             .iter()
             .enumerate()
-            .filter(|(_, inst)| knobs.include_non_pleroma || inst.profile.is_pleroma())
-            .map(|(i, _)| i)
+            .map(|(new, d)| (d.as_str(), new as u32))
             .collect();
-        let index_of: HashMap<&str, u32> = kept
-            .iter()
-            .enumerate()
-            .map(|(new, &old)| (world.instances[old].profile.domain.as_str(), new as u32))
-            .collect();
-
-        let instances: Vec<InstanceSeed> = kept
-            .iter()
-            .map(|&old| {
-                let inst = &world.instances[old];
-                let mut templates = Vec::new();
-                'outer: for user in &inst.users {
-                    for post in &user.posts {
-                        if templates.len() >= knobs.max_templates {
-                            break 'outer;
-                        }
-                        if !post.content.is_empty() {
-                            templates.push(PostSeed {
-                                author: user.user.id.0,
-                                content: post.content.clone(),
-                            });
-                        }
-                    }
-                }
-                InstanceSeed {
-                    domain: inst.profile.domain.clone(),
-                    pleroma: inst.profile.is_pleroma(),
-                    failure: inst.failure,
-                    moderation: inst.moderation.clone(),
-                    users: inst.users.len() as u32,
-                    posts_full_scale: inst.posts_full_scale,
-                    rejects_received: inst.rejects_received,
-                    templates,
-                }
-            })
-            .collect();
-
         let mut links: Vec<(u32, u32)> = Vec::new();
-        for (new, &old) in kept.iter().enumerate() {
-            let inst = &world.instances[old];
-            for peer in &inst.peers {
+        for (new, peers) in self.peers.iter().enumerate() {
+            for peer in peers.iter() {
                 if let Some(&j) = index_of.get(peer.as_str()) {
                     let i = new as u32;
                     if i != j {
@@ -156,30 +191,97 @@ impl ScenarioSeeds {
         }
         links.sort_unstable();
         links.dedup();
+        self.seeds.links = links;
+        self.seeds
+    }
+}
 
-        ScenarioSeeds {
-            seed: world.config.seed,
-            instances,
-            links,
+impl WorldSink for SeedExtractor {
+    fn instance(&mut self, _index: usize, instance: GeneratedInstance) {
+        // The owned path: moderation configs (with their SimplePolicy
+        // target lists) move into the column instead of being cloned;
+        // users and posts drop right here, bounding the resident set.
+        if !self.keeps(&instance) {
+            return;
         }
+        let templates = self.templates_of(&instance.users);
+        self.seeds.domains.push(instance.profile.domain.clone());
+        self.seeds.pleroma.push(instance.profile.is_pleroma());
+        self.seeds.failures.push(instance.failure);
+        self.seeds.moderation.push(instance.moderation);
+        self.seeds.users.push(instance.users.len() as u32);
+        self.seeds.posts_full_scale.push(instance.posts_full_scale);
+        self.seeds.rejects_received.push(instance.rejects_received);
+        self.seeds.templates.push(templates);
+        self.peers.push(instance.peers);
+    }
+}
+
+impl ScenarioSeeds {
+    /// Extracts seeds with default knobs.
+    pub fn from_world(world: &World) -> ScenarioSeeds {
+        ScenarioSeeds::from_world_with(world, &SeedKnobs::default())
+    }
+
+    /// Extracts seeds with explicit knobs.
+    pub fn from_world_with(world: &World, knobs: &SeedKnobs) -> ScenarioSeeds {
+        let mut extractor = SeedExtractor::new(knobs, world.config.seed);
+        for inst in &world.instances {
+            extractor.push(inst);
+        }
+        extractor.finish()
+    }
+
+    /// Generates the world and extracts seeds in one streamed pass,
+    /// without ever materialising the corpus: peak memory is the
+    /// network-stage skeletons plus one generation chunk
+    /// ([`crate::WORLDGEN_CHUNK`]) of instances plus the columns
+    /// themselves. Bit-identical to
+    /// `ScenarioSeeds::from_world(&World::generate(config))` — same
+    /// draws, same instances, same columns — at any thread count.
+    pub fn from_config_streamed(config: &WorldConfig, knobs: &SeedKnobs) -> ScenarioSeeds {
+        let mut extractor = SeedExtractor::new(knobs, config.seed);
+        let _directory = World::generate_streamed(config, &mut extractor);
+        extractor.finish()
+    }
+
+    /// Number of seeded instances (every column has this length).
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the seed set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Outgoing reject edges in instance `i`'s final moderation config.
+    pub fn outgoing_rejects(&self, i: usize) -> usize {
+        self.moderation[i]
+            .simple
+            .as_ref()
+            .map(|s| s.targets(SimpleAction::Reject).len())
+            .unwrap_or(0)
     }
 
     /// Indices of instances whose final config differs from a fresh
     /// install (a `SimplePolicy` config or any non-default policy kind),
-    /// ordered by descending reject-list size (ties by index) — the
-    /// canonical adoption order for rollout waves: the heaviest
-    /// moderators move first, exactly how blocklist adoption spreads
-    /// from the big curated lists outward. The dynamics engine's
-    /// `NetworkState` carries this order verbatim so rollout scenarios
-    /// never re-derive it.
+    /// ordered by descending reject-list size — the canonical adoption
+    /// order for rollout waves: the heaviest moderators move first,
+    /// exactly how blocklist adoption spreads from the big curated lists
+    /// outward. Ties (equal reject-list sizes, which at small scales is
+    /// *most* of the list) break by ascending instance index,
+    /// explicitly: the comparator key is `(Reverse(rejects), index)`, so
+    /// seed-identical worlds can never produce permuted rollout waves.
+    /// The dynamics engine's `NetworkState` carries this order verbatim.
     pub fn adoption_order(&self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.instances.len())
+        let mut order: Vec<usize> = (0..self.len())
             .filter(|&i| {
-                let m = &self.instances[i].moderation;
+                let m = &self.moderation[i];
                 m.simple.is_some() || m.enabled.iter().any(|k| !k.default_enabled())
             })
             .collect();
-        order.sort_by_key(|&i| (std::cmp::Reverse(self.instances[i].outgoing_rejects()), i));
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.outgoing_rejects(i)), i));
         order
     }
 
@@ -189,7 +291,7 @@ impl ScenarioSeeds {
         FailureMode::PAPER_TAXONOMY
             .iter()
             .map(|&(mode, _)| {
-                let n = self.instances.iter().filter(|s| s.failure == mode).count() as u32;
+                let n = self.failures.iter().filter(|&&f| f == mode).count() as u32;
                 (mode, n)
             })
             .filter(|&(_, n)| n > 0)
@@ -198,9 +300,7 @@ impl ScenarioSeeds {
 
     /// Looks up an instance index by domain.
     pub fn index_of(&self, domain: &str) -> Option<usize> {
-        self.instances
-            .iter()
-            .position(|s| s.domain.as_str() == domain)
+        self.domains.iter().position(|d| d.as_str() == domain)
     }
 }
 
@@ -217,12 +317,50 @@ mod tests {
     fn extraction_is_deterministic() {
         let a = seeds();
         let b = seeds();
-        assert_eq!(a.instances.len(), b.instances.len());
+        assert_eq!(a.len(), b.len());
         assert_eq!(a.links, b.links);
-        for (x, y) in a.instances.iter().zip(&b.instances) {
-            assert_eq!(x.domain, y.domain);
-            assert_eq!(x.templates.len(), y.templates.len());
+        assert_eq!(a.domains, b.domains);
+        for (x, y) in a.templates.iter().zip(&b.templates) {
+            assert_eq!(x.len(), y.len());
         }
+    }
+
+    #[test]
+    fn streamed_extraction_matches_materialised() {
+        // The memory-bounded path must be the same extract, column for
+        // column — this is the contract that lets 1.0-scale runs skip
+        // `World::generate` entirely.
+        let config = WorldConfig::test_small();
+        let via_world = ScenarioSeeds::from_world(&World::generate(config.clone()));
+        let streamed = ScenarioSeeds::from_config_streamed(&config, &SeedKnobs::default());
+        assert_eq!(via_world.seed, streamed.seed);
+        assert_eq!(via_world.domains, streamed.domains);
+        assert_eq!(via_world.pleroma, streamed.pleroma);
+        assert_eq!(via_world.failures, streamed.failures);
+        assert_eq!(via_world.users, streamed.users);
+        assert_eq!(via_world.posts_full_scale, streamed.posts_full_scale);
+        assert_eq!(via_world.rejects_received, streamed.rejects_received);
+        assert_eq!(via_world.links, streamed.links);
+        for (i, (a, b)) in via_world
+            .templates
+            .iter()
+            .zip(&streamed.templates)
+            .enumerate()
+        {
+            assert_eq!(a.len(), b.len(), "template count of instance {i}");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.author, y.author);
+                assert_eq!(x.content, y.content);
+            }
+        }
+        for i in 0..via_world.len() {
+            assert_eq!(
+                via_world.outgoing_rejects(i),
+                streamed.outgoing_rejects(i),
+                "moderation of instance {i}"
+            );
+        }
+        assert_eq!(via_world.adoption_order(), streamed.adoption_order());
     }
 
     #[test]
@@ -231,7 +369,7 @@ mod tests {
         assert!(!s.links.is_empty());
         for &(i, j) in &s.links {
             assert!(i < j, "({i},{j}) must be ordered");
-            assert!((j as usize) < s.instances.len());
+            assert!((j as usize) < s.len());
         }
         let mut sorted = s.links.clone();
         sorted.sort_unstable();
@@ -245,8 +383,45 @@ mod tests {
         let order = s.adoption_order();
         assert!(!order.is_empty());
         for w in order.windows(2) {
-            assert!(s.instances[w[0]].outgoing_rejects() >= s.instances[w[1]].outgoing_rejects());
+            assert!(s.outgoing_rejects(w[0]) >= s.outgoing_rejects(w[1]));
         }
+    }
+
+    #[test]
+    fn adoption_order_ties_break_by_index_deterministically() {
+        // The §4 reject-count distribution is heavy-tailed: at any scale
+        // most adopters share a reject-list size, so the tie-break — not
+        // the primary key — decides most of the wave order. Pin it:
+        // equal keys must order by ascending instance index, and two
+        // extractions of the same seed must agree element-wise (a
+        // permuted wave order would silently change every rollout
+        // trace).
+        let s = seeds();
+        let order = s.adoption_order();
+        let mut saw_tie = false;
+        for w in order.windows(2) {
+            let (a, b) = (s.outgoing_rejects(w[0]), s.outgoing_rejects(w[1]));
+            if a == b {
+                saw_tie = true;
+                assert!(
+                    w[0] < w[1],
+                    "tie on {a} rejects must order by index: {} before {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        assert!(saw_tie, "the tie-break path must actually be exercised");
+        assert_eq!(order, seeds().adoption_order(), "element-wise stable");
+        // And the order is exactly the explicit sort it documents.
+        let mut expected: Vec<usize> = (0..s.len())
+            .filter(|&i| {
+                let m = &s.moderation[i];
+                m.simple.is_some() || m.enabled.iter().any(|k| !k.default_enabled())
+            })
+            .collect();
+        expected.sort_by_key(|&i| (std::cmp::Reverse(s.outgoing_rejects(i)), i));
+        assert_eq!(order, expected);
     }
 
     #[test]
@@ -265,12 +440,33 @@ mod tests {
                 include_non_pleroma: false,
             },
         );
-        assert!(s.instances.iter().all(|i| i.pleroma));
-        for inst in &s.instances {
-            assert!(inst.templates.len() <= 5);
-            for t in &inst.templates {
+        assert!(s.pleroma.iter().all(|&p| p));
+        for templates in &s.templates {
+            assert!(templates.len() <= 5);
+            for t in templates.iter() {
                 assert!(!t.content.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn post_bodies_are_shared_not_copied() {
+        // The seed template aliases the world post's allocation — the
+        // whole point of the Arc<str> body representation.
+        let world = World::generate(WorldConfig::test_small());
+        let s = ScenarioSeeds::from_world(&world);
+        let (i, t) = s
+            .templates
+            .iter()
+            .enumerate()
+            .find_map(|(i, ts)| ts.first().map(|t| (i, t)))
+            .expect("some instance has templates");
+        let inst = world.by_domain(s.domains[i].as_str()).unwrap();
+        let shared = inst
+            .users
+            .iter()
+            .flat_map(|u| &u.posts)
+            .any(|p| Arc::ptr_eq(&p.content, &t.content));
+        assert!(shared, "template body must alias a world post body");
     }
 }

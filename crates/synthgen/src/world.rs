@@ -6,9 +6,11 @@ use crate::content::ContentComposer;
 use crate::harm::{HarmProfile, UserHarm};
 use crate::moderation::{self, ModerationPlan};
 use crate::population::{self, InstanceSkeleton};
+use fediscope_core::catalog::PolicyKind;
 use fediscope_core::config::InstanceModerationConfig;
 use fediscope_core::id::{Domain, InstanceId, PostId, UserId, UserRef};
 use fediscope_core::model::{InstanceProfile, MediaAttachment, MediaKind, Post, User, Visibility};
+use fediscope_core::mrf::policies::SimplePolicy;
 use fediscope_core::paper;
 use fediscope_core::time::{CAMPAIGN_END, CAMPAIGN_START};
 use fediscope_simnet::FailureMode;
@@ -16,9 +18,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A generated user with their ground-truth harm profile and posts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct GeneratedUser {
     /// The account record.
     pub user: User,
@@ -31,7 +34,10 @@ pub struct GeneratedUser {
 
 /// A generated instance: everything the materialiser needs to spin up a
 /// server, and the ground truth the calibration tests verify against.
-#[derive(Debug, Clone)]
+/// Serializable so streamed generation ([`World::generate_streamed`])
+/// can shard a world to disk one JSON record at a time (see
+/// [`ShardWriter`]).
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct GeneratedInstance {
     /// Identity and flags.
     pub profile: InstanceProfile,
@@ -44,7 +50,11 @@ pub struct GeneratedInstance {
     /// Users with their posts.
     pub users: Vec<GeneratedUser>,
     /// Domains this instance has ever federated with (Peers API payload).
-    pub peers: Vec<Domain>,
+    /// Shared, not owned: the peer topology is built once at the network
+    /// stage and every instance holds a refcount on its list, so cloning
+    /// an instance (or streaming one out of the generator) never copies
+    /// domain vectors.
+    pub peers: Arc<[Domain]>,
     /// Full-scale post count (before `post_scale` sampling) — what the
     /// instance's metadata would have reported in the real world.
     pub posts_full_scale: u64,
@@ -86,6 +96,113 @@ pub struct World {
     pub directory: Vec<Domain>,
 }
 
+/// Receives generated instances as they stream out of the chunked
+/// per-instance stage, in index order. A sink that extracts what it needs
+/// and drops the rest (seed columns, disk shards) bounds the resident set
+/// to one chunk ([`WORLDGEN_CHUNK`]) of instances instead of the whole
+/// corpus — the difference between a 1.0-scale world fitting in a CI
+/// container and not.
+pub trait WorldSink {
+    /// One generated instance. `index` is the world instance index
+    /// (`InstanceId` order); calls arrive strictly in index order.
+    fn instance(&mut self, index: usize, instance: GeneratedInstance);
+}
+
+/// Instances generated (and handed to the sink) per streaming chunk.
+/// Fixed — never derived from the pool size — so chunk boundaries are
+/// identical at any `FEDISCOPE_THREADS` and the bit-identity contract
+/// holds trivially.
+pub const WORLDGEN_CHUNK: usize = 512;
+
+/// The owned inputs of one instance's private generation stage: built by
+/// consuming the network-stage outputs (skeletons, moderation plan,
+/// peer topology), so the expensive pieces — the profile, the
+/// `SimplePolicy` target lists, the peer list — move into the generated
+/// instance instead of being cloned per instance.
+struct InstanceJob {
+    index: usize,
+    skel: InstanceSkeleton,
+    character: InstanceCharacter,
+    timeline_open: bool,
+    rejected: bool,
+    rejects_received: u32,
+    enabled: Vec<PolicyKind>,
+    simple: Option<SimplePolicy>,
+    peers: Arc<[Domain]>,
+}
+
+struct CollectSink {
+    instances: Vec<GeneratedInstance>,
+}
+
+impl WorldSink for CollectSink {
+    fn instance(&mut self, index: usize, instance: GeneratedInstance) {
+        debug_assert_eq!(index, self.instances.len(), "sink order contract");
+        self.instances.push(instance);
+    }
+}
+
+/// A [`WorldSink`] that shards the world to disk as it streams: one JSON
+/// record per instance, newline-delimited, in index order. Each instance
+/// is serialized and dropped immediately, so generating a 1.0-scale world
+/// to a shard file costs one chunk of resident instances — the corpus
+/// only ever exists on disk.
+///
+/// ```no_run
+/// # use fediscope_synthgen::{ShardWriter, World, WorldConfig};
+/// let file = std::fs::File::create("world.ndjson").unwrap();
+/// let mut sink = ShardWriter::new(std::io::BufWriter::new(file));
+/// let directory = World::generate_streamed(&WorldConfig::paper(), &mut sink);
+/// let (writer, count) = sink.finish().unwrap();
+/// # let _ = (directory, writer, count);
+/// ```
+pub struct ShardWriter<W: std::io::Write> {
+    out: W,
+    written: usize,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> ShardWriter<W> {
+    /// Wraps a writer (buffer it — one `write_all` per instance).
+    pub fn new(out: W) -> Self {
+        ShardWriter {
+            out,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Flushes and returns the writer and the number of records written.
+    /// Surfaces any I/O error swallowed mid-stream (the [`WorldSink`]
+    /// contract is infallible, so errors are deferred to here).
+    pub fn finish(mut self) -> std::io::Result<(W, usize)> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok((self.out, self.written))
+    }
+}
+
+impl<W: std::io::Write> WorldSink for ShardWriter<W> {
+    fn instance(&mut self, index: usize, instance: GeneratedInstance) {
+        if self.error.is_some() {
+            return;
+        }
+        debug_assert_eq!(index, self.written, "sink order contract");
+        let result = serde_json::to_string(&instance)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+            .and_then(|line| {
+                self.out.write_all(line.as_bytes())?;
+                self.out.write_all(b"\n")
+            });
+        match result {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
 impl World {
     /// Generates a world. Deterministic in `config.seed`.
     ///
@@ -99,63 +216,95 @@ impl World {
     /// never a single draw, so the world is bit-identical at any
     /// `FEDISCOPE_THREADS` — pinned by the `worldgen_identity` proptest
     /// in `fediscope-bench`.
+    ///
+    /// This materialises the whole corpus in RAM. At 1.0 scale that is
+    /// millions of users and hundreds of thousands of composed posts —
+    /// use [`World::generate_streamed`] with a memory-bounded sink (or
+    /// [`crate::ScenarioSeeds::from_config_streamed`]) when the caller
+    /// only needs a projection of the world.
     pub fn generate(config: WorldConfig) -> World {
+        let mut sink = CollectSink {
+            instances: Vec::new(),
+        };
+        let directory = World::generate_streamed(&config, &mut sink);
+        World {
+            config,
+            instances: sink.instances,
+            directory,
+        }
+    }
+
+    /// Streaming generation: identical draws, identical instances, but
+    /// each generated instance is handed to `sink` (in index order) as
+    /// soon as its chunk completes instead of being accumulated. Peak
+    /// memory is the network-stage skeletons plus one [`WORLDGEN_CHUNK`]
+    /// of fully-generated instances, independent of what the sink
+    /// retains. Returns the seed directory.
+    ///
+    /// `World::generate` is exactly this with a collecting sink, so the
+    /// bit-identity contract covers both paths with one digest.
+    pub fn generate_streamed(config: &WorldConfig, sink: &mut dyn WorldSink) -> Vec<Domain> {
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let skeletons = population::generate_population(&config, &mut rng);
-        let plan = moderation::plan(&skeletons, &config, &mut rng);
+        let skeletons = population::generate_population(config, &mut rng);
+        let plan = moderation::plan(&skeletons, config, &mut rng);
         let characters = assign_characters(&skeletons, &plan, &mut rng);
-        let timeline_open = fix_timelines(&skeletons, &plan, &config, &mut rng);
+        let timeline_open = fix_timelines(&skeletons, &plan, config, &mut rng);
         let directory = build_directory(&skeletons, &mut rng);
         let peers = build_peers(&skeletons, &directory, &mut rng);
+        let peers: Vec<Arc<[Domain]>> = peers.into_iter().map(Arc::from).collect();
+
+        // Consume every network-stage output into owned per-instance
+        // jobs: profiles, policy target lists and peer lists *move* from
+        // here on — the clone-per-instance chains this replaces were the
+        // single largest allocation source in generation.
+        let moderation::ModerationPlan {
+            enabled,
+            simple,
+            reject_counts,
+        } = plan;
+        let jobs: Vec<InstanceJob> = skeletons
+            .into_iter()
+            .zip(enabled)
+            .zip(simple)
+            .zip(peers)
+            .enumerate()
+            .map(|(index, (((skel, enabled), simple), peers))| InstanceJob {
+                index,
+                skel,
+                character: characters[index],
+                timeline_open: timeline_open[index],
+                rejected: reject_counts.contains_key(&index),
+                rejects_received: reject_counts.get(&index).copied().unwrap_or(0),
+                enabled,
+                simple,
+                peers,
+            })
+            .collect();
 
         let harm_profile = HarmProfile::new();
         let composer = ContentComposer::new();
         let seed = config.seed;
-        let instances: Vec<GeneratedInstance> = (0..skeletons.len())
-            .into_par_iter()
-            .map(|i| {
-                let skel = &skeletons[i];
-                let mut rng = SmallRng::seed_from_u64(instance_stream_seed(seed, i as u64));
-                let mut profile = skel.profile.clone();
-                profile.public_timeline_open = timeline_open[i];
-                let rejected = plan.reject_counts.contains_key(&i);
-                let users = if skel.profile.is_pleroma() && skel.crawlable() {
-                    generate_users(
-                        &config,
-                        skel,
-                        characters[i],
-                        rejected,
-                        &harm_profile,
-                        &composer,
-                        &mut rng,
+        let mut jobs = jobs.into_iter();
+        loop {
+            let batch: Vec<InstanceJob> = jobs.by_ref().take(WORLDGEN_CHUNK).collect();
+            if batch.is_empty() {
+                break;
+            }
+            let generated: Vec<(usize, GeneratedInstance)> = batch
+                .into_par_iter()
+                .map(|job| {
+                    let index = job.index;
+                    (
+                        index,
+                        generate_instance(config, seed, job, &harm_profile, &composer),
                     )
-                } else {
-                    Vec::new()
-                };
-                let mut moderation_config = InstanceModerationConfig::default();
-                for &kind in &plan.enabled[i] {
-                    moderation_config.enable(kind);
-                }
-                if let Some(simple) = &plan.simple[i] {
-                    moderation_config.set_simple(simple.clone());
-                }
-                GeneratedInstance {
-                    profile,
-                    failure: skel.failure,
-                    moderation: moderation_config,
-                    character: characters[i],
-                    users,
-                    peers: peers[i].clone(),
-                    posts_full_scale: skel.posts_full_scale,
-                    rejects_received: plan.reject_counts.get(&i).copied().unwrap_or(0),
-                }
-            })
-            .collect();
-        World {
-            config,
-            instances,
-            directory,
+                })
+                .collect();
+            for (index, instance) in generated {
+                sink.instance(index, instance);
+            }
         }
+        directory
     }
 
     /// Crawlable Pleroma instances.
@@ -188,8 +337,63 @@ impl World {
     }
 
     /// The factor converting sampled post counts back to paper scale.
+    ///
+    /// Two knobs thin the corpus independently: `scale` drops whole
+    /// instances (and their full post mass with them) and `post_scale`
+    /// subsamples each surviving user's posts — so the full-scale
+    /// estimate must divide by *both*. (Dividing by `post_scale` alone
+    /// only un-does the per-user sampling and under-extrapolates
+    /// whenever `scale < 1`.)
     pub fn post_extrapolation(&self) -> f64 {
-        1.0 / self.config.post_scale
+        1.0 / (self.config.scale * self.config.post_scale)
+    }
+}
+
+/// One instance's private generation stage, consuming its [`InstanceJob`]:
+/// the profile, policy config and peer list move into the result — no
+/// per-instance clones. Draw order is exactly the pre-streaming code's,
+/// so digests are unchanged.
+fn generate_instance(
+    config: &WorldConfig,
+    seed: u64,
+    job: InstanceJob,
+    harm_profile: &HarmProfile,
+    composer: &ContentComposer,
+) -> GeneratedInstance {
+    let mut rng = SmallRng::seed_from_u64(instance_stream_seed(seed, job.index as u64));
+    let users = if job.skel.profile.is_pleroma() && job.skel.crawlable() {
+        generate_users(
+            config,
+            &job.skel,
+            job.character,
+            job.rejected,
+            harm_profile,
+            composer,
+            &mut rng,
+        )
+    } else {
+        Vec::new()
+    };
+    let mut moderation = InstanceModerationConfig::default();
+    for kind in job.enabled {
+        moderation.enable(kind);
+    }
+    if let Some(simple) = job.simple {
+        moderation.set_simple(simple);
+    }
+    let failure = job.skel.failure;
+    let posts_full_scale = job.skel.posts_full_scale;
+    let mut profile = job.skel.profile;
+    profile.public_timeline_open = job.timeline_open;
+    GeneratedInstance {
+        profile,
+        failure,
+        moderation,
+        character: job.character,
+        users,
+        peers: job.peers,
+        posts_full_scale,
+        rejects_received: job.rejects_received,
     }
 }
 
@@ -642,7 +846,7 @@ mod tests {
             if !(inst.profile.is_pleroma() && inst.crawlable()) {
                 continue;
             }
-            for p in &inst.peers {
+            for p in inst.peers.iter() {
                 if discovered.insert(p.as_str()) {
                     frontier.push(p.as_str());
                 }
@@ -754,7 +958,73 @@ mod tests {
 
     #[test]
     fn extrapolation_factor() {
+        // test_small: scale 0.1 × post_scale 0.002 — the full-scale
+        // factor must undo both thinning knobs, not post_scale alone.
         let world = small_world();
-        assert!((world.post_extrapolation() - 500.0).abs() < 1e-9);
+        assert!((world.post_extrapolation() - 5000.0).abs() < 1e-9);
+        // At scale 1.0 the factor degenerates to 1 / post_scale.
+        let full = World {
+            config: WorldConfig::paper(),
+            instances: Vec::new(),
+            directory: Vec::new(),
+        };
+        assert!((full.post_extrapolation() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_generation_matches_collected() {
+        // The streaming path is the collecting path: same directory,
+        // same instances, in index order, with shared (not copied) peer
+        // lists.
+        struct Probe {
+            domains: Vec<String>,
+            posts: u64,
+            next: usize,
+        }
+        impl WorldSink for Probe {
+            fn instance(&mut self, index: usize, inst: GeneratedInstance) {
+                assert_eq!(index, self.next, "instances must stream in order");
+                self.next += 1;
+                self.domains.push(inst.profile.domain.as_str().to_string());
+                self.posts += inst.post_count() as u64;
+            }
+        }
+        let mut probe = Probe {
+            domains: Vec::new(),
+            posts: 0,
+            next: 0,
+        };
+        let config = WorldConfig::test_small();
+        let directory = World::generate_streamed(&config, &mut probe);
+        let world = small_world();
+        assert_eq!(directory, world.directory);
+        assert_eq!(probe.domains.len(), world.instances.len());
+        assert_eq!(probe.posts, world.total_posts());
+        for (inst, streamed) in world.instances.iter().zip(&probe.domains) {
+            assert_eq!(inst.profile.domain.as_str(), streamed);
+        }
+    }
+
+    #[test]
+    fn shard_writer_emits_one_parseable_record_per_instance_in_order() {
+        let config = WorldConfig::test_small();
+        let mut sink = ShardWriter::new(Vec::new());
+        World::generate_streamed(&config, &mut sink);
+        let (bytes, written) = sink.finish().expect("in-memory sink cannot fail");
+
+        let world = small_world();
+        assert_eq!(written, world.instances.len());
+        let shards = String::from_utf8(bytes).expect("shards are utf-8 json");
+        let lines: Vec<&str> = shards.lines().collect();
+        assert_eq!(lines.len(), written);
+        for (inst, line) in world.instances.iter().zip(&lines) {
+            let record: serde_json::Value =
+                serde_json::from_str(line).expect("each shard line parses");
+            assert_eq!(
+                record["profile"]["domain"].as_str(),
+                Some(inst.profile.domain.as_str()),
+                "shards stream in index order"
+            );
+        }
     }
 }

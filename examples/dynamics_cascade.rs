@@ -22,7 +22,7 @@ fn main() {
     let seeds = ScenarioSeeds::from_world(&world);
     println!(
         "  {} instances, {} federation links",
-        seeds.instances.len(),
+        seeds.len(),
         seeds.links.len()
     );
 

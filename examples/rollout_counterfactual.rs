@@ -41,7 +41,7 @@ fn main() {
     let seeds = Arc::new(ScenarioSeeds::from_world(&world));
     println!(
         "  {} instances, {} federation links",
-        seeds.instances.len(),
+        seeds.len(),
         seeds.links.len()
     );
 

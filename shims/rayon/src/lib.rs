@@ -280,6 +280,41 @@ impl<'data, T: Sync + 'data> IntoParallelIterator for &'data Vec<T> {
     }
 }
 
+/// Owned-`Vec` parallel iterator (`vec.into_par_iter()`): elements move
+/// to exactly one worker each. Slots hand elements out by value from
+/// `&self` (the driver visits every index exactly once, so each take
+/// succeeds; the mutex is uncontended — one lock per element).
+pub struct VecParIter<T: Send> {
+    slots: Vec<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn pi_len(&self) -> usize {
+        self.slots.len()
+    }
+    fn pi_get(&self, index: usize) -> T {
+        self.slots[index]
+            .lock()
+            .expect("vec par-iter slot poisoned")
+            .take()
+            .expect("vec par-iter element taken twice")
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter {
+            slots: self
+                .into_iter()
+                .map(|v| std::sync::Mutex::new(Some(v)))
+                .collect(),
+        }
+    }
+}
+
 /// Owned range parallel iterator (`(0..n).into_par_iter()`).
 pub struct RangeParIter {
     start: usize,

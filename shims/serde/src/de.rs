@@ -215,6 +215,15 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
     }
 }
 
+// Mirrors serde's `rc` feature for shared string slices (interned post
+// bodies and the like): deserialize through an owned `String`, then move
+// into the shared allocation.
+impl<'de> Deserialize<'de> for std::sync::Arc<str> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        String::deserialize(deserializer).map(std::sync::Arc::from)
+    }
+}
+
 macro_rules! de_tuple {
     ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
         impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {

@@ -28,7 +28,9 @@ fn usage() -> ExitCode {
     eprintln!("fediscope — measure content moderation in a (synthetic) fediverse");
     eprintln!();
     eprintln!("USAGE:");
-    eprintln!("  fediscope crawl [--scale S] [--post-scale P] [--seed N] [--out FILE]");
+    eprintln!(
+        "  fediscope crawl [--scale S] [--post-scale P] [--seed N] [--peer-cap K] [--out FILE]"
+    );
     eprintln!("  fediscope report FILE <census|headline|table1|table2|fig1|fig2|fig3|curate|ablation|graph>");
     eprintln!("  fediscope dynamics <rollout|cascade|churn|storm|composite> [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE] [--telemetry-out FILE]");
     eprintln!("  fediscope dynamics census [--scale S] [--seed N] [--ticks T] [--census-every C] [--threads W] [--out FILE] [--telemetry-out FILE]");
@@ -208,7 +210,7 @@ fn experiment(args: &[String]) -> ExitCode {
         "running {} paired arms ({} baseline) over {} instances / {} links for {ticks} ticks ...",
         arm_names.len(),
         baseline,
-        seeds.instances.len(),
+        seeds.len(),
         seeds.links.len()
     );
     let result = experiment.run();
@@ -302,7 +304,7 @@ fn dynamics(args: &[String]) -> ExitCode {
     eprintln!(
         "running {} over {} instances / {} links for {ticks} ticks ...",
         which,
-        seeds.instances.len(),
+        seeds.len(),
         seeds.links.len()
     );
     let trace = engine.run(scenario.as_mut());
@@ -377,7 +379,7 @@ fn census(
         eprintln!(
             "round-tripping {} over {} instances for {ticks} ticks (census every {every_ticks}) ...",
             scenario.sub_names().join("+"),
-            seeds.instances.len(),
+            seeds.len(),
         );
         fediscope::census::run_round_trip_seeded(
             &world,
@@ -440,6 +442,10 @@ fn crawl(args: &[String]) -> ExitCode {
     if let Some(n) = parse_flag(args, "--seed").and_then(|v| v.parse().ok()) {
         config.seed = n;
     }
+    // §3 methodology: the real crawl saw truncated Peers responses, so a
+    // capped crawl reproduces the directory-thinned census (and its
+    // under-count — see `fediscope-analysis::calibration`).
+    let peer_cap = parse_flag(args, "--peer-cap").and_then(|v| v.parse::<usize>().ok());
     let out = parse_flag(args, "--out").unwrap_or_else(|| "dataset.json".to_string());
 
     let rt = tokio::runtime::Builder::new_multi_thread()
@@ -459,7 +465,14 @@ fn crawl(args: &[String]) -> ExitCode {
             world.total_posts()
         );
         eprintln!("running the measurement campaign ...");
-        let dataset = harness::crawl_world(&world, CrawlerConfig::default()).await;
+        if let Some(cap) = peer_cap {
+            eprintln!("  (peer lists thinned to first {cap} — expect an under-count)");
+        }
+        let crawler_config = CrawlerConfig {
+            peer_list_cap: peer_cap,
+            ..CrawlerConfig::default()
+        };
+        let dataset = harness::crawl_world(&world, crawler_config).await;
         eprintln!(
             "  crawled {} domains, collected {} posts",
             dataset.instances.len(),

@@ -90,7 +90,7 @@ fn materialize_inner(world: &World, include_failed: bool) -> Materialized {
             for post in inst.posts_sorted() {
                 server.install_post(post.clone());
             }
-            for peer in &inst.peers {
+            for peer in inst.peers.iter() {
                 server.note_peer(peer);
             }
             (inst.profile.domain.clone(), server)

@@ -137,7 +137,7 @@ fn rewrites_compose_across_policies_in_order() {
     let ctx = ctx_on(&local, &dir);
     let outcome = pipeline.filter(&ctx, remote_note("a.example", "<p>elixir rocks</p>"));
     let act = outcome.verdict.expect_pass();
-    assert_eq!(act.note().unwrap().content, "rust rocks");
+    assert_eq!(&*act.note().unwrap().content, "rust rocks");
 }
 
 #[test]
