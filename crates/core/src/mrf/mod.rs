@@ -36,6 +36,23 @@ pub use verdict::{PolicyVerdict, RejectReason};
 
 use crate::catalog::PolicyKind;
 use crate::model::Activity;
+use crate::time::SimTime;
+
+/// Verdict of the borrow-based fast path ([`MrfPolicy::judge_ref`]).
+///
+/// Unlike [`PolicyVerdict`], a rejection carries only the rejecting
+/// policy's [`PolicyKind`] — no allocated reason string — so bulk
+/// simulation can tally millions of verdicts without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefVerdict {
+    /// The activity would flow through this policy unchanged.
+    Pass,
+    /// The activity would be rejected by the named policy.
+    Reject(PolicyKind),
+    /// This policy would (or might) rewrite the activity; the caller
+    /// must fall back to the owning [`MrfPolicy::filter`] path.
+    NeedsClone,
+}
 
 /// A single MRF policy.
 ///
@@ -48,6 +65,49 @@ pub trait MrfPolicy: Send + Sync {
 
     /// Filter one activity: pass it through (possibly rewritten) or reject.
     fn filter(&self, ctx: &PolicyContext<'_>, activity: Activity) -> PolicyVerdict;
+
+    /// Whether this policy may *rewrite* activities it passes through.
+    ///
+    /// `false` promises that every `Pass` verdict returns the activity
+    /// byte-identical to its input (rejections and side effects are still
+    /// allowed). The default is the conservative `true`; pure policies
+    /// override it so [`MrfPipeline::filter_fast_ref`] can judge borrowed
+    /// activities without cloning.
+    fn rewrites_content(&self) -> bool {
+        true
+    }
+
+    /// Judge a borrowed activity as if its `published` stamp (and the
+    /// enclosed post's `created` stamp) were `published`, without taking
+    /// ownership.
+    ///
+    /// Must decide exactly as [`filter`](Self::filter) would on a clone
+    /// stamped with `published`: `Pass` iff the clone would pass
+    /// *unmodified*, `Reject` iff it would be rejected, and `NeedsClone`
+    /// whenever this policy would rewrite this particular activity. The
+    /// default delegates to `filter` on a stamped clone when
+    /// [`rewrites_content`](Self::rewrites_content) is `false` (sound:
+    /// such a policy never rewrites), and returns `NeedsClone` otherwise.
+    /// Hot policies override this with a true borrow-based judgement.
+    fn judge_ref(
+        &self,
+        ctx: &PolicyContext<'_>,
+        activity: &Activity,
+        published: SimTime,
+    ) -> RefVerdict {
+        if self.rewrites_content() {
+            return RefVerdict::NeedsClone;
+        }
+        let mut stamped = activity.clone();
+        stamped.published = published;
+        if let Some(post) = stamped.note_mut() {
+            post.created = published;
+        }
+        match self.filter(ctx, stamped) {
+            PolicyVerdict::Pass(_) => RefVerdict::Pass,
+            PolicyVerdict::Reject(reason) => RefVerdict::Reject(reason.policy),
+        }
+    }
 
     /// Human-readable one-line summary of this policy's configuration,
     /// rendered into the instance metadata the crawler scrapes.

@@ -40,10 +40,11 @@
 use super::context::PolicyContext;
 use super::policies::{SimpleAction, SimplePolicy};
 use super::verdict::{PolicyVerdict, RejectReason};
-use super::MrfPolicy;
+use super::{MrfPolicy, RefVerdict};
 use crate::catalog::PolicyKind;
 use crate::id::Domain;
 use crate::model::Activity;
+use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -275,6 +276,35 @@ impl MrfPipeline {
             }
         }
         PolicyVerdict::Pass(current)
+    }
+
+    /// Judges a *borrowed* activity through the chain, clone free.
+    ///
+    /// Decision semantics are identical to [`filter_fast`](Self::filter_fast)
+    /// run on a clone stamped with `published` (activity `published` and
+    /// post `created` overridden) — same skip mask, same short-circuit on
+    /// first rejection — as long as every stage judges by borrow. The
+    /// first stage that would rewrite this particular activity returns
+    /// [`RefVerdict::NeedsClone`], which aborts the walk: the caller must
+    /// re-run the owning path so downstream stages see the rewrite. The
+    /// `filter_fast_ref_agrees_with_filter_fast` proptest in
+    /// [`super::proptests`] pins the equivalence across the catalog.
+    pub fn filter_fast_ref(
+        &self,
+        ctx: &PolicyContext<'_>,
+        activity: &Activity,
+        published: SimTime,
+    ) -> RefVerdict {
+        for (policy, &skip) in self.policies.iter().zip(&self.skip) {
+            if skip {
+                continue;
+            }
+            match policy.judge_ref(ctx, activity, published) {
+                RefVerdict::Pass => {}
+                decided => return decided,
+            }
+        }
+        RefVerdict::Pass
     }
 }
 

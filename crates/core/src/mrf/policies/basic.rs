@@ -6,7 +6,8 @@ use crate::id::{Domain, UserId};
 use crate::model::Activity;
 use crate::mrf::context::PolicyContext;
 use crate::mrf::verdict::{PolicyVerdict, RejectReason};
-use crate::mrf::MrfPolicy;
+use crate::mrf::{MrfPolicy, RefVerdict};
+use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -22,6 +23,14 @@ impl MrfPolicy for NoOpPolicy {
 
     fn filter(&self, _ctx: &PolicyContext<'_>, activity: Activity) -> PolicyVerdict {
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, _: &Activity, _: SimTime) -> RefVerdict {
+        RefVerdict::Pass
     }
 }
 
@@ -41,6 +50,14 @@ impl MrfPolicy for DropPolicy {
             "drop_all",
             "DropPolicy drops every activity",
         ))
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, _: &Activity, _: SimTime) -> RefVerdict {
+        RefVerdict::Reject(PolicyKind::Drop)
     }
 }
 
@@ -73,6 +90,19 @@ impl MrfPolicy for BlockPolicy {
             ));
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        let origin = activity.origin();
+        if self.blocked.iter().any(|b| origin.matches(b)) {
+            RefVerdict::Reject(PolicyKind::Block)
+        } else {
+            RefVerdict::Pass
+        }
     }
 }
 
@@ -117,6 +147,19 @@ impl MrfPolicy for UserAllowListPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        match self.allowed.get(activity.origin()) {
+            Some(users) if !users.contains(&activity.actor.user) => {
+                RefVerdict::Reject(PolicyKind::UserAllowList)
+            }
+            _ => RefVerdict::Pass,
+        }
     }
 }
 

@@ -6,7 +6,8 @@ use crate::id::UserRef;
 use crate::model::{Activity, ActivityKind, Visibility};
 use crate::mrf::context::{PolicyContext, SideEffect};
 use crate::mrf::verdict::{PolicyVerdict, RejectReason};
-use crate::mrf::MrfPolicy;
+use crate::mrf::{MrfPolicy, RefVerdict};
+use crate::time::SimTime;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -32,6 +33,18 @@ impl MrfPolicy for AntiFollowbotPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, ctx: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if activity.kind == ActivityKind::Follow && ctx.actors.is_bot(&activity.actor) {
+            RefVerdict::Reject(PolicyKind::AntiFollowbot)
+        } else {
+            RefVerdict::Pass
+        }
+    }
 }
 
 /// `ForceBotUnlistedPolicy` — "Makes all bot posts disappear from public
@@ -53,6 +66,18 @@ impl MrfPolicy for ForceBotUnlistedPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn judge_ref(&self, ctx: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if ctx.actors.is_bot(&activity.actor)
+            && activity
+                .note()
+                .is_some_and(|post| post.visibility == Visibility::Public)
+        {
+            RefVerdict::NeedsClone
+        } else {
+            RefVerdict::Pass
+        }
     }
 }
 
@@ -81,6 +106,19 @@ impl MrfPolicy for AntiLinkSpamPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, ctx: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if let Some(post) = activity.note() {
+            if post.has_links && ctx.actors.followers(&activity.actor) == Some(0) {
+                return RefVerdict::Reject(PolicyKind::AntiLinkSpam);
+            }
+        }
+        RefVerdict::Pass
     }
 }
 
@@ -126,6 +164,22 @@ impl MrfPolicy for FollowBotPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, ctx: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if activity.kind == ActivityKind::Create && !ctx.is_local(&activity.actor.domain) {
+            let mut seen = self.seen.lock();
+            if seen.insert(activity.actor.clone()) {
+                ctx.emit(SideEffect::AutoFollowed {
+                    target: activity.actor.clone(),
+                });
+            }
+        }
+        RefVerdict::Pass
     }
 }
 

@@ -6,7 +6,8 @@ use crate::catalog::PolicyKind;
 use crate::model::{Activity, ActivityKind, Visibility};
 use crate::mrf::context::PolicyContext;
 use crate::mrf::verdict::{PolicyVerdict, RejectReason};
-use crate::mrf::MrfPolicy;
+use crate::mrf::{MrfPolicy, RefVerdict};
+use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// What a [`KeywordRule`] does when it matches.
@@ -100,6 +101,32 @@ impl MrfPolicy for KeywordPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        let Some(post) = activity.note() else {
+            return RefVerdict::Pass;
+        };
+        for rule in &self.rules {
+            let subject_hit = post
+                .subject
+                .as_deref()
+                .map(|s| rule.matches(s))
+                .unwrap_or(false);
+            if !rule.matches(&post.content) && !subject_hit {
+                continue;
+            }
+            match &rule.action {
+                KeywordAction::Reject => return RefVerdict::Reject(PolicyKind::Keyword),
+                KeywordAction::FederatedTimelineRemoval => {
+                    if post.visibility == Visibility::Public {
+                        return RefVerdict::NeedsClone;
+                    }
+                }
+                KeywordAction::Replace(_) => return RefVerdict::NeedsClone,
+            }
+        }
+        RefVerdict::Pass
+    }
 }
 
 /// Case-insensitive substring replacement.
@@ -154,6 +181,20 @@ impl MrfPolicy for VocabularyPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if self.reject.contains(&activity.kind)
+            || (!self.accept.is_empty() && !self.accept.contains(&activity.kind))
+        {
+            RefVerdict::Reject(PolicyKind::Vocabulary)
+        } else {
+            RefVerdict::Pass
+        }
+    }
 }
 
 /// `NormalizeMarkup` — scrubs HTML markup down to plain text (Figure 1).
@@ -189,6 +230,13 @@ impl MrfPolicy for NormalizeMarkupPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        match activity.note() {
+            Some(post) if post.content.contains('<') => RefVerdict::NeedsClone,
+            _ => RefVerdict::Pass,
+        }
+    }
 }
 
 /// `NoEmptyPolicy` — denies *local* users posting empty notes (no text, no
@@ -215,6 +263,21 @@ impl MrfPolicy for NoEmptyPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, ctx: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if ctx.is_local(activity.origin()) {
+            if let Some(post) = activity.note() {
+                if post.content.trim().is_empty() && !post.has_media() {
+                    return RefVerdict::Reject(PolicyKind::NoEmpty);
+                }
+            }
+        }
+        RefVerdict::Pass
+    }
 }
 
 /// `NoPlaceholderTextPolicy` — strips placeholder bodies (`"."`) from posts
@@ -235,6 +298,16 @@ impl MrfPolicy for NoPlaceholderTextPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if let Some(post) = activity.note() {
+            let trimmed = post.content.trim();
+            if post.has_media() && (trimmed == "." || trimmed == "..") {
+                return RefVerdict::NeedsClone;
+            }
+        }
+        RefVerdict::Pass
     }
 }
 
@@ -269,6 +342,24 @@ impl MrfPolicy for RejectNonPublicPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if let Some(post) = activity.note() {
+            let verboten = match post.visibility {
+                Visibility::FollowersOnly => !self.allow_followers_only,
+                Visibility::Direct => !self.allow_direct,
+                Visibility::Public | Visibility::Unlisted => false,
+            };
+            if verboten {
+                return RefVerdict::Reject(PolicyKind::RejectNonPublic);
+            }
+        }
+        RefVerdict::Pass
     }
 }
 

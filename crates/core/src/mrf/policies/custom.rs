@@ -43,6 +43,10 @@ impl MrfPolicy for AmqpPolicy {
         });
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
 }
 
 /// `KanayaBlogProcessPolicy` — site-specific rewrite for a blog-bridging
@@ -143,6 +147,10 @@ impl MrfPolicy for BoardFilterPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
 }
 
 /// `BlockNotification` — tells the local admin when report (`Flag`)
@@ -162,6 +170,10 @@ impl MrfPolicy for BlockNotificationPolicy {
             });
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
     }
 }
 
@@ -183,6 +195,10 @@ impl MrfPolicy for NoIncomingDeletesPolicy {
             ));
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
     }
 }
 
@@ -237,6 +253,10 @@ impl MrfPolicy for RejectCloudflarePolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
 }
 
 /// `RacismRemover` — drops posts matching a racism keyword list.
@@ -264,6 +284,10 @@ impl MrfPolicy for RacismRemoverPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
 }
 
 /// `CdnWarmingPolicy` — primes a CDN cache with incoming attachments
@@ -286,6 +310,10 @@ impl MrfPolicy for CdnWarmingPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
 }
 
 /// `SogigiMindWarmingPolicy` — instance-specific media cache warmer.
@@ -306,6 +334,10 @@ impl MrfPolicy for SogigiMindWarmingPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
     }
 }
 
@@ -330,6 +362,10 @@ impl MrfPolicy for NotifyLocalUsersPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
 }
 
 /// `BonziEmojiReactions` — drops `EmojiReact` activities. (The paper's
@@ -351,6 +387,10 @@ impl MrfPolicy for BonziEmojiReactionsPolicy {
             ));
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
     }
 }
 
@@ -377,6 +417,10 @@ impl MrfPolicy for AutoRejectPolicy {
             ));
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
     }
 }
 
@@ -406,6 +450,10 @@ impl MrfPolicy for LocalOnlyPolicy {
             ));
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
     }
 }
 

@@ -6,8 +6,8 @@ use crate::id::Domain;
 use crate::model::Activity;
 use crate::mrf::context::{PolicyContext, SideEffect};
 use crate::mrf::verdict::PolicyVerdict;
-use crate::mrf::MrfPolicy;
-use crate::time::SimDuration;
+use crate::mrf::{MrfPolicy, RefVerdict};
+use crate::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -66,6 +66,10 @@ impl MrfPolicy for StealEmojiPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
 }
 
 /// `HashtagPolicy` — "List of hashtags to mark activities as sensitive
@@ -101,6 +105,20 @@ impl MrfPolicy for HashtagPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if let Some(post) = activity.note() {
+            let tagged = post
+                .hashtags
+                .iter()
+                .any(|h| self.sensitive_tags.iter().any(|s| s == h));
+            let already = post.sensitive && post.media.iter().all(|m| m.sensitive);
+            if tagged && !already {
+                return RefVerdict::NeedsClone;
+            }
+        }
+        RefVerdict::Pass
+    }
 }
 
 /// `MediaProxyWarmingPolicy` — "Crawls attachments using their MediaProxy
@@ -122,6 +140,10 @@ impl MrfPolicy for MediaProxyWarmingPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
     }
 }
 
@@ -157,6 +179,18 @@ impl MrfPolicy for ActivityExpirationPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn judge_ref(&self, ctx: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if ctx.is_local(&activity.actor.domain)
+            && activity
+                .note()
+                .is_some_and(|post| post.expires_at.is_none())
+        {
+            RefVerdict::NeedsClone
+        } else {
+            RefVerdict::Pass
+        }
     }
 }
 

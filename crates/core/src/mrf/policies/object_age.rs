@@ -9,8 +9,8 @@ use crate::catalog::PolicyKind;
 use crate::model::{Activity, Visibility};
 use crate::mrf::context::PolicyContext;
 use crate::mrf::verdict::{PolicyVerdict, RejectReason};
-use crate::mrf::MrfPolicy;
-use crate::time::SimDuration;
+use crate::mrf::{MrfPolicy, RefVerdict};
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Actions `ObjectAgePolicy` can take on over-age posts.
@@ -86,6 +86,35 @@ impl MrfPolicy for ObjectAgePolicy {
             post.followers_stripped = true;
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn judge_ref(
+        &self,
+        ctx: &PolicyContext<'_>,
+        activity: &Activity,
+        published: SimTime,
+    ) -> RefVerdict {
+        let Some(post) = activity.note() else {
+            return RefVerdict::Pass; // only Creates carry an age
+        };
+        // The borrowed post's `created` is overridden by `published`, so
+        // age is judged against the override, exactly as `filter` would
+        // see it on a stamped clone.
+        let age = ctx.now.since(published);
+        if age <= self.threshold {
+            return RefVerdict::Pass;
+        }
+        if self.actions.contains(&ObjectAgeAction::Reject) {
+            return RefVerdict::Reject(PolicyKind::ObjectAge);
+        }
+        let would_delist = self.actions.contains(&ObjectAgeAction::Delist)
+            && post.visibility == Visibility::Public;
+        let would_strip = self.actions.contains(&ObjectAgeAction::StripFollowers);
+        if would_delist || would_strip {
+            RefVerdict::NeedsClone
+        } else {
+            RefVerdict::Pass
+        }
     }
 
     fn describe(&self) -> String {

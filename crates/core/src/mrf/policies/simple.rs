@@ -12,7 +12,8 @@ use crate::id::Domain;
 use crate::model::{Activity, ActivityKind, Visibility};
 use crate::mrf::context::{PolicyContext, ProfileImage, SideEffect};
 use crate::mrf::verdict::{PolicyVerdict, RejectReason};
-use crate::mrf::MrfPolicy;
+use crate::mrf::{MrfPolicy, RefVerdict};
+use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -367,6 +368,66 @@ impl MrfPolicy for SimplePolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn judge_ref(
+        &self,
+        ctx: &PolicyContext<'_>,
+        activity: &Activity,
+        _published: SimTime,
+    ) -> RefVerdict {
+        let origin = activity.origin();
+        if ctx.is_local(origin) {
+            return RefVerdict::Pass;
+        }
+        if self.matches(SimpleAction::Reject, origin) {
+            return RefVerdict::Reject(PolicyKind::Simple);
+        }
+        let whitelist = self.targets(SimpleAction::Accept);
+        if !whitelist.is_empty() && !whitelist.iter().any(|t| origin.matches(t)) {
+            return RefVerdict::Reject(PolicyKind::Simple);
+        }
+        if activity.kind == ActivityKind::Delete
+            && self.matches(SimpleAction::RejectDeletes, origin)
+        {
+            return RefVerdict::Reject(PolicyKind::Simple);
+        }
+        if activity.kind == ActivityKind::Flag && self.matches(SimpleAction::ReportRemoval, origin)
+        {
+            return RefVerdict::Reject(PolicyKind::Simple);
+        }
+        // Post rewrites: only bail to the cloning path when the matched
+        // action would observably change *this* post (clearing an empty
+        // media list or re-marking an already-sensitive post leaves the
+        // activity value-identical, so those stay on the borrow path).
+        if let Some(post) = activity.note() {
+            let would_mutate = (self.matches(SimpleAction::MediaRemoval, origin)
+                && !post.media.is_empty())
+                || (self.matches(SimpleAction::MediaNsfw, origin)
+                    && (!post.sensitive || post.media.iter().any(|m| !m.sensitive)))
+                || (self.matches(SimpleAction::FederatedTimelineRemoval, origin)
+                    && post.visibility == Visibility::Public)
+                || (self.matches(SimpleAction::FollowersOnly, origin)
+                    && post.visibility.is_public_ish());
+            if would_mutate {
+                // Checked before emitting so the cloning re-run emits the
+                // profile-image effects exactly once.
+                return RefVerdict::NeedsClone;
+            }
+        }
+        if self.matches(SimpleAction::BannerRemoval, origin) {
+            ctx.emit(SideEffect::ProfileMediaStripped {
+                host: origin.clone(),
+                image: ProfileImage::Banner,
+            });
+        }
+        if self.matches(SimpleAction::AvatarRemoval, origin) {
+            ctx.emit(SideEffect::ProfileMediaStripped {
+                host: origin.clone(),
+                image: ProfileImage::Avatar,
+            });
+        }
+        RefVerdict::Pass
     }
 
     fn describe(&self) -> String {

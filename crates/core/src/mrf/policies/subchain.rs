@@ -7,7 +7,8 @@ use crate::model::Activity;
 use crate::mrf::context::PolicyContext;
 use crate::mrf::pipeline::MrfPipeline;
 use crate::mrf::verdict::PolicyVerdict;
-use crate::mrf::MrfPolicy;
+use crate::mrf::{MrfPolicy, RefVerdict};
+use crate::time::SimTime;
 
 /// What a subchain matches on.
 #[derive(Debug, Clone)]
@@ -66,6 +67,19 @@ impl MrfPolicy for SubchainPolicy {
             self.chain.filter_fast(ctx, activity)
         } else {
             PolicyVerdict::Pass(activity)
+        }
+    }
+
+    fn judge_ref(
+        &self,
+        ctx: &PolicyContext<'_>,
+        activity: &Activity,
+        published: SimTime,
+    ) -> RefVerdict {
+        if self.matcher.matches(activity) {
+            self.chain.filter_fast_ref(ctx, activity, published)
+        } else {
+            RefVerdict::Pass
         }
     }
 

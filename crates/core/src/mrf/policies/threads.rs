@@ -10,7 +10,8 @@ use crate::id::UserRef;
 use crate::model::{Activity, Visibility};
 use crate::mrf::context::PolicyContext;
 use crate::mrf::verdict::{PolicyVerdict, RejectReason};
-use crate::mrf::MrfPolicy;
+use crate::mrf::{MrfPolicy, RefVerdict};
+use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// `HellthreadPolicy` — de-list or reject posts whose mention count exceeds
@@ -59,6 +60,24 @@ impl MrfPolicy for HellthreadPolicy {
         }
         PolicyVerdict::Pass(activity)
     }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        let Some(post) = activity.note() else {
+            return RefVerdict::Pass;
+        };
+        let mentions = post.mentions.len();
+        if let Some(reject_at) = self.reject_threshold {
+            if mentions > reject_at {
+                return RefVerdict::Reject(PolicyKind::Hellthread);
+            }
+        }
+        if let Some(delist_at) = self.delist_threshold {
+            if mentions > delist_at && post.visibility == Visibility::Public {
+                return RefVerdict::NeedsClone;
+            }
+        }
+        RefVerdict::Pass
+    }
 }
 
 /// `AntiHellthreadPolicy` — "Stops the use of the HellthreadPolicy". A
@@ -74,6 +93,14 @@ impl MrfPolicy for AntiHellthreadPolicy {
 
     fn filter(&self, _ctx: &PolicyContext<'_>, activity: Activity) -> PolicyVerdict {
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, _: &Activity, _: SimTime) -> RefVerdict {
+        RefVerdict::Pass
     }
 }
 
@@ -98,6 +125,19 @@ impl MrfPolicy for EnsureRePrependedPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if let Some(post) = activity.note() {
+            if post.in_reply_to.is_some() {
+                if let Some(subject) = &post.subject {
+                    if !subject.to_ascii_lowercase().starts_with("re:") {
+                        return RefVerdict::NeedsClone;
+                    }
+                }
+            }
+        }
+        RefVerdict::Pass
     }
 }
 
@@ -137,6 +177,23 @@ impl MrfPolicy for MentionPolicy {
             }
         }
         PolicyVerdict::Pass(activity)
+    }
+
+    fn rewrites_content(&self) -> bool {
+        false
+    }
+
+    fn judge_ref(&self, _: &PolicyContext<'_>, activity: &Activity, _: SimTime) -> RefVerdict {
+        if let Some(post) = activity.note() {
+            if post
+                .mentions
+                .iter()
+                .any(|m| self.blocked_mentions.contains(m))
+            {
+                return RefVerdict::Reject(PolicyKind::Mention);
+            }
+        }
+        RefVerdict::Pass
     }
 }
 

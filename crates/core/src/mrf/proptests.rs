@@ -245,6 +245,72 @@ proptest! {
         }
     }
 
+    /// `filter_fast_ref` agrees with `filter_fast` on every catalog
+    /// policy: a `Pass` from the zero-clone path implies the cloning
+    /// path passes *and* leaves the stamped activity byte-identical (no
+    /// rewrite was needed after all); a `Reject` implies the cloning
+    /// path rejects via the same policy; `NeedsClone` defers to the
+    /// cloning path by construction, so there is nothing to cross-check.
+    #[test]
+    fn filter_fast_ref_agrees_with_filter_fast(
+        post in arb_post(),
+        subset_mask in any::<u64>(),
+        reject_origin in any::<bool>(),
+        published in 0u64..10_000,
+    ) {
+        use crate::mrf::RefVerdict;
+        let (local, dir) = ctx_bits();
+        let catalog = crate::catalog::PolicyCatalog::global();
+        let mut config = crate::config::InstanceModerationConfig::default();
+        for (i, entry) in catalog.entries().iter().enumerate() {
+            if subset_mask & (1 << (i % 64)) != 0 {
+                config.enable(entry.kind);
+            }
+        }
+        if reject_origin {
+            let mut simple = SimplePolicy::new();
+            simple.add_target(SimpleAction::Reject, post.author.domain.clone());
+            config.set_simple(simple);
+        }
+        let pipeline = config.build_pipeline();
+        let act = Activity::create(ActivityId(1), post);
+        let published = SimTime(published);
+        let ctx1 = PolicyContext::new(&local, published, &dir);
+        let by_ref = pipeline.filter_fast_ref(&ctx1, &act, published);
+        // The cloning side sees exactly what the engine's fallback
+        // builds: the template clone stamped with `published`.
+        let mut stamped = act.clone();
+        stamped.published = published;
+        if let Some(p) = stamped.note_mut() {
+            p.created = published;
+        }
+        let ctx2 = PolicyContext::new(&local, published, &dir);
+        let cloned = pipeline.filter_fast(&ctx2, stamped.clone());
+        match by_ref {
+            RefVerdict::Pass => match cloned {
+                PolicyVerdict::Pass(out) => prop_assert_eq!(
+                    format!("{stamped:?}"),
+                    format!("{out:?}"),
+                    "zero-clone Pass must mean no rewrite was needed"
+                ),
+                PolicyVerdict::Reject(r) => prop_assert!(
+                    false,
+                    "ref path passed but cloning path rejected: {:?}",
+                    r
+                ),
+            },
+            RefVerdict::Reject(kind) => match cloned {
+                PolicyVerdict::Reject(reason) => prop_assert_eq!(kind, reason.policy),
+                PolicyVerdict::Pass(_) => prop_assert!(
+                    false,
+                    "ref path rejected via {:?} but cloning path passed",
+                    kind
+                ),
+            },
+            RefVerdict::NeedsClone => {}
+        }
+    }
+
     /// `filter_fast` agrees with `filter` on every *partially rolled
     /// out* pipeline: a staged rollout grows an instance's config by
     /// repeated `SimplePolicy::merge` (one wave at a time, exactly what

@@ -16,6 +16,33 @@
 //!    vector in instance order and summed sequentially; the f64
 //!    accumulation order is therefore fixed regardless of how the rayon
 //!    pool chunked the work.
+//!
+//! # The two-stage (sender-majorized) measurement phase
+//!
+//! [`delivery_seed`] is receiver-independent: every receiver replays the
+//! *same* emission stream for a given `(seed, tick, sender)`. The default
+//! measurement path ([`MeasureMode::Batched`]) exploits that:
+//!
+//! - **Stage 1 — parallel over senders.** Each sender's tick emissions
+//!   are drawn exactly once into a [`SenderBatch`]: run-length groups of
+//!   `(template slot, draw count)` in draw order, plus one memoized
+//!   `scorer.analyze` toxicity per *distinct* template. Scorer calls drop
+//!   from O(edges × emissions) to O(senders × distinct templates).
+//! - **Stage 2 — parallel over receivers.** Each up receiver consumes its
+//!   neighbors' batches in the same neighbor order and the same draw
+//!   order as the per-post path. MRF verdicts are memoized per
+//!   `(receiver, sender, distinct template)` and obtained clone-free via
+//!   [`MrfPipeline::filter_fast_ref`]; only a pipeline that would
+//!   actually rewrite *this* activity falls back to the cloning path.
+//!
+//! Bit-identity with the reference path holds because the draws are the
+//! same RNG stream, integer counters are multiplied by run length (exact),
+//! and the f64 exposure columns still accumulate one addition per
+//! emission in draw order. The per-post path is retained as
+//! [`MeasureMode::Reference`] (env: `FEDISCOPE_MEASURE=reference`) and
+//! serves as the differential oracle in tests.
+//!
+//! [`MrfPipeline::filter_fast_ref`]: fediscope_core::mrf::MrfPipeline::filter_fast_ref
 
 use crate::event::{Event, EventQueue};
 use crate::scenario::Scenario;
@@ -24,7 +51,7 @@ use crate::state::{NetworkState, RetryPolicy};
 use fediscope_simnet::FailureClass;
 
 use crate::trace::{DynamicsTrace, TickTrace};
-use fediscope_core::mrf::{NullActorDirectory, PolicyContext, PolicyVerdict};
+use fediscope_core::mrf::{NullActorDirectory, PolicyContext, PolicyVerdict, RefVerdict};
 use fediscope_core::time::{SimDuration, SimTime, CAMPAIGN_START, SNAPSHOT_INTERVAL};
 use fediscope_perspective::Scorer;
 use fediscope_synthgen::ScenarioSeeds;
@@ -32,8 +59,37 @@ use fediscope_telemetry::{GaugeId, HotCounter, Phase, PhaseTimer, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Which measurement-phase implementation [`DynamicsEngine::step`] runs.
+///
+/// Both produce bit-identical traces; they differ only in cost. The
+/// batched path is the default, the per-post path is the differential
+/// oracle (and an escape hatch, via `FEDISCOPE_MEASURE=reference`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureMode {
+    /// Two-stage sender-majorized batching: draw each sender's emissions
+    /// once, score once per distinct template, memoize MRF verdicts per
+    /// `(receiver, sender, template)`.
+    Batched,
+    /// The original per-post path: every `(receiver, sender)` edge
+    /// replays the sender's draws and clones + filters every emission.
+    Reference,
+}
+
+impl MeasureMode {
+    /// Resolves the mode from the `FEDISCOPE_MEASURE` environment
+    /// variable: `reference` (case-insensitive) opts into the oracle
+    /// path, anything else — including unset — is [`Self::Batched`].
+    pub fn from_env() -> Self {
+        match std::env::var("FEDISCOPE_MEASURE") {
+            Ok(v) if v.eq_ignore_ascii_case("reference") => MeasureMode::Reference,
+            _ => MeasureMode::Batched,
+        }
+    }
+}
 
 /// Engine knobs.
 #[derive(Debug, Clone)]
@@ -49,6 +105,9 @@ pub struct DynamicsConfig {
     /// Per-sender per-tick emission cap (keeps one giant instance from
     /// dominating a storm).
     pub emission_cap: u64,
+    /// Measurement-phase implementation (default: [`MeasureMode::Batched`],
+    /// overridable at process level with `FEDISCOPE_MEASURE=reference`).
+    pub measure: MeasureMode,
 }
 
 impl Default for DynamicsConfig {
@@ -59,6 +118,7 @@ impl Default for DynamicsConfig {
             tick_len: SNAPSHOT_INTERVAL,
             start: CAMPAIGN_START,
             emission_cap: 64,
+            measure: MeasureMode::from_env(),
         }
     }
 }
@@ -146,6 +206,11 @@ pub struct DynamicsEngine {
     tick_retried: u64,
     tick_recovered: u64,
     tick_dead_lettered: u64,
+    /// Reusable sender-id buffer for [`Self::on_receiver_down`]: a churn
+    /// storm takes an instance down every few ticks, and re-allocating
+    /// the inbound-edge list per outage showed up in the retry-storm
+    /// profile.
+    down_scratch: Vec<u32>,
 }
 
 impl DynamicsEngine {
@@ -169,6 +234,7 @@ impl DynamicsEngine {
             tick_retried: 0,
             tick_recovered: 0,
             tick_dead_lettered: 0,
+            down_scratch: Vec::new(),
         }
     }
 
@@ -250,8 +316,10 @@ impl DynamicsEngine {
             return;
         };
         let cap = self.config.emission_cap;
-        let senders: Vec<u32> = self.state.neighbors(receiver as usize).to_vec();
-        for s in senders {
+        let mut senders = std::mem::take(&mut self.down_scratch);
+        senders.clear();
+        senders.extend_from_slice(self.state.neighbors(receiver as usize));
+        for &s in &senders {
             let posts = self.state.instances[s as usize].emissions(cap);
             match class {
                 FailureClass::Permanent => {
@@ -274,6 +342,7 @@ impl DynamicsEngine {
                 }
             }
         }
+        self.down_scratch = senders;
     }
 
     /// One redelivery attempt fires. Resolution order: a severed link
@@ -422,28 +491,71 @@ impl DynamicsEngine {
         }
         self.ctrl_rng = Some(ctrl_rng);
         // ---- measurement phase: read-only per-instance fan-out ----
-        let state = &self.state;
-        let scorer = &self.scorer;
-        let config = &self.config;
         // Control-phase isolation: a zero emission cap means no sender
         // can emit, so every per-instance metric is exactly zero — skip
         // the fan-out (and its per-receiver context/allocation work)
         // instead of computing 0 the long way. Bit-identical by
         // construction, and what lets an event flood measure the control
         // phase alone.
-        if config.emission_cap == 0 {
+        if self.config.emission_cap == 0 {
             let _close = PhaseTimer::start_on(telemetry, Phase::TickClose);
             return Some(self.aggregate(tick, now, events, &[]));
         }
+        // Refresh the hoisted emissions column before the immutable
+        // fan-out borrows state. O(1) on churn-free ticks.
+        if self.config.measure == MeasureMode::Batched {
+            self.state.refresh_emissions(self.config.emission_cap);
+        }
+        let state = &self.state;
+        let scorer = &self.scorer;
+        let config = &self.config;
+        let mut fresh_scores = 0u64;
         let metrics: Vec<InstanceTick> = {
             let _measure = PhaseTimer::start_on(telemetry, Phase::Measurement);
-            (0..state.len())
-                .into_par_iter()
-                .map(|r| measure_receiver(state, config, scorer, tick, now, r))
-                .collect()
+            match config.measure {
+                MeasureMode::Reference => (0..state.len())
+                    .into_par_iter()
+                    .map(|r| measure_receiver_reference(state, config, scorer, tick, now, r))
+                    .collect(),
+                MeasureMode::Batched => {
+                    // Stage 1: one batch per sender — draws + scores once.
+                    let emissions = state.emissions_col();
+                    let batches: Vec<SenderBatch> = (0..state.len())
+                        .into_par_iter()
+                        .map(|s| build_sender_batch(state, config, scorer, tick, s, emissions[s]))
+                        .collect();
+                    fresh_scores = batches.iter().map(|b| b.distinct.len() as u64).sum();
+                    // Stage 2: receivers consume the shared batches.
+                    (0..state.len())
+                        .into_par_iter()
+                        .map(|r| {
+                            MEASURE_SCRATCH.with(|scratch| {
+                                measure_receiver_batched(
+                                    state,
+                                    &batches,
+                                    emissions,
+                                    now,
+                                    r,
+                                    &mut scratch.borrow_mut(),
+                                )
+                            })
+                        })
+                        .collect()
+                }
+            }
         };
         let _close = PhaseTimer::start_on(telemetry, Phase::TickClose);
-        Some(self.aggregate(tick, now, events, &metrics))
+        let trace = self.aggregate(tick, now, events, &metrics);
+        // Counter-only accounting (never read back by simulation code):
+        // every delivery beyond the fresh per-distinct analyses was
+        // served from a stage-1 memo.
+        if config.measure == MeasureMode::Batched && telemetry.armed() {
+            telemetry.add(
+                HotCounter::ScorerMemoHits,
+                trace.delivered.saturating_sub(fresh_scores),
+            );
+        }
+        Some(trace)
     }
 
     /// Assembles the run's trace from stepped-out tick rows — the one
@@ -579,9 +691,14 @@ fn backoff_delay(policy: &RetryPolicy, seed: u64, sender: u32, attempt: u32) -> 
     policy.backoff(attempt, jitter)
 }
 
-/// One receiver's tick: pull every live neighbor's emissions through the
-/// receiver's MRF pipeline, scoring each post.
-fn measure_receiver(
+/// One receiver's tick, per-post reference path: pull every live
+/// neighbor's emissions through the receiver's MRF pipeline, scoring and
+/// cloning each post individually.
+///
+/// This is the differential oracle for [`measure_receiver_batched`] —
+/// kept deliberately simple and unbatched. Any run can opt into it with
+/// `FEDISCOPE_MEASURE=reference` ([`MeasureMode::from_env`]).
+fn measure_receiver_reference(
     state: &NetworkState,
     config: &DynamicsConfig,
     scorer: &Scorer,
@@ -636,6 +753,186 @@ fn measure_receiver(
     }
     // Side effects (emoji steals, prefetch warms) are intentionally
     // dropped with the context: the trace measures moderation outcomes.
+    drop(ctx);
+    observe_receiver(&m);
+    m
+}
+
+/// One sender's pre-drawn tick emissions (stage 1 of the batched
+/// measurement phase), shared read-only by every receiver in stage 2.
+///
+/// Columns are SoA: `distinct`/`toxic` hold one entry per distinct
+/// template drawn this tick (first-draw order), `run_slot`/`run_len`
+/// run-length encode the draw sequence as groups of consecutive
+/// identical draws. Replaying the runs in order reproduces the per-post
+/// path's draw order exactly.
+#[derive(Debug, Default)]
+struct SenderBatch {
+    /// Distinct template indices into the sender's template table.
+    distinct: Vec<u32>,
+    /// Memoized `scorer.analyze(..).max()` per distinct template
+    /// (parallel to `distinct`).
+    toxic: Vec<f64>,
+    /// Per run: index into `distinct`.
+    run_slot: Vec<u32>,
+    /// Per run: how many consecutive draws hit that template.
+    run_len: Vec<u32>,
+}
+
+/// Draws sender `s`'s emissions for `tick` once and scores each distinct
+/// template once. The RNG stream is exactly the one every receiver used
+/// to replay in the reference path, so consuming the runs in order is
+/// bit-identical to re-drawing.
+fn build_sender_batch(
+    state: &NetworkState,
+    config: &DynamicsConfig,
+    scorer: &Scorer,
+    tick: u64,
+    s: usize,
+    emissions: u64,
+) -> SenderBatch {
+    let mut batch = SenderBatch::default();
+    if emissions == 0 {
+        return batch;
+    }
+    let sender = &state.instances[s];
+    let mut draws = SmallRng::seed_from_u64(delivery_seed(config.seed, tick, s as u64));
+    let mut last_slot = u32::MAX;
+    for _ in 0..emissions {
+        let t = draws.gen_range(0..sender.templates.len()) as u32;
+        // Linear scan: the distinct set is bounded by the emission cap
+        // (default 64) and is usually far smaller.
+        let slot = match batch.distinct.iter().position(|&d| d == t) {
+            Some(i) => i as u32,
+            None => {
+                batch.distinct.push(t);
+                batch
+                    .toxic
+                    .push(scorer.analyze(&sender.templates[t as usize].content).max());
+                (batch.distinct.len() - 1) as u32
+            }
+        };
+        if slot == last_slot {
+            *batch.run_len.last_mut().expect("run exists") += 1;
+        } else {
+            batch.run_slot.push(slot);
+            batch.run_len.push(1);
+            last_slot = slot;
+        }
+    }
+    batch
+}
+
+/// Per-worker reusable scratch for stage 2 — cleared, never reallocated,
+/// between receivers handled by the same worker.
+struct MeasureScratch {
+    /// Distinct `(sender, author)` pairs rejected this receiver-tick.
+    rejected_authors: HashSet<(u32, u64)>,
+    /// Verdict memo per distinct-template slot of the current neighbor:
+    /// 0 = unjudged, 1 = pass, 2 = reject.
+    verdicts: Vec<u8>,
+}
+
+thread_local! {
+    static MEASURE_SCRATCH: RefCell<MeasureScratch> = RefCell::new(MeasureScratch {
+        rejected_authors: HashSet::new(),
+        verdicts: Vec::new(),
+    });
+}
+
+/// One receiver's tick, batched path (stage 2): consume every live
+/// neighbor's [`SenderBatch`] in the reference path's neighbor and draw
+/// order. One MRF verdict per `(receiver, sender, distinct template)` —
+/// clone-free via `filter_fast_ref`, with a cloning fallback only when a
+/// rewriting policy would actually mutate that activity.
+fn measure_receiver_batched(
+    state: &NetworkState,
+    batches: &[SenderBatch],
+    emissions: &[u64],
+    now: SimTime,
+    r: usize,
+    scratch: &mut MeasureScratch,
+) -> InstanceTick {
+    let mut m = InstanceTick::default();
+    let receiver = &state.instances[r];
+    if !receiver.up() {
+        // A down receiver loses every inbound delivery; senders keep
+        // POSTing (they cannot know) and the mass lands in `failed`.
+        for &s in state.neighbors(r) {
+            m.failed += emissions[s as usize];
+        }
+        observe_receiver(&m);
+        return m;
+    }
+    let actors = NullActorDirectory;
+    let ctx = PolicyContext::new(&receiver.domain, now, &actors);
+    scratch.rejected_authors.clear();
+    for &s in state.neighbors(r) {
+        let batch = &batches[s as usize];
+        if batch.distinct.is_empty() {
+            continue;
+        }
+        let sender = &state.instances[s as usize];
+        scratch.verdicts.clear();
+        scratch.verdicts.resize(batch.distinct.len(), 0);
+        for (&slot, &len) in batch.run_slot.iter().zip(&batch.run_len) {
+            let slot = slot as usize;
+            let toxic = batch.toxic[slot];
+            let len = len as u64;
+            m.delivered += len;
+            let pass = match scratch.verdicts[slot] {
+                1 => true,
+                2 => false,
+                _ => {
+                    let template = &sender.templates[batch.distinct[slot] as usize];
+                    let pass =
+                        match receiver
+                            .pipeline
+                            .filter_fast_ref(&ctx, &template.activity, now)
+                        {
+                            RefVerdict::Pass => true,
+                            RefVerdict::Reject(_) => false,
+                            RefVerdict::NeedsClone => {
+                                // A rewriting policy would mutate this
+                                // activity: take the cloning path once; the
+                                // verdict is still memoized for the rest of
+                                // this neighbor's runs.
+                                let mut activity = template.activity.clone();
+                                activity.published = now;
+                                if let Some(post) = activity.note_mut() {
+                                    post.created = now;
+                                }
+                                matches!(
+                                    receiver.pipeline.filter_fast(&ctx, activity),
+                                    PolicyVerdict::Pass(_)
+                                )
+                            }
+                        };
+                    scratch.verdicts[slot] = if pass { 1 } else { 2 };
+                    pass
+                }
+            };
+            if pass {
+                m.accepted += len;
+                // f64 bit-identity: one addition per emission in draw
+                // order, exactly as the reference path accumulates.
+                for _ in 0..len {
+                    m.exposure += toxic;
+                }
+            } else {
+                m.rejected += len;
+                for _ in 0..len {
+                    m.prevented += toxic;
+                }
+                let author = sender.templates[batch.distinct[slot] as usize].author;
+                if scratch.rejected_authors.insert((s, author)) {
+                    m.rejected_authors += 1;
+                }
+            }
+        }
+    }
+    // Side effects are intentionally dropped with the context, exactly
+    // as in the reference path.
     drop(ctx);
     observe_receiver(&m);
     m

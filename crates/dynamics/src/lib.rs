@@ -152,7 +152,7 @@ pub mod scenarios;
 
 pub use bridge::{BridgeStats, CensusCadence, CensusSnapshot, LiveNetBridge};
 pub use delta::{TickDelta, TraceDelta};
-pub use engine::{DynamicsConfig, DynamicsEngine, EngineBuilder};
+pub use engine::{DynamicsConfig, DynamicsEngine, EngineBuilder, MeasureMode};
 pub use event::{Event, EventQueue, Scheduled};
 pub use experiment::{Arm, ArmRun, Experiment, ExperimentResult};
 pub use scenario::Scenario;

@@ -22,6 +22,32 @@ use std::collections::HashMap;
 /// Configuration of the delivery-reliability layer: how a retry-enabled
 /// run redelivers batches lost to transient failures.
 ///
+/// Multiply-xor hasher for the retry ledger's dense `(sender, receiver)`
+/// edge keys. The keys are small engine-internal integers, never
+/// attacker-controlled, and the ledger is probed on every retry-chain
+/// open/settle — std's SipHash would cost more than the rest of the
+/// operation. The map is never iterated, so hash order cannot leak into
+/// traces (determinism contract).
+#[derive(Default)]
+struct EdgeHasher(u64);
+
+impl std::hash::Hasher for EdgeHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0 ^ n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
 /// Attempt `n` (1-based) fires `base_backoff · 2^(n-1)` plus a jitter in
 /// `[0, base_backoff)` after the previous failure — the classic
 /// exponential-backoff-with-full-jitter schedule Pleroma's federator
@@ -126,7 +152,7 @@ impl InstanceState {
 
     /// Posts this instance emits per tick right now, capped at `cap`.
     pub fn emissions(&self, cap: u64) -> u64 {
-        if self.templates.is_empty() || !self.up() {
+        if cap == 0 || self.templates.is_empty() || !self.up() {
             return 0;
         }
         ((self.base_emission as f64 * self.rate).round() as u64).min(cap)
@@ -164,14 +190,26 @@ pub struct NetworkState {
     retry: Option<RetryPolicy>,
     /// Open retry chains: `(sender, receiver) → last scheduled attempt`.
     /// At most one chain per directed edge; re-failures while a chain is
-    /// open fold into it instead of double-scheduling.
-    pending_retries: HashMap<(u32, u32), u32>,
+    /// open fold into it instead of double-scheduling. Keyed with
+    /// [`EdgeHasher`]: a churn storm opens/settles a chain per inbound
+    /// edge per outage, and std's SipHash dominated that drain.
+    pending_retries: HashMap<(u32, u32), u32, std::hash::BuildHasherDefault<EdgeHasher>>,
     /// Batches recovered across all instances — maintained
     /// incrementally, O(1).
     recovered_total: u64,
     /// Batches dead-lettered across all instances — maintained
     /// incrementally, O(1).
     dead_letter_total: u64,
+    /// Cached per-instance `emissions(cap)` column, rebuilt lazily by
+    /// [`refresh_emissions`](Self::refresh_emissions). Invalidated by the
+    /// churn mutators ([`set_failure`](Self::set_failure) /
+    /// [`set_rate`](Self::set_rate)) — the only post-construction writes
+    /// that change an instance's emission count.
+    emissions_col: Vec<u64>,
+    /// The cap the cached column was computed for.
+    emissions_col_cap: u64,
+    /// Whether a churn event invalidated the cached column.
+    emissions_dirty: bool,
 }
 
 impl NetworkState {
@@ -268,10 +306,34 @@ impl NetworkState {
             adopted_count: 0,
             failure_mix,
             retry: None,
-            pending_retries: HashMap::new(),
+            pending_retries: HashMap::default(),
             recovered_total: 0,
             dead_letter_total: 0,
+            emissions_col: Vec::new(),
+            emissions_col_cap: 0,
+            emissions_dirty: true,
         }
+    }
+
+    /// Rebuilds the cached emissions column for `cap` if a churn event
+    /// invalidated it (or the cap changed) since the last refresh. O(1)
+    /// when clean — the common case on churn-free ticks.
+    pub fn refresh_emissions(&mut self, cap: u64) {
+        if !self.emissions_dirty && self.emissions_col_cap == cap {
+            return;
+        }
+        self.emissions_col.clear();
+        self.emissions_col
+            .extend(self.instances.iter().map(|inst| inst.emissions(cap)));
+        self.emissions_col_cap = cap;
+        self.emissions_dirty = false;
+    }
+
+    /// The cached per-instance emissions column. Only meaningful after a
+    /// same-tick [`refresh_emissions`](Self::refresh_emissions) with the
+    /// engine's cap.
+    pub fn emissions_col(&self) -> &[u64] {
+        &self.emissions_col
     }
 
     /// Turns the delivery-reliability layer on. Called from a scenario's
@@ -510,6 +572,7 @@ impl NetworkState {
             Some(idx) => self.failure_mix[idx] += 1,
         }
         self.instances[i as usize].failure = mode;
+        self.emissions_dirty = true;
         true
     }
 
@@ -518,6 +581,9 @@ impl NetworkState {
         let inst = &mut self.instances[i as usize];
         let changed = inst.rate != rate;
         inst.rate = rate;
+        if changed {
+            self.emissions_dirty = true;
+        }
         changed
     }
 

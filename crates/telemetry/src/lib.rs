@@ -97,6 +97,10 @@ use std::sync::{Mutex, OnceLock};
 pub enum HotCounter {
     /// `Scorer::analyze` invocations (perspective crate).
     ScorerCalls,
+    /// Emissions whose toxicity score was served from a `SenderBatch`
+    /// memo instead of a fresh `Scorer::analyze` call (the engine's
+    /// sender-majorized measurement phase).
+    ScorerMemoHits,
     /// Deliveries that passed an MRF `filter_fast` pipeline.
     FilterFastHits,
     /// Deliveries an MRF `filter_fast` pipeline rejected.
@@ -131,8 +135,9 @@ pub enum HotCounter {
 
 impl HotCounter {
     /// Every counter, in reporting order.
-    pub const ALL: [HotCounter; 15] = [
+    pub const ALL: [HotCounter; 16] = [
         HotCounter::ScorerCalls,
+        HotCounter::ScorerMemoHits,
         HotCounter::FilterFastHits,
         HotCounter::FilterFastRejects,
         HotCounter::EngineDeliveries,
@@ -153,6 +158,7 @@ impl HotCounter {
     pub fn name(self) -> &'static str {
         match self {
             HotCounter::ScorerCalls => "scorer_calls",
+            HotCounter::ScorerMemoHits => "scorer_memo_hits",
             HotCounter::FilterFastHits => "filter_fast_hits",
             HotCounter::FilterFastRejects => "filter_fast_rejects",
             HotCounter::EngineDeliveries => "engine_deliveries",

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Gate-regression guard: every `*_acceptance_met` key present in the
+# committed BENCH_dynamics.json must still be present after the benches
+# regenerate it. The emitters are merge-preserving (each bench overlays
+# only its own keys), so a key disappearing means an emitter dropped a
+# gate — historically the easiest way to "pass" CI by accident.
+#
+# Usage: scripts/check_gate_regression.sh [path/to/BENCH_dynamics.json]
+set -euo pipefail
+
+file="${1:-BENCH_dynamics.json}"
+
+if ! baseline=$(git show "HEAD:${file}" 2>/dev/null); then
+    echo "[gate-guard] no committed baseline for ${file}; nothing to guard"
+    exit 0
+fi
+
+status=0
+while IFS= read -r key; do
+    [ -z "$key" ] && continue
+    if ! grep -q -- "$key" "$file"; then
+        echo "[gate-guard] REGRESSION: ${key} present in committed ${file} but missing from the regenerated one" >&2
+        status=1
+    fi
+done < <(printf '%s\n' "$baseline" | grep -o '"[a-z0-9_]*acceptance_met"' | sort -u)
+
+if [ "$status" -eq 0 ]; then
+    echo "[gate-guard] all committed acceptance gates still present in ${file}"
+fi
+exit "$status"
