@@ -48,6 +48,20 @@
 //!   overhead gate (`telemetry_acceptance_met`), taken back-to-back
 //!   with the disarmed baseline, after asserting the armed trace is
 //!   bit-identical to the disarmed one ("observe, never perturb").
+//! * **interned vs. reference storm** — the same bridged storm timed
+//!   over a `NetworkState` built through the interned, column-sharing
+//!   path (`from_seeds`) and over the share-nothing
+//!   `from_seeds_reference` oracle, construction outside the clock both
+//!   times. Gate: the interned rate stays within 5% of the reference
+//!   rate (`intern_throughput_acceptance_met`) — sharing pipelines must
+//!   never cost measurement throughput.
+//! * **full-scale engine memory** — the 1.0-scale (§3 population)
+//!   `NetworkState`, built from streamed seeds through the interning
+//!   pool, measured with a counting allocator. Gates: the state (plus
+//!   its shared columns) holds < 256 MiB of live heap and constructs in
+//!   < 1 s (`engine_memory_acceptance_met`). Runs on every bench
+//!   invocation; `FEDISCOPE_FULLSCALE=1` additionally runs a short
+//!   full-scale storm over that state and records its rate.
 //! * **experiment posts/sec** — the paired-arm counterfactual harness:
 //!   two bridged arms (a storm over an inaction baseline vs. the same
 //!   storm racing a staged rollout) run from one `EngineBuilder` over
@@ -70,12 +84,73 @@ use fediscope_dynamics::scenarios::{
 };
 use fediscope_dynamics::{
     Arm, DynamicsConfig, DynamicsEngine, DynamicsTrace, EngineBuilder, Experiment,
-    ExperimentResult, LiveNetBridge, NetworkState,
+    ExperimentResult, LiveNetBridge, NetworkState, SharedColumns,
 };
 use fediscope_simnet::SimNet;
-use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
+use fediscope_synthgen::{ScenarioSeeds, SeedKnobs, World, WorldConfig};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Byte-counting allocator (the `perf_worldgen` pattern): a live-heap
+/// high-water mark plus the current live size, resettable between
+/// measured sections. Live heap — not cumulative volume — is the
+/// engine-memory story: interning shares compiled pipelines and
+/// template columns, so what shrinks is how much state is *resident*,
+/// not how much was ever allocated.
+mod alloc_meter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static PEAK: AtomicU64 = AtomicU64::new(0);
+
+    /// Counts through to [`System`].
+    pub struct Meter;
+
+    unsafe impl GlobalAlloc for Meter {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                let size = layout.size() as u64;
+                let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            }
+            p
+        }
+        unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+            System.dealloc(p, layout);
+            LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Currently live heap bytes.
+    pub fn live_bytes() -> u64 {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// Resets the live-heap high-water mark to the current live size.
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Live-heap high-water mark since the last [`reset_peak`].
+    pub fn peak_bytes() -> u64 {
+        PEAK.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static METER: alloc_meter::Meter = alloc_meter::Meter;
+
+/// The full-scale `NetworkState` (shared columns included) must hold
+/// less than this much live heap — the same budget `perf_worldgen`
+/// applies to streamed seed extraction, so a full-scale engine start is
+/// seeds + state, each within one budget.
+const FULLSCALE_HEAP_BUDGET: u64 = 256 << 20;
+
+/// Full-scale engine construction (interning pool + column assembly +
+/// per-instance state) must finish within this wall-clock budget.
+const FULLSCALE_CONSTRUCTION_BUDGET_SECS: f64 = 1.0;
 
 /// The bench world: a fifth-scale population (≈ 2 K instances) with the
 /// full link structure — big enough that one storm tick delivers tens of
@@ -100,21 +175,121 @@ fn bridge(engine: &mut DynamicsEngine) {
     engine.attach_sink(Box::new(bridge));
 }
 
+/// Burst from tick 1 to the end: nearly the whole run is storm.
+fn saturation_storm() -> ToxicityStormScenario {
+    ToxicityStormScenario::new(StormConfig {
+        start_offset: fediscope_core::time::SimDuration::hours(4),
+        duration: fediscope_core::time::SimDuration::days(30),
+        multiplier: 12.0,
+    })
+}
+
 fn storm_engine(seeds: &ScenarioSeeds) -> (DynamicsEngine, ToxicityStormScenario) {
     let config = DynamicsConfig {
         seed: seeds.seed,
         ticks: 10,
         ..DynamicsConfig::default()
     };
-    // Burst from tick 1 to the end: nearly the whole run is storm.
-    let scenario = ToxicityStormScenario::new(StormConfig {
-        start_offset: fediscope_core::time::SimDuration::hours(4),
-        duration: fediscope_core::time::SimDuration::days(30),
-        multiplier: 12.0,
-    });
     let mut engine = DynamicsEngine::new(config, seeds);
     bridge(&mut engine);
-    (engine, scenario)
+    (engine, saturation_storm())
+}
+
+/// Best-of-`n` bridged-storm rate over a state built by `make_state`,
+/// with construction *outside* the clock — so the interned and
+/// reference constructions compare on the measurement phase alone.
+fn storm_rate_over(n: usize, seeds: &ScenarioSeeds, make_state: impl Fn() -> NetworkState) -> f64 {
+    let mut best = 0.0_f64;
+    for _ in 0..n {
+        let config = DynamicsConfig {
+            seed: seeds.seed,
+            ticks: 10,
+            ..DynamicsConfig::default()
+        };
+        let mut engine = DynamicsEngine::from_state(config, make_state());
+        bridge(&mut engine);
+        let mut scenario = saturation_storm();
+        let start = Instant::now();
+        let delivered = engine.run(&mut scenario).total_delivered();
+        best = best.max(delivered as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The full-scale engine-memory acceptance case: streamed 1.0-scale
+/// seeds → interned shared columns → `NetworkState`, with the counting
+/// allocator watching. The budget applies to the *live* bytes the
+/// columns + state hold once built (the seeds stay resident alongside
+/// and have their own budget in `perf_worldgen`); the wall-clock budget
+/// applies to column + state construction, the work a process pays per
+/// engine after seeds exist. Under `FEDISCOPE_FULLSCALE=1` a short
+/// full-scale storm additionally runs over the state. Returns the JSON
+/// record and whether both budgets held.
+fn engine_memory_case() -> (serde_json::Value, bool) {
+    let config = WorldConfig::paper();
+    let seeds = ScenarioSeeds::from_config_streamed(&config, &SeedKnobs::default());
+    alloc_meter::reset_peak();
+    let live_before = alloc_meter::live_bytes();
+    let start = Instant::now();
+    let columns = SharedColumns::build(&seeds);
+    let state = NetworkState::from_seeds_shared(&seeds, &columns);
+    let construction_secs = start.elapsed().as_secs_f64();
+    let state_live_bytes = alloc_meter::live_bytes().saturating_sub(live_before);
+    let construction_peak_bytes = alloc_meter::peak_bytes();
+    let denom = (columns.intern_hits() + columns.intern_misses()).max(1);
+    let intern_hit_rate = columns.intern_hits() as f64 / denom as f64;
+    println!(
+        "[perf_dynamics] full-scale engine: {} instances, state live {} MiB (budget {} MiB), construction {construction_secs:.3}s (budget {FULLSCALE_CONSTRUCTION_BUDGET_SECS}s), intern {}/{} hits ({:.1}%, {} distinct pipelines)",
+        state.instances.len(),
+        state_live_bytes >> 20,
+        FULLSCALE_HEAP_BUDGET >> 20,
+        columns.intern_hits(),
+        columns.intern_hits() + columns.intern_misses(),
+        intern_hit_rate * 100.0,
+        columns.intern_distinct(),
+    );
+    let short_run = if std::env::var("FEDISCOPE_FULLSCALE").as_deref() == Ok("1") {
+        let engine_config = DynamicsConfig {
+            seed: seeds.seed,
+            ticks: 3,
+            ..DynamicsConfig::default()
+        };
+        let mut engine = DynamicsEngine::from_state(engine_config, state);
+        let mut scenario = saturation_storm();
+        let start = Instant::now();
+        let trace = engine.run(&mut scenario);
+        let secs = start.elapsed().as_secs_f64();
+        let delivered = trace.total_delivered();
+        println!(
+            "[perf_dynamics] full-scale short storm: {delivered} deliveries in {secs:.2}s ({:.2} M posts/sec)",
+            delivered as f64 / secs / 1e6
+        );
+        serde_json::json!({
+            "ticks": 3,
+            "deliveries": delivered,
+            "posts_per_sec": delivered as f64 / secs,
+        })
+    } else {
+        serde_json::Value::Null
+    };
+    let acceptance_met = state_live_bytes < FULLSCALE_HEAP_BUDGET
+        && construction_secs < FULLSCALE_CONSTRUCTION_BUDGET_SECS;
+    let record = serde_json::json!({
+        "scale": 1.0,
+        "instances": seeds.len(),
+        "links": seeds.links.len(),
+        "state_live_bytes": state_live_bytes,
+        "construction_peak_bytes": construction_peak_bytes,
+        "heap_budget_bytes": FULLSCALE_HEAP_BUDGET,
+        "construction_secs": construction_secs,
+        "construction_budget_secs": FULLSCALE_CONSTRUCTION_BUDGET_SECS,
+        "intern_hits": columns.intern_hits(),
+        "intern_misses": columns.intern_misses(),
+        "intern_distinct_pipelines": columns.intern_distinct(),
+        "intern_hit_rate": intern_hit_rate,
+        "short_run": short_run,
+    });
+    (record, acceptance_met)
 }
 
 fn run_storm(seeds: &ScenarioSeeds) -> DynamicsTrace {
@@ -395,6 +570,10 @@ fn emit_json(
     experiment_posts_per_sec: f64,
     telemetry_armed_events_per_sec: f64,
     scaling: &ScalingReport,
+    interned_posts_per_sec: f64,
+    reference_posts_per_sec: f64,
+    engine: &serde_json::Value,
+    engine_acceptance_met: bool,
 ) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamics.json");
     // Merge-preserving (the perf_worldgen pattern): other emitters own
@@ -440,6 +619,21 @@ fn emit_json(
             "skipped": scaling.skipped,
         },
         "scaling_acceptance_met": scaling.acceptance_met,
+        "scaling_skipped": scaling.skipped,
+        "scaling_skipped_reason": if scaling.skipped {
+            serde_json::json!(
+                "host has < 2 cores; a multi-worker sweep would time the scheduler, not the engine"
+            )
+        } else {
+            serde_json::Value::Null
+        },
+        "interned_posts_per_sec": interned_posts_per_sec,
+        "reference_posts_per_sec": reference_posts_per_sec,
+        "intern_min_throughput_ratio": 0.95,
+        "intern_throughput_acceptance_met":
+            interned_posts_per_sec >= 0.95 * reference_posts_per_sec,
+        "fullscale_engine": engine,
+        "engine_memory_acceptance_met": engine_acceptance_met,
         "bench_meta": fediscope_bench::bench_meta(0.2, 0.004, 1534),
     });
     for (key, value) in ours.as_object().expect("literal object") {
@@ -595,6 +789,19 @@ fn bench_dynamics(c: &mut Criterion) {
 
     // Acceptance measurement + machine-readable trajectory record.
     let posts_per_sec = best_rate(5, || run_storm(&seeds).total_delivered());
+    // The PR 9 baseline guard: the interned, column-sharing state must
+    // not cost measurement throughput against the share-nothing
+    // reference construction — same bridged storm, state construction
+    // outside the clock on both sides.
+    let interned_posts_per_sec = storm_rate_over(5, &seeds, || NetworkState::from_seeds(&seeds));
+    let reference_posts_per_sec =
+        storm_rate_over(5, &seeds, || NetworkState::from_seeds_reference(&seeds));
+    println!(
+        "[perf_dynamics] interned storm {:.2} M posts/sec vs reference {:.2} M posts/sec ({:.1}%)",
+        interned_posts_per_sec / 1e6,
+        reference_posts_per_sec / 1e6,
+        interned_posts_per_sec / reference_posts_per_sec * 100.0
+    );
     let composite_posts_per_sec = best_rate(3, || run_composite(&seeds).total_delivered());
     let experiment_posts_per_sec = best_rate(3, || experiment_delivered(&experiment.run()));
     // Flood reproducibility before timing anything.
@@ -672,6 +879,11 @@ fn bench_dynamics(c: &mut Criterion) {
         experiment_posts_per_sec / 1e6,
         telemetry_armed_events_per_sec / 1e6
     );
+    // The full-scale engine-memory case: its budgets are on live heap
+    // and construction wall-clock, not throughput, so it tolerates the
+    // pool being in any state — but it runs before the scaling sweep so
+    // the sweep still goes last.
+    let (engine_record, engine_acceptance_met) = engine_memory_case();
     // The scaling sweep runs last: it re-sizes the global pool, so no
     // other measurement may follow it.
     let scaling = measure_scaling(&seeds);
@@ -691,6 +903,10 @@ fn bench_dynamics(c: &mut Criterion) {
         experiment_posts_per_sec,
         telemetry_armed_events_per_sec,
         &scaling,
+        interned_posts_per_sec,
+        reference_posts_per_sec,
+        &engine_record,
+        engine_acceptance_met,
     );
     assert!(
         posts_per_sec >= 8.0e6,
@@ -720,6 +936,14 @@ fn bench_dynamics(c: &mut Criterion) {
     assert!(
         telemetry_armed_events_per_sec >= 0.95 * events_per_sec,
         "telemetry acceptance: the armed churn flood must stay within 5% of the disarmed baseline (armed {telemetry_armed_events_per_sec:.0}, disarmed {events_per_sec:.0})"
+    );
+    assert!(
+        interned_posts_per_sec >= 0.95 * reference_posts_per_sec,
+        "interning acceptance: the interned storm must stay within 5% of the reference-state rate (interned {interned_posts_per_sec:.0}, reference {reference_posts_per_sec:.0})"
+    );
+    assert!(
+        engine_acceptance_met,
+        "engine-memory acceptance: the 1.0-scale NetworkState must hold < 256 MiB live heap and construct in < 1 s — {engine_record}"
     );
 }
 

@@ -180,7 +180,7 @@ pub fn world_digest(world: &World) -> u64 {
 
 /// Bump when a bench JSON's gate set changes shape or thresholds —
 /// CI greps key off this to know which acceptance keys to expect.
-pub const GATE_VERSION: u32 = 3;
+pub const GATE_VERSION: u32 = 4;
 
 /// The shared provenance block both bench JSON emitters
 /// (`BENCH_scorer.json`, `BENCH_dynamics.json`) embed as `bench_meta`:

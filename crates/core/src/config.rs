@@ -23,6 +23,7 @@ use crate::mrf::policies::{
 use crate::mrf::{MrfPipeline, MrfPolicy};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Extra configuration for policies that carry knobs beyond "enabled".
@@ -191,6 +192,29 @@ impl InstanceModerationConfig {
         pipeline
     }
 
+    /// The canonical structural encoding of the config: its serialized
+    /// form, which covers every field that feeds
+    /// [`build_pipeline`](Self::build_pipeline) (enabled kinds in
+    /// pipeline order, `SimplePolicy` target lists, policy knobs).
+    /// Structurally equal configs — and only those — encode identically,
+    /// so the encoding is a collision-proof interning key.
+    fn canonical_key(&self) -> String {
+        serde_json::to_string(self).expect("a moderation config always serializes")
+    }
+
+    /// A structural digest of the config: equal for structurally equal
+    /// configs, and (modulo 64-bit hash collisions) distinct otherwise.
+    /// [`PipelinePool`] keys on the full canonical encoding — the digest
+    /// is the cheap fingerprint for logs and diagnostics.
+    pub fn structural_digest(&self) -> u64 {
+        // FNV-1a over the canonical encoding.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.canonical_key().as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     fn configured<T, F>(&self, pick: F) -> Option<T>
     where
         T: Clone,
@@ -293,6 +317,63 @@ impl InstanceModerationConfig {
             // (classifier); configs can't instantiate them standalone.
             PolicyKind::UserTagModeration | PolicyKind::RepeatOffender => return None,
         })
+    }
+}
+
+/// A seed-time interning pool for compiled pipelines: configs that are
+/// structurally identical share one `Arc<MrfPipeline>` instead of each
+/// paying a fresh compile. In a paper-scale world the vast majority of
+/// instances run one of a handful of configs (fresh-install defaults and
+/// the common blocklist shapes), so interning turns ~10k compiles into a
+/// few dozen. Callers that later mutate a shared pipeline diverge
+/// copy-on-write via `Arc::make_mut`.
+///
+/// Keyed by the full canonical encoding (not the 64-bit digest), so a
+/// hash collision can never alias two different configs to one pipeline.
+#[derive(Debug, Default)]
+pub struct PipelinePool {
+    pool: HashMap<String, Arc<MrfPipeline>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PipelinePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        PipelinePool::default()
+    }
+
+    /// The shared compiled pipeline for `config`: a refcount bump when a
+    /// structurally equal config was seen before, a fresh
+    /// [`build_pipeline`](InstanceModerationConfig::build_pipeline)
+    /// otherwise.
+    pub fn get(&mut self, config: &InstanceModerationConfig) -> Arc<MrfPipeline> {
+        use std::collections::hash_map::Entry;
+        match self.pool.entry(config.canonical_key()) {
+            Entry::Occupied(e) => {
+                self.hits += 1;
+                Arc::clone(e.get())
+            }
+            Entry::Vacant(v) => {
+                self.misses += 1;
+                Arc::clone(v.insert(Arc::new(config.build_pipeline())))
+            }
+        }
+    }
+
+    /// Lookups served from the pool.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that compiled a fresh pipeline.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct configs interned so far.
+    pub fn distinct(&self) -> usize {
+        self.pool.len()
     }
 }
 
@@ -404,5 +485,44 @@ mod tests {
     fn config_kind_mapping() {
         let cfg = PolicyConfig::Hellthread(HellthreadPolicy::default());
         assert_eq!(cfg.kind(), PolicyKind::Hellthread);
+    }
+
+    #[test]
+    fn structural_digest_tracks_structure() {
+        let a = InstanceModerationConfig::pleroma_default();
+        assert_eq!(
+            a.structural_digest(),
+            InstanceModerationConfig::pleroma_default().structural_digest()
+        );
+        let with_tag = a.clone().with(PolicyKind::Tag);
+        assert_ne!(a.structural_digest(), with_tag.structural_digest());
+        // Same kinds, different SimplePolicy targets — must not collide
+        // into one digest class.
+        let mut gab = a.clone();
+        gab.set_simple(
+            SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("gab.com")),
+        );
+        let mut kiwi = a.clone();
+        kiwi.set_simple(
+            SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("kiwifarms.cc")),
+        );
+        assert_ne!(gab.structural_digest(), kiwi.structural_digest());
+    }
+
+    #[test]
+    fn pipeline_pool_interns_structurally_equal_configs() {
+        let mut pool = PipelinePool::new();
+        let a = pool.get(&InstanceModerationConfig::pleroma_default());
+        let b = pool.get(&InstanceModerationConfig::pleroma_default());
+        assert!(Arc::ptr_eq(&a, &b), "equal configs share one pipeline");
+        assert_eq!((pool.hits(), pool.misses(), pool.distinct()), (1, 1, 1));
+        let mut other = InstanceModerationConfig::pleroma_default();
+        other.set_simple(
+            SimplePolicy::new().with_target(SimpleAction::Reject, Domain::new("gab.com")),
+        );
+        let c = pool.get(&other);
+        assert!(!Arc::ptr_eq(&a, &c), "different configs must not alias");
+        assert_eq!(c.len(), other.build_pipeline().len());
+        assert_eq!((pool.hits(), pool.misses(), pool.distinct()), (1, 2, 2));
     }
 }

@@ -47,7 +47,7 @@
 use crate::event::{Event, EventQueue};
 use crate::scenario::Scenario;
 use crate::sink::EventSink;
-use crate::state::{NetworkState, RetryPolicy};
+use crate::state::{NetworkState, RetryPolicy, SharedColumns};
 use fediscope_simnet::FailureClass;
 
 use crate::trace::{DynamicsTrace, TickTrace};
@@ -166,12 +166,22 @@ struct InstanceTick {
 pub struct EngineBuilder {
     config: DynamicsConfig,
     seeds: Arc<ScenarioSeeds>,
+    /// The interned seed-derived columns (compiled pipelines, configs,
+    /// template sets), built once: every engine this builder stamps out
+    /// aliases them by refcount instead of rebuilding per arm.
+    columns: Arc<SharedColumns>,
 }
 
 impl EngineBuilder {
     /// A builder producing engines with `config` over the shared seeds.
+    /// Builds the interned [`SharedColumns`] once, up front.
     pub fn new(config: DynamicsConfig, seeds: Arc<ScenarioSeeds>) -> Self {
-        EngineBuilder { config, seeds }
+        let columns = Arc::new(SharedColumns::build(&seeds));
+        EngineBuilder {
+            config,
+            seeds,
+            columns,
+        }
     }
 
     /// The configuration every built engine runs.
@@ -184,9 +194,18 @@ impl EngineBuilder {
         &self.seeds
     }
 
-    /// Stamps out a fresh engine: new state, no sink, tick 0.
+    /// The shared seed-derived columns every built engine aliases.
+    pub fn columns(&self) -> &Arc<SharedColumns> {
+        &self.columns
+    }
+
+    /// Stamps out a fresh engine: new state, no sink, tick 0. The
+    /// state's `Arc` columns alias the builder's [`SharedColumns`].
     pub fn build(&self) -> DynamicsEngine {
-        DynamicsEngine::assemble(self.config.clone(), NetworkState::from_seeds(&self.seeds))
+        DynamicsEngine::assemble(
+            self.config.clone(),
+            NetworkState::from_seeds_shared(&self.seeds, &self.columns),
+        )
     }
 }
 
@@ -217,6 +236,14 @@ impl DynamicsEngine {
     /// Builds an engine over the seeded network.
     pub fn new(config: DynamicsConfig, seeds: &ScenarioSeeds) -> Self {
         DynamicsEngine::assemble(config, NetworkState::from_seeds(seeds))
+    }
+
+    /// Builds an engine over an explicitly constructed state — the hook
+    /// the differential tests and benches use to run the engine over
+    /// [`NetworkState::from_seeds_reference`] (or a pre-shared state)
+    /// without going through the interned default path.
+    pub fn from_state(config: DynamicsConfig, state: NetworkState) -> Self {
+        DynamicsEngine::assemble(config, state)
     }
 
     /// The one assembly path every constructor funnels through

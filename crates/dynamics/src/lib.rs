@@ -157,7 +157,7 @@ pub use event::{Event, EventQueue, Scheduled};
 pub use experiment::{Arm, ArmRun, Experiment, ExperimentResult};
 pub use scenario::Scenario;
 pub use sink::EventSink;
-pub use state::{InstanceState, NetworkState, PostTemplate, RetryPolicy};
+pub use state::{InstanceState, NetworkState, PostTemplate, RetryPolicy, SharedColumns};
 pub use trace::{failure_mix_index, DynamicsTrace, TickTrace};
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use crate::trace::failure_mix_index;
 use fediscope_core::catalog::PolicyKind;
-use fediscope_core::config::InstanceModerationConfig;
+use fediscope_core::config::{InstanceModerationConfig, PipelinePool};
 use fediscope_core::id::{Domain, PostId, UserId, UserRef};
 use fediscope_core::model::{Activity, Post};
 use fediscope_core::mrf::policies::SimpleAction;
@@ -17,7 +17,9 @@ use fediscope_core::rollout::RolloutWave;
 use fediscope_core::time::{SimDuration, CAMPAIGN_START};
 use fediscope_simnet::{FailureClass, FailureMode};
 use fediscope_synthgen::ScenarioSeeds;
+use fediscope_telemetry::{HotCounter, Telemetry};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration of the delivery-reliability layer: how a retry-enabled
 /// run redelivers batches lost to transient failures.
@@ -118,16 +120,23 @@ pub struct InstanceState {
     pub base_emission: u32,
     /// Whether the instance has changed moderation since the run began.
     pub adopted: bool,
-    /// Currently active moderation configuration.
-    pub moderation: InstanceModerationConfig,
+    /// Currently active moderation configuration. Shared (`Arc`) with
+    /// every instance whose seed config is structurally identical; the
+    /// mutators below diverge it copy-on-write via `Arc::make_mut`, so
+    /// an unmutated instance never owns a private copy.
+    pub moderation: Arc<InstanceModerationConfig>,
     /// Compiled pipeline of `moderation`, kept in step incrementally:
     /// waves and blocks merge into it through the MRF delta API
     /// (O(delta)); only a full reset recompiles it from scratch.
-    pub pipeline: MrfPipeline,
+    /// Interned: seed-identical configs share one compiled pipeline
+    /// ([`PipelinePool`]) and diverge copy-on-write on first mutation.
+    pub pipeline: Arc<MrfPipeline>,
     /// The final configuration the seeds prescribe (rollout target).
-    pub target: InstanceModerationConfig,
-    /// Inbound-post templates.
-    pub templates: Vec<PostTemplate>,
+    /// Never mutated — at seed time it aliases `moderation`.
+    pub target: Arc<InstanceModerationConfig>,
+    /// Inbound-post templates — one shared column per instance, aliased
+    /// by every engine built over the same [`SharedColumns`].
+    pub templates: Arc<[PostTemplate]>,
     /// Registered users.
     pub users: u32,
     /// Ground truth: instances rejecting this one.
@@ -212,38 +221,182 @@ pub struct NetworkState {
     emissions_dirty: bool,
 }
 
+/// The per-instance template column for instance `i`: the seed template
+/// set turned into deliverable activities. Ids embed the instance index,
+/// so the column is a pure function of `(seeds, i)` — which is what lets
+/// [`SharedColumns`] build it once and every engine alias it.
+fn template_column(seeds: &ScenarioSeeds, i: usize) -> Vec<PostTemplate> {
+    let domain = &seeds.domains[i];
+    seeds.templates[i]
+        .iter()
+        .enumerate()
+        .map(|(k, t)| {
+            let author = UserRef::new(UserId(t.author), domain.clone());
+            // The template body is the seed's shared allocation — the
+            // engine never copies post text, only refcounts.
+            let post = Post::stub(
+                PostId(((i as u64) << 24) | k as u64),
+                author,
+                CAMPAIGN_START,
+                t.content.clone(),
+            );
+            PostTemplate {
+                author: t.author,
+                content: t.content.clone(),
+                activity: Activity::create(
+                    fediscope_core::id::ActivityId((i as u64) << 24 | k as u64),
+                    post,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// The `Arc`-shared slice of one instance's state — what distinguishes
+/// the interned construction path from the reference one.
+struct InstanceParts {
+    moderation: Arc<InstanceModerationConfig>,
+    pipeline: Arc<MrfPipeline>,
+    target: Arc<InstanceModerationConfig>,
+    templates: Arc<[PostTemplate]>,
+}
+
+/// The seed-derived, instance-indexed columns every engine built over
+/// the same [`ScenarioSeeds`] can share by refcount: interned compiled
+/// pipelines, the moderation configs behind them, and the pre-built
+/// template sets. Building the columns is the expensive part of
+/// [`NetworkState::from_seeds`]; paired experiment arms (or repeated
+/// runs over one seed set) pay it once via
+/// [`NetworkState::from_seeds_shared`].
+#[derive(Debug)]
+pub struct SharedColumns {
+    templates: Vec<Arc<[PostTemplate]>>,
+    pipelines: Vec<Arc<MrfPipeline>>,
+    configs: Vec<Arc<InstanceModerationConfig>>,
+    intern_hits: u64,
+    intern_misses: u64,
+    intern_distinct: usize,
+}
+
+impl SharedColumns {
+    /// Builds the columns: one [`PipelinePool`] lookup per instance (so
+    /// seed-identical configs share one compiled pipeline), one template
+    /// column per instance (empty sets all alias a single allocation).
+    /// Reports the pool's hit/miss tallies to telemetry as two batched
+    /// adds — no per-instance atomics, nothing the zero-drift contract
+    /// can see.
+    pub fn build(seeds: &ScenarioSeeds) -> SharedColumns {
+        let mut pool = PipelinePool::new();
+        let empty: Arc<[PostTemplate]> = Arc::from(Vec::new());
+        let mut templates = Vec::with_capacity(seeds.len());
+        let mut pipelines = Vec::with_capacity(seeds.len());
+        let mut configs = Vec::with_capacity(seeds.len());
+        for i in 0..seeds.len() {
+            let column = template_column(seeds, i);
+            templates.push(if column.is_empty() {
+                Arc::clone(&empty)
+            } else {
+                Arc::from(column)
+            });
+            pipelines.push(pool.get(&seeds.moderation[i]));
+            configs.push(Arc::new(seeds.moderation[i].clone()));
+        }
+        let telemetry = Telemetry::global();
+        telemetry.add(HotCounter::PipelineInternHits, pool.hits());
+        telemetry.add(HotCounter::PipelineInternMisses, pool.misses());
+        SharedColumns {
+            templates,
+            pipelines,
+            configs,
+            intern_hits: pool.hits(),
+            intern_misses: pool.misses(),
+            intern_distinct: pool.distinct(),
+        }
+    }
+
+    /// Pipeline lookups served by sharing during the build.
+    pub fn intern_hits(&self) -> u64 {
+        self.intern_hits
+    }
+
+    /// Pipeline lookups that compiled fresh during the build.
+    pub fn intern_misses(&self) -> u64 {
+        self.intern_misses
+    }
+
+    /// Distinct moderation configs across the seed set.
+    pub fn intern_distinct(&self) -> usize {
+        self.intern_distinct
+    }
+
+    /// Number of instances the columns cover.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the columns are empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
 impl NetworkState {
     /// Builds the initial state from seeds: every instance runs its final
     /// seed moderation, links come from the Peers API extract, and
-    /// everyone starts in their seed failure mode.
+    /// everyone starts in their seed failure mode. Compiled pipelines are
+    /// interned ([`SharedColumns`]) — instances with structurally equal
+    /// configs share one `Arc<MrfPipeline>` until a wave/block/reset
+    /// diverges them copy-on-write.
     pub fn from_seeds(seeds: &ScenarioSeeds) -> NetworkState {
+        NetworkState::from_seeds_shared(seeds, &SharedColumns::build(seeds))
+    }
+
+    /// Builds the state over pre-built [`SharedColumns`]: every `Arc`
+    /// column is refcounted, not cloned, so a second engine over the same
+    /// seeds costs O(instances) pointer bumps instead of a rebuild.
+    pub fn from_seeds_shared(seeds: &ScenarioSeeds, columns: &SharedColumns) -> NetworkState {
+        assert_eq!(columns.len(), seeds.len(), "columns must match the seeds");
+        NetworkState::assemble(seeds, |i| InstanceParts {
+            moderation: Arc::clone(&columns.configs[i]),
+            pipeline: Arc::clone(&columns.pipelines[i]),
+            target: Arc::clone(&columns.configs[i]),
+            templates: Arc::clone(&columns.templates[i]),
+        })
+    }
+
+    /// The pre-interning construction path, kept as the differential
+    /// oracle: every instance compiles its own pipeline and owns private
+    /// config/template allocations — no sharing anywhere. Traces from a
+    /// state built here must be bit-identical to the interned path (the
+    /// `interned_vs_reference` proptest pins this).
+    pub fn from_seeds_reference(seeds: &ScenarioSeeds) -> NetworkState {
+        NetworkState::assemble(seeds, |i| {
+            let moderation = seeds.moderation[i].clone();
+            let pipeline = Arc::new(moderation.build_pipeline());
+            InstanceParts {
+                moderation: Arc::new(moderation.clone()),
+                pipeline,
+                target: Arc::new(moderation),
+                templates: Arc::from(template_column(seeds, i)),
+            }
+        })
+    }
+
+    /// The shared assembly under every construction path: scalar columns
+    /// come straight from the seeds, the `Arc`-shared parts from
+    /// `parts(i)`.
+    fn assemble(
+        seeds: &ScenarioSeeds,
+        mut parts: impl FnMut(usize) -> InstanceParts,
+    ) -> NetworkState {
         let instances: Vec<InstanceState> = (0..seeds.len())
             .map(|i| {
-                let domain = &seeds.domains[i];
-                let templates: Vec<PostTemplate> = seeds.templates[i]
-                    .iter()
-                    .enumerate()
-                    .map(|(k, t)| {
-                        let author = UserRef::new(UserId(t.author), domain.clone());
-                        // The template body is the seed's shared
-                        // allocation — the engine never copies post text,
-                        // only refcounts.
-                        let post = Post::stub(
-                            PostId(((i as u64) << 24) | k as u64),
-                            author,
-                            CAMPAIGN_START,
-                            t.content.clone(),
-                        );
-                        PostTemplate {
-                            author: t.author,
-                            content: t.content.clone(),
-                            activity: Activity::create(
-                                fediscope_core::id::ActivityId((i as u64) << 24 | k as u64),
-                                post,
-                            ),
-                        }
-                    })
-                    .collect();
+                let InstanceParts {
+                    moderation,
+                    pipeline,
+                    target,
+                    templates,
+                } = parts(i);
                 // Posty instances emit more per tick, saturating at 8 —
                 // enough spread to make storm multipliers visible without
                 // letting one giant drown the trace.
@@ -252,17 +405,16 @@ impl NetworkState {
                 } else {
                     1 + (seeds.posts_full_scale[i] / 25_000).min(7) as u32
                 };
-                let moderation = seeds.moderation[i].clone();
                 InstanceState {
-                    domain: domain.clone(),
+                    domain: seeds.domains[i].clone(),
                     pleroma: seeds.pleroma[i],
                     failure: seeds.failures[i],
                     seed_failure: seeds.failures[i],
                     rate: 1.0,
                     base_emission,
                     adopted: false,
-                    pipeline: moderation.build_pipeline(),
-                    target: moderation.clone(),
+                    pipeline,
+                    target,
                     moderation,
                     templates,
                     users: seeds.users[i],
@@ -507,8 +659,11 @@ impl NetworkState {
             return false;
         }
         let inst = &mut self.instances[i as usize];
-        inst.moderation
-            .apply_wave_compiled(wave, &mut inst.pipeline);
+        // First wave on a shared config/pipeline diverges this instance
+        // copy-on-write; later waves find the refcount at 1 and mutate in
+        // place, so the delta API stays O(wave).
+        let pipeline = Arc::make_mut(&mut inst.pipeline);
+        Arc::make_mut(&mut inst.moderation).apply_wave_compiled(wave, pipeline);
         self.mark_adopted(i as usize);
         true
     }
@@ -537,19 +692,20 @@ impl NetworkState {
             .map(|s| s.matches(SimpleAction::Reject, &target_domain))
             .unwrap_or(false);
         if !already {
-            inst.moderation
-                .enable_compiled(PolicyKind::Simple, &mut inst.pipeline);
-            inst.moderation
+            // A block diverges a shared config/pipeline copy-on-write —
+            // the instances still sharing the seed allocation are
+            // untouched.
+            let pipeline = Arc::make_mut(&mut inst.pipeline);
+            let moderation = Arc::make_mut(&mut inst.moderation);
+            moderation.enable_compiled(PolicyKind::Simple, pipeline);
+            moderation
                 .simple
                 .get_or_insert_with(Default::default)
                 .add_target(SimpleAction::Reject, target_domain.clone());
-            if !inst
-                .pipeline
-                .add_simple_target(SimpleAction::Reject, target_domain)
-            {
+            if !pipeline.add_simple_target(SimpleAction::Reject, target_domain) {
                 // Out-of-step pipeline (cannot happen through this API):
                 // reference path.
-                inst.pipeline = inst.moderation.build_pipeline();
+                inst.pipeline = Arc::new(inst.moderation.build_pipeline());
             }
             self.mark_adopted(a as usize);
         }
@@ -596,12 +752,12 @@ impl NetworkState {
     /// `init`, never in the per-event control phase.
     pub fn reset_moderation_default(&mut self, i: usize) {
         let inst = &mut self.instances[i];
-        inst.moderation = if inst.pleroma {
+        inst.moderation = Arc::new(if inst.pleroma {
             InstanceModerationConfig::pleroma_default()
         } else {
             InstanceModerationConfig::default()
-        };
-        inst.pipeline = inst.moderation.build_pipeline();
+        });
+        inst.pipeline = Arc::new(inst.moderation.build_pipeline());
         if inst.adopted {
             inst.adopted = false;
             self.adopted_count -= 1;
@@ -777,6 +933,69 @@ mod tests {
         assert_eq!(state.failure_class_of(0), Some(FailureClass::Transient));
         state.set_failure(0, FailureMode::Gone);
         assert_eq!(state.failure_class_of(0), Some(FailureClass::Permanent));
+    }
+
+    #[test]
+    fn interned_pipelines_are_shared_and_diverge_cow() {
+        let s = seeds();
+        let mut state = NetworkState::from_seeds(s);
+        let mut pair = None;
+        'outer: for a in 0..state.len() {
+            for b in a + 1..state.len() {
+                if Arc::ptr_eq(&state.instances[a].pipeline, &state.instances[b].pipeline) {
+                    pair = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = pair.expect("the seed world repeats moderation configs");
+        // At seed time an instance's active and target configs alias one
+        // allocation.
+        assert!(Arc::ptr_eq(
+            &state.instances[a].moderation,
+            &state.instances[a].target
+        ));
+        // A block on `a` diverges only `a`; `b` keeps the shared copy.
+        let shared = Arc::clone(&state.instances[b].pipeline);
+        let target = if a == 0 { 1 } else { 0 } as u32;
+        state.defederate(a as u32, target);
+        assert!(!Arc::ptr_eq(
+            &state.instances[a].pipeline,
+            &state.instances[b].pipeline
+        ));
+        assert!(Arc::ptr_eq(&state.instances[b].pipeline, &shared));
+        assert!(state.instances[b]
+            .moderation
+            .simple
+            .as_ref()
+            .is_none_or(|sp| !sp.matches(
+                SimpleAction::Reject,
+                &state.instances[target as usize].domain
+            )));
+    }
+
+    #[test]
+    fn shared_columns_alias_across_states() {
+        let s = seeds();
+        let cols = SharedColumns::build(s);
+        assert_eq!(cols.intern_hits() + cols.intern_misses(), s.len() as u64);
+        assert_eq!(cols.intern_distinct() as u64, cols.intern_misses());
+        let s1 = NetworkState::from_seeds_shared(s, &cols);
+        let s2 = NetworkState::from_seeds_shared(s, &cols);
+        for i in 0..s1.len() {
+            assert!(Arc::ptr_eq(
+                &s1.instances[i].pipeline,
+                &s2.instances[i].pipeline
+            ));
+            assert!(Arc::ptr_eq(
+                &s1.instances[i].templates,
+                &s2.instances[i].templates
+            ));
+            assert!(Arc::ptr_eq(
+                &s1.instances[i].moderation,
+                &s2.instances[i].moderation
+            ));
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ impl Scenario for WithRewriters {
     ) {
         for (i, inst) in state.instances.iter_mut().enumerate() {
             if i % 3 == 0 {
-                inst.pipeline.push(Arc::new(RewritePolicy {
+                Arc::make_mut(&mut inst.pipeline).push(Arc::new(RewritePolicy {
                     rules: vec![("e".to_string(), "3".to_string())],
                 }));
             }
@@ -178,8 +178,10 @@ fn run_length_grouping_preserves_rejected_author_counting() {
             _rng: &mut SmallRng,
         ) {
             for inst in &mut state.instances {
-                inst.templates.truncate(1);
-                inst.pipeline.push(Arc::new(DropPolicy));
+                if inst.templates.len() > 1 {
+                    inst.templates = Arc::from(&inst.templates[..1]);
+                }
+                Arc::make_mut(&mut inst.pipeline).push(Arc::new(DropPolicy));
             }
         }
     }

@@ -1,0 +1,185 @@
+//! The differential oracle for pipeline interning and Arc-shared
+//! instance columns: a [`NetworkState`] built through the interned,
+//! column-sharing path (`from_seeds`) must produce whole-trace
+//! bit-identical results to one built by `from_seeds_reference` — which
+//! compiles every pipeline per instance and shares nothing — for every
+//! shipped scenario family, at 1, 2 and 8 worker threads.
+//!
+//! The sweep keeps every copy-on-write divergence site hot, not just
+//! covered: rollouts apply mid-run waves (`apply_wave`), cascades
+//! defederate (`defederate`), the blocklist-import family resets
+//! moderation back to the fresh install (`reset_moderation_default`),
+//! and the rewriter family `Arc::make_mut`s shared pipelines at init.
+//!
+//! Thread counts are swept by resetting the global rayon pool size
+//! between runs (the shim allows it); nothing else in this binary
+//! touches the pool, so the sweep is race-free.
+
+use fediscope_core::mrf::policies::RewritePolicy;
+use fediscope_core::time::SimTime;
+use fediscope_dynamics::scenarios::{
+    AdoptionModel, BlocklistImportScenario, CascadeConfig, ChurnConfig, ChurnScenario, Composite,
+    DefederationCascadeScenario, ImportConfig, PolicyRolloutScenario, ReliabilityScenario,
+    RolloutConfig, StormConfig, ToxicityStormScenario,
+};
+use fediscope_dynamics::{
+    DynamicsConfig, DynamicsEngine, DynamicsTrace, EventQueue, NetworkState, Scenario,
+};
+use fediscope_synthgen::{ScenarioSeeds, World, WorldConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use std::sync::{Arc, OnceLock};
+
+fn seeds() -> &'static ScenarioSeeds {
+    static SEEDS: OnceLock<ScenarioSeeds> = OnceLock::new();
+    SEEDS.get_or_init(|| ScenarioSeeds::from_world(&World::generate(WorldConfig::test_small())))
+}
+
+/// Wraps any scenario and `Arc::make_mut`s every third instance's
+/// pipeline at init to push a rewriting policy — on the interned state
+/// those pipelines are shared, so this is the COW divergence branch
+/// firing across a third of the population before the first tick.
+struct WithRewriters(Box<dyn Scenario>);
+
+impl Scenario for WithRewriters {
+    fn name(&self) -> &'static str {
+        "with-rewriters"
+    }
+    fn init(
+        &mut self,
+        start: SimTime,
+        state: &mut NetworkState,
+        queue: &mut EventQueue,
+        rng: &mut SmallRng,
+    ) {
+        for (i, inst) in state.instances.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                Arc::make_mut(&mut inst.pipeline).push(Arc::new(RewritePolicy {
+                    rules: vec![("e".to_string(), "3".to_string())],
+                }));
+            }
+        }
+        self.0.init(start, state, queue, rng);
+    }
+    fn after_event(
+        &mut self,
+        event: &fediscope_dynamics::Scheduled,
+        applied: bool,
+        state: &NetworkState,
+        queue: &mut EventQueue,
+        rng: &mut SmallRng,
+    ) {
+        self.0.after_event(event, applied, state, queue, rng);
+    }
+}
+
+/// The five scenario families, the reactive compositions, the
+/// reset-to-default blocklist import, and the rewriting-MRF world.
+fn scenario_by_id(id: usize) -> Box<dyn Scenario> {
+    match id % 9 {
+        0 => Box::new(PolicyRolloutScenario::new(RolloutConfig::default())),
+        1 => Box::new(DefederationCascadeScenario::new(CascadeConfig::default())),
+        2 => Box::new(ChurnScenario::new(ChurnConfig::default())),
+        3 => Box::new(ToxicityStormScenario::new(StormConfig::default())),
+        4 => Box::new(
+            Composite::new()
+                .with(Box::new(ToxicityStormScenario::new(StormConfig::default())))
+                .with(Box::new(ChurnScenario::new(ChurnConfig::default())))
+                .with(Box::new(PolicyRolloutScenario::new(
+                    RolloutConfig::default(),
+                ))),
+        ),
+        5 => Box::new(
+            Composite::new()
+                .with(Box::new(DefederationCascadeScenario::new(
+                    CascadeConfig::default(),
+                )))
+                .with(Box::new(ChurnScenario::new(ChurnConfig::default()))),
+        ),
+        6 => Box::new(
+            Composite::new()
+                .with(Box::new(ReliabilityScenario::default()))
+                .with(Box::new(ChurnScenario::new(ChurnConfig {
+                    transient_p: 0.5,
+                    ..ChurnConfig::default()
+                }))),
+        ),
+        // Reset-to-default import: every adopter replaces its moderation
+        // Arc wholesale (`reset_moderation_default`) before importing.
+        7 => Box::new(BlocklistImportScenario::new(ImportConfig {
+            adoption: AdoptionModel::Full,
+            reset_to_default: true,
+            ..ImportConfig::default()
+        })),
+        // Rewriting-MRF world over a storm: COW at init, verdicts after.
+        _ => Box::new(WithRewriters(Box::new(ToxicityStormScenario::new(
+            StormConfig::default(),
+        )))),
+    }
+}
+
+fn run(scenario_id: usize, engine_seed: u64, threads: usize, reference: bool) -> DynamicsTrace {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global();
+    let config = DynamicsConfig {
+        seed: engine_seed,
+        ticks: 6,
+        ..DynamicsConfig::default()
+    };
+    let mut engine = if reference {
+        DynamicsEngine::from_state(config, NetworkState::from_seeds_reference(seeds()))
+    } else {
+        DynamicsEngine::new(config, seeds())
+    };
+    let mut scenario = scenario_by_id(scenario_id);
+    engine.run(scenario.as_mut())
+}
+
+proptest! {
+    /// Whole-trace equality (not just digests) between the interned and
+    /// reference state constructions, with the interned side swept
+    /// across 1, 2 and 8 threads.
+    #[test]
+    fn interned_state_matches_reference(
+        scenario_id in 0_usize..9,
+        engine_seed in 0_u64..1_000_000,
+    ) {
+        let reference = run(scenario_id, engine_seed, 1, true);
+        for threads in [1_usize, 2, 8] {
+            let interned = run(scenario_id, engine_seed, threads, false);
+            prop_assert_eq!(
+                reference.digest(),
+                interned.digest(),
+                "interned digest diverged at {} threads (scenario {})",
+                threads,
+                scenario_id
+            );
+            prop_assert!(
+                reference == interned,
+                "interned trace diverged at {} threads (scenario {})",
+                threads,
+                scenario_id
+            );
+        }
+    }
+}
+
+/// Pins the mid-run wave COW branch deterministically (no proptest
+/// shrink needed when it breaks): a rollout over the interned state
+/// diverges waved instances' pipelines from their intern pool entries
+/// and still matches the share-nothing reference bit for bit.
+#[test]
+fn mid_run_wave_diverges_cow_and_matches_reference() {
+    let reference = run(0, 42, 1, true);
+    let interned = run(0, 42, 1, false);
+    assert_eq!(reference.digest(), interned.digest());
+    assert_eq!(reference, interned);
+    assert!(
+        reference
+            .ticks
+            .iter()
+            .any(|t| t.adopted > 0 || t.rejected > 0),
+        "rollout should actually moderate something"
+    );
+}

@@ -36,6 +36,7 @@ mod moderation;
 mod names;
 mod population;
 mod scenario;
+mod shard;
 mod world;
 
 pub use character::InstanceCharacter;
@@ -43,4 +44,8 @@ pub use config::{Parallelism, WorldConfig};
 pub use content::ContentComposer;
 pub use harm::{HarmProfile, UserHarm};
 pub use scenario::{PostSeed, ScenarioSeeds, SeedKnobs};
+pub use shard::{
+    read_manifest, stream_shard_dir, write_shard_dir, ShardError, ShardManifest, ShardReader,
+    MANIFEST_FILE, SHARD_FILE,
+};
 pub use world::{GeneratedInstance, GeneratedUser, ShardWriter, World, WorldSink, WORLDGEN_CHUNK};

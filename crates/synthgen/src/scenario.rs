@@ -245,6 +245,24 @@ impl ScenarioSeeds {
         extractor.finish()
     }
 
+    /// Builds the extract from a shard directory written by
+    /// [`crate::write_shard_dir`]: the instance stream replays from disk
+    /// through the same [`WorldSink`] extractor as
+    /// [`from_config_streamed`](Self::from_config_streamed), so the
+    /// result is field-for-field identical to a direct extraction of the
+    /// same config — without regenerating (or ever materialising) the
+    /// corpus. Truncated or corrupt shards surface as a typed
+    /// [`crate::ShardError`].
+    pub fn from_shards(
+        dir: &std::path::Path,
+        knobs: &SeedKnobs,
+    ) -> Result<ScenarioSeeds, crate::ShardError> {
+        let manifest = crate::shard::read_manifest(dir)?;
+        let mut extractor = SeedExtractor::new(knobs, manifest.seed);
+        crate::shard::stream_shard_dir(dir, &mut extractor)?;
+        Ok(extractor.finish())
+    }
+
     /// Number of seeded instances (every column has this length).
     pub fn len(&self) -> usize {
         self.domains.len()

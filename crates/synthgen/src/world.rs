@@ -21,7 +21,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 /// A generated user with their ground-truth harm profile and posts.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct GeneratedUser {
     /// The account record.
     pub user: User,
@@ -37,7 +37,7 @@ pub struct GeneratedUser {
 /// Serializable so streamed generation ([`World::generate_streamed`])
 /// can shard a world to disk one JSON record at a time (see
 /// [`ShardWriter`]).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct GeneratedInstance {
     /// Identity and flags.
     pub profile: InstanceProfile,

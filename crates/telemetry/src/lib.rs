@@ -131,11 +131,17 @@ pub enum HotCounter {
     ProbesNetError,
     /// Census rounds completed by the round-trip driver.
     CensusRounds,
+    /// Compiled `MrfPipeline`s served from the structural interning pool
+    /// (instances sharing a seed-identical moderation config).
+    PipelineInternHits,
+    /// Compiled `MrfPipeline`s the interning pool had to build fresh
+    /// (first instance of each distinct moderation config).
+    PipelineInternMisses,
 }
 
 impl HotCounter {
     /// Every counter, in reporting order.
-    pub const ALL: [HotCounter; 16] = [
+    pub const ALL: [HotCounter; 18] = [
         HotCounter::ScorerCalls,
         HotCounter::ScorerMemoHits,
         HotCounter::FilterFastHits,
@@ -152,6 +158,8 @@ impl HotCounter {
         HotCounter::ProbesPermanent,
         HotCounter::ProbesNetError,
         HotCounter::CensusRounds,
+        HotCounter::PipelineInternHits,
+        HotCounter::PipelineInternMisses,
     ];
 
     /// Stable snake_case name (the Prometheus metric stem).
@@ -173,6 +181,8 @@ impl HotCounter {
             HotCounter::ProbesPermanent => "probes_permanent",
             HotCounter::ProbesNetError => "probes_net_error",
             HotCounter::CensusRounds => "census_rounds",
+            HotCounter::PipelineInternHits => "pipeline_intern_hits",
+            HotCounter::PipelineInternMisses => "pipeline_intern_misses",
         }
     }
 

@@ -224,6 +224,14 @@ impl<'de> Deserialize<'de> for std::sync::Arc<str> {
     }
 }
 
+// Shared slices (peer lists, template sets): deserialize through an owned
+// `Vec`, then move into the shared allocation.
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<[T]> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(std::sync::Arc::from)
+    }
+}
+
 macro_rules! de_tuple {
     ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
         impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {

@@ -32,10 +32,14 @@ fn usage() -> ExitCode {
         "  fediscope crawl [--scale S] [--post-scale P] [--seed N] [--peer-cap K] [--out FILE]"
     );
     eprintln!("  fediscope report FILE <census|headline|table1|table2|fig1|fig2|fig3|curate|ablation|graph>");
-    eprintln!("  fediscope dynamics <rollout|cascade|churn|storm|composite> [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE] [--telemetry-out FILE]");
+    eprintln!("  fediscope shard --out DIR [--scale S] [--post-scale P] [--seed N] [--threads W]");
+    eprintln!("  fediscope dynamics <rollout|cascade|churn|storm|composite> [--scale S] [--seed N] [--ticks T] [--threads W] [--from-shards DIR] [--out FILE] [--telemetry-out FILE]");
     eprintln!("  fediscope dynamics census [--scale S] [--seed N] [--ticks T] [--census-every C] [--threads W] [--out FILE] [--telemetry-out FILE]");
-    eprintln!("  fediscope experiment [--arms A,B,..] [--baseline NAME] [--scale S] [--seed N] [--ticks T] [--threads W] [--out FILE] [--telemetry-out FILE]");
+    eprintln!("  fediscope experiment [--arms A,B,..] [--baseline NAME] [--scale S] [--seed N] [--ticks T] [--threads W] [--from-shards DIR] [--out FILE] [--telemetry-out FILE]");
     eprintln!("      arms: inaction | rollout | import-full | import-partial");
+    eprintln!("      --from-shards DIR loads the world from a shard directory written by");
+    eprintln!("      `fediscope shard` instead of regenerating it (the manifest's seed and");
+    eprintln!("      scale win over --seed/--scale)");
     eprintln!("      --telemetry-out arms the observability registry (phase spans, hot");
     eprintln!("      counters, latency histograms) and writes the RunReport JSON there");
     ExitCode::from(2)
@@ -107,11 +111,73 @@ fn world_flags(args: &[String]) -> (WorldConfig, u64) {
     (config, ticks)
 }
 
+/// Builds the scenario seed extract either from a shard directory
+/// (`--from-shards DIR`, written by `fediscope shard`) or by generating
+/// the world in-process. A shard load never materialises the corpus —
+/// records stream one at a time from `world.ndjson` — and ignores
+/// `--scale/--seed`: the shard manifest is authoritative for both.
+fn load_seeds(args: &[String], config: WorldConfig) -> Result<ScenarioSeeds, ExitCode> {
+    use fediscope::synthgen::SeedKnobs;
+    if let Some(dir) = parse_flag(args, "--from-shards") {
+        eprintln!("loading world from shards at {dir} ...");
+        ScenarioSeeds::from_shards(std::path::Path::new(&dir), &SeedKnobs::default()).map_err(|e| {
+            eprintln!("cannot load shards from {dir}: {e}");
+            ExitCode::FAILURE
+        })
+    } else {
+        eprintln!(
+            "generating world (seed {}, scale {}) ...",
+            config.seed, config.scale
+        );
+        Ok(ScenarioSeeds::from_world(&World::generate(config)))
+    }
+}
+
+/// Writes a generated world straight to an NDJSON shard directory —
+/// `world.ndjson` plus `manifest.json` — for later `--from-shards`
+/// reloads. Generation streams chunk-by-chunk, so sharding a 1.0-scale
+/// world never holds the full corpus in memory either.
+fn shard(args: &[String]) -> ExitCode {
+    let Some(out) = parse_flag(args, "--out") else {
+        eprintln!("shard requires --out DIR");
+        return usage();
+    };
+    let mut config = WorldConfig::paper();
+    config.scale = 0.1;
+    if let Some(s) = parse_flag(args, "--scale").and_then(|v| v.parse().ok()) {
+        config.scale = s;
+    }
+    if let Some(p) = parse_flag(args, "--post-scale").and_then(|v| v.parse().ok()) {
+        config.post_scale = p;
+    }
+    if let Some(n) = parse_flag(args, "--seed").and_then(|v| v.parse().ok()) {
+        config.seed = n;
+    }
+    if let Some(w) = parse_flag(args, "--threads").and_then(|v| v.parse::<usize>().ok()) {
+        config.parallelism = fediscope::synthgen::Parallelism(w);
+    }
+    eprintln!(
+        "sharding world (seed {}, scale {}, post_scale {}) to {out} ...",
+        config.seed, config.scale, config.post_scale
+    );
+    match fediscope::synthgen::write_shard_dir(&config, std::path::Path::new(&out)) {
+        Ok(manifest) => {
+            eprintln!("wrote {} instances to {out}", manifest.instances);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to shard world to {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("crawl") => crawl(&args[1..]),
         Some("report") => report(&args[1..]),
+        Some("shard") => shard(&args[1..]),
         Some("dynamics") => dynamics(&args[1..]),
         Some("experiment") => experiment(&args[1..]),
         _ => usage(),
@@ -188,14 +254,10 @@ fn experiment(args: &[String]) -> ExitCode {
         return usage();
     }
     let telemetry_out = arm_telemetry(args);
-    eprintln!(
-        "generating world (seed {}, scale {}) and seeding {} arms ...",
-        config.seed,
-        config.scale,
-        arm_names.len()
-    );
-    let world = World::generate(config);
-    let seeds = Arc::new(ScenarioSeeds::from_world(&world));
+    let seeds = match load_seeds(args, config) {
+        Ok(seeds) => Arc::new(seeds),
+        Err(code) => return code,
+    };
     let engine_config = fediscope::dynamics::DynamicsConfig {
         seed: seeds.seed,
         ticks,
@@ -289,12 +351,10 @@ fn dynamics(args: &[String]) -> ExitCode {
         _ => return usage(),
     };
     let telemetry_out = arm_telemetry(args);
-    eprintln!(
-        "generating world (seed {}, scale {}) and seeding scenario ...",
-        config.seed, config.scale
-    );
-    let world = World::generate(config);
-    let seeds = ScenarioSeeds::from_world(&world);
+    let seeds = match load_seeds(args, config) {
+        Ok(seeds) => seeds,
+        Err(code) => return code,
+    };
     let engine_config = fediscope::dynamics::DynamicsConfig {
         seed: seeds.seed,
         ticks,
